@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the SPMD substrate's overheads — the
+//! "parallel overhead, i.e. the large constant factors hidden in the
+//! asymptotic bounds" that §1 of the paper blames for slow PRAM
+//! emulations: pool spawn cost, barrier episode latency, and the cost
+//! of an (almost) empty SPMD phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bcc_smp::{ChunkCounter, Pool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_spawn");
+    group.sample_size(20);
+    for &p in THREADS {
+        let pool = Pool::new(p);
+        group.bench_with_input(BenchmarkId::new("empty_run", p), &p, |b, _| {
+            b.iter(|| {
+                pool.run(|ctx| {
+                    std::hint::black_box(ctx.tid());
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier");
+    group.sample_size(20);
+    const EPISODES: usize = 100;
+    for &p in THREADS {
+        let pool = Pool::new(p);
+        group.bench_with_input(BenchmarkId::new("100_episodes", p), &p, |b, _| {
+            b.iter(|| {
+                pool.run(|ctx| {
+                    for _ in 0..EPISODES {
+                        ctx.barrier();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(20);
+    const N: usize = 1 << 16;
+    for &p in &[1usize, 4] {
+        let pool = Pool::new(p);
+        group.bench_with_input(BenchmarkId::new("static_blocks", p), &p, |b, _| {
+            let total = AtomicUsize::new(0);
+            b.iter(|| {
+                pool.run(|ctx| {
+                    let mut acc = 0usize;
+                    for i in ctx.block_range(N) {
+                        acc = acc.wrapping_add(i);
+                    }
+                    total.fetch_add(acc, Ordering::Relaxed);
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic_chunks", p), &p, |b, _| {
+            let total = AtomicUsize::new(0);
+            b.iter(|| {
+                let work = ChunkCounter::new(N, 1024);
+                pool.run(|_| {
+                    let mut acc = 0usize;
+                    while let Some(r) = work.next_chunk() {
+                        for i in r {
+                            acc = acc.wrapping_add(i);
+                        }
+                    }
+                    total.fetch_add(acc, Ordering::Relaxed);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spawn, bench_barrier, bench_scheduling);
+criterion_main!(benches);

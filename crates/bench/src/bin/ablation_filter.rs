@@ -1,0 +1,100 @@
+//! ABL-FILTER — quantifies the §4 analysis behind TV-filter:
+//!
+//! * how many edges are filtered as density grows (the paper:
+//!   at least max(m − 2(n−1), 0));
+//! * TV-filter vs TV-opt crossover as a function of density (the paper
+//!   suggests falling back to TV-opt when m ≤ 4n);
+//! * the pathological chain graph, where the BFS diameter term O(d)
+//!   dominates.
+//!
+//! ```text
+//! cargo run -p bcc-bench --release --bin ablation_filter -- [--n N] [--p P]
+//! ```
+
+use bcc_bench::{fmt_dur, maybe_write_json, time_median, Options, Record};
+use bcc_core::{biconnected_components, Algorithm};
+use bcc_graph::gen;
+use bcc_smp::Pool;
+
+fn main() {
+    let opts = Options::parse(100_000);
+    let n = opts.n;
+    let p = opts.max_threads;
+    let pool = Pool::new(p);
+    let mut records = Vec::new();
+
+    println!("== density sweep (n = {n}, p = {p}) ==");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>8} {:>14}",
+        "m", "m/n", "TV-opt", "TV-filter", "ratio", "edges filtered"
+    );
+    for mult in [1usize, 2, 4, 6, 10, 16, 24] {
+        let m = (mult * n as usize)
+            .max(n as usize - 1)
+            .min(gen::max_edges(n));
+        let g = gen::random_connected(n, m, opts.seed);
+
+        let opt = time_median(opts.runs, || {
+            let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
+            std::hint::black_box(r.num_components);
+        });
+        let filt = time_median(opts.runs, || {
+            let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+            std::hint::black_box(r.num_components);
+        });
+        let filtered = m.saturating_sub(2 * (n as usize - 1));
+        println!(
+            "{:>10} {:>10} {:>12} {:>12} {:>7.2}x {:>14}",
+            m,
+            mult,
+            fmt_dur(opt),
+            fmt_dur(filt),
+            opt.as_secs_f64() / filt.as_secs_f64(),
+            format!(">= {filtered}")
+        );
+        for (alg, d) in [("TV-opt", opt), ("TV-filter", filt)] {
+            records.push(Record {
+                experiment: "ablation_filter".into(),
+                algorithm: alg.into(),
+                n,
+                m,
+                threads: p,
+                seconds: d.as_secs_f64(),
+                steps: None,
+            });
+        }
+    }
+
+    println!("\n== pathological case: chain graph (d = n - 1) ==");
+    let chain_n = (n / 10).max(1_000);
+    let g = gen::path(chain_n);
+    let opt = time_median(opts.runs, || {
+        let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
+        std::hint::black_box(r.num_components);
+    });
+    let filt = time_median(opts.runs, || {
+        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        std::hint::black_box(r.num_components);
+    });
+    println!(
+        "chain n = {chain_n}: TV-opt {}, TV-filter {} (BFS diameter term hurts the filter)",
+        fmt_dur(opt),
+        fmt_dur(filt)
+    );
+    for (alg, d) in [("TV-opt", opt), ("TV-filter", filt)] {
+        records.push(Record {
+            experiment: "ablation_filter_chain".into(),
+            algorithm: alg.into(),
+            n: chain_n,
+            m: chain_n as usize - 1,
+            threads: p,
+            seconds: d.as_secs_f64(),
+            steps: None,
+        });
+    }
+    println!(
+        "\nPaper guidance: if m <= 4n, fall back to TV-opt; the sweep above\n\
+         locates the crossover on this machine."
+    );
+    maybe_write_json(&opts, &records);
+}

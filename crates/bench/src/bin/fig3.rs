@@ -1,0 +1,99 @@
+//! FIG3 — reproduces the paper's Figure 3: execution time of
+//! Sequential, TV-SMP, TV-opt, and TV-filter on random graphs of fixed
+//! n and varying edge density, swept over thread counts.
+//!
+//! Paper scale: n = 1M, m ∈ {4M, 6M, 10M, 20M}, p = 1..12 on a Sun
+//! E4500. Default here is a scaled n = 100k (override with `--n
+//! 1000000` for the paper-scale run).
+//!
+//! ```text
+//! cargo run -p bcc-bench --release --bin fig3 -- [--n N] [--p P] [--runs K] [--json out.json]
+//! ```
+
+use bcc_bench::{fmt_dur, maybe_write_json, time_median, Options, Record};
+use bcc_core::{biconnected_components, Algorithm};
+use bcc_graph::gen;
+use bcc_smp::Pool;
+
+fn main() {
+    let opts = Options::parse(100_000);
+    let n = opts.n;
+    // The paper's densities relative to n = 1M: 4n, 6n, 10n, n·log2(n).
+    let logn = (32 - n.leading_zeros()) as usize;
+    let densities: Vec<(String, usize)> = vec![
+        ("4n".into(), 4 * n as usize),
+        ("6n".into(), 6 * n as usize),
+        ("10n".into(), 10 * n as usize),
+        (format!("n·log n = {logn}n"), logn * n as usize),
+    ];
+
+    let mut records = Vec::new();
+    for (label, m) in &densities {
+        let m = (*m).min(gen::max_edges(n));
+        println!("== random graph: n = {n}, m = {m} ({label}) ==");
+        let g = gen::random_connected(n, m, opts.seed);
+
+        // Sequential baseline.
+        let seq = time_median(opts.runs, || {
+            let r = biconnected_components(&Pool::new(1), &g, Algorithm::Sequential).unwrap();
+            std::hint::black_box(r.num_components);
+        });
+        println!("  {:<11} {:>10}", "Sequential", fmt_dur(seq));
+        records.push(Record {
+            experiment: "fig3".into(),
+            algorithm: "Sequential".into(),
+            n,
+            m,
+            threads: 1,
+            seconds: seq.as_secs_f64(),
+            steps: None,
+        });
+
+        println!(
+            "  {:<11} {}",
+            "p:",
+            opts.thread_sweep()
+                .iter()
+                .map(|p| format!("{p:>10}"))
+                .collect::<String>()
+        );
+        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+            let mut row = String::new();
+            for &p in &opts.thread_sweep() {
+                let pool = Pool::new(p);
+                let d = time_median(opts.runs, || {
+                    let r = biconnected_components(&pool, &g, alg).unwrap();
+                    std::hint::black_box(r.num_components);
+                });
+                row.push_str(&format!("{:>10}", fmt_dur(d)));
+                records.push(Record {
+                    experiment: "fig3".into(),
+                    algorithm: alg.name().into(),
+                    n,
+                    m,
+                    threads: p,
+                    seconds: d.as_secs_f64(),
+                    steps: None,
+                });
+            }
+            println!("  {:<11} {row}", alg.name());
+        }
+
+        // Speedup summary at max threads.
+        let best = |name: &str| {
+            records
+                .iter()
+                .filter(|r| r.m == m && r.algorithm == name)
+                .map(|r| r.seconds)
+                .fold(f64::INFINITY, f64::min)
+        };
+        println!(
+            "  speedup vs sequential at best p: TV-SMP {:.2}x, TV-opt {:.2}x, TV-filter {:.2}x\n",
+            seq.as_secs_f64() / best("TV-SMP"),
+            seq.as_secs_f64() / best("TV-opt"),
+            seq.as_secs_f64() / best("TV-filter"),
+        );
+    }
+
+    maybe_write_json(&opts, &records);
+}

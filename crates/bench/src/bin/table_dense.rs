@@ -1,0 +1,79 @@
+//! TBL-WS — the Woo–Sahni-style dense-input study the paper cites in
+//! §1: biconnected components of graphs retaining 70% / 90% of the
+//! complete graph's edges, n ≤ 2000, reporting parallel efficiency
+//! (speedup / p). Woo & Sahni achieved efficiencies up to 0.7 on a
+//! hypercube for these inputs.
+//!
+//! ```text
+//! cargo run -p bcc-bench --release --bin table_dense -- [--n N] [--p P]
+//! ```
+
+use bcc_bench::{fmt_dur, maybe_write_json, time_median, Options, Record};
+use bcc_core::{biconnected_components, Algorithm};
+use bcc_graph::gen;
+use bcc_smp::Pool;
+
+fn main() {
+    let opts = Options::parse(2_000);
+    let mut records = Vec::new();
+
+    println!(
+        "{:>6} {:>5} {:>10} | {:>12} {:>14} {:>10} {:>6}",
+        "n", "pct", "m", "Sequential", "TV-filter(p)", "speedup", "eff"
+    );
+    for &n in &[opts.n / 2, opts.n] {
+        for &pct in &[0.7f64, 0.9] {
+            let g = gen::dense_percent(n, pct, opts.seed);
+            assert!(bcc_graph::validate::is_connected(&g));
+
+            let seq = time_median(opts.runs, || {
+                let r = biconnected_components(&Pool::new(1), &g, Algorithm::Sequential).unwrap();
+                std::hint::black_box(r.num_components);
+            });
+            records.push(Record {
+                experiment: "table_dense".into(),
+                algorithm: "Sequential".into(),
+                n,
+                m: g.m(),
+                threads: 1,
+                seconds: seq.as_secs_f64(),
+                steps: None,
+            });
+
+            let p = opts.max_threads;
+            let pool = Pool::new(p);
+            let par = time_median(opts.runs, || {
+                let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+                std::hint::black_box(r.num_components);
+            });
+            records.push(Record {
+                experiment: "table_dense".into(),
+                algorithm: "TV-filter".into(),
+                n,
+                m: g.m(),
+                threads: p,
+                seconds: par.as_secs_f64(),
+                steps: None,
+            });
+
+            let speedup = seq.as_secs_f64() / par.as_secs_f64();
+            println!(
+                "{:>6} {:>4.0}% {:>10} | {:>12} {:>14} {:>9.2}x {:>6.2}",
+                n,
+                pct * 100.0,
+                g.m(),
+                fmt_dur(seq),
+                fmt_dur(par),
+                speedup,
+                speedup / p as f64
+            );
+        }
+    }
+    println!(
+        "\n(Woo & Sahni 1991 reported efficiencies up to 0.7 on dense inputs;\n\
+         on a machine with few physical cores the efficiency column reflects\n\
+         oversubscription rather than algorithm quality — the reproducible\n\
+         signal is TV-filter's near-sequential wall-clock on dense graphs.)"
+    );
+    maybe_write_json(&opts, &records);
+}

@@ -1,0 +1,247 @@
+//! Breadth-first search trees, sequential and level-synchronous parallel.
+//!
+//! TV-filter's correctness (paper Lemma 1) requires the primary spanning
+//! tree to be a **BFS** tree: a nontree edge of a BFS tree never joins an
+//! ancestor/descendant pair more than one level apart. The parallel
+//! version is the standard level-synchronous frontier expansion with
+//! CAS-claimed parents and dynamically scheduled chunks (frontier
+//! vertices have irregular degrees).
+
+use bcc_graph::Csr;
+use bcc_smp::atomic::as_atomic_u32;
+use bcc_smp::{ChunkCounter, Pool, NIL};
+use std::sync::atomic::Ordering;
+
+/// A rooted BFS tree (or partial tree if the graph is disconnected).
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// `parent[v]`; `parent[root] == root`, unreachable vertices `NIL`.
+    pub parent: Vec<u32>,
+    /// Edge id (index into the graph's edge list) of the parent edge;
+    /// `NIL` for the root and unreachable vertices.
+    pub parent_eid: Vec<u32>,
+    /// `level[v]` = BFS depth; `u32::MAX` if unreachable.
+    pub level: Vec<u32>,
+    /// Number of vertices reached (including the root).
+    pub reached: u32,
+    /// Number of BFS levels (eccentricity of the root + 1); this is the
+    /// `O(d)` factor in TV-filter's running time.
+    pub levels: u32,
+}
+
+impl BfsTree {
+    /// Indices of the tree edges (one per reached non-root vertex).
+    pub fn tree_edge_ids(&self) -> Vec<u32> {
+        self.parent_eid
+            .iter()
+            .copied()
+            .filter(|&e| e != NIL)
+            .collect()
+    }
+}
+
+/// Sequential BFS tree from `root`.
+pub fn bfs_tree_seq(csr: &Csr, root: u32) -> BfsTree {
+    let n = csr.n() as usize;
+    let mut parent = vec![NIL; n];
+    let mut parent_eid = vec![NIL; n];
+    let mut level = vec![u32::MAX; n];
+    if n == 0 {
+        return BfsTree {
+            parent,
+            parent_eid,
+            level,
+            reached: 0,
+            levels: 0,
+        };
+    }
+    parent[root as usize] = root;
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut next = Vec::new();
+    let mut reached = 1u32;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        for &v in &frontier {
+            for (w, eid) in csr.arcs(v) {
+                if parent[w as usize] == NIL {
+                    parent[w as usize] = v;
+                    parent_eid[w as usize] = eid;
+                    level[w as usize] = depth;
+                    reached += 1;
+                    next.push(w);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    BfsTree {
+        parent,
+        parent_eid,
+        level,
+        reached,
+        levels: depth, // last increment found an empty level
+    }
+}
+
+/// Level-synchronous parallel BFS tree from `root`.
+///
+/// Each level: threads pull chunks of the frontier from a shared
+/// counter, claim unvisited neighbors by CAS on the parent array, and
+/// buffer them locally; buffers are concatenated into the next frontier.
+pub fn bfs_tree_par(pool: &Pool, csr: &Csr, root: u32) -> BfsTree {
+    let n = csr.n() as usize;
+    if pool.threads() == 1 || n < 1 << 12 {
+        return bfs_tree_seq(csr, root);
+    }
+    let mut parent = vec![NIL; n];
+    let mut parent_eid = vec![NIL; n];
+    let mut level = vec![u32::MAX; n];
+    parent[root as usize] = root;
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut reached = 1u32;
+    let mut depth = 0u32;
+
+    let parent_a = as_atomic_u32(&mut parent);
+    let eid_a = as_atomic_u32(&mut parent_eid);
+    let level_a = as_atomic_u32(&mut level);
+
+    while !frontier.is_empty() {
+        depth += 1;
+        let work = ChunkCounter::new(frontier.len(), 64);
+        let frontier_ro: &[u32] = &frontier;
+        let buffers: Vec<Vec<u32>> = pool.run_map(|_ctx| {
+            let mut local = Vec::new();
+            while let Some(chunk) = work.next_chunk() {
+                for &v in &frontier_ro[chunk] {
+                    for (w, eid) in csr.arcs(v) {
+                        if parent_a[w as usize].load(Ordering::Relaxed) == NIL
+                            && parent_a[w as usize]
+                                .compare_exchange(NIL, v, Ordering::AcqRel, Ordering::Acquire)
+                                .is_ok()
+                        {
+                            // Winner writes the auxiliary fields.
+                            eid_a[w as usize].store(eid, Ordering::Relaxed);
+                            level_a[w as usize].store(depth, Ordering::Relaxed);
+                            local.push(w);
+                        }
+                    }
+                }
+            }
+            local
+        });
+        let mut next = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
+        for mut b in buffers {
+            next.append(&mut b);
+        }
+        reached += next.len() as u32;
+        frontier = next;
+    }
+
+    BfsTree {
+        parent,
+        parent_eid,
+        level,
+        reached,
+        levels: depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::assert_valid_rooted_tree;
+    use bcc_graph::{gen, Graph};
+
+    #[test]
+    fn seq_levels_on_path() {
+        let g = gen::path(6);
+        let csr = Csr::build(&g);
+        let t = bfs_tree_seq(&csr, 0);
+        assert_eq!(t.level, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.reached, 6);
+        assert_eq!(t.levels, 6); // includes final empty-frontier level
+        assert_eq!(t.parent, vec![0, 0, 1, 2, 3, 4]);
+        assert_eq!(t.tree_edge_ids().len(), 5);
+    }
+
+    #[test]
+    fn bfs_tree_property_levels_differ_by_one() {
+        // In a BFS tree, every graph edge spans at most one level.
+        let g = gen::random_connected(800, 3000, 17);
+        let csr = Csr::build(&g);
+        for p in [1, 4] {
+            let pool = Pool::new(p);
+            let t = bfs_tree_par(&pool, &csr, 0);
+            assert_eq!(t.reached, g.n());
+            assert_valid_rooted_tree(&g, &t.parent, 0);
+            for e in g.edges() {
+                let lu = t.level[e.u as usize] as i64;
+                let lv = t.level[e.v as usize] as i64;
+                assert!((lu - lv).abs() <= 1, "edge {e:?} spans levels {lu},{lv}");
+            }
+            // Parent is exactly one level up.
+            for v in 0..g.n() {
+                if v != 0 {
+                    let p = t.parent[v as usize];
+                    assert_eq!(t.level[v as usize], t.level[p as usize] + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_eid_points_to_real_edges() {
+        let g = gen::torus(5, 7);
+        let csr = Csr::build(&g);
+        let pool = Pool::new(3);
+        let t = bfs_tree_par(&pool, &csr, 3);
+        for v in 0..g.n() {
+            let eid = t.parent_eid[v as usize];
+            if v == 3 {
+                assert_eq!(eid, NIL);
+                continue;
+            }
+            let e = g.edges()[eid as usize];
+            let p = t.parent[v as usize];
+            assert!((e.u == v && e.v == p) || (e.v == v && e.u == p));
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_partial_tree() {
+        let g = Graph::from_tuples(5, [(0, 1), (1, 2), (3, 4)]);
+        let csr = Csr::build(&g);
+        let t = bfs_tree_seq(&csr, 0);
+        assert_eq!(t.reached, 3);
+        assert_eq!(t.parent[3], NIL);
+        assert_eq!(t.parent[4], NIL);
+    }
+
+    #[test]
+    fn par_bfs_forced_parallel_path_small_graph() {
+        // Force the parallel path by using a graph above the threshold.
+        let g = gen::random_connected(5000, 15_000, 2);
+        let csr = Csr::build(&g);
+        let pool = Pool::new(4);
+        let t = bfs_tree_par(&pool, &csr, 100);
+        assert_eq!(t.reached, 5000);
+        assert_valid_rooted_tree(&g, &t.parent, 100);
+        // Levels must match the sequential BFS (levels are unique even
+        // though parents are not).
+        let s = bfs_tree_seq(&csr, 100);
+        assert_eq!(t.level, s.level);
+        assert_eq!(t.levels, s.levels);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0, vec![]);
+        let csr = Csr::build(&g);
+        let t = bfs_tree_seq(&csr, 0);
+        assert_eq!(t.reached, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sequential connectivity baselines (test oracles and fallbacks).
+
+use bcc_graph::{Csr, Edge, Graph};
+use bcc_smp::NIL;
+
+/// Result of a sequential components computation.
+pub struct SeqComponents {
+    /// `label[v]` = component representative of `v`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: u32,
+}
+
+/// Union-find (path halving + union by label minimum) components.
+pub fn components_union_find(n: u32, edges: &[Edge]) -> SeqComponents {
+    let mut parent: Vec<u32> = (0..n).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let g = parent[parent[x as usize] as usize];
+            parent[x as usize] = g;
+            x = g;
+        }
+        x
+    }
+    let mut count = n;
+    for e in edges {
+        let ru = find(&mut parent, e.u);
+        let rv = find(&mut parent, e.v);
+        if ru != rv {
+            // Union onto the smaller label so representatives are the
+            // minimum vertex of the component (matches SV's fixpoint).
+            let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+            count -= 1;
+        }
+    }
+    let label: Vec<u32> = (0..n).map(|v| find(&mut parent, v)).collect();
+    SeqComponents { label, count }
+}
+
+/// Iterative DFS rooted spanning tree of the component containing
+/// `root`. `parent[root] == root`; unreachable vertices get `NIL`.
+pub fn dfs_tree(csr: &Csr, root: u32) -> Vec<u32> {
+    let n = csr.n() as usize;
+    let mut parent = vec![NIL; n];
+    if n == 0 {
+        return parent;
+    }
+    parent[root as usize] = root;
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        for &w in csr.neighbors(v) {
+            if parent[w as usize] == NIL {
+                parent[w as usize] = v;
+                stack.push(w);
+            }
+        }
+    }
+    parent
+}
+
+/// Checks that `parent` encodes a spanning tree of the connected graph
+/// `g` rooted at `root`: parent edges exist in `g`, every vertex reaches
+/// the root, no cycles.
+pub fn assert_valid_rooted_tree(g: &Graph, parent: &[u32], root: u32) {
+    let n = g.n() as usize;
+    assert_eq!(parent.len(), n);
+    assert_eq!(parent[root as usize], root, "root must be self-parented");
+
+    // Every parent edge must be a real edge.
+    let mut keys: Vec<u64> = g.edges().iter().map(|e| e.key()).collect();
+    keys.sort_unstable();
+    for v in 0..n as u32 {
+        if v == root {
+            continue;
+        }
+        let p = parent[v as usize];
+        assert!(p != NIL, "vertex {v} not covered by tree");
+        let k = Edge::new(p, v).key();
+        assert!(
+            keys.binary_search(&k).is_ok(),
+            "tree edge ({p},{v}) is not a graph edge"
+        );
+    }
+
+    // Every vertex reaches the root without revisiting (no cycles).
+    let mut depth: Vec<i64> = vec![-1; n];
+    depth[root as usize] = 0;
+    for v in 0..n as u32 {
+        // Walk up collecting the path until a known depth.
+        let mut path = vec![];
+        let mut x = v;
+        while depth[x as usize] < 0 {
+            path.push(x);
+            x = parent[x as usize];
+            assert!(path.len() <= n, "cycle detected in parent structure at {v}");
+        }
+        let mut d = depth[x as usize];
+        for &y in path.iter().rev() {
+            d += 1;
+            depth[y as usize] = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::gen;
+
+    #[test]
+    fn union_find_counts() {
+        let g = gen::random_gnm(100, 50, 3);
+        let res = components_union_find(g.n(), g.edges());
+        assert_eq!(
+            res.count as usize,
+            bcc_graph::validate::count_components(&g)
+        );
+    }
+
+    #[test]
+    fn dfs_tree_spans_connected_graph() {
+        let g = gen::random_connected(300, 900, 1);
+        let csr = Csr::build(&g);
+        let parent = dfs_tree(&csr, 0);
+        assert_valid_rooted_tree(&g, &parent, 0);
+    }
+
+    #[test]
+    fn dfs_tree_leaves_unreachable_nil() {
+        let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let csr = Csr::build(&g);
+        let parent = dfs_tree(&csr, 0);
+        assert_eq!(parent[2], NIL);
+        assert_eq!(parent[3], NIL);
+        assert_eq!(parent[1], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_tree_detected() {
+        let g = gen::path(4); // 0-1-2-3
+                              // parent claims edge (0,2) which does not exist.
+        let parent = vec![0, 0, 0, 2];
+        assert_valid_rooted_tree(&g, &parent, 0);
+    }
+}

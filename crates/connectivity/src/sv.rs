@@ -1,0 +1,333 @@
+//! Shiloach–Vishkin connected components with spanning-forest recording.
+//!
+//! The SMP adaptation of the graft-and-shortcut family: rounds of
+//! (a) *graft* — for every edge whose endpoints currently have different
+//! roots, CAS the larger root onto the smaller label — and (b)
+//! *shortcut* — pointer-jump every vertex until the structure is flat.
+//! Labels only decrease, so the pointer structure is acyclic at every
+//! instant and each CAS win merges two genuinely distinct trees; the
+//! winning edges therefore form a spanning forest (the paper's
+//! observation that "grafting defines the parent relationship naturally",
+//! §3.2).
+//!
+//! Work is O((n + m) · rounds); rounds is O(log n) for the synchronous
+//! algorithm and small in practice for the asynchronous one.
+
+use bcc_graph::Edge;
+use bcc_smp::atomic::as_atomic_u32;
+use bcc_smp::{Pool, SharedSlice, NIL};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Output of [`connected_components`].
+#[derive(Clone, Debug)]
+pub struct SvResult {
+    /// `label[v]` is the component representative (the minimum-reachable
+    /// grafting fixpoint; equal labels ⇔ same component).
+    pub label: Vec<u32>,
+    /// Indices into the input edge list forming a spanning forest:
+    /// exactly `n - num_components` edges.
+    pub tree_edges: Vec<u32>,
+    /// Number of connected components (isolated vertices included).
+    pub num_components: u32,
+    /// Graft-and-shortcut rounds executed (exposed for the benchmarks).
+    pub rounds: u32,
+}
+
+/// Shiloach–Vishkin connected components over `edges` on vertex set
+/// `0..n`, using `pool`.
+///
+/// ```
+/// use bcc_connectivity::sv::connected_components;
+/// use bcc_graph::Edge;
+/// use bcc_smp::Pool;
+///
+/// let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)];
+/// let r = connected_components(&Pool::new(2), 5, &edges);
+/// assert_eq!(r.num_components, 2);
+/// assert_eq!(r.tree_edges.len(), 3); // spanning forest
+/// assert_eq!(r.label[0], r.label[2]);
+/// assert_ne!(r.label[0], r.label[3]);
+/// ```
+pub fn connected_components(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
+    let n_us = n as usize;
+    let m = edges.len();
+    let mut label: Vec<u32> = (0..n).collect();
+    // graft_edge[r] = index of the edge that grafted root r (NIL if r
+    // was never grafted). Each slot is CAS-claimed at most once.
+    let mut graft_edge: Vec<u32> = vec![NIL; n_us];
+    let mut rounds = 0u32;
+
+    if n > 0 && m > 0 {
+        let label_a = as_atomic_u32(&mut label);
+        let graft_a = as_atomic_u32(&mut graft_edge);
+        let changed = AtomicBool::new(true);
+        let shortcut_live = AtomicBool::new(true);
+        let round_ctr = AtomicU32::new(0);
+
+        pool.run(|ctx| {
+            loop {
+                // --- check fixpoint from the previous round ---
+                ctx.barrier();
+                if !changed.load(Ordering::Acquire) {
+                    break;
+                }
+                ctx.barrier();
+                if ctx.is_leader() {
+                    changed.store(false, Ordering::Release);
+                    round_ctr.fetch_add(1, Ordering::Relaxed);
+                }
+                ctx.barrier();
+
+                // --- graft phase ---
+                let mut local_changed = false;
+                for i in ctx.block_range(m) {
+                    let e = edges[i];
+                    let ru = find_root(label_a, e.u);
+                    let rv = find_root(label_a, e.v);
+                    if ru == rv {
+                        continue;
+                    }
+                    let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+                    if label_a[hi as usize]
+                        .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // This root merges exactly once: record the edge.
+                        let prev = graft_a[hi as usize].swap(i as u32, Ordering::Relaxed);
+                        debug_assert_eq!(prev, NIL);
+                        local_changed = true;
+                    } else {
+                        // Someone grafted hi concurrently; the edge will
+                        // be reconsidered next round if still needed.
+                        local_changed = true;
+                    }
+                }
+                if local_changed {
+                    changed.store(true, Ordering::Release);
+                }
+                ctx.barrier();
+
+                // --- shortcut phase: jump until flat ---
+                loop {
+                    ctx.barrier();
+                    if ctx.is_leader() {
+                        shortcut_live.store(false, Ordering::Release);
+                    }
+                    ctx.barrier();
+                    let mut any = false;
+                    for v in ctx.block_range(n_us) {
+                        let d = label_a[v].load(Ordering::Relaxed);
+                        let dd = label_a[d as usize].load(Ordering::Relaxed);
+                        if d != dd {
+                            label_a[v].store(dd, Ordering::Relaxed);
+                            any = true;
+                        }
+                    }
+                    if any {
+                        shortcut_live.store(true, Ordering::Release);
+                    }
+                    ctx.barrier();
+                    if !shortcut_live.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+            }
+        });
+        rounds = round_ctr.load(Ordering::Relaxed);
+    }
+
+    // Collect tree edges and count components.
+    let tree_edges: Vec<u32> = graft_edge.iter().copied().filter(|&e| e != NIL).collect();
+    let num_components = n - tree_edges.len() as u32;
+    SvResult {
+        label,
+        tree_edges,
+        num_components,
+        rounds,
+    }
+}
+
+/// Follows labels to the current root (labels only decrease, so this
+/// walk terminates even under concurrent updates).
+#[inline]
+fn find_root(label: &[AtomicU32], v: u32) -> u32 {
+    let mut x = v;
+    loop {
+        let d = label[x as usize].load(Ordering::Acquire);
+        if d == x {
+            return x;
+        }
+        x = d;
+    }
+}
+
+/// Relabels `label` so components are numbered `0..k` in order of their
+/// smallest vertex, in parallel. Returns `k`.
+pub fn normalize_labels(pool: &Pool, label: &mut [u32]) -> u32 {
+    let n = label.len();
+    if n == 0 {
+        return 0;
+    }
+    // A vertex is a representative iff label[v] == v.
+    let mut index = vec![0u32; n];
+    {
+        let idx_s = SharedSlice::new(&mut index);
+        let label_ro: &[u32] = label;
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                unsafe { idx_s.write(v, u32::from(label_ro[v] == v as u32)) };
+            }
+        });
+    }
+    let k = bcc_primitives::scan::exclusive_scan_par(pool, &mut index);
+    {
+        let label_s = SharedSlice::new(label);
+        let index_ro: &[u32] = &index;
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                let rep = label_s.get(v) as usize;
+                unsafe { label_s.write(v, index_ro[rep]) };
+            }
+        });
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use bcc_graph::{gen, Graph};
+
+    fn check_against_oracle(g: &Graph, p: usize) {
+        let pool = Pool::new(p);
+        let res = connected_components(&pool, g.n(), g.edges());
+        let oracle = seq::components_union_find(g.n(), g.edges());
+
+        // Same partition (labels equal iff oracle labels equal).
+        for e in g.edges() {
+            assert_eq!(
+                res.label[e.u as usize], res.label[e.v as usize],
+                "edge endpoints must share a label"
+            );
+        }
+        let mut pairs: Vec<(u32, u32)> = res
+            .label
+            .iter()
+            .zip(oracle.label.iter())
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut by_ours: Vec<u32> = pairs.iter().map(|&(a, _)| a).collect();
+        let mut by_oracle: Vec<u32> = pairs.iter().map(|&(_, b)| b).collect();
+        by_ours.sort_unstable();
+        by_ours.dedup();
+        by_oracle.sort_unstable();
+        by_oracle.dedup();
+        assert_eq!(by_ours.len(), pairs.len(), "label mapping not 1:1");
+        assert_eq!(by_oracle.len(), pairs.len(), "label mapping not 1:1");
+
+        assert_eq!(res.num_components, oracle.count);
+
+        // Tree edges form a spanning forest: right count, acyclic.
+        assert_eq!(res.tree_edges.len() as u32, g.n() - oracle.count);
+        let forest: Vec<_> = res
+            .tree_edges
+            .iter()
+            .map(|&i| g.edges()[i as usize])
+            .collect();
+        let fres = seq::components_union_find(g.n(), &forest);
+        assert_eq!(
+            fres.count, oracle.count,
+            "forest must connect exactly the same components"
+        );
+    }
+
+    #[test]
+    fn matches_oracle_on_families() {
+        for p in [1, 2, 4] {
+            check_against_oracle(&gen::path(50), p);
+            check_against_oracle(&gen::cycle(33), p);
+            check_against_oracle(&gen::star(40), p);
+            check_against_oracle(&gen::complete(20), p);
+            check_against_oracle(&gen::torus(4, 5), p);
+            check_against_oracle(&gen::random_connected(500, 1500, p as u64), p);
+            check_against_oracle(&gen::random_gnm(500, 400, p as u64), p); // disconnected
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        let pool = Pool::new(2);
+        let empty = Graph::new(0, vec![]);
+        let r = connected_components(&pool, empty.n(), empty.edges());
+        assert_eq!(r.num_components, 0);
+        assert!(r.tree_edges.is_empty());
+
+        let isolated = Graph::new(5, vec![]);
+        let r = connected_components(&pool, isolated.n(), isolated.edges());
+        assert_eq!(r.num_components, 5);
+        assert_eq!(r.label, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_edge() {
+        let pool = Pool::new(3);
+        let g = Graph::from_tuples(2, [(0, 1)]);
+        let r = connected_components(&pool, g.n(), g.edges());
+        assert_eq!(r.num_components, 1);
+        assert_eq!(r.tree_edges, vec![0]);
+    }
+
+    #[test]
+    fn parallel_edges_between_components_yield_single_tree_edge_each_merge() {
+        // Many edges between the same pair of big stars: only one merge.
+        let mut edges = vec![];
+        for v in 1..10u32 {
+            edges.push((0, v));
+        }
+        for v in 11..20u32 {
+            edges.push((10, v));
+        }
+        edges.push((3, 13));
+        edges.push((4, 14));
+        edges.push((5, 15));
+        let g = Graph::from_tuples(20, edges);
+        for p in [1, 4] {
+            let pool = Pool::new(p);
+            let r = connected_components(&pool, g.n(), g.edges());
+            assert_eq!(r.num_components, 1);
+            assert_eq!(r.tree_edges.len(), 19);
+        }
+    }
+
+    #[test]
+    fn normalize_labels_gives_dense_ids() {
+        let pool = Pool::new(2);
+        let g = gen::random_gnm(100, 60, 5);
+        let mut r = connected_components(&pool, g.n(), g.edges());
+        let k = normalize_labels(&pool, &mut r.label);
+        assert_eq!(k, r.num_components);
+        let max = r.label.iter().copied().max().unwrap();
+        assert_eq!(max + 1, k);
+        // Still a valid labeling of the same partition.
+        let oracle = seq::components_union_find(g.n(), g.edges());
+        for (v, w) in (0..g.n()).zip(0..g.n()) {
+            let _ = (v, w);
+        }
+        for e in g.edges() {
+            assert_eq!(r.label[e.u as usize], r.label[e.v as usize]);
+        }
+        assert_eq!(oracle.count, k);
+    }
+
+    #[test]
+    fn rounds_are_reported() {
+        let pool = Pool::new(2);
+        let g = gen::path(1000);
+        let r = connected_components(&pool, g.n(), g.edges());
+        assert!(r.rounds >= 1);
+        assert_eq!(r.num_components, 1);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Biconnected components algorithms for shared-memory multiprocessors.
+//!
+//! Reproduction of Cong & Bader, *An Experimental Study of Parallel
+//! Biconnected Components Algorithms on Symmetric Multiprocessors
+//! (SMPs)*, IPDPS 2005. Four algorithms over a common input
+//! representation ([`bcc_graph::Graph`], an edge list):
+//!
+//! * [`Algorithm::Sequential`] — Tarjan's DFS baseline ([`tarjan`]).
+//! * [`Algorithm::TvSmp`] — coarse-grained Tarjan–Vishkin emulation.
+//! * [`Algorithm::TvOpt`] — the engineered variant (merged rooting,
+//!   cache-friendly tour, prefix sums).
+//! * [`Algorithm::TvFilter`] — the paper's new algorithm: filter
+//!   non-essential edges through a BFS tree + spanning forest of the
+//!   remainder, run TV on ≤ 2(n−1) edges, place filtered edges by
+//!   condition 1.
+//!
+//! ```
+//! use bcc_core::{biconnected_components, Algorithm};
+//! use bcc_graph::gen;
+//! use bcc_smp::Pool;
+//!
+//! let g = gen::two_cliques_sharing_vertex(4); // two blocks, one cut vertex
+//! let pool = Pool::new(2);
+//! let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+//! assert_eq!(r.num_components, 2);
+//! assert_eq!(r.articulation_points(&g), vec![3]);
+//! ```
+
+pub mod aux_graph;
+pub mod block_cut;
+pub mod counting;
+pub mod low_high;
+pub mod per_component;
+pub mod phase;
+pub mod pipeline;
+pub mod schmidt;
+pub mod tarjan;
+pub mod verify;
+
+pub use block_cut::{two_edge_connected_components, BlockCutTree};
+pub use counting::double_bfs_upper_bound;
+pub use low_high::{compute_low_high, compute_low_high_with, LowHigh, LowHighMethod};
+pub use phase::{PhaseTimes, PipelineStats};
+pub use pipeline::{
+    biconnected_components, sequential, tv_filter, tv_opt, tv_smp, tv_smp_with_ranker, Algorithm,
+    BccError, BccResult,
+};
+pub use schmidt::{chain_decomposition, ChainDecomposition};
+pub use tarjan::tarjan_bcc;

@@ -1,0 +1,145 @@
+//! Driver for arbitrary (possibly disconnected) graphs.
+//!
+//! The TV pipelines require a connected input (the paper assumes one).
+//! This driver splits a general graph into connected components with
+//! Shiloach–Vishkin, runs the chosen algorithm on each induced
+//! subgraph, and stitches the per-edge labels back together.
+
+use crate::pipeline::{biconnected_components, sequential, Algorithm, BccResult};
+use crate::verify::canonicalize_edge_labels;
+use bcc_connectivity::sv::{connected_components, normalize_labels};
+use bcc_graph::{Edge, Graph};
+use bcc_smp::Pool;
+use std::time::Instant;
+
+/// Biconnected components of an arbitrary simple graph: per connected
+/// component, using `alg`; labels are canonical over the whole edge
+/// list. Never fails (the connectivity precondition is satisfied by
+/// construction).
+pub fn biconnected_components_per_component(pool: &Pool, g: &Graph, alg: Algorithm) -> BccResult {
+    if alg == Algorithm::Sequential {
+        return sequential(g);
+    }
+    let start = Instant::now();
+    let cc = connected_components(pool, g.n(), g.edges());
+    if cc.num_components <= 1 {
+        // Connected (or empty): run directly.
+        return biconnected_components(pool, g, alg).expect("connected by SV check");
+    }
+    let mut comp_of = cc.label;
+    let k = normalize_labels(pool, &mut comp_of) as usize;
+
+    // Local vertex ids: position of each vertex within its component.
+    let n = g.n() as usize;
+    let mut counts = vec![0u32; k];
+    let mut local = vec![0u32; n];
+    for v in 0..n {
+        let c = comp_of[v] as usize;
+        local[v] = counts[c];
+        counts[c] += 1;
+    }
+
+    // Partition edges by component.
+    let mut sub_edges: Vec<Vec<Edge>> = vec![Vec::new(); k];
+    let mut sub_orig: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (i, e) in g.edges().iter().enumerate() {
+        let c = comp_of[e.u as usize] as usize;
+        debug_assert_eq!(c, comp_of[e.v as usize] as usize);
+        sub_edges[c].push(Edge::new(local[e.u as usize], local[e.v as usize]));
+        sub_orig[c].push(i as u32);
+    }
+
+    // Solve each component; merge labels with disjoint offsets.
+    let mut edge_comp = vec![0u32; g.m()];
+    let mut phases = crate::phase::PhaseTimes::default();
+    let mut stats = crate::phase::PipelineStats {
+        input_edges: g.m(),
+        ..Default::default()
+    };
+    let mut base = 0u32;
+    for c in 0..k {
+        if sub_edges[c].is_empty() {
+            continue;
+        }
+        let sub = Graph::new(counts[c], std::mem::take(&mut sub_edges[c]));
+        let r = biconnected_components(pool, &sub, alg).expect("component subgraphs are connected");
+        for (j, &orig) in sub_orig[c].iter().enumerate() {
+            edge_comp[orig as usize] = base + r.edge_comp[j];
+        }
+        base += r.num_components;
+        // Accumulate the step breakdown across components.
+        let p = &r.phases;
+        phases.spanning_tree += p.spanning_tree;
+        phases.euler_tour += p.euler_tour;
+        phases.root_tree += p.root_tree;
+        phases.low_high += p.low_high;
+        phases.label_edge += p.label_edge;
+        phases.connected_components += p.connected_components;
+        phases.filtering += p.filtering;
+        stats.effective_edges += r.stats.effective_edges;
+        stats.filtered_edges += r.stats.filtered_edges;
+        stats.aux_vertices += r.stats.aux_vertices;
+        stats.aux_edges += r.stats.aux_edges;
+        stats.sv_rounds_spanning = stats.sv_rounds_spanning.max(r.stats.sv_rounds_spanning);
+        stats.sv_rounds_cc = stats.sv_rounds_cc.max(r.stats.sv_rounds_cc);
+        stats.bfs_levels = stats.bfs_levels.max(r.stats.bfs_levels);
+    }
+    let num_components = canonicalize_edge_labels(&mut edge_comp);
+    debug_assert_eq!(num_components, base);
+    phases.total = start.elapsed();
+    BccResult {
+        edge_comp,
+        num_components,
+        phases,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::gen;
+
+    #[test]
+    fn matches_sequential_on_disconnected_random_graphs() {
+        for seed in 0..6u64 {
+            let g = gen::random_gnm(120, 100, seed); // typically disconnected
+            let base = sequential(&g);
+            for p in [1, 3] {
+                let pool = Pool::new(p);
+                for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+                    let r = biconnected_components_per_component(&pool, &g, alg);
+                    assert_eq!(r.edge_comp, base.edge_comp, "{} seed={seed}", alg.name());
+                    assert_eq!(r.num_components, base.num_components);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_input_short_circuits() {
+        let g = gen::cycle(12);
+        let pool = Pool::new(2);
+        let r = biconnected_components_per_component(&pool, &g, Algorithm::TvOpt);
+        assert_eq!(r.num_components, 1);
+    }
+
+    #[test]
+    fn isolated_vertices_and_empty_components() {
+        let g = Graph::from_tuples(7, [(1, 2), (2, 3), (3, 1), (5, 6)]);
+        let pool = Pool::new(2);
+        let r = biconnected_components_per_component(&pool, &g, Algorithm::TvFilter);
+        assert_eq!(r.num_components, 2);
+        assert_eq!(r.edge_comp[0], r.edge_comp[1]);
+        assert_eq!(r.edge_comp[1], r.edge_comp[2]);
+        assert_ne!(r.edge_comp[3], r.edge_comp[0]);
+    }
+
+    #[test]
+    fn no_edges_at_all() {
+        let g = Graph::new(4, vec![]);
+        let pool = Pool::new(2);
+        let r = biconnected_components_per_component(&pool, &g, Algorithm::TvOpt);
+        assert_eq!(r.num_components, 0);
+    }
+}

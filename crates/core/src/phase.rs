@@ -1,0 +1,120 @@
+//! Per-step timing, the instrumentation behind the paper's Fig. 4
+//! (execution-time breakdown at fixed processor count).
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock time of each pipeline step. Steps that an algorithm does
+/// not perform stay zero (e.g. `filtering` for TV-SMP/TV-opt; TV-opt's
+/// merged rooting leaves `root_tree` for the tree computations).
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimes {
+    /// Spanning-tree step (TV-filter: the BFS tree).
+    pub spanning_tree: Duration,
+    /// Euler-tour construction (classic or DFS-order).
+    pub euler_tour: Duration,
+    /// Root-tree / tree computations (preorder, sizes, depths).
+    pub root_tree: Duration,
+    /// Low-high values.
+    pub low_high: Duration,
+    /// Label-edge: building the auxiliary graph (paper Alg. 1).
+    pub label_edge: Duration,
+    /// Connected components of the auxiliary graph + label write-back.
+    pub connected_components: Duration,
+    /// TV-filter only: spanning forest of G − T and edge filtering.
+    pub filtering: Duration,
+    /// End-to-end time (≥ sum of the steps; includes glue).
+    pub total: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of the individual steps (excludes `total`).
+    pub fn step_sum(&self) -> Duration {
+        self.spanning_tree
+            + self.euler_tour
+            + self.root_tree
+            + self.low_high
+            + self.label_edge
+            + self.connected_components
+            + self.filtering
+    }
+
+    /// `(name, duration)` pairs in the paper's Fig. 4 order.
+    pub fn named(&self) -> [(&'static str, Duration); 7] {
+        [
+            ("Spanning-tree", self.spanning_tree),
+            ("Euler-tour", self.euler_tour),
+            ("Root", self.root_tree),
+            ("Low-high", self.low_high),
+            ("Label-edge", self.label_edge),
+            ("Connected-comp", self.connected_components),
+            ("Filtering", self.filtering),
+        ]
+    }
+}
+
+/// Measures one phase: `stopwatch(&mut times.low_high, || ...)`.
+pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed();
+    out
+}
+
+/// Machine-independent work counters, filled by every pipeline run.
+///
+/// Wall-clock on a given host mixes algorithm work with hardware
+/// effects; these counters capture the *work* side of the paper's
+/// analysis (e.g. TV-filter's `edges_after_filter <= 2(n-1)`) so the
+/// reproduction claims can be checked on any machine.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Edges of the input graph.
+    pub input_edges: usize,
+    /// Edges actually fed to steps 4–6 (reduced set for TV-filter,
+    /// `input_edges` otherwise).
+    pub effective_edges: usize,
+    /// Edges removed by filtering (TV-filter only).
+    pub filtered_edges: usize,
+    /// Vertices of the auxiliary graph (n + nontree edges considered).
+    pub aux_vertices: u32,
+    /// Edges of the auxiliary graph (|R'_c| — the paper's Fig. 1
+    /// quantity).
+    pub aux_edges: usize,
+    /// Graft-and-shortcut rounds of the spanning-tree SV run (0 when a
+    /// traversal-based tree was used).
+    pub sv_rounds_spanning: u32,
+    /// Graft-and-shortcut rounds of the step-6 SV run.
+    pub sv_rounds_cc: u32,
+    /// BFS levels (TV-filter only; the `O(d)` term of Alg. 2).
+    pub bfs_levels: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut d = Duration::ZERO;
+        let x = timed(&mut d, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(x, 42);
+        assert!(d >= Duration::from_millis(5));
+        timed(&mut d, || ());
+        assert!(d >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn step_sum_and_named_agree() {
+        let t = PhaseTimes {
+            spanning_tree: Duration::from_millis(1),
+            filtering: Duration::from_millis(2),
+            ..PhaseTimes::default()
+        };
+        assert_eq!(t.step_sum(), Duration::from_millis(3));
+        let total: Duration = t.named().iter().map(|&(_, d)| d).sum();
+        assert_eq!(total, t.step_sum());
+    }
+}

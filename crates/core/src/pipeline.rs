@@ -1,0 +1,625 @@
+//! The four biconnected-components algorithms of the paper's study:
+//! `Sequential`, `TV-SMP`, `TV-opt`, and `TV-filter`.
+//!
+//! All three parallel pipelines share steps 4–6 (Low-high, Label-edge,
+//! Connected-components — [`tv_tail`]); they differ in how the rooted
+//! spanning tree and its Euler tour are produced, and TV-filter shrinks
+//! the edge set first. Each phase is timed into [`PhaseTimes`] to
+//! regenerate the paper's Fig. 4 breakdown.
+
+use crate::aux_graph::build_aux_graph;
+use crate::low_high::{compute_low_high_with, LowHighMethod};
+use crate::phase::{timed, PhaseTimes, PipelineStats};
+use crate::tarjan::tarjan_bcc;
+use crate::verify::canonicalize_edge_labels;
+use bcc_connectivity::bfs::bfs_tree_par;
+use bcc_connectivity::sv::connected_components;
+use bcc_connectivity::traversal::work_stealing_tree;
+use bcc_euler::{dfs_euler_tour, euler_tour_classic, tree_computations, Ranker, TreeInfo};
+use bcc_graph::{Csr, Edge, Graph};
+use bcc_smp::{Pool, SharedSlice, NIL};
+use std::time::Instant;
+
+/// Algorithm selector for [`biconnected_components`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Tarjan's linear-time DFS (the paper's sequential baseline).
+    Sequential,
+    /// Direct SMP emulation of Tarjan–Vishkin (paper §3.1).
+    TvSmp,
+    /// Algorithm-engineered TV (paper §3.2).
+    TvOpt,
+    /// TV with non-essential-edge filtering (paper §4, Alg. 2).
+    TvFilter,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Sequential,
+        Algorithm::TvSmp,
+        Algorithm::TvOpt,
+        Algorithm::TvFilter,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Sequential => "Sequential",
+            Algorithm::TvSmp => "TV-SMP",
+            Algorithm::TvOpt => "TV-opt",
+            Algorithm::TvFilter => "TV-filter",
+        }
+    }
+}
+
+/// Why a computation could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BccError {
+    /// The parallel TV pipelines require a connected input graph; use
+    /// [`crate::per_component::biconnected_components_per_component`]
+    /// for general graphs.
+    Disconnected,
+}
+
+impl std::fmt::Display for BccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BccError::Disconnected => {
+                write!(f, "input graph is not connected (TV requires connectivity)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BccError {}
+
+/// Per-edge biconnected components of a connected graph.
+#[derive(Clone, Debug)]
+pub struct BccResult {
+    /// Canonical component label per edge (`0..num_components`, numbered
+    /// by first appearance in the edge list) — identical across
+    /// algorithms and thread counts.
+    pub edge_comp: Vec<u32>,
+    /// Number of biconnected components.
+    pub num_components: u32,
+    /// Wall-clock breakdown by pipeline step.
+    pub phases: PhaseTimes,
+    /// Machine-independent work counters.
+    pub stats: PipelineStats,
+}
+
+impl BccResult {
+    /// Articulation (cut) vertices, ascending.
+    pub fn articulation_points(&self, g: &Graph) -> Vec<u32> {
+        crate::verify::articulation_points(g, &self.edge_comp)
+    }
+
+    /// Bridge edges (edge indices), ascending.
+    pub fn bridges(&self, g: &Graph) -> Vec<u32> {
+        crate::verify::bridges(g, &self.edge_comp)
+    }
+}
+
+/// Runs the selected algorithm on a connected graph.
+pub fn biconnected_components(
+    pool: &Pool,
+    g: &Graph,
+    alg: Algorithm,
+) -> Result<BccResult, BccError> {
+    match alg {
+        Algorithm::Sequential => Ok(sequential(g)),
+        Algorithm::TvSmp => tv_smp(pool, g),
+        Algorithm::TvOpt => tv_opt(pool, g),
+        Algorithm::TvFilter => tv_filter(pool, g),
+    }
+}
+
+/// The sequential baseline (handles disconnected inputs too).
+pub fn sequential(g: &Graph) -> BccResult {
+    let start = Instant::now();
+    let mut comp = tarjan_bcc(g);
+    let num_components = canonicalize_edge_labels(&mut comp);
+    let phases = PhaseTimes {
+        total: start.elapsed(),
+        ..PhaseTimes::default()
+    };
+    let stats = PipelineStats {
+        input_edges: g.m(),
+        effective_edges: g.m(),
+        ..PipelineStats::default()
+    };
+    BccResult {
+        edge_comp: comp,
+        num_components,
+        phases,
+        stats,
+    }
+}
+
+/// TV-SMP: SV spanning tree → classic Euler tour (sort + list ranking)
+/// → tree computations → shared tail.
+pub fn tv_smp(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+    tv_smp_with_ranker(pool, g, Ranker::HelmanJaja)
+}
+
+/// [`tv_smp`] with an explicit list-ranking algorithm (ablation hook).
+pub fn tv_smp_with_ranker(pool: &Pool, g: &Graph, ranker: Ranker) -> Result<BccResult, BccError> {
+    let start = Instant::now();
+    let n = g.n();
+    let mut phases = PhaseTimes::default();
+    if let Some(r) = trivial_result(g, start, &phases) {
+        return Ok(r);
+    }
+
+    // Step 1: Spanning-tree (Shiloach–Vishkin on the edge list).
+    let sv = timed(&mut phases.spanning_tree, || {
+        connected_components(pool, n, g.edges())
+    });
+    if sv.num_components != 1 {
+        return Err(BccError::Disconnected);
+    }
+    let mut is_tree = vec![false; g.m()];
+    for &i in &sv.tree_edges {
+        is_tree[i as usize] = true;
+    }
+    let tree_edges: Vec<Edge> = sv
+        .tree_edges
+        .iter()
+        .map(|&i| g.edges()[i as usize])
+        .collect();
+
+    // Step 2: Euler-tour (circular adjacency by sorting + cross
+    // pointers + list ranking).
+    let root = 0u32;
+    let tour = timed(&mut phases.euler_tour, || {
+        euler_tour_classic(pool, n, tree_edges, root, ranker)
+    });
+
+    // Step 3: Root-tree / tree computations.
+    let info = timed(&mut phases.root_tree, || {
+        tree_computations(pool, &tour, root)
+    });
+
+    // Steps 4–6.
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, &mut phases);
+    let stats = PipelineStats {
+        input_edges: g.m(),
+        effective_edges: g.m(),
+        aux_vertices: tail.aux_vertices,
+        aux_edges: tail.aux_edges,
+        sv_rounds_spanning: sv.rounds,
+        sv_rounds_cc: tail.sv_rounds_cc,
+        ..PipelineStats::default()
+    };
+    Ok(finalize(tail.edge_labels, phases, stats, start))
+}
+
+/// TV-opt: work-stealing rooted spanning tree (merged Spanning-tree +
+/// Root-tree) → DFS-order Euler tour → prefix-sum tree computations →
+/// shared tail.
+pub fn tv_opt(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+    let start = Instant::now();
+    let n = g.n();
+    let mut phases = PhaseTimes::default();
+    if let Some(r) = trivial_result(g, start, &phases) {
+        return Ok(r);
+    }
+
+    // Step 1 (merged with rooting): adjacency conversion + traversal.
+    let root = 0u32;
+    let st = timed(&mut phases.spanning_tree, || {
+        let csr = Csr::build_par(pool, g);
+        work_stealing_tree(pool, &csr, root)
+    });
+    if st.reached != n {
+        return Err(BccError::Disconnected);
+    }
+    let mut is_tree = vec![false; g.m()];
+    let mut tree_edges = Vec::with_capacity(n as usize - 1);
+    for v in 0..n {
+        let eid = st.parent_eid[v as usize];
+        if eid != NIL {
+            is_tree[eid as usize] = true;
+            tree_edges.push(g.edges()[eid as usize]);
+        }
+    }
+
+    // Step 2: cache-friendly DFS-order Euler tour.
+    let tour = timed(&mut phases.euler_tour, || {
+        dfs_euler_tour(pool, n, tree_edges, &st.parent, root)
+    });
+
+    // Step 3: tree computations by prefix sums over the tour.
+    let info = timed(&mut phases.root_tree, || {
+        tree_computations(pool, &tour, root)
+    });
+
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, &mut phases);
+    let stats = PipelineStats {
+        input_edges: g.m(),
+        effective_edges: g.m(),
+        aux_vertices: tail.aux_vertices,
+        aux_edges: tail.aux_edges,
+        sv_rounds_cc: tail.sv_rounds_cc,
+        ..PipelineStats::default()
+    };
+    Ok(finalize(tail.edge_labels, phases, stats, start))
+}
+
+/// TV-filter (paper Alg. 2): BFS tree `T`, spanning forest `F` of
+/// `G − T`, TV(-opt) on `T ∪ F`, then condition-1 placement of the
+/// filtered edges.
+pub fn tv_filter(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+    let start = Instant::now();
+    let n = g.n();
+    let m = g.m();
+    let mut phases = PhaseTimes::default();
+    if let Some(r) = trivial_result(g, start, &phases) {
+        return Ok(r);
+    }
+
+    // Step 1: BFS spanning tree T (Lemma 1 requires a BFS tree).
+    let root = 0u32;
+    let bfs = timed(&mut phases.spanning_tree, || {
+        let csr = Csr::build_par(pool, g);
+        bfs_tree_par(pool, &csr, root)
+    });
+    if bfs.reached != n {
+        return Err(BccError::Disconnected);
+    }
+
+    // Step 2 (Filtering): spanning forest F of G − T, then assemble the
+    // reduced graph T ∪ F (≤ 2(n−1) edges).
+    let (reduced_edges, reduced_is_tree, reduced_of_orig) = timed(&mut phases.filtering, || {
+        let mut in_tree = vec![false; m];
+        for v in 0..n {
+            let eid = bfs.parent_eid[v as usize];
+            if eid != NIL {
+                in_tree[eid as usize] = true;
+            }
+        }
+        // Nontree candidates with their original ids.
+        let mut cand_edges: Vec<Edge> = Vec::with_capacity(m - (n as usize - 1));
+        let mut cand_orig: Vec<u32> = Vec::with_capacity(cand_edges.capacity());
+        for (i, &e) in g.edges().iter().enumerate() {
+            if !in_tree[i] {
+                cand_edges.push(e);
+                cand_orig.push(i as u32);
+            }
+        }
+        let forest = connected_components(pool, n, &cand_edges);
+
+        // Reduced edge list: T first, then F.
+        let mut reduced_edges: Vec<Edge> = Vec::with_capacity(2 * n as usize);
+        let mut reduced_is_tree: Vec<bool> = Vec::with_capacity(2 * n as usize);
+        let mut reduced_of_orig = vec![NIL; m];
+        for v in 0..n {
+            let eid = bfs.parent_eid[v as usize];
+            if eid != NIL {
+                reduced_of_orig[eid as usize] = reduced_edges.len() as u32;
+                reduced_edges.push(g.edges()[eid as usize]);
+                reduced_is_tree.push(true);
+            }
+        }
+        for &ci in &forest.tree_edges {
+            let orig = cand_orig[ci as usize];
+            reduced_of_orig[orig as usize] = reduced_edges.len() as u32;
+            reduced_edges.push(g.edges()[orig as usize]);
+            reduced_is_tree.push(false);
+        }
+        (reduced_edges, reduced_is_tree, reduced_of_orig)
+    });
+
+    // Steps 2'–3': Euler tour + tree computations on T.
+    let tree_edges: Vec<Edge> = reduced_edges[..n as usize - 1].to_vec();
+    let tour = timed(&mut phases.euler_tour, || {
+        dfs_euler_tour(pool, n, tree_edges, &bfs.parent, root)
+    });
+    let info = timed(&mut phases.root_tree, || {
+        tree_computations(pool, &tour, root)
+    });
+
+    // Steps 4–6 on the reduced graph.
+    let tail = tv_tail(
+        pool,
+        n,
+        &reduced_edges,
+        &reduced_is_tree,
+        &info,
+        &mut phases,
+    );
+
+    // Step 4 of Alg. 2: place each filtered edge (u, v) into the
+    // component of the tree edge (x, p(x)) of its larger-preorder
+    // endpoint x (condition 1 holds for any rooted spanning tree).
+    let mut comp = vec![0u32; m];
+    timed(&mut phases.filtering, || {
+        let comp_s = SharedSlice::new(&mut comp);
+        let labels: &[u32] = &tail.edge_labels;
+        let aux: &[u32] = &tail.aux_vertex_labels;
+        let map: &[u32] = &reduced_of_orig;
+        let pre = &info.preorder;
+        pool.run(|ctx| {
+            for i in ctx.block_range(m) {
+                let r = map[i];
+                let label = if r != NIL {
+                    labels[r as usize]
+                } else {
+                    let e = g.edges()[i];
+                    let x = if pre[e.u as usize] > pre[e.v as usize] {
+                        e.u
+                    } else {
+                        e.v
+                    };
+                    aux[x as usize]
+                };
+                unsafe { comp_s.write(i, label) };
+            }
+        });
+    });
+
+    let stats = PipelineStats {
+        input_edges: m,
+        effective_edges: reduced_edges.len(),
+        filtered_edges: m - reduced_edges.len(),
+        aux_vertices: tail.aux_vertices,
+        aux_edges: tail.aux_edges,
+        sv_rounds_cc: tail.sv_rounds_cc,
+        bfs_levels: bfs.levels,
+        ..PipelineStats::default()
+    };
+    Ok(finalize(comp, phases, stats, start))
+}
+
+/// Output of the shared tail: raw (non-canonical) labels.
+struct TailOutput {
+    /// Label per input edge.
+    edge_labels: Vec<u32>,
+    /// Label per auxiliary vertex; `aux_vertex_labels[v]` for `v < n` is
+    /// the component of tree edge `(v, p(v))` (TV-filter uses this to
+    /// place filtered edges).
+    aux_vertex_labels: Vec<u32>,
+    /// Auxiliary-graph vertex count (n + nontree edges considered).
+    aux_vertices: u32,
+    /// Auxiliary-graph edge count (|R'_c|).
+    aux_edges: usize,
+    /// SV rounds of the step-6 connectivity run.
+    sv_rounds_cc: u32,
+}
+
+/// Steps 4–6: Low-high, Label-edge (Alg. 1), Connected-components.
+fn tv_tail(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    phases: &mut PhaseTimes,
+) -> TailOutput {
+    let m = edges.len();
+
+    // Step 4: Low-high.
+    let lh = timed(&mut phases.low_high, || {
+        compute_low_high_with(pool, edges, is_tree_edge, info, LowHighMethod::Auto)
+    });
+
+    // Step 5: Label-edge.
+    let aux = timed(&mut phases.label_edge, || {
+        build_aux_graph(pool, n, edges, is_tree_edge, info, &lh)
+    });
+
+    // Step 6: Connected-components of the auxiliary graph, written back
+    // to the input edges.
+    let aux_vertices = aux.num_vertices;
+    let aux_edges = aux.edges.len();
+    timed(&mut phases.connected_components, || {
+        let cc = connected_components(pool, aux.num_vertices, &aux.edges);
+        let mut edge_labels = vec![0u32; m];
+        {
+            let out = SharedSlice::new(&mut edge_labels);
+            let labels: &[u32] = &cc.label;
+            let ni: &[u32] = &aux.nontree_index;
+            pool.run(|ctx| {
+                for i in ctx.block_range(m) {
+                    let e = edges[i];
+                    let label = if is_tree_edge[i] {
+                        // Aux vertex of a tree edge is its child endpoint.
+                        let c = if info.parent[e.v as usize] == e.u {
+                            e.v
+                        } else {
+                            e.u
+                        };
+                        labels[c as usize]
+                    } else {
+                        labels[(n + ni[i]) as usize]
+                    };
+                    unsafe { out.write(i, label) };
+                }
+            });
+        }
+        TailOutput {
+            edge_labels,
+            aux_vertex_labels: cc.label,
+            aux_vertices,
+            aux_edges,
+            sv_rounds_cc: cc.rounds,
+        }
+    })
+}
+
+/// Canonicalizes labels and stamps the total time.
+fn finalize(
+    mut comp: Vec<u32>,
+    mut phases: PhaseTimes,
+    stats: PipelineStats,
+    start: Instant,
+) -> BccResult {
+    let num_components = canonicalize_edge_labels(&mut comp);
+    phases.total = start.elapsed();
+    BccResult {
+        edge_comp: comp,
+        num_components,
+        phases,
+        stats,
+    }
+}
+
+/// Graphs with no edges need no pipeline.
+fn trivial_result(g: &Graph, start: Instant, phases: &PhaseTimes) -> Option<BccResult> {
+    if g.m() == 0 {
+        let mut phases = phases.clone();
+        phases.total = start.elapsed();
+        Some(BccResult {
+            edge_comp: vec![],
+            num_components: 0,
+            phases,
+            stats: PipelineStats::default(),
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::gen;
+
+    fn all_agree(g: &Graph, p: usize) {
+        let pool = Pool::new(p);
+        let base = sequential(g);
+        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+            let r = biconnected_components(&pool, g, alg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+            assert_eq!(
+                r.num_components,
+                base.num_components,
+                "{} count (p={p})",
+                alg.name()
+            );
+            assert_eq!(r.edge_comp, base.edge_comp, "{} labels (p={p})", alg.name());
+        }
+    }
+
+    #[test]
+    fn structured_families() {
+        for p in [1, 2, 4] {
+            all_agree(&gen::cycle(10), p);
+            all_agree(&gen::path(10), p);
+            all_agree(&gen::star(10), p);
+            all_agree(&gen::complete(7), p);
+            all_agree(&gen::torus(3, 5), p);
+            all_agree(&gen::two_cliques_sharing_vertex(4), p);
+            all_agree(&gen::cycle_chain(4, 5, 0), p);
+            all_agree(&gen::random_tree(60, p as u64), p);
+        }
+    }
+
+    #[test]
+    fn random_sparse_graphs() {
+        for seed in 0..8u64 {
+            let g = gen::random_connected(200, 420, seed);
+            all_agree(&g, 1);
+            all_agree(&g, 4);
+        }
+    }
+
+    #[test]
+    fn random_denser_graphs() {
+        for seed in 0..4u64 {
+            let g = gen::random_connected(120, 1500, seed);
+            all_agree(&g, 3);
+        }
+    }
+
+    #[test]
+    fn dense_instances() {
+        let g = gen::dense_percent(60, 0.7, 1);
+        // dense_percent may be disconnected in principle; this instance
+        // is far above the connectivity threshold.
+        assert!(bcc_graph::validate::is_connected(&g));
+        all_agree(&g, 2);
+    }
+
+    #[test]
+    fn two_vertices_one_edge() {
+        let g = Graph::from_tuples(2, [(0, 1)]);
+        all_agree(&g, 2);
+        let pool = Pool::new(2);
+        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        assert_eq!(r.num_components, 1);
+    }
+
+    #[test]
+    fn no_edges_trivial() {
+        let pool = Pool::new(2);
+        let g = Graph::new(1, vec![]);
+        for alg in Algorithm::ALL {
+            let r = biconnected_components(&pool, &g, alg).unwrap();
+            assert_eq!(r.num_components, 0);
+            assert!(r.edge_comp.is_empty());
+        }
+    }
+
+    #[test]
+    fn disconnected_rejected_by_parallel_algorithms() {
+        let pool = Pool::new(2);
+        let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+            assert_eq!(
+                biconnected_components(&pool, &g, alg).unwrap_err(),
+                BccError::Disconnected,
+                "{}",
+                alg.name()
+            );
+        }
+        // Sequential handles it.
+        let r = biconnected_components(&pool, &g, Algorithm::Sequential).unwrap();
+        assert_eq!(r.num_components, 2);
+    }
+
+    #[test]
+    fn derived_outputs() {
+        let g = gen::cycle_chain(3, 4, 0); // 3 cycles + 2 bridges
+        let pool = Pool::new(2);
+        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        assert_eq!(r.num_components, 5);
+        assert_eq!(r.bridges(&g).len(), 2);
+        // Cut vertices: both endpoints of each bridge.
+        assert_eq!(r.articulation_points(&g).len(), 4);
+    }
+
+    #[test]
+    fn stats_capture_the_filter_invariant() {
+        let n = 500u32;
+        let g = gen::random_connected(n, 5_000, 4);
+        let pool = Pool::new(2);
+        let f = tv_filter(&pool, &g).unwrap();
+        assert_eq!(f.stats.input_edges, 5_000);
+        assert!(f.stats.effective_edges <= 2 * (n as usize - 1));
+        assert_eq!(
+            f.stats.filtered_edges,
+            f.stats.input_edges - f.stats.effective_edges
+        );
+        assert!(f.stats.filtered_edges >= 5_000 - 2 * (n as usize - 1));
+        assert!(f.stats.bfs_levels >= 2);
+        // Aux graph of the reduced set is tiny relative to TV-opt's.
+        let o = tv_opt(&pool, &g).unwrap();
+        assert_eq!(o.stats.effective_edges, 5_000);
+        assert!(f.stats.aux_vertices < o.stats.aux_vertices);
+        assert!(f.stats.aux_edges < o.stats.aux_edges);
+        assert!(o.stats.sv_rounds_cc >= 1);
+    }
+
+    #[test]
+    fn phases_are_populated() {
+        let g = gen::random_connected(300, 900, 2);
+        let pool = Pool::new(2);
+        let r = tv_filter(&pool, &g).unwrap();
+        assert!(r.phases.total >= r.phases.step_sum() / 2);
+        assert!(r.phases.filtering.as_nanos() > 0);
+        let r = tv_opt(&pool, &g).unwrap();
+        assert_eq!(r.phases.filtering.as_nanos(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Schmidt's chain decomposition — an independent linear-time verifier.
+//!
+//! Schmidt (2013) decomposes a connected graph into an ear-like family
+//! of *chains*: walk each back edge of a DFS tree from its
+//! ancestor endpoint down the tree until a previously-visited vertex.
+//! Then:
+//!
+//! * an edge is a **bridge** iff it belongs to no chain;
+//! * a vertex is a **cut vertex** iff it is incident to a bridge (with
+//!   degree ≥ 2) or it is the first vertex of a chain that is a cycle,
+//!   other than the first chain;
+//! * the graph is **biconnected** iff the decomposition has exactly one
+//!   cycle (the first chain) and no bridges (n ≥ 3).
+//!
+//! The algorithm shares nothing with the Tarjan–Vishkin machinery (no
+//! low/high, no auxiliary graph) and nothing with the Hopcroft–Tarjan
+//! edge stack, so it serves as a scale-capable cross-check of both —
+//! the test suite compares all three on large random instances.
+
+use bcc_graph::{Csr, Graph};
+use bcc_smp::NIL;
+
+/// Output of [`chain_decomposition`].
+#[derive(Clone, Debug)]
+pub struct ChainDecomposition {
+    /// Chains as vertex sequences; a chain is a cycle iff its first and
+    /// last vertices coincide.
+    pub chains: Vec<Vec<u32>>,
+    /// Bridge edges (indices into the input edge list), ascending.
+    pub bridges: Vec<u32>,
+    /// Cut vertices, ascending.
+    pub articulation: Vec<u32>,
+    /// Number of chains that are cycles.
+    pub num_cycles: usize,
+}
+
+impl ChainDecomposition {
+    /// Schmidt's 2-connectivity test (requires n ≥ 3).
+    pub fn is_biconnected(&self) -> bool {
+        self.bridges.is_empty() && self.num_cycles == 1 && !self.chains.is_empty()
+    }
+
+    /// Schmidt's 2-edge-connectivity test.
+    pub fn is_two_edge_connected(&self) -> bool {
+        self.bridges.is_empty() && !self.chains.is_empty()
+    }
+}
+
+/// Computes Schmidt's chain decomposition of a connected graph.
+/// Panics if `g` is disconnected (it is a verifier for connected
+/// instances) or has fewer than 1 vertex.
+///
+/// ```
+/// use bcc_core::schmidt::chain_decomposition;
+/// use bcc_graph::gen;
+///
+/// let d = chain_decomposition(&gen::cycle(5));
+/// assert!(d.is_biconnected());
+/// let d = chain_decomposition(&gen::path(5));
+/// assert_eq!(d.bridges.len(), 4);
+/// ```
+pub fn chain_decomposition(g: &Graph) -> ChainDecomposition {
+    let n = g.n() as usize;
+    let m = g.m();
+    assert!(n >= 1);
+    let csr = Csr::build(g);
+
+    // Iterative DFS: parents, parent edge ids, DFS numbers, order.
+    let mut parent = vec![NIL; n];
+    let mut parent_eid = vec![NIL; n];
+    let mut dfs_num = vec![NIL; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    {
+        let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+        parent[0] = 0;
+        dfs_num[0] = 0;
+        order.push(0);
+        let mut counter = 1u32;
+        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+            if *cursor < csr.degree(v) {
+                let k = *cursor;
+                *cursor += 1;
+                let w = csr.neighbors(v)[k];
+                if dfs_num[w as usize] == NIL {
+                    parent[w as usize] = v;
+                    parent_eid[w as usize] = csr.edge_ids(v)[k];
+                    dfs_num[w as usize] = counter;
+                    counter += 1;
+                    order.push(w);
+                    stack.push((w, 0));
+                }
+            } else {
+                stack.pop();
+            }
+        }
+        assert_eq!(
+            counter as usize, n,
+            "chain decomposition requires a connected graph"
+        );
+    }
+
+    let is_tree_edge = {
+        let mut t = vec![false; m];
+        for &e in &parent_eid {
+            if e != NIL {
+                t[e as usize] = true;
+            }
+        }
+        t
+    };
+
+    // Walk chains: for each vertex u in DFS order, each incident back
+    // edge whose other endpoint w is a descendant (dfs_num[w] > dfs_num[u])
+    // starts a chain u, w, parent(w), ... until a visited vertex.
+    let mut visited = vec![false; n];
+    let mut edge_in_chain = vec![false; m];
+    let mut chains: Vec<Vec<u32>> = Vec::new();
+    let mut num_cycles = 0usize;
+
+    for &u in &order {
+        for (w, eid) in csr.arcs(u) {
+            if is_tree_edge[eid as usize] || edge_in_chain[eid as usize] {
+                continue;
+            }
+            if dfs_num[w as usize] < dfs_num[u as usize] {
+                continue; // w is the ancestor endpoint; chain starts there
+            }
+            // Start a chain at u along the back edge (u, w).
+            visited[u as usize] = true;
+            edge_in_chain[eid as usize] = true;
+            let mut chain = vec![u, w];
+            let mut x = w;
+            while !visited[x as usize] {
+                visited[x as usize] = true;
+                edge_in_chain[parent_eid[x as usize] as usize] = true;
+                x = parent[x as usize];
+                chain.push(x);
+            }
+            if chain.first() == chain.last() {
+                num_cycles += 1;
+            }
+            chains.push(chain);
+        }
+    }
+
+    let bridges: Vec<u32> = (0..m as u32)
+        .filter(|&i| !edge_in_chain[i as usize])
+        .collect();
+
+    // Cut vertices.
+    let mut is_cut = vec![false; n];
+    let deg = g.degrees();
+    for &b in &bridges {
+        let e = g.edges()[b as usize];
+        for v in [e.u, e.v] {
+            if deg[v as usize] >= 2 {
+                is_cut[v as usize] = true;
+            }
+        }
+    }
+    for (i, chain) in chains.iter().enumerate() {
+        if i > 0 && chain.first() == chain.last() {
+            is_cut[chain[0] as usize] = true;
+        }
+    }
+    let articulation: Vec<u32> = (0..n as u32).filter(|&v| is_cut[v as usize]).collect();
+
+    ChainDecomposition {
+        chains,
+        bridges,
+        articulation,
+        num_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::articulation_points_oracle;
+    use bcc_graph::gen;
+
+    #[test]
+    fn cycle_is_one_cycle_chain() {
+        let d = chain_decomposition(&gen::cycle(9));
+        assert_eq!(d.chains.len(), 1);
+        assert_eq!(d.num_cycles, 1);
+        assert!(d.is_biconnected());
+        assert!(d.bridges.is_empty());
+        assert!(d.articulation.is_empty());
+    }
+
+    #[test]
+    fn tree_is_all_bridges() {
+        let g = gen::random_tree(40, 2);
+        let d = chain_decomposition(&g);
+        assert!(d.chains.is_empty());
+        assert_eq!(d.bridges.len(), 39);
+        assert!(!d.is_two_edge_connected());
+        // Cut vertices = internal vertices (degree >= 2).
+        let want = articulation_points_oracle(&g);
+        assert_eq!(d.articulation, want);
+    }
+
+    #[test]
+    fn two_cliques_detects_the_shared_vertex() {
+        let g = gen::two_cliques_sharing_vertex(5);
+        let d = chain_decomposition(&g);
+        assert!(d.bridges.is_empty());
+        assert!(!d.is_biconnected()); // two cycles
+        assert_eq!(d.articulation, vec![4]);
+    }
+
+    #[test]
+    fn biconnected_families_pass_the_test() {
+        for g in [
+            gen::complete(8),
+            gen::wheel(12),
+            gen::ladder(9),
+            gen::hypercube(4),
+            gen::torus(4, 5),
+            gen::complete_bipartite(3, 6),
+        ] {
+            let d = chain_decomposition(&g);
+            assert!(d.is_biconnected(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn matches_oracles_on_random_graphs() {
+        use crate::tarjan::tarjan_bcc;
+        use crate::verify::bridges as derive_bridges;
+        for seed in 0..12u64 {
+            let g = gen::random_connected(120, 200 + (seed as usize * 13) % 200, seed);
+            let d = chain_decomposition(&g);
+            assert_eq!(
+                d.articulation,
+                articulation_points_oracle(&g),
+                "articulation seed={seed}"
+            );
+            let comp = tarjan_bcc(&g);
+            assert_eq!(d.bridges, derive_bridges(&g, &comp), "bridges seed={seed}");
+        }
+    }
+
+    #[test]
+    fn every_edge_in_at_most_one_chain_and_chains_cover_non_bridges() {
+        let g = gen::random_connected(200, 520, 7);
+        let d = chain_decomposition(&g);
+        let chain_edges: usize = d.chains.iter().map(|c| c.len() - 1).sum();
+        assert_eq!(chain_edges + d.bridges.len(), g.m());
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_rejected() {
+        let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let _ = chain_decomposition(&g);
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let g = Graph::from_tuples(2, [(0, 1)]);
+        let d = chain_decomposition(&g);
+        assert_eq!(d.bridges, vec![0]);
+        assert!(d.articulation.is_empty()); // both endpoints degree 1
+    }
+}

@@ -1,0 +1,238 @@
+//! Sequential biconnected components: Hopcroft–Tarjan DFS with an edge
+//! stack (Tarjan 1972) — the linear-time baseline every parallel
+//! algorithm in the paper is measured against ("Sequential" in Fig. 3).
+//!
+//! The DFS is iterative (explicit stack) so million-vertex instances do
+//! not overflow the call stack.
+
+use bcc_graph::{Csr, Graph};
+use bcc_smp::NIL;
+
+/// Per-edge biconnected-component labels from the sequential algorithm.
+///
+/// Labels are arbitrary before canonicalization (see
+/// [`crate::verify::canonicalize_edge_labels`]); isolated vertices have
+/// no effect; disconnected inputs are handled (each component is
+/// traversed).
+pub fn tarjan_bcc(g: &Graph) -> Vec<u32> {
+    let csr = Csr::build(g);
+    tarjan_bcc_csr(g, &csr)
+}
+
+/// [`tarjan_bcc`] reusing an existing CSR.
+pub fn tarjan_bcc_csr(g: &Graph, csr: &Csr) -> Vec<u32> {
+    let n = g.n() as usize;
+    let m = g.m();
+    let mut comp = vec![NIL; m];
+    if m == 0 {
+        return comp;
+    }
+
+    let mut disc = vec![NIL; n]; // discovery time; NIL = unvisited
+    let mut low = vec![NIL; n];
+    let mut timer = 0u32;
+    let mut next_comp = 0u32;
+    let mut edge_stack: Vec<u32> = Vec::new();
+
+    // DFS frame: (vertex, parent edge id, cursor into the arc list).
+    struct Frame {
+        v: u32,
+        parent_eid: u32,
+        cursor: u32,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+
+    for s in 0..n as u32 {
+        if disc[s as usize] != NIL || csr.degree(s) == 0 {
+            continue;
+        }
+        disc[s as usize] = timer;
+        low[s as usize] = timer;
+        timer += 1;
+        stack.push(Frame {
+            v: s,
+            parent_eid: NIL,
+            cursor: 0,
+        });
+
+        while let Some(top) = stack.last_mut() {
+            let v = top.v;
+            let deg = csr.degree(v) as u32;
+            if top.cursor < deg {
+                let k = top.cursor as usize;
+                top.cursor += 1;
+                let w = csr.neighbors(v)[k];
+                let eid = csr.edge_ids(v)[k];
+                if eid == top.parent_eid {
+                    continue; // the tree arc back to the parent
+                }
+                if disc[w as usize] == NIL {
+                    // Tree edge: descend.
+                    edge_stack.push(eid);
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        v: w,
+                        parent_eid: eid,
+                        cursor: 0,
+                    });
+                } else if disc[w as usize] < disc[v as usize] {
+                    // Back edge to an ancestor: stack it once.
+                    edge_stack.push(eid);
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+                // disc[w] > disc[v]: forward view of an edge already
+                // stacked from w's side — skip.
+            } else {
+                // v is fully explored: close out toward the parent.
+                let parent_eid = top.parent_eid;
+                stack.pop();
+                if let Some(parent) = stack.last_mut() {
+                    let u = parent.v;
+                    low[u as usize] = low[u as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[u as usize] {
+                        // u separates v's subtree: pop one component,
+                        // delimited by v's tree edge.
+                        let c = next_comp;
+                        next_comp += 1;
+                        loop {
+                            let e = edge_stack.pop().expect("edge stack underflow");
+                            comp[e as usize] = c;
+                            if e == parent_eid {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(edge_stack.is_empty(), "leftover edges after component {s}");
+    }
+    debug_assert!(comp.iter().all(|&c| c != NIL));
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::canonicalize_edge_labels;
+    use bcc_graph::gen;
+
+    fn canonical(g: &Graph) -> (Vec<u32>, u32) {
+        let mut c = tarjan_bcc(g);
+        let k = canonicalize_edge_labels(&mut c);
+        (c, k)
+    }
+
+    #[test]
+    fn tree_every_edge_is_its_own_component() {
+        let g = gen::random_tree(50, 3);
+        let (c, k) = canonical(&g);
+        assert_eq!(k, 49);
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = gen::cycle(10);
+        let (c, k) = canonical(&g);
+        assert_eq!(k, 1);
+        assert!(c.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn clique_is_one_component() {
+        let g = gen::complete(8);
+        let (_, k) = canonical(&g);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn two_cliques_sharing_a_vertex() {
+        let g = gen::two_cliques_sharing_vertex(5);
+        let (c, k) = canonical(&g);
+        assert_eq!(k, 2);
+        // Edges within one clique share a label.
+        let edges = g.edges();
+        for (i, e) in edges.iter().enumerate() {
+            for (j, f) in edges.iter().enumerate() {
+                let same_clique = (e.u < 5 && e.v < 5 && f.u < 5 && f.v < 5)
+                    || (e.u >= 4 && e.v >= 4 && f.u >= 4 && f.v >= 4);
+                if same_clique {
+                    assert_eq!(c[i], c[j], "{e:?} vs {f:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_all_bridges() {
+        let g = gen::path(7);
+        let (_, k) = canonical(&g);
+        assert_eq!(k, 6);
+    }
+
+    #[test]
+    fn cycle_chain_components() {
+        // 4 cycles of length 5 chained by 3 bridges: 4 + 3 components.
+        let g = gen::cycle_chain(4, 5, 0);
+        let (_, k) = canonical(&g);
+        assert_eq!(k, 7);
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        // Two triangles, no connection.
+        let g = Graph::from_tuples(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let (c, k) = canonical(&g);
+        assert_eq!(k, 2);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[3], c[4]);
+        assert_ne!(c[0], c[3]);
+    }
+
+    #[test]
+    fn empty_graph_and_no_edges() {
+        let g = Graph::new(5, vec![]);
+        let c = tarjan_bcc(&g);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hand_worked_example() {
+        // 0-1-2 triangle; bridge 2-3; 3-4-5 triangle; pendant 5-6.
+        let g = Graph::from_tuples(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0), // triangle A
+                (2, 3), // bridge
+                (3, 4),
+                (4, 5),
+                (5, 3), // triangle B
+                (5, 6), // pendant bridge
+            ],
+        );
+        let (c, k) = canonical(&g);
+        assert_eq!(k, 4);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[4], c[5]);
+        assert_eq!(c[5], c[6]);
+        assert_ne!(c[0], c[3]);
+        assert_ne!(c[3], c[4]);
+        assert_ne!(c[7], c[4]);
+        assert_ne!(c[7], c[3]);
+    }
+
+    #[test]
+    fn torus_is_biconnected() {
+        let g = gen::torus(4, 4);
+        let (_, k) = canonical(&g);
+        assert_eq!(k, 1);
+    }
+}

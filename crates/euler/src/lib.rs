@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! The Euler-tour technique and tree computations.
+//!
+//! A spanning tree's Euler tour (each tree edge replaced by two
+//! anti-parallel arcs, traversed as one closed walk) linearizes the tree
+//! so that rooting, preorder numbering, and subtree aggregation become
+//! array operations. This crate provides both constructions the paper
+//! compares:
+//!
+//! * [`tour`] — the **classic** construction for TV-SMP: sort arcs by
+//!   source to form a circular adjacency list, chain twin pointers into
+//!   the tour successor function, then **list-rank** the successor list
+//!   to obtain tour positions.
+//! * [`dfs_tour`] — the **cache-friendly** construction for TV-opt
+//!   (Cong & Bader, ICPP 2004): given an already-rooted tree, emit the
+//!   tour in DFS order so positions are implicit and every tree
+//!   computation reduces to a **prefix sum** over contiguous memory.
+//! * [`tree_compute`] — rooting a tree from tour positions and deriving
+//!   preorder numbers, subtree sizes, and depths.
+//!
+//! Arc convention throughout: tree edge `i = (u, v)` yields arc `2i`
+//! (`u → v`) and arc `2i + 1` (`v → u`); `twin(a) = a ^ 1`.
+
+pub mod dfs_tour;
+pub mod lca;
+pub mod rooted_tour;
+pub mod tour;
+pub mod tree_compute;
+
+pub use dfs_tour::dfs_euler_tour;
+pub use lca::LcaIndex;
+pub use rooted_tour::rooted_euler_tour;
+pub use tour::{euler_tour_classic, EulerTour, Ranker};
+pub use tree_compute::{tree_computations, TreeInfo};
+
+/// Twin (reverse) arc of `a`.
+#[inline]
+pub fn twin(a: u32) -> u32 {
+    a ^ 1
+}

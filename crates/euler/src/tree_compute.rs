@@ -1,0 +1,316 @@
+//! Rooting and tree computations from Euler-tour positions.
+//!
+//! Once every arc knows its tour position, the tree structure falls out
+//! of comparisons and prefix sums (paper step 3, *Root-tree*, and the
+//! aggregations feeding step 4):
+//!
+//! * an arc is an **advance** (parent → child) iff it precedes its twin;
+//! * `preorder(v)` = number of advance arcs up to and including v's
+//!   advance arc (inclusive prefix sum of advance flags in tour order);
+//! * `size(v)` = half the tour span between v's advance and retreat
+//!   arcs, inclusive;
+//! * `depth(v)` = advance-minus-retreat balance at v's advance arc.
+
+use crate::tour::EulerTour;
+use crate::twin;
+use bcc_smp::{Pool, SharedSlice, NIL};
+
+/// Rooted-tree data derived from an Euler tour.
+#[derive(Clone, Debug)]
+pub struct TreeInfo {
+    /// The root the tour started at.
+    pub root: u32,
+    /// `parent[v]`; `parent[root] == root`.
+    pub parent: Vec<u32>,
+    /// Index into the tour's tree-edge list of v's parent edge (`NIL`
+    /// for the root).
+    pub parent_edge: Vec<u32>,
+    /// Preorder number, `preorder[root] == 0`, a permutation of `0..n`.
+    pub preorder: Vec<u32>,
+    /// `vertex_at_preorder[q]` = the vertex with preorder number `q`.
+    pub vertex_at_preorder: Vec<u32>,
+    /// Subtree sizes (`size[root] == n`).
+    pub size: Vec<u32>,
+    /// Depth from the root (`depth[root] == 0`).
+    pub depth: Vec<u32>,
+}
+
+impl TreeInfo {
+    /// Half-open preorder interval `[pre(v), pre(v) + size(v))` covering
+    /// exactly v's subtree.
+    #[inline]
+    pub fn subtree_interval(&self, v: u32) -> std::ops::Range<usize> {
+        let lo = self.preorder[v as usize] as usize;
+        lo..lo + self.size[v as usize] as usize
+    }
+
+    /// True if `a` is an ancestor of `d` (or equal): subtree containment
+    /// via preorder intervals.
+    #[inline]
+    pub fn is_ancestor(&self, a: u32, d: u32) -> bool {
+        let pa = self.preorder[a as usize];
+        let pd = self.preorder[d as usize];
+        pd >= pa && pd < pa + self.size[a as usize]
+    }
+}
+
+/// Derives rooting, preorder, subtree sizes, and depths from `tour`.
+pub fn tree_computations(pool: &Pool, tour: &EulerTour, root: u32) -> TreeInfo {
+    let n = tour.n as usize;
+    let num_arcs = tour.num_arcs();
+    let t = num_arcs / 2;
+
+    if n == 1 {
+        return TreeInfo {
+            root,
+            parent: vec![root],
+            parent_edge: vec![NIL],
+            preorder: vec![0],
+            vertex_at_preorder: vec![root],
+            size: vec![1],
+            depth: vec![0],
+        };
+    }
+
+    // Rooting: the earlier arc of each twin pair points parent → child.
+    let mut parent = vec![NIL; n];
+    let mut parent_edge = vec![NIL; n];
+    let mut adv_arc = vec![NIL; n]; // v's advance arc
+    {
+        let par_s = SharedSlice::new(&mut parent);
+        let pe_s = SharedSlice::new(&mut parent_edge);
+        let aa_s = SharedSlice::new(&mut adv_arc);
+        pool.run(|ctx| {
+            for i in ctx.block_range(t) {
+                let e = tour.edges[i];
+                let fwd = 2 * i as u32; // u -> v
+                let (adv, child, par) = if tour.pos[fwd as usize] < tour.pos[twin(fwd) as usize] {
+                    (fwd, e.v, e.u)
+                } else {
+                    (twin(fwd), e.u, e.v)
+                };
+                // Each child vertex has exactly one advance arc (its
+                // parent edge), so these writes are disjoint.
+                unsafe {
+                    par_s.write(child as usize, par);
+                    pe_s.write(child as usize, i as u32);
+                    aa_s.write(child as usize, adv);
+                }
+            }
+            if ctx.is_leader() {
+                unsafe { par_s.write(root as usize, root) };
+            }
+        });
+    }
+
+    // Advance flags in tour order, scanned inclusively: S[j] = number of
+    // advance arcs at positions <= j.
+    let mut adv_scan = vec![0u32; num_arcs];
+    let mut depth_scan = vec![0i32; num_arcs];
+    {
+        let as_s = SharedSlice::new(&mut adv_scan);
+        let ds_s = SharedSlice::new(&mut depth_scan);
+        pool.run(|ctx| {
+            for j in ctx.block_range(num_arcs) {
+                let a = tour.order[j];
+                let advance = tour.pos[a as usize] < tour.pos[twin(a) as usize];
+                unsafe {
+                    as_s.write(j, u32::from(advance));
+                    ds_s.write(j, if advance { 1 } else { -1 });
+                }
+            }
+        });
+    }
+    bcc_primitives::scan::inclusive_scan_par(pool, &mut adv_scan);
+    bcc_primitives::scan::inclusive_scan_par(pool, &mut depth_scan);
+
+    // Per-vertex quantities.
+    let mut preorder = vec![0u32; n];
+    let mut size = vec![0u32; n];
+    let mut depth = vec![0u32; n];
+    {
+        let pre_s = SharedSlice::new(&mut preorder);
+        let size_s = SharedSlice::new(&mut size);
+        let dep_s = SharedSlice::new(&mut depth);
+        let adv_arc_ro: &[u32] = &adv_arc;
+        let adv_scan_ro: &[u32] = &adv_scan;
+        let depth_scan_ro: &[i32] = &depth_scan;
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                if v as u32 == root {
+                    unsafe {
+                        pre_s.write(v, 0);
+                        size_s.write(v, n as u32);
+                        dep_s.write(v, 0);
+                    }
+                    continue;
+                }
+                let a = adv_arc_ro[v];
+                debug_assert_ne!(a, NIL, "vertex {v} missing from tour");
+                let pa = tour.pos[a as usize] as usize;
+                let pr = tour.pos[twin(a) as usize] as usize;
+                unsafe {
+                    pre_s.write(v, adv_scan_ro[pa]);
+                    size_s.write(v, (pr - pa).div_ceil(2) as u32);
+                    dep_s.write(v, depth_scan_ro[pa] as u32);
+                }
+            }
+        });
+    }
+
+    // Inverse preorder permutation.
+    let mut vertex_at_preorder = vec![0u32; n];
+    {
+        let inv_s = SharedSlice::new(&mut vertex_at_preorder);
+        let pre_ro: &[u32] = &preorder;
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                unsafe { inv_s.write(pre_ro[v] as usize, v as u32) };
+            }
+        });
+    }
+
+    TreeInfo {
+        root,
+        parent,
+        parent_edge,
+        preorder,
+        vertex_at_preorder,
+        size,
+        depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tour::{euler_tour_classic, Ranker};
+    use bcc_graph::{gen, Csr, Edge, Graph};
+
+    /// Sequential DFS oracle for preorder/size/depth given a rooted tree.
+    fn oracle(n: u32, edges: &[Edge], root: u32) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+        let g = Graph::new(n, edges.to_vec());
+        let csr = Csr::build(&g);
+        let n = n as usize;
+        let mut parent = vec![NIL; n];
+        let mut pre = vec![0u32; n];
+        let mut size = vec![1u32; n];
+        let mut depth = vec![0u32; n];
+        parent[root as usize] = root;
+        // DFS that mirrors the tour's child order is unnecessary: only
+        // *relative structure* (parent, sizes, depth) is compared;
+        // preorder is checked for permutation + ancestry consistency.
+        let mut order = vec![];
+        let mut stack = vec![root];
+        let mut counter = 0u32;
+        while let Some(v) = stack.pop() {
+            pre[v as usize] = counter;
+            counter += 1;
+            order.push(v);
+            for &w in csr.neighbors(v) {
+                if parent[w as usize] == NIL && w != root {
+                    parent[w as usize] = v;
+                    depth[w as usize] = depth[v as usize] + 1;
+                    stack.push(w);
+                }
+            }
+        }
+        for &v in order.iter().rev() {
+            if v != root {
+                let p = parent[v as usize];
+                size[p as usize] += size[v as usize];
+            }
+        }
+        (parent, pre, size, depth)
+    }
+
+    fn check_tree(n: u32, edges: Vec<Edge>, root: u32, p: usize) {
+        let pool = Pool::new(p);
+        let tour = euler_tour_classic(&pool, n, edges.clone(), root, Ranker::HelmanJaja);
+        let info = tree_computations(&pool, &tour, root);
+        let (oparent, _opre, osize, odepth) = oracle(n, &edges, root);
+
+        assert_eq!(info.parent, oparent, "parents (n={n} root={root})");
+        assert_eq!(info.size, osize, "sizes");
+        assert_eq!(info.depth, odepth, "depths");
+
+        // Preorder is a permutation with root first.
+        let mut sorted = info.preorder.clone();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &x)| x == i as u32));
+        assert_eq!(info.preorder[root as usize], 0);
+
+        // Preorder/size ancestry: child interval nested in parent's.
+        for v in 0..n {
+            if v != root {
+                let pv = info.parent[v as usize];
+                assert!(info.is_ancestor(pv, v));
+                assert!(!info.is_ancestor(v, pv));
+                let ci = info.subtree_interval(v);
+                let pi = info.subtree_interval(pv);
+                assert!(pi.start <= ci.start && ci.end <= pi.end);
+            }
+        }
+
+        // Inverse permutation consistent.
+        for v in 0..n {
+            assert_eq!(
+                info.vertex_at_preorder[info.preorder[v as usize] as usize],
+                v
+            );
+        }
+
+        // parent_edge indexes the correct tree edge.
+        for v in 0..n {
+            if v == root {
+                assert_eq!(info.parent_edge[v as usize], NIL);
+            } else {
+                let e = edges[info.parent_edge[v as usize] as usize];
+                let p = info.parent[v as usize];
+                assert!((e.u == v && e.v == p) || (e.v == v && e.u == p));
+            }
+        }
+    }
+
+    #[test]
+    fn path_tree() {
+        check_tree(10, gen::path(10).into_edges(), 0, 2);
+        check_tree(10, gen::path(10).into_edges(), 9, 2);
+        check_tree(10, gen::path(10).into_edges(), 4, 3);
+    }
+
+    #[test]
+    fn star_and_binary_trees() {
+        check_tree(20, gen::star(20).into_edges(), 0, 2);
+        check_tree(20, gen::star(20).into_edges(), 11, 4);
+        check_tree(31, gen::binary_tree(31).into_edges(), 0, 3);
+    }
+
+    #[test]
+    fn random_trees_various_roots_and_threads() {
+        for seed in 0..3u64 {
+            let g = gen::random_tree(300, seed);
+            for p in [1, 4] {
+                for root in [0u32, 150, 299] {
+                    check_tree(300, g.edges().to_vec(), root, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        let pool = Pool::new(2);
+        let tour = euler_tour_classic(&pool, 1, vec![], 0, Ranker::Sequential);
+        let info = tree_computations(&pool, &tour, 0);
+        assert_eq!(info.preorder, vec![0]);
+        assert_eq!(info.size, vec![1]);
+        assert_eq!(info.parent, vec![0]);
+    }
+
+    #[test]
+    fn two_vertices() {
+        check_tree(2, vec![Edge::new(0, 1)], 0, 1);
+        check_tree(2, vec![Edge::new(0, 1)], 1, 2);
+    }
+}

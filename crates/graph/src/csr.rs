@@ -1,0 +1,266 @@
+//! Compressed sparse row (adjacency) representation.
+//!
+//! Traversal-based steps (BFS trees, work-stealing spanning tree, the
+//! sequential Tarjan baseline, DFS-order Euler tours) need neighbor
+//! queries; [`Csr`] provides them, carrying the *edge index* alongside
+//! each arc so per-edge results (biconnected-component labels) can be
+//! written back to the edge list the pipeline started from.
+//!
+//! Converting the edge list into CSR is itself one of the representation
+//! conversions whose cost the paper calls out, so the parallel builder
+//! is instrumented-friendly: counting, a prefix sum over degrees, and an
+//! atomic-cursor scatter.
+
+use crate::edge::Graph;
+use bcc_smp::atomic::as_atomic_u32;
+use bcc_smp::{Pool, SharedSlice};
+use std::sync::atomic::Ordering;
+
+/// Adjacency structure: for each vertex, a slice of `(neighbor, edge id)`
+/// arcs. Every undirected edge appears as two arcs.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    n: u32,
+    /// `offsets[v]..offsets[v+1]` indexes `adj`/`eid` for vertex `v`.
+    offsets: Vec<usize>,
+    adj: Vec<u32>,
+    eid: Vec<u32>,
+}
+
+impl Csr {
+    /// Sequential build from an edge list.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.n() as usize;
+        let m = g.m();
+        let mut offsets = vec![0usize; n + 1];
+        for e in g.edges() {
+            offsets[e.u as usize + 1] += 1;
+            offsets[e.v as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        // Scatter (neighbor, edge id) as one packed u64 per arc: a
+        // single random write stream instead of two (the scatter is the
+        // cache-miss-bound part; the unpack passes below are sequential
+        // and nearly free).
+        let mut cursor = offsets.clone();
+        let mut packed = vec![0u64; 2 * m];
+        for (i, e) in g.edges().iter().enumerate() {
+            let cu = cursor[e.u as usize];
+            packed[cu] = ((e.v as u64) << 32) | i as u64;
+            cursor[e.u as usize] += 1;
+            let cv = cursor[e.v as usize];
+            packed[cv] = ((e.u as u64) << 32) | i as u64;
+            cursor[e.v as usize] += 1;
+        }
+        let mut adj = vec![0u32; 2 * m];
+        let mut eid = vec![0u32; 2 * m];
+        for (k, &p) in packed.iter().enumerate() {
+            adj[k] = (p >> 32) as u32;
+            eid[k] = p as u32;
+        }
+        Csr {
+            n: g.n(),
+            offsets,
+            adj,
+            eid,
+        }
+    }
+
+    /// Parallel build: parallel degree counting (atomic increments), a
+    /// prefix sum over degrees, and an atomic-cursor scatter.
+    ///
+    /// Neighbor order within a vertex is nondeterministic across thread
+    /// counts; algorithms in this workspace never depend on it (and the
+    /// test suite checks they don't).
+    pub fn build_par(pool: &Pool, g: &Graph) -> Self {
+        let n = g.n() as usize;
+        let m = g.m();
+        if pool.threads() == 1 || m < 1 << 14 {
+            return Csr::build(g);
+        }
+        let edges = g.edges();
+
+        // Degree counting with atomic adds.
+        let mut deg = vec![0u32; n];
+        {
+            let deg_a = as_atomic_u32(&mut deg);
+            pool.run(|ctx| {
+                for i in ctx.block_range(m) {
+                    let e = edges[i];
+                    deg_a[e.u as usize].fetch_add(1, Ordering::Relaxed);
+                    deg_a[e.v as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Offsets by prefix sum.
+        let mut offsets = vec![0usize; n + 1];
+        {
+            let off_s = SharedSlice::new(&mut offsets);
+            let deg_ro: &[u32] = &deg;
+            pool.run(|ctx| {
+                for v in ctx.block_range(n) {
+                    unsafe { off_s.write(v + 1, deg_ro[v] as usize) };
+                }
+            });
+        }
+        // Scan offsets[1..=n] in place.
+        bcc_primitives::scan::inclusive_scan_par(pool, &mut offsets[1..]);
+
+        // Scatter with atomic cursors into one packed u64 per arc (a
+        // single random write stream), then unpack sequentially in
+        // parallel blocks.
+        let mut cursor: Vec<u32> = vec![0u32; n];
+        let mut packed = vec![0u64; 2 * m];
+        {
+            let cur_a = as_atomic_u32(&mut cursor);
+            let packed_s = SharedSlice::new(&mut packed);
+            let offsets_ro: &[usize] = &offsets;
+            pool.run(|ctx| {
+                for i in ctx.block_range(m) {
+                    let e = edges[i];
+                    let su = cur_a[e.u as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                    let pu = offsets_ro[e.u as usize] + su;
+                    // SAFETY: the atomic cursor hands each slot to one
+                    // thread exactly once.
+                    unsafe { packed_s.write(pu, ((e.v as u64) << 32) | i as u64) };
+                    let sv = cur_a[e.v as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                    let pv = offsets_ro[e.v as usize] + sv;
+                    unsafe { packed_s.write(pv, ((e.u as u64) << 32) | i as u64) };
+                }
+            });
+        }
+        let mut adj = vec![0u32; 2 * m];
+        let mut eid = vec![0u32; 2 * m];
+        {
+            let adj_s = SharedSlice::new(&mut adj);
+            let eid_s = SharedSlice::new(&mut eid);
+            let packed_ro: &[u64] = &packed;
+            pool.run(|ctx| {
+                for k in ctx.block_range(2 * m) {
+                    let p = packed_ro[k];
+                    unsafe {
+                        adj_s.write(k, (p >> 32) as u32);
+                        eid_s.write(k, p as u32);
+                    }
+                }
+            });
+        }
+        Csr {
+            n: g.n(),
+            offsets,
+            adj,
+            eid,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge ids of the arcs out of `v`, parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn edge_ids(&self, v: u32) -> &[u32] {
+        &self.eid[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// `(neighbor, edge id)` pairs out of `v`.
+    #[inline]
+    pub fn arcs(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_ids(v).iter().copied())
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_tuples(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+    }
+
+    fn sorted_arcs(csr: &Csr, v: u32) -> Vec<(u32, u32)> {
+        let mut a: Vec<_> = csr.arcs(v).collect();
+        a.sort_unstable();
+        a
+    }
+
+    #[test]
+    fn sequential_build_matches_hand_answer() {
+        let csr = Csr::build(&sample());
+        assert_eq!(csr.n(), 5);
+        assert_eq!(csr.m(), 5);
+        assert_eq!(sorted_arcs(&csr, 0), vec![(1, 0), (2, 1)]);
+        assert_eq!(sorted_arcs(&csr, 2), vec![(0, 1), (1, 2), (3, 3)]);
+        assert_eq!(csr.degree(4), 1);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_as_sets() {
+        use crate::gen;
+        let g = gen::random_connected(2000, 8000, 42);
+        let seq = Csr::build(&g);
+        for p in [1, 2, 4] {
+            let pool = Pool::new(p);
+            let par = Csr::build_par(&pool, &g);
+            assert_eq!(par.n(), seq.n());
+            assert_eq!(par.m(), seq.m());
+            for v in 0..g.n() {
+                assert_eq!(sorted_arcs(&par, v), sorted_arcs(&seq, v), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = Graph::from_tuples(4, [(1, 2)]);
+        let csr = Csr::build(&g);
+        assert!(csr.neighbors(0).is_empty());
+        assert!(csr.neighbors(3).is_empty());
+        assert_eq!(csr.neighbors(1), &[2]);
+
+        let empty = Graph::new(0, vec![]);
+        let csr = Csr::build(&empty);
+        assert_eq!(csr.n(), 0);
+        assert_eq!(csr.m(), 0);
+    }
+
+    #[test]
+    fn edge_ids_point_back_to_edge_list() {
+        let g = sample();
+        let csr = Csr::build(&g);
+        for v in 0..g.n() {
+            for (w, id) in csr.arcs(v) {
+                let e = g.edges()[id as usize];
+                assert!(
+                    (e.u == v && e.v == w) || (e.v == v && e.u == w),
+                    "arc ({v},{w}) id {id} mismatches edge {e:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Edge-list graph representation.
+
+use std::fmt;
+
+/// An undirected edge between vertices `u` and `v`.
+///
+/// Edges are stored as given (not normalized); `normalized()` provides
+/// the canonical `(min, max)` view used for deduplication and packing.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+}
+
+impl Edge {
+    /// Creates an edge.
+    #[inline]
+    pub fn new(u: u32, v: u32) -> Self {
+        Edge { u, v }
+    }
+
+    /// The canonical `(min, max)` orientation.
+    #[inline]
+    pub fn normalized(self) -> Edge {
+        if self.u <= self.v {
+            self
+        } else {
+            Edge {
+                u: self.v,
+                v: self.u,
+            }
+        }
+    }
+
+    /// Packs the normalized edge into a sortable `u64` key.
+    #[inline]
+    pub fn key(self) -> u64 {
+        let e = self.normalized();
+        ((e.u as u64) << 32) | e.v as u64
+    }
+
+    /// The endpoint that is not `w` (panics if `w` is not an endpoint).
+    #[inline]
+    pub fn other(self, w: u32) -> u32 {
+        if self.u == w {
+            self.v
+        } else {
+            debug_assert_eq!(self.v, w);
+            self.u
+        }
+    }
+
+    /// True if the edge is a self loop.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.u == self.v
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((u, v): (u32, u32)) -> Self {
+        Edge::new(u, v)
+    }
+}
+
+/// An undirected graph as a vertex count plus an edge list — the input
+/// representation of the Tarjan–Vishkin pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    n: u32,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices (ids `0..n`) and the given
+    /// edges. Panics if an edge references a vertex `>= n` or is a self
+    /// loop; call [`Graph::from_edges_lenient`] to silently drop loops.
+    pub fn new(n: u32, edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!(e.u < n && e.v < n, "edge {e:?} out of range (n = {n})");
+            assert!(!e.is_loop(), "self loop {e:?} not allowed");
+        }
+        Graph { n, edges }
+    }
+
+    /// Like [`Graph::new`] from `(u, v)` tuples.
+    pub fn from_tuples(n: u32, tuples: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        Graph::new(n, tuples.into_iter().map(Edge::from).collect())
+    }
+
+    /// Builds a graph, dropping self loops and duplicate edges.
+    pub fn from_edges_lenient(n: u32, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut keys: Vec<u64> = edges
+            .into_iter()
+            .filter(|e| !e.is_loop())
+            .map(Edge::key)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let edges = keys
+            .into_iter()
+            .map(|k| Edge::new((k >> 32) as u32, k as u32))
+            .collect();
+        Graph::new(n, edges)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Consumes the graph, returning its edge list.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Per-vertex degrees.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n as usize];
+        for e in &self.edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        deg
+    }
+
+    /// The graph with vertices renamed by the permutation `perm`
+    /// (`perm[v]` is v's new id). Edge order is preserved, so per-edge
+    /// results on the relabeled graph align index-for-index with the
+    /// original — the test suite uses this to check that the algorithms
+    /// are label-invariant.
+    pub fn relabel(&self, perm: &[u32]) -> Graph {
+        assert_eq!(perm.len(), self.n as usize);
+        let mut seen = vec![false; self.n as usize];
+        for &p in perm {
+            assert!(
+                p < self.n && !std::mem::replace(&mut seen[p as usize], true),
+                "perm must be a permutation of 0..n"
+            );
+        }
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| Edge::new(perm[e.u as usize], perm[e.v as usize]))
+            .collect();
+        Graph { n: self.n, edges }
+    }
+
+    /// The subgraph on the same vertex set keeping edges whose index
+    /// satisfies `keep`.
+    pub fn edge_subgraph(&self, keep: impl Fn(usize) -> bool) -> Graph {
+        let edges = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep(*i))
+            .map(|(_, &e)| e)
+            .collect();
+        Graph { n: self.n, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_and_key_agree() {
+        let e = Edge::new(9, 2);
+        assert_eq!(e.normalized(), Edge::new(2, 9));
+        assert_eq!(e.key(), Edge::new(2, 9).key());
+        assert_eq!(e.key(), (2u64 << 32) | 9);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(3, 8);
+        assert_eq!(e.other(3), 8);
+        assert_eq!(e.other(8), 3);
+    }
+
+    #[test]
+    fn graph_basics() {
+        let g = Graph::from_tuples(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degrees(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        let _ = Graph::from_tuples(3, [(0, 3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_self_loop() {
+        let _ = Graph::from_tuples(3, [(1, 1)]);
+    }
+
+    #[test]
+    fn lenient_dedups_and_drops_loops() {
+        let g = Graph::from_edges_lenient(
+            4,
+            [
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(2, 2),
+                Edge::new(2, 3),
+            ],
+        );
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn relabel_applies_permutation() {
+        let g = Graph::from_tuples(3, [(0, 1), (1, 2)]);
+        let h = g.relabel(&[2, 0, 1]);
+        assert_eq!(h.edges(), &[Edge::new(2, 0), Edge::new(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn relabel_rejects_non_permutation() {
+        let g = Graph::from_tuples(3, [(0, 1)]);
+        let _ = g.relabel(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn subgraph_keeps_selected_edges() {
+        let g = Graph::from_tuples(4, [(0, 1), (1, 2), (2, 3)]);
+        let h = g.edge_subgraph(|i| i != 1);
+        assert_eq!(h.m(), 2);
+        assert_eq!(h.edges()[1], Edge::new(2, 3));
+    }
+}

@@ -1,0 +1,465 @@
+//! Workload generators.
+//!
+//! §5 of the paper: *"We create a random graph of n vertices and m edges
+//! by randomly adding m unique edges to the vertex set"* — that is
+//! [`random_gnm`]; the benchmark instances additionally need to be
+//! connected ([`random_connected`]: a uniformly random spanning tree via
+//! random attachment, then unique random fill edges). The Woo–Sahni
+//! comparison uses dense graphs retaining a percentage of the complete
+//! graph's edges ([`dense_percent`]). Structured families exercise edge
+//! cases: the chain ([`path`]) is the paper's pathological diameter case
+//! for TV-filter.
+
+use crate::edge::{Edge, Graph};
+use rand::prelude::*;
+use std::collections::HashSet;
+
+/// A simple path 0–1–2–…–(n-1): every edge is a bridge, every internal
+/// vertex an articulation point; diameter n-1 (the paper's pathological
+/// case for BFS-based filtering).
+pub fn path(n: u32) -> Graph {
+    Graph::from_tuples(n, (1..n).map(|v| (v - 1, v)))
+}
+
+/// A simple cycle on `n >= 3` vertices: one biconnected component.
+pub fn cycle(n: u32) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    Graph::from_tuples(n, (0..n).map(|v| (v, (v + 1) % n)))
+}
+
+/// A star with center 0: n-1 bridges.
+pub fn star(n: u32) -> Graph {
+    assert!(n >= 1);
+    Graph::from_tuples(n, (1..n).map(|v| (0, v)))
+}
+
+/// The complete graph K_n: one biconnected component (n >= 3).
+pub fn complete(n: u32) -> Graph {
+    let mut edges = Vec::with_capacity((n as usize * (n as usize - 1)) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// A complete binary tree with vertex `v`'s parent at `(v-1)/2`.
+pub fn binary_tree(n: u32) -> Graph {
+    Graph::from_tuples(n, (1..n).map(|v| ((v - 1) / 2, v)))
+}
+
+/// An `rows × cols` 2D torus (wrap-around grid); biconnected when both
+/// dimensions are >= 3. Bounded degree 4, moderate diameter.
+pub fn torus(rows: u32, cols: u32) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
+    let idx = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * (rows as usize) * (cols as usize));
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push(Edge::new(idx(r, c), idx(r, (c + 1) % cols)));
+            edges.push(Edge::new(idx(r, c), idx((r + 1) % rows, c)));
+        }
+    }
+    Graph::from_edges_lenient(rows * cols, edges)
+}
+
+/// A uniformly-random-attachment tree: vertex `v > 0` connects to a
+/// uniform random earlier vertex. Seeded and deterministic.
+pub fn random_tree(n: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (1..n)
+        .map(|v| {
+            let p = rng.gen_range(0..v);
+            Edge::new(p, v)
+        })
+        .collect();
+    Graph::new(n, edges)
+}
+
+/// The paper's random graph: `m` unique random edges on `n` vertices
+/// (no self loops, no duplicates). May be disconnected.
+pub fn random_gnm(n: u32, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0);
+    let max_m = max_edges(n);
+    assert!(m <= max_m, "m = {m} exceeds C({n},2) = {max_m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    sample_unique_edges(&mut rng, n, m, &mut seen, &mut edges);
+    Graph::new(n, edges)
+}
+
+/// A connected random graph: a random-attachment spanning tree plus
+/// `m - (n-1)` unique random fill edges. Requires `m >= n - 1`.
+///
+/// ```
+/// use bcc_graph::{gen, validate};
+///
+/// let g = gen::random_connected(100, 250, 42);
+/// assert_eq!(g.m(), 250);
+/// assert!(validate::is_connected(&g));
+/// ```
+pub fn random_connected(n: u32, m: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(
+        m + 1 >= n as usize,
+        "connected graph on {n} vertices needs at least {} edges",
+        n - 1
+    );
+    let max_m = max_edges(n);
+    assert!(m <= max_m, "m = {m} exceeds C({n},2) = {max_m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    // Random tree backbone under a random vertex relabeling, so tree
+    // edges are not biased toward low vertex ids.
+    let mut label: Vec<u32> = (0..n).collect();
+    label.shuffle(&mut rng);
+    for v in 1..n {
+        let p = rng.gen_range(0..v);
+        let e = Edge::new(label[p as usize], label[v as usize]);
+        seen.insert(e.key());
+        edges.push(e);
+    }
+    sample_unique_edges(&mut rng, n, m - edges.len(), &mut seen, &mut edges);
+    Graph::new(n, edges)
+}
+
+/// Woo–Sahni-style dense instance: exactly `round(pct * C(n,2))` unique
+/// random edges (e.g. `pct = 0.7` keeps 70% of the complete graph).
+pub fn dense_percent(n: u32, pct: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&pct));
+    let total = max_edges(n);
+    let m = (pct * total as f64).round() as usize;
+    // Dense: sample by shuffling the full pair list (n is small for
+    // these instances, <= a few thousand as in Woo–Sahni).
+    let mut pairs: Vec<Edge> = Vec::with_capacity(total);
+    for u in 0..n {
+        for v in u + 1..n {
+            pairs.push(Edge::new(u, v));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    pairs.shuffle(&mut rng);
+    pairs.truncate(m);
+    Graph::new(n, pairs)
+}
+
+/// Two cliques of size `k` sharing a single cut vertex — the canonical
+/// two-biconnected-components instance.
+pub fn two_cliques_sharing_vertex(k: u32) -> Graph {
+    assert!(k >= 2);
+    let n = 2 * k - 1;
+    let mut edges = Vec::new();
+    // Clique A on 0..k, clique B on (k-1)..n; vertex k-1 is shared.
+    for u in 0..k {
+        for v in u + 1..k {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    for u in k - 1..n {
+        for v in u + 1..n {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// A "caterpillar of cycles": `count` cycles of length `len` chained by
+/// bridges — many small biconnected components plus bridges.
+pub fn cycle_chain(count: u32, len: u32, _seed: u64) -> Graph {
+    assert!(len >= 3 && count >= 1);
+    let n = count * len;
+    let mut edges = Vec::new();
+    for c in 0..count {
+        let base = c * len;
+        for i in 0..len {
+            edges.push(Edge::new(base + i, base + (i + 1) % len));
+        }
+        if c + 1 < count {
+            edges.push(Edge::new(base + len - 1, base + len)); // bridge
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// A wheel: hub 0 joined to a cycle on `1..n` (`n >= 4`). Biconnected.
+pub fn wheel(n: u32) -> Graph {
+    assert!(n >= 4, "wheel needs a hub plus a 3-cycle");
+    let mut edges = Vec::with_capacity(2 * (n as usize - 1));
+    for v in 1..n {
+        edges.push(Edge::new(0, v));
+        let next = if v + 1 == n { 1 } else { v + 1 };
+        edges.push(Edge::new(v, next));
+    }
+    Graph::new(n, edges)
+}
+
+/// A ladder (2 × k grid, `k >= 2`): biconnected, bounded degree 3.
+pub fn ladder(k: u32) -> Graph {
+    assert!(k >= 2);
+    let n = 2 * k;
+    let mut edges = Vec::new();
+    for i in 0..k {
+        edges.push(Edge::new(2 * i, 2 * i + 1)); // rung
+        if i + 1 < k {
+            edges.push(Edge::new(2 * i, 2 * (i + 1)));
+            edges.push(Edge::new(2 * i + 1, 2 * (i + 1) + 1));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// The d-dimensional hypercube, `1 <= d < 31`. Biconnected for d >= 2.
+pub fn hypercube(d: u32) -> Graph {
+    assert!((1..31).contains(&d));
+    let n = 1u32 << d;
+    let mut edges = Vec::with_capacity((d as usize) << (d - 1));
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                edges.push(Edge::new(v, w));
+            }
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// A barbell: two K_k cliques joined by a path of `bridge_len` edges
+/// (`k >= 3`, `bridge_len >= 1`): 2 blocks + `bridge_len` bridges.
+pub fn barbell(k: u32, bridge_len: u32) -> Graph {
+    assert!(k >= 3 && bridge_len >= 1);
+    let n = 2 * k + bridge_len - 1;
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in u + 1..k {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    let second = k + bridge_len - 1;
+    for u in second..n {
+        for v in u + 1..n {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    // The connecting path k-1, k, ..., second.
+    for i in 0..bridge_len {
+        edges.push(Edge::new(k - 1 + i, k + i));
+    }
+    Graph::new(n, edges)
+}
+
+/// Complete bipartite K_{a,b}: biconnected when `a, b >= 2`; a star of
+/// bridges when either side is 1.
+pub fn complete_bipartite(a: u32, b: u32) -> Graph {
+    assert!(a >= 1 && b >= 1);
+    let mut edges = Vec::with_capacity(a as usize * b as usize);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push(Edge::new(u, a + v));
+        }
+    }
+    Graph::new(a + b, edges)
+}
+
+/// R-MAT recursive-quadrant generator (Chakrabarti–Zhan–Faloutsos):
+/// `n = 2^scale` vertices, `m` unique edges, quadrant probabilities
+/// `(a, b, c)` with `d = 1 - a - b - c`. Produces the skewed degree
+/// distributions of real-world networks — an extension beyond the
+/// paper's uniform random inputs (the output is usually disconnected;
+/// pair with the per-component driver).
+pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!((1..31).contains(&scale));
+    let d = 1.0 - a - b - c;
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+        "bad quadrant probabilities"
+    );
+    let n = 1u32 << scale;
+    assert!(m <= max_edges(n));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(2 * m);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let (mut u, mut v) = (0u32, 0u32);
+        for bit in (0..scale).rev() {
+            // Slightly perturb the probabilities per level, as the
+            // original generator does, to avoid staircase artifacts.
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            let (pa, pb, pc) = (a * noise, b, c);
+            let total = pa + pb + pc + d;
+            let r = rng.gen::<f64>() * total;
+            if r < pa {
+                // top-left: no bits set
+            } else if r < pa + pb {
+                v |= 1 << bit;
+            } else if r < pa + pb + pc {
+                u |= 1 << bit;
+            } else {
+                u |= 1 << bit;
+                v |= 1 << bit;
+            }
+        }
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v).normalized();
+        if seen.insert(e.key()) {
+            edges.push(e);
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// Maximum number of edges of a simple graph on `n` vertices.
+pub fn max_edges(n: u32) -> usize {
+    (n as usize * (n as usize).saturating_sub(1)) / 2
+}
+
+fn sample_unique_edges(
+    rng: &mut StdRng,
+    n: u32,
+    want: usize,
+    seen: &mut HashSet<u64>,
+    out: &mut Vec<Edge>,
+) {
+    let mut added = 0usize;
+    while added < want {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v).normalized();
+        if seen.insert(e.key()) {
+            out.push(e);
+            added += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn structured_families_have_expected_sizes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(star(5).m(), 4);
+        assert_eq!(complete(5).m(), 10);
+        assert_eq!(binary_tree(7).m(), 6);
+        assert_eq!(torus(3, 4).m(), 24);
+        assert_eq!(random_tree(100, 1).m(), 99);
+        assert_eq!(two_cliques_sharing_vertex(4).n(), 7);
+        assert_eq!(cycle_chain(3, 4, 0).m(), 3 * 4 + 2);
+    }
+
+    #[test]
+    fn gnm_exact_count_and_simple() {
+        let g = random_gnm(100, 500, 7);
+        assert_eq!(g.m(), 500);
+        validate::assert_simple(&g);
+    }
+
+    #[test]
+    fn gnm_saturated() {
+        let g = random_gnm(10, 45, 3); // the full K_10
+        assert_eq!(g.m(), 45);
+        validate::assert_simple(&g);
+    }
+
+    #[test]
+    fn connected_is_connected_and_simple() {
+        for seed in 0..5 {
+            let g = random_connected(200, 600, seed);
+            assert_eq!(g.m(), 600);
+            validate::assert_simple(&g);
+            assert!(validate::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn connected_minimum_edges_is_a_tree() {
+        let g = random_connected(50, 49, 9);
+        assert_eq!(g.m(), 49);
+        assert!(validate::is_connected(&g));
+    }
+
+    #[test]
+    fn dense_percent_counts() {
+        let g = dense_percent(50, 0.7, 1);
+        assert_eq!(g.m(), (0.7f64 * 1225.0).round() as usize);
+        validate::assert_simple(&g);
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let a = random_connected(100, 300, 11);
+        let b = random_connected(100, 300, 11);
+        assert_eq!(a.edges(), b.edges());
+        let c = random_connected(100, 300, 12);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn structured_extras_have_expected_shapes() {
+        assert_eq!(wheel(6).m(), 10);
+        assert!(validate::is_connected(&wheel(6)));
+        assert_eq!(ladder(5).n(), 10);
+        assert_eq!(ladder(5).m(), 5 + 8);
+        assert_eq!(hypercube(4).n(), 16);
+        assert_eq!(hypercube(4).m(), 32);
+        assert!(validate::is_connected(&hypercube(3)));
+        let bb = barbell(4, 3);
+        assert_eq!(bb.n(), 10);
+        assert_eq!(bb.m(), 6 + 6 + 3);
+        assert!(validate::is_connected(&bb));
+        assert_eq!(complete_bipartite(3, 4).m(), 12);
+        for g in [
+            wheel(7),
+            ladder(4),
+            hypercube(3),
+            barbell(3, 2),
+            complete_bipartite(2, 5),
+        ] {
+            validate::assert_simple(&g);
+        }
+    }
+
+    #[test]
+    fn rmat_generates_skewed_simple_graphs() {
+        let g = rmat(10, 4000, 0.57, 0.19, 0.19, 7);
+        assert_eq!(g.n(), 1024);
+        assert_eq!(g.m(), 4000);
+        validate::assert_simple(&g);
+        // Degree skew: the max degree should far exceed the average.
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        let max = *g.degrees().iter().max().unwrap() as f64;
+        assert!(max > 4.0 * avg, "max {max} vs avg {avg}");
+        // Deterministic per seed.
+        let h = rmat(10, 4000, 0.57, 0.19, 0.19, 7);
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rmat_rejects_bad_probabilities() {
+        let _ = rmat(5, 10, 0.6, 0.3, 0.3, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gnm_rejects_impossible_m() {
+        let _ = random_gnm(5, 11, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn connected_rejects_too_few_edges() {
+        let _ = random_connected(10, 5, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text graph I/O.
+//!
+//! Format (whitespace-separated):
+//!
+//! ```text
+//! # comments allowed
+//! p <n> <m>
+//! e <u> <v>
+//! ...
+//! ```
+//!
+//! — a DIMACS-flavored edge list (0-based vertex ids) so instances can be
+//! exchanged with external tooling or pinned as regression fixtures.
+
+use crate::edge::{Edge, Graph};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Writes `g` in the text format.
+pub fn write_text<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
+    writeln!(w, "p {} {}", g.n(), g.m())?;
+    for e in g.edges() {
+        writeln!(w, "e {} {}", e.u, e.v)?;
+    }
+    Ok(())
+}
+
+/// Reads a graph in the text format; validates counts and ranges.
+pub fn read_text<R: Read>(r: R) -> io::Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut n: Option<u32> = None;
+    let mut declared_m = 0usize;
+    let mut edges: Vec<Edge> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let tag = it.next().unwrap();
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {msg}", lineno + 1),
+            )
+        };
+        match tag {
+            "p" => {
+                if n.is_some() {
+                    return Err(bad("duplicate problem line"));
+                }
+                let nv: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("bad vertex count"))?;
+                declared_m = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("bad edge count"))?;
+                n = Some(nv);
+                edges.reserve(declared_m);
+            }
+            "e" => {
+                let nv = n.ok_or_else(|| bad("edge before problem line"))?;
+                let u: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("bad endpoint"))?;
+                let v: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("bad endpoint"))?;
+                if u >= nv || v >= nv {
+                    return Err(bad("endpoint out of range"));
+                }
+                if u == v {
+                    return Err(bad("self loop"));
+                }
+                edges.push(Edge::new(u, v));
+            }
+            _ => return Err(bad("unknown line tag")),
+        }
+    }
+    let n = n.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing problem line"))?;
+    if edges.len() != declared_m {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared {declared_m} edges, found {}", edges.len()),
+        ));
+    }
+    Ok(Graph::new(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let g = gen::random_connected(50, 120, 4);
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let h = read_text(&buf[..]).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\np 3 2\ne 0 1\n# mid\ne 1 2\n";
+        let g = read_text(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(read_text("e 0 1\n".as_bytes()).is_err()); // edge before p
+        assert!(read_text("p 3 1\ne 0 5\n".as_bytes()).is_err()); // range
+        assert!(read_text("p 3 1\ne 1 1\n".as_bytes()).is_err()); // loop
+        assert!(read_text("p 3 2\ne 0 1\n".as_bytes()).is_err()); // count
+        assert!(read_text("x 1\n".as_bytes()).is_err()); // tag
+        assert!(read_text("".as_bytes()).is_err()); // empty
+    }
+}

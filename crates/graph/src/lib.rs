@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Graph representations, workload generators, and validation.
+//!
+//! The paper's algorithms consume two representations and pay a real cost
+//! converting between them (§1): spanning-tree/connectivity primitives
+//! take an **edge list** ([`Graph`]), while traversals and the Euler-tour
+//! technique need **adjacency** structure ([`Csr`]). Both live here,
+//! along with the workload generators for every experiment:
+//! paper-style random sparse graphs, the Woo–Sahni dense instances, and
+//! the structured families (paths, cycles, tori, trees, cliques) the test
+//! suite leans on.
+
+pub mod csr;
+pub mod edge;
+pub mod gen;
+pub mod io;
+pub mod validate;
+
+pub use csr::Csr;
+pub use edge::{Edge, Graph};

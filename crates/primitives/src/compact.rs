@@ -1,0 +1,143 @@
+//! Scan-based stream compaction.
+//!
+//! The paper's Alg. 1 discovers auxiliary-graph edges into a sparse 3m
+//! slot array and "compacts L' into G' using prefix sums"; this module is
+//! that step: keep the elements satisfying a predicate, preserving order,
+//! with work split across the pool.
+
+use crate::scan::exclusive_scan_par;
+use bcc_smp::{Pool, SharedSlice};
+
+/// Returns the elements `a[i]` for which `keep(i, a[i])` is true, in
+/// order, using a parallel flag → scan → scatter pipeline.
+///
+/// ```
+/// use bcc_primitives::compact::compact_with;
+/// use bcc_smp::Pool;
+///
+/// let evens = compact_with(&Pool::new(2), &[1u32, 2, 3, 4], |_, &x| x % 2 == 0);
+/// assert_eq!(evens, vec![2, 4]);
+/// ```
+pub fn compact_with<T, F>(pool: &Pool, a: &[T], keep: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize, &T) -> bool + Sync,
+{
+    let n = a.len();
+    if n == 0 {
+        return vec![];
+    }
+    // Flags as u32 for the scan.
+    let mut pos = vec![0u32; n];
+    {
+        let pos_s = SharedSlice::new(&mut pos);
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                unsafe { pos_s.write(i, u32::from(keep(i, &a[i]))) };
+            }
+        });
+    }
+    let total = exclusive_scan_par(pool, &mut pos) as usize;
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    if total == 0 {
+        return out;
+    }
+    out.resize(total, a[0]);
+    {
+        let out_s = SharedSlice::new(&mut out);
+        let pos_ro: &[u32] = &pos;
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                if keep(i, &a[i]) {
+                    unsafe { out_s.write(pos_ro[i] as usize, a[i]) };
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Returns the *indices* `i` with `flag(i)` true, in ascending order.
+pub fn compact_indices<F>(pool: &Pool, n: usize, flag: F) -> Vec<u32>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let mut pos = vec![0u32; n];
+    {
+        let pos_s = SharedSlice::new(&mut pos);
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                unsafe { pos_s.write(i, u32::from(flag(i))) };
+            }
+        });
+    }
+    let total = exclusive_scan_par(pool, &mut pos) as usize;
+    let mut out = vec![0u32; total];
+    {
+        let out_s = SharedSlice::new(&mut out);
+        let pos_ro: &[u32] = &pos;
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                if flag(i) {
+                    unsafe { out_s.write(pos_ro[i] as usize, i as u32) };
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_evens_in_order() {
+        let pool = Pool::new(4);
+        let a: Vec<u32> = (0..1000).collect();
+        let out = compact_with(&pool, &a, |_, &x| x % 2 == 0);
+        assert_eq!(out.len(), 500);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
+    }
+
+    #[test]
+    fn empty_input_and_empty_output() {
+        let pool = Pool::new(3);
+        let none: Vec<u32> = vec![];
+        assert!(compact_with(&pool, &none, |_, _| true).is_empty());
+        let a = vec![1u32, 2, 3];
+        assert!(compact_with(&pool, &a, |_, _| false).is_empty());
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let pool = Pool::new(2);
+        let a: Vec<u64> = (0..777).map(|i| i * 3).collect();
+        assert_eq!(compact_with(&pool, &a, |_, _| true), a);
+    }
+
+    #[test]
+    fn indices_of_multiples() {
+        let pool = Pool::new(4);
+        let idx = compact_indices(&pool, 100, |i| i % 7 == 0);
+        assert_eq!(
+            idx,
+            (0..100)
+                .filter(|i| i % 7 == 0)
+                .map(|i| i as u32)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn matches_iterator_filter(v in proptest::collection::vec(any::<u32>(), 0..800),
+                                   p in 1usize..5) {
+            let pool = Pool::new(p);
+            let got = compact_with(&pool, &v, |_, &x| x % 3 == 1);
+            let want: Vec<u32> = v.iter().copied().filter(|&x| x % 3 == 1).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

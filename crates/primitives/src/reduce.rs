@@ -1,0 +1,61 @@
+//! Block-parallel reductions (sum, min, max).
+
+use bcc_smp::{Ctx, Pool};
+
+/// Parallel sum of `u32`/`u64`-like data widened to `u64`.
+pub fn par_sum_u64(pool: &Pool, a: &[u64]) -> u64 {
+    if a.is_empty() {
+        return 0;
+    }
+    let partials = pool.run_map(|ctx: &Ctx| a[ctx.block_range(a.len())].iter().sum::<u64>());
+    partials.into_iter().sum()
+}
+
+/// Parallel minimum; `None` on empty input.
+pub fn par_min<T: Copy + Ord + Send + Sync>(pool: &Pool, a: &[T]) -> Option<T> {
+    if a.is_empty() {
+        return None;
+    }
+    let partials = pool.run_map(|ctx: &Ctx| a[ctx.block_range(a.len())].iter().copied().min());
+    partials.into_iter().flatten().min()
+}
+
+/// Parallel maximum; `None` on empty input.
+pub fn par_max<T: Copy + Ord + Send + Sync>(pool: &Pool, a: &[T]) -> Option<T> {
+    if a.is_empty() {
+        return None;
+    }
+    let partials = pool.run_map(|ctx: &Ctx| a[ctx.block_range(a.len())].iter().copied().max());
+    partials.into_iter().flatten().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_min_max_basic() {
+        let pool = Pool::new(4);
+        let a: Vec<u64> = (1..=1000).collect();
+        assert_eq!(par_sum_u64(&pool, &a), 500_500);
+        assert_eq!(par_min(&pool, &a), Some(1));
+        assert_eq!(par_max(&pool, &a), Some(1000));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let pool = Pool::new(3);
+        assert_eq!(par_sum_u64(&pool, &[]), 0);
+        assert_eq!(par_min::<u64>(&pool, &[]), None);
+        assert_eq!(par_max::<u64>(&pool, &[]), None);
+    }
+
+    #[test]
+    fn more_threads_than_elements() {
+        let pool = Pool::new(8);
+        let a = [42u64, 7];
+        assert_eq!(par_sum_u64(&pool, &a), 49);
+        assert_eq!(par_min(&pool, &a), Some(7));
+        assert_eq!(par_max(&pool, &a), Some(42));
+    }
+}

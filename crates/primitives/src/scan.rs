@@ -1,0 +1,220 @@
+//! Prefix sums (scans), sequential and block-parallel.
+//!
+//! The parallel scan is the Helman–JáJá SMP formulation: each thread
+//! scans its block locally, thread 0 scans the p block totals, and a
+//! second parallel sweep adds each block's offset. Two barriers, O(n/p +
+//! p) time per thread — the building block the paper uses to replace list
+//! ranking wherever the data is already in traversal order.
+
+use bcc_smp::{Ctx, Pool, SharedSlice};
+
+/// Trait for scannable element types (associative op with identity).
+pub trait ScanElem: Copy + Send + Sync {
+    /// Identity element of the scan operator.
+    const ZERO: Self;
+    /// The associative combine operator.
+    fn combine(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scan_elem_for_int {
+    ($($t:ty),*) => {$(
+        impl ScanElem for $t {
+            const ZERO: Self = 0;
+            #[inline]
+            fn combine(self, other: Self) -> Self {
+                self.wrapping_add(other)
+            }
+        }
+    )*};
+}
+impl_scan_elem_for_int!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// In-place sequential inclusive scan: `a[i] = a[0] + ... + a[i]`.
+pub fn inclusive_scan_seq<T: ScanElem>(a: &mut [T]) {
+    let mut acc = T::ZERO;
+    for x in a.iter_mut() {
+        acc = acc.combine(*x);
+        *x = acc;
+    }
+}
+
+/// In-place sequential exclusive scan: `a[i] = a[0] + ... + a[i-1]`.
+/// Returns the total (the inclusive sum of all elements).
+pub fn exclusive_scan_seq<T: ScanElem>(a: &mut [T]) -> T {
+    let mut acc = T::ZERO;
+    for x in a.iter_mut() {
+        let v = *x;
+        *x = acc;
+        acc = acc.combine(v);
+    }
+    acc
+}
+
+/// In-place parallel inclusive scan over `a` using `pool`.
+pub fn inclusive_scan_par<T: ScanElem>(pool: &Pool, a: &mut [T]) {
+    scan_par_impl(pool, a, true);
+}
+
+/// In-place parallel exclusive scan over `a`; returns the total.
+///
+/// ```
+/// use bcc_primitives::scan::exclusive_scan_par;
+/// use bcc_smp::Pool;
+///
+/// let pool = Pool::new(2);
+/// let mut a = vec![3u32, 1, 4, 1, 5];
+/// let total = exclusive_scan_par(&pool, &mut a);
+/// assert_eq!(a, vec![0, 3, 4, 8, 9]);
+/// assert_eq!(total, 14);
+/// ```
+pub fn exclusive_scan_par<T: ScanElem>(pool: &Pool, a: &mut [T]) -> T {
+    scan_par_impl(pool, a, false)
+}
+
+fn scan_par_impl<T: ScanElem>(pool: &Pool, a: &mut [T], inclusive: bool) -> T {
+    let n = a.len();
+    let p = pool.threads();
+    if p == 1 || n < 2 * p {
+        return if inclusive {
+            let total = a.iter().fold(T::ZERO, |acc, &x| acc.combine(x));
+            inclusive_scan_seq(a);
+            total
+        } else {
+            exclusive_scan_seq(a)
+        };
+    }
+
+    let mut block_totals = vec![T::ZERO; p + 1];
+    let a_s = SharedSlice::new(a);
+    let totals_s = SharedSlice::new(&mut block_totals);
+
+    pool.run(|ctx: &Ctx| {
+        let r = ctx.block_range(n);
+        // Phase 1: local inclusive scan of own block.
+        let block = unsafe { a_s.slice_mut(r.start, r.end) };
+        let mut acc = T::ZERO;
+        for x in block.iter_mut() {
+            acc = acc.combine(*x);
+            *x = acc;
+        }
+        unsafe { totals_s.write(ctx.tid() + 1, acc) };
+        ctx.barrier();
+        // Phase 2: thread 0 scans the p block totals.
+        if ctx.is_leader() {
+            let totals = unsafe { totals_s.slice_mut(0, p + 1) };
+            let mut acc = T::ZERO;
+            for t in totals.iter_mut() {
+                acc = acc.combine(*t);
+                *t = acc;
+            }
+        }
+        ctx.barrier();
+        // Phase 3: add own block's offset; convert to exclusive if asked.
+        let offset = totals_s.get(ctx.tid());
+        let block = unsafe { a_s.slice_mut(r.start, r.end) };
+        if inclusive {
+            for x in block.iter_mut() {
+                *x = offset.combine(*x);
+            }
+        } else {
+            // Shift right within the block: a[i] := offset + incl[i-1].
+            let mut prev = T::ZERO;
+            for x in block.iter_mut() {
+                let incl = *x;
+                *x = offset.combine(prev);
+                prev = incl;
+            }
+        }
+    });
+
+    block_totals[p]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn oracle_inclusive(a: &[u64]) -> Vec<u64> {
+        let mut acc = 0u64;
+        a.iter()
+            .map(|&x| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seq_inclusive_small() {
+        let mut a = vec![1u32, 2, 3, 4];
+        inclusive_scan_seq(&mut a);
+        assert_eq!(a, vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn seq_exclusive_small() {
+        let mut a = vec![1u32, 2, 3, 4];
+        let total = exclusive_scan_seq(&mut a);
+        assert_eq!(a, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let pool = Pool::new(4);
+        let mut a: Vec<u32> = vec![];
+        inclusive_scan_par(&pool, &mut a);
+        assert_eq!(exclusive_scan_par(&pool, &mut a), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn par_matches_seq_on_fixed_cases() {
+        for p in [1, 2, 3, 4, 7] {
+            let pool = Pool::new(p);
+            for n in [0usize, 1, 2, 5, 16, 100, 1001] {
+                let base: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+
+                let mut inc = base.clone();
+                inclusive_scan_par(&pool, &mut inc);
+                assert_eq!(inc, oracle_inclusive(&base), "inclusive p={p} n={n}");
+
+                let mut exc = base.clone();
+                let total = exclusive_scan_par(&pool, &mut exc);
+                let oracle = oracle_inclusive(&base);
+                let expect_total = oracle.last().copied().unwrap_or(0);
+                assert_eq!(total, expect_total, "total p={p} n={n}");
+                for i in 0..n {
+                    let want = if i == 0 { 0 } else { oracle[i - 1] };
+                    assert_eq!(exc[i], want, "exclusive p={p} n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn par_inclusive_equals_oracle(v in proptest::collection::vec(0u64..1_000_000, 0..500),
+                                       p in 1usize..6) {
+            let pool = Pool::new(p);
+            let mut a = v.clone();
+            inclusive_scan_par(&pool, &mut a);
+            prop_assert_eq!(a, oracle_inclusive(&v));
+        }
+
+        #[test]
+        fn par_exclusive_shifts_inclusive(v in proptest::collection::vec(0u64..1_000_000, 1..500),
+                                          p in 1usize..6) {
+            let pool = Pool::new(p);
+            let mut a = v.clone();
+            let total = exclusive_scan_par(&pool, &mut a);
+            let inc = oracle_inclusive(&v);
+            prop_assert_eq!(total, *inc.last().unwrap());
+            prop_assert_eq!(a[0], 0);
+            for i in 1..v.len() {
+                prop_assert_eq!(a[i], inc[i - 1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Parallel sorting: Helman–JáJá sample sort and LSD radix sort.
+//!
+//! TV-SMP needs a sort twice: to pair anti-parallel arcs (cross pointers
+//! for the Euler tour) and to group arcs by source vertex (circular
+//! adjacency). The paper uses the Helman–JáJá sample sort; we provide it
+//! plus an LSD radix sort on packed `u64` keys, which the bench crate
+//! compares as an ablation.
+
+use bcc_smp::{Ctx, Pool, SharedSlice};
+
+/// Oversampling factor for splitter selection.
+const OVERSAMPLE: usize = 32;
+
+/// Parallel sample sort, in place, ascending by `Ord`.
+///
+/// ```
+/// use bcc_primitives::sort::par_sample_sort;
+/// use bcc_smp::Pool;
+///
+/// let mut a = vec![5u64, 2, 9, 1];
+/// par_sample_sort(&Pool::new(2), &mut a);
+/// assert_eq!(a, vec![1, 2, 5, 9]);
+/// ```
+pub fn par_sample_sort<T: Copy + Ord + Send + Sync>(pool: &Pool, a: &mut [T]) {
+    par_sample_sort_by_key(pool, a, |x| *x)
+}
+
+/// Parallel sample sort, in place, ascending by `key(x)` (stable between
+/// equal keys is *not* guaranteed).
+pub fn par_sample_sort_by_key<T, K, F>(pool: &Pool, a: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = a.len();
+    let p = pool.threads();
+    if p == 1 || n < 4 * p * OVERSAMPLE {
+        a.sort_unstable_by_key(|x| key(x));
+        return;
+    }
+
+    // Phase 1: local sorts + sample gathering.
+    let mut samples: Vec<K> = Vec::new();
+    {
+        let a_s = SharedSlice::new(a);
+        let per_thread: Vec<Vec<K>> = pool.run_map(|ctx: &Ctx| {
+            let r = ctx.block_range(n);
+            let block = unsafe { a_s.slice_mut(r.start, r.end) };
+            block.sort_unstable_by_key(|x| key(x));
+            // Evenly spaced samples from the sorted block.
+            let mut local = Vec::with_capacity(OVERSAMPLE);
+            if !block.is_empty() {
+                for k in 0..OVERSAMPLE {
+                    let idx = (k * block.len()) / OVERSAMPLE;
+                    local.push(key(&block[idx]));
+                }
+            }
+            local
+        });
+        for mut s in per_thread {
+            samples.append(&mut s);
+        }
+    }
+    samples.sort_unstable();
+    // p-1 splitters at regular sample positions.
+    let splitters: Vec<K> = (1..p).map(|b| samples[(b * samples.len()) / p]).collect();
+
+    // Block boundaries (same partition `block_range` used above).
+    let block_starts: Vec<usize> = (0..=p)
+        .map(|t| {
+            if t == p {
+                n
+            } else {
+                bcc_smp::pool::block_range(t, p, n).start
+            }
+        })
+        .collect();
+
+    // Phase 2: bucket b owns keys in [splitters[b-1], splitters[b]).
+    // Each bucket-thread finds its slice of every sorted block by binary
+    // search, then copies and sorts.
+    // Filled with copies of a[0] (n > 0 past the early return) so the
+    // buffer is initialized — every slot is overwritten by the scatter.
+    let mut out: Vec<T> = vec![a[0]; n];
+    let mut bucket_sizes = vec![0usize; p + 1];
+    {
+        let a_ro: &[T] = a;
+        let key = &key;
+        let splitters = &splitters;
+        let block_starts = &block_starts;
+        // Pre-compute each bucket's per-block ranges and sizes.
+        let ranges: Vec<Vec<(usize, usize)>> = pool.run_map(|ctx: &Ctx| {
+            let b = ctx.tid();
+            let mut rs = Vec::with_capacity(p);
+            for j in 0..p {
+                let block = &a_ro[block_starts[j]..block_starts[j + 1]];
+                let lo = if b == 0 {
+                    0
+                } else {
+                    block.partition_point(|x| key(x) < splitters[b - 1])
+                };
+                let hi = if b == p - 1 {
+                    block.len()
+                } else {
+                    block.partition_point(|x| key(x) < splitters[b])
+                };
+                rs.push((block_starts[j] + lo, block_starts[j] + hi));
+            }
+            rs
+        });
+        for (b, rs) in ranges.iter().enumerate() {
+            bucket_sizes[b + 1] = rs.iter().map(|&(lo, hi)| hi - lo).sum();
+        }
+        for b in 0..p {
+            bucket_sizes[b + 1] += bucket_sizes[b];
+        }
+        debug_assert_eq!(bucket_sizes[p], n);
+
+        let out_s = SharedSlice::new(&mut out);
+        let bucket_sizes = &bucket_sizes;
+        let ranges = &ranges;
+        pool.run(|ctx: &Ctx| {
+            let b = ctx.tid();
+            let mut cursor = bucket_sizes[b];
+            for &(lo, hi) in &ranges[b] {
+                for (k, item) in a_ro[lo..hi].iter().enumerate() {
+                    unsafe { out_s.write(cursor + k, *item) };
+                }
+                cursor += hi - lo;
+            }
+            // The bucket is a concatenation of <= p sorted runs; a final
+            // local sort keeps the code simple (runs are nearly sorted,
+            // pdqsort handles this well).
+            let bucket = unsafe { out_s.slice_mut(bucket_sizes[b], bucket_sizes[b + 1]) };
+            bucket.sort_unstable_by_key(|x| key(x));
+        });
+    }
+
+    // Phase 3: copy back in parallel.
+    {
+        let a_s = SharedSlice::new(a);
+        let out_ro: &[T] = &out;
+        pool.run(|ctx: &Ctx| {
+            let r = ctx.block_range(n);
+            let dst = unsafe { a_s.slice_mut(r.start, r.end) };
+            dst.copy_from_slice(&out_ro[r]);
+        });
+    }
+}
+
+/// Parallel LSD radix sort of `u64` keys (8 passes of 8 bits), stable.
+///
+/// Each pass: per-thread 256-bin histograms over block-partitioned input,
+/// a (256 × p) exclusive scan by thread 0 in bin-major order (stability),
+/// then a scatter with per-thread cursors.
+pub fn par_radix_sort_u64(pool: &Pool, a: &mut [u64]) {
+    let n = a.len();
+    let p = pool.threads();
+    if p == 1 || n < 1 << 14 {
+        a.sort_unstable();
+        return;
+    }
+    const BINS: usize = 256;
+    let mut buf = vec![0u64; n];
+    let mut hist = vec![0usize; BINS * p];
+
+    // Skip passes whose byte is constant across the array (common when
+    // keys are packed (u,v) pairs with small vertex counts).
+    let all_or: u64 = a.iter().fold(0, |acc, &x| acc | x);
+
+    let mut src_is_a = true;
+    for pass in 0..8 {
+        let shift = pass * 8;
+        if (all_or >> shift) & 0xFF == 0 && pass > 0 {
+            continue;
+        }
+        hist.iter_mut().for_each(|h| *h = 0);
+        {
+            let (src, dst): (&mut [u64], &mut [u64]) = if src_is_a {
+                (a, &mut buf)
+            } else {
+                (&mut buf, a)
+            };
+            let src_s = SharedSlice::new(src);
+            let dst_s = SharedSlice::new(dst);
+            let hist_s = SharedSlice::new(&mut hist);
+            pool.run(|ctx: &Ctx| {
+                let t = ctx.tid();
+                let r = ctx.block_range(n);
+                // Histogram own block.
+                let mut local = [0usize; BINS];
+                for i in r.clone() {
+                    let b = ((src_s.get(i) >> shift) & 0xFF) as usize;
+                    local[b] += 1;
+                }
+                for (b, &c) in local.iter().enumerate() {
+                    unsafe { hist_s.write(b * ctx.threads() + t, c) };
+                }
+                ctx.barrier();
+                // Thread 0: exclusive scan in bin-major order => stable.
+                if ctx.is_leader() {
+                    let h = unsafe { hist_s.slice_mut(0, BINS * ctx.threads()) };
+                    let mut acc = 0usize;
+                    for x in h.iter_mut() {
+                        let v = *x;
+                        *x = acc;
+                        acc += v;
+                    }
+                }
+                ctx.barrier();
+                // Scatter with per-thread cursors.
+                let mut cursors = [0usize; BINS];
+                for (b, c) in cursors.iter_mut().enumerate() {
+                    *c = hist_s.get(b * ctx.threads() + t);
+                }
+                for i in r {
+                    let x = src_s.get(i);
+                    let b = ((x >> shift) & 0xFF) as usize;
+                    unsafe { dst_s.write(cursors[b], x) };
+                    cursors[b] += 1;
+                }
+            });
+        }
+        src_is_a = !src_is_a;
+    }
+    if !src_is_a {
+        a.copy_from_slice(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_u64s(n: usize, seed: u64, max: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..max)).collect()
+    }
+
+    #[test]
+    fn sample_sort_small_and_large() {
+        for p in [1, 2, 4, 6] {
+            let pool = Pool::new(p);
+            for n in [0usize, 1, 2, 10, 1000, 20_000] {
+                let mut a = random_u64s(n, n as u64 + p as u64, u64::MAX);
+                let mut want = a.clone();
+                want.sort_unstable();
+                par_sample_sort(&pool, &mut a);
+                assert_eq!(a, want, "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_sort_many_duplicates() {
+        let pool = Pool::new(4);
+        let mut a = random_u64s(50_000, 99, 8); // only 8 distinct keys
+        let mut want = a.clone();
+        want.sort_unstable();
+        par_sample_sort(&pool, &mut a);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn sample_sort_already_sorted_and_reversed() {
+        let pool = Pool::new(4);
+        let mut asc: Vec<u64> = (0..30_000).collect();
+        let want = asc.clone();
+        par_sample_sort(&pool, &mut asc);
+        assert_eq!(asc, want);
+
+        let mut desc: Vec<u64> = (0..30_000).rev().collect();
+        par_sample_sort(&pool, &mut desc);
+        assert_eq!(desc, want);
+    }
+
+    #[test]
+    fn sample_sort_by_key_orders_pairs() {
+        let pool = Pool::new(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pairs: Vec<(u32, u32)> = (0..25_000).map(|i| (rng.gen_range(0..1000), i)).collect();
+        par_sample_sort_by_key(&pool, &mut pairs, |&(k, _)| k);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // All payloads still present exactly once.
+        let mut payloads: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
+        payloads.sort_unstable();
+        assert!(payloads.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn radix_sort_matches_std() {
+        for p in [1, 2, 4] {
+            let pool = Pool::new(p);
+            for n in [0usize, 1, 100, 1 << 14, 100_000] {
+                let mut a = random_u64s(n, 3 * n as u64 + p as u64, u64::MAX);
+                let mut want = a.clone();
+                want.sort_unstable();
+                par_radix_sort_u64(&pool, &mut a);
+                assert_eq!(a, want, "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_sort_small_key_range_uses_pass_skip() {
+        let pool = Pool::new(4);
+        let mut a = random_u64s(60_000, 5, 1 << 16); // only 2 live bytes
+        let mut want = a.clone();
+        want.sort_unstable();
+        par_radix_sort_u64(&pool, &mut a);
+        assert_eq!(a, want);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn sample_sort_equals_std(v in proptest::collection::vec(any::<u64>(), 0..4000),
+                                  p in 1usize..5) {
+            let pool = Pool::new(p);
+            let mut a = v.clone();
+            let mut want = v;
+            want.sort_unstable();
+            par_sample_sort(&pool, &mut a);
+            prop_assert_eq!(a, want);
+        }
+
+        #[test]
+        fn radix_sort_equals_std(v in proptest::collection::vec(any::<u64>(), 0..4000),
+                                 p in 1usize..5) {
+            let pool = Pool::new(p);
+            let mut a = v.clone();
+            let mut want = v;
+            want.sort_unstable();
+            par_radix_sort_u64(&pool, &mut a);
+            prop_assert_eq!(a, want);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Atomic views and CAS helpers for graft-and-claim phases.
+//!
+//! Shiloach–Vishkin grafting, BFS parent claiming, and work-stealing
+//! traversal all race threads on `u32` arrays with compare-and-swap. The
+//! helpers here reinterpret plain `&mut [u32]` storage as atomic slices
+//! for the duration of such a phase, so the rest of the pipeline can keep
+//! using cheap non-atomic accesses.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Reinterprets a mutable `u32` slice as a slice of `AtomicU32`.
+///
+/// Sound because `AtomicU32` is guaranteed to have the same size and
+/// alignment as `u32` (documented in `std::sync::atomic`), and the
+/// exclusive borrow rules out non-atomic concurrent access for the
+/// lifetime of the returned view.
+#[inline]
+pub fn as_atomic_u32(slice: &mut [u32]) -> &[AtomicU32] {
+    unsafe { &*(slice as *mut [u32] as *const [AtomicU32]) }
+}
+
+/// Reinterprets a mutable `usize` slice as a slice of `AtomicUsize`.
+#[inline]
+pub fn as_atomic_usize(slice: &mut [usize]) -> &[AtomicUsize] {
+    unsafe { &*(slice as *mut [usize] as *const [AtomicUsize]) }
+}
+
+/// Atomically sets `a = min(a, value)`; returns true if `a` changed.
+#[inline]
+pub fn fetch_min_u32(a: &AtomicU32, value: u32) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while value < cur {
+        match a.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(seen) => cur = seen,
+        }
+    }
+    false
+}
+
+/// Atomically sets `a = max(a, value)`; returns true if `a` changed.
+#[inline]
+pub fn fetch_max_u32(a: &AtomicU32, value: u32) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while value > cur {
+        match a.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(seen) => cur = seen,
+        }
+    }
+    false
+}
+
+/// One-shot claim: CAS `a` from `expected_empty` to `value`.
+/// Returns true if this caller won the claim.
+#[inline]
+pub fn claim_u32(a: &AtomicU32, expected_empty: u32, value: u32) -> bool {
+    a.compare_exchange(expected_empty, value, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Pool;
+    use crate::NIL;
+
+    #[test]
+    fn atomic_view_roundtrips() {
+        let mut v = vec![7u32; 8];
+        {
+            let a = as_atomic_u32(&mut v);
+            a[3].store(42, Ordering::Relaxed);
+            assert_eq!(a[3].load(Ordering::Relaxed), 42);
+        }
+        assert_eq!(v[3], 42);
+        assert_eq!(v[0], 7);
+    }
+
+    #[test]
+    fn fetch_min_converges_to_global_min() {
+        let pool = Pool::new(4);
+        let mut cell = vec![u32::MAX];
+        {
+            let a = as_atomic_u32(&mut cell);
+            pool.run(|ctx| {
+                for i in 0..1000u32 {
+                    fetch_min_u32(&a[0], i * 4 + ctx.tid() as u32);
+                }
+            });
+        }
+        assert_eq!(cell[0], 0);
+    }
+
+    #[test]
+    fn fetch_max_converges_to_global_max() {
+        let pool = Pool::new(4);
+        let mut cell = vec![0u32];
+        {
+            let a = as_atomic_u32(&mut cell);
+            pool.run(|ctx| {
+                for i in 0..1000u32 {
+                    fetch_max_u32(&a[0], i * 4 + ctx.tid() as u32);
+                }
+            });
+        }
+        assert_eq!(cell[0], 999 * 4 + 3);
+    }
+
+    #[test]
+    fn exactly_one_claim_wins() {
+        let pool = Pool::new(8);
+        let mut cell = vec![NIL];
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        {
+            let a = as_atomic_u32(&mut cell);
+            pool.run(|ctx| {
+                if claim_u32(&a[0], NIL, ctx.tid() as u32) {
+                    winners.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+        assert!(cell[0] < 8);
+    }
+
+    #[test]
+    fn fetch_min_reports_change() {
+        let a = AtomicU32::new(10);
+        assert!(fetch_min_u32(&a, 5));
+        assert!(!fetch_min_u32(&a, 7));
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,172 @@
+//! A sense-reversing centralized software barrier.
+//!
+//! The paper's implementation uses "POSIX threads and software-based
+//! barriers" (§5). A sense-reversing barrier is the textbook software
+//! barrier for small SMPs: one shared counter, one shared sense flag, and
+//! a thread-local sense that flips at every episode, so the barrier can be
+//! reused without re-initialization.
+//!
+//! Threads spin with exponential backoff and eventually yield to the OS,
+//! which keeps the barrier correct (if slow) even when the machine is
+//! oversubscribed, as happens when benchmarks sweep thread counts past the
+//! physical core count.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable sense-reversing barrier for a fixed number of participants.
+pub struct Barrier {
+    /// Number of threads that must arrive per episode.
+    parties: usize,
+    /// Count of threads still expected in the current episode.
+    remaining: AtomicUsize,
+    /// Global sense; flipped by the last arriver of each episode.
+    sense: AtomicBool,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` threads. `parties` must be >= 1.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one participant");
+        Barrier {
+            parties,
+            remaining: AtomicUsize::new(parties),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    #[inline]
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all `parties` threads have called `wait`.
+    ///
+    /// `local_sense` is per-thread state that the caller must thread
+    /// through successive episodes; see [`SenseToken`] for a convenient
+    /// wrapper. Returns `true` for exactly one thread per episode (the
+    /// last arriver), mirroring `std::sync::Barrier`'s leader result.
+    pub fn wait(&self, local_sense: &mut bool) -> bool {
+        // Flip the sense we will wait for *this* episode.
+        *local_sense = !*local_sense;
+        let my_sense = *local_sense;
+
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arriver: reset the counter, then release the episode.
+            self.remaining.store(self.parties, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                backoff(&mut spins);
+            }
+            false
+        }
+    }
+}
+
+/// Per-thread barrier sense, so call sites don't juggle a raw `bool`.
+#[derive(Default)]
+pub struct SenseToken {
+    sense: bool,
+}
+
+impl SenseToken {
+    /// Creates a token with the initial sense expected by a fresh
+    /// [`Barrier`].
+    pub fn new() -> Self {
+        SenseToken { sense: false }
+    }
+
+    /// Waits on `barrier`; returns `true` for the episode leader.
+    #[inline]
+    pub fn wait(&mut self, barrier: &Barrier) -> bool {
+        barrier.wait(&mut self.sense)
+    }
+}
+
+/// Spin with escalating politeness: busy hint, then `yield_now`.
+///
+/// On an oversubscribed machine (more threads than cores) the yield path
+/// is essential: a pure spin would deadlock-by-livelock the thread whose
+/// core is needed to finish the episode.
+#[inline]
+pub fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        std::hint::spin_loop();
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_barrier_is_instant_leader() {
+        let b = Barrier::new(1);
+        let mut tok = SenseToken::new();
+        for _ in 0..100 {
+            assert!(tok.wait(&b));
+        }
+    }
+
+    #[test]
+    fn phases_are_ordered_across_threads() {
+        // Each of T threads increments a phase counter between barriers;
+        // after every barrier, all threads must observe the same phase sum.
+        const T: usize = 4;
+        const PHASES: usize = 200;
+        let barrier = Barrier::new(T);
+        let counter = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..T {
+                s.spawn(|| {
+                    let mut tok = SenseToken::new();
+                    for phase in 1..=PHASES {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        tok.wait(&barrier);
+                        // All T increments of this phase must be visible.
+                        let seen = counter.load(Ordering::Relaxed);
+                        assert!(seen >= phase * T, "phase {phase}: saw {seen}");
+                        tok.wait(&barrier);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), T * PHASES);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        const T: usize = 8;
+        const EPISODES: usize = 50;
+        let barrier = Barrier::new(T);
+        let leaders = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..T {
+                s.spawn(|| {
+                    let mut tok = SenseToken::new();
+                    for _ in 0..EPISODES {
+                        if tok.wait(&barrier) {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), EPISODES);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parties_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

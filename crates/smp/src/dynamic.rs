@@ -1,0 +1,121 @@
+//! Dynamically scheduled loops: a shared chunk counter.
+//!
+//! Static block partitioning is ideal for uniform work, but irregular
+//! phases (processing a BFS frontier whose vertices have wildly varying
+//! degrees) balance better when threads grab fixed-size chunks from a
+//! shared counter — the classic "guided/dynamic schedule" of SMP codes.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared counter that hands out disjoint chunks of `0..n`.
+///
+/// Create one per parallel loop (before entering the SPMD region) and let
+/// every thread pull chunks until exhaustion:
+///
+/// ```
+/// use bcc_smp::{Pool, ChunkCounter};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = Pool::new(4);
+/// let work = ChunkCounter::new(10_000, 64);
+/// let done = AtomicUsize::new(0);
+/// pool.run(|_ctx| {
+///     while let Some(range) = work.next_chunk() {
+///         done.fetch_add(range.len(), Ordering::Relaxed);
+///     }
+/// });
+/// assert_eq!(done.load(Ordering::Relaxed), 10_000);
+/// ```
+pub struct ChunkCounter {
+    next: AtomicUsize,
+    n: usize,
+    chunk: usize,
+}
+
+impl ChunkCounter {
+    /// Chunked iteration over `0..n` in chunks of `chunk` (>= 1).
+    pub fn new(n: usize, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunk size must be at least 1");
+        ChunkCounter {
+            next: AtomicUsize::new(0),
+            n,
+            chunk,
+        }
+    }
+
+    /// Grabs the next unprocessed chunk, or `None` when work is drained.
+    #[inline]
+    pub fn next_chunk(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.n {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.n))
+    }
+
+    /// Resets the counter for reuse on the same `n` (call between
+    /// barriers, from a single thread).
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+    }
+
+    /// Total iteration count this counter distributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the loop is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Pool;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        let pool = Pool::new(4);
+        let n = 10_007; // prime: exercises ragged final chunk
+        let counter = ChunkCounter::new(n, 97);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|_| {
+            while let Some(r) = counter.next_chunk() {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let counter = ChunkCounter::new(0, 16);
+        assert!(counter.next_chunk().is_none());
+        assert!(counter.is_empty());
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let counter = ChunkCounter::new(10, 4);
+        let mut total = 0;
+        while let Some(r) = counter.next_chunk() {
+            total += r.len();
+        }
+        assert_eq!(total, 10);
+        counter.reset();
+        assert_eq!(counter.next_chunk(), Some(0..4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_rejected() {
+        let _ = ChunkCounter::new(10, 0);
+    }
+}

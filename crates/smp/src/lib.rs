@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! SPMD execution substrate for the `smp-bcc` workspace.
+//!
+//! The algorithms in Cong & Bader's IPDPS 2005 study are written in the
+//! classic SMP style: `p` POSIX threads execute the *same* program over
+//! block-partitioned index ranges, separated by software barriers. This
+//! crate reproduces that model:
+//!
+//! * [`Pool`] — runs an SPMD closure on `p` threads.
+//! * [`Ctx`] — per-thread view (thread id, thread count, barrier,
+//!   block-partition helpers).
+//! * [`Barrier`] — a sense-reversing centralized software barrier, the
+//!   same construction the paper's implementation uses.
+//! * [`shared`] — disjoint-write shared slices, the unsafe-but-audited
+//!   idiom that replaces the paper's unconstrained C pointers.
+//! * [`atomic`] — reinterpreting `&mut [u32]` as `&[AtomicU32]` for
+//!   CAS-based phases (grafting, BFS claiming).
+//! * [`dynamic`] — a shared chunk counter for dynamically scheduled
+//!   loops (load balancing irregular frontiers).
+//!
+//! # Example
+//!
+//! ```
+//! use bcc_smp::Pool;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let pool = Pool::new(4);
+//! let data: Vec<u64> = (0..10_000).collect();
+//! let total = AtomicU64::new(0);
+//! pool.run(|ctx| {
+//!     let range = ctx.block_range(data.len());
+//!     let local: u64 = data[range].iter().sum();
+//!     total.fetch_add(local, Ordering::Relaxed);
+//!     ctx.barrier();
+//! });
+//! assert_eq!(total.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+//! ```
+
+pub mod atomic;
+pub mod barrier;
+pub mod dynamic;
+pub mod pool;
+pub mod shared;
+
+pub use barrier::Barrier;
+pub use dynamic::ChunkCounter;
+pub use pool::{Ctx, Pool};
+pub use shared::SharedSlice;
+
+/// Sentinel used throughout the workspace for "no vertex / no index".
+pub const NIL: u32 = u32::MAX;

@@ -1,0 +1,152 @@
+//! Disjoint-write shared slices for SPMD phases.
+//!
+//! The paper's C implementation shares arrays freely among threads and
+//! relies on the algorithm to keep writes disjoint between barriers. Rust
+//! needs that contract spelled out: [`SharedSlice`] wraps a `&mut [T]` as
+//! a `Sync` view whose `write` is `unsafe`, with the documented invariant
+//! that between two barrier episodes each index is written by at most one
+//! thread, and no thread reads an index another thread writes.
+//!
+//! This is the standard idiom for bulk-synchronous array algorithms; all
+//! call sites in this workspace write block-partitioned or otherwise
+//! owner-computed disjoint index sets.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A `Sync` view over a mutable slice allowing disjoint concurrent writes.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a UnsafeCell<[T]>>,
+}
+
+// SAFETY: all mutation goes through `unsafe fn write`, whose contract
+// requires disjointness between synchronization points; reads of
+// locations concurrently written are likewise forbidden by that contract.
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SharedSlice<'_, T> {}
+
+impl<'a, T: Copy> SharedSlice<'a, T> {
+    /// Wraps a mutable slice. The borrow keeps the underlying storage
+    /// alive and exclusively reserved for this view's lifetime.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads element `i`.
+    ///
+    /// Safe under the view's contract: a location being read is not
+    /// concurrently written this phase. (A racy read would be UB; the
+    /// contract forbids it, and call sites uphold it structurally via
+    /// block partitioning + barriers.)
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    ///
+    /// Between the previous and next barrier episode, no other thread may
+    /// read or write index `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        unsafe { *self.ptr.add(i) = value };
+    }
+
+    /// Returns a raw subslice view `[start, end)` for bulk operations.
+    ///
+    /// # Safety
+    ///
+    /// The same disjointness contract as [`SharedSlice::write`] applies to
+    /// every element of the returned slice for as long as it is held.
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, end: usize) -> &'a mut [T] {
+        assert!(start <= end && end <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+impl<T: Copy> Clone for SharedSlice<'_, T> {
+    fn clone(&self) -> Self {
+        SharedSlice {
+            ptr: self.ptr,
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Pool;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let pool = Pool::new(4);
+        let n = 1000;
+        let mut v = vec![0u32; n];
+        {
+            let s = SharedSlice::new(&mut v);
+            pool.run(|ctx| {
+                for i in ctx.block_range(n) {
+                    unsafe { s.write(i, i as u32 + 1) };
+                }
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut v = vec![0u32; 4];
+        let s = SharedSlice::new(&mut v);
+        let _ = s.get(4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut v = vec![0u32; 4];
+        let s = SharedSlice::new(&mut v);
+        unsafe { s.write(9, 1) };
+    }
+
+    #[test]
+    fn slice_mut_gives_disjoint_chunks() {
+        let pool = Pool::new(3);
+        let n = 31;
+        let mut v = vec![0u8; n];
+        {
+            let s = SharedSlice::new(&mut v);
+            pool.run(|ctx| {
+                let r = ctx.block_range(n);
+                let chunk = unsafe { s.slice_mut(r.start, r.end) };
+                chunk.fill(ctx.tid() as u8 + 1);
+            });
+        }
+        assert!(v.iter().all(|&x| x >= 1));
+    }
+}

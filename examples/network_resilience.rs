@@ -1,0 +1,133 @@
+//! Fault-tolerant network design — the paper's motivating application.
+//!
+//! Builds a synthetic two-tier network (a biconnected backbone ring of
+//! core routers with redundant chords, plus access trees hanging off
+//! it), finds its biconnected components, and reports exactly where a
+//! single router or link failure would partition the network: the
+//! articulation points and bridges.
+//!
+//! ```text
+//! cargo run --release --example network_resilience [backbone] [sites] [hosts_per_site] [seed]
+//! ```
+
+use rand::prelude::*;
+use smp_bcc::{biconnected_components, Algorithm, Edge, Graph, Pool};
+
+fn build_network(backbone: u32, sites: u32, hosts_per_site: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::new();
+
+    // Core: a ring of `backbone` routers...
+    for i in 0..backbone {
+        edges.push(Edge::new(i, (i + 1) % backbone));
+    }
+    // ...with random redundant chords (making the core 2-connected with
+    // margin).
+    for _ in 0..backbone {
+        let a = rng.gen_range(0..backbone);
+        let b = rng.gen_range(0..backbone);
+        if a != b && (a + 1) % backbone != b && (b + 1) % backbone != a {
+            edges.push(Edge::new(a, b));
+        }
+    }
+
+    // Aggregation: each site uplinks to ONE core router (a deliberate
+    // single point of failure) and fans out a host tree.
+    let mut next = backbone;
+    for _ in 0..sites {
+        let uplink = rng.gen_range(0..backbone);
+        let site_router = next;
+        next += 1;
+        edges.push(Edge::new(uplink, site_router));
+        // Hosts attach to the site router or to an earlier host (a
+        // random tree).
+        let first_host = next;
+        for h in 0..hosts_per_site {
+            let host = next;
+            next += 1;
+            let attach = if h == 0 {
+                site_router
+            } else {
+                rng.gen_range(first_host..host)
+            };
+            edges.push(Edge::new(attach, host));
+        }
+        // Occasionally add a redundant second uplink — those sites will
+        // NOT show up as failure domains.
+        if rng.gen_bool(0.3) {
+            let second = rng.gen_range(0..backbone);
+            if second != uplink {
+                edges.push(Edge::new(second, site_router));
+            }
+        }
+    }
+
+    let n = next;
+    Graph::from_edges_lenient(n, edges)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |i: usize, default: u32| -> u32 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let backbone = arg(1, 24);
+    let sites = arg(2, 40);
+    let hosts = arg(3, 12);
+    let seed = arg(4, 7) as u64;
+
+    let g = build_network(backbone, sites, hosts, seed);
+    println!(
+        "network: {} nodes, {} links ({} core, {} sites x {} hosts)\n",
+        g.n(),
+        g.m(),
+        backbone,
+        sites,
+        hosts
+    );
+
+    let pool = Pool::machine();
+    let r = biconnected_components(&pool, &g, Algorithm::TvFilter).expect("connected");
+
+    let arts = r.articulation_points(&g);
+    let bridges = r.bridges(&g);
+    println!("biconnected components: {}", r.num_components);
+    println!(
+        "single-point-of-failure routers (articulation points): {}",
+        arts.len()
+    );
+    println!(
+        "single-point-of-failure links (bridges): {}\n",
+        bridges.len()
+    );
+
+    // Classify the failure domains.
+    let core_arts = arts.iter().filter(|&&v| v < backbone).count();
+    let site_arts = arts
+        .iter()
+        .filter(|&&v| v >= backbone && is_site_router(v, backbone, hosts))
+        .count();
+    println!("  core routers that are cut vertices:  {core_arts}");
+    println!("  site routers that are cut vertices:  {site_arts}");
+    println!(
+        "  host-tree cut vertices:               {}",
+        arts.len() - core_arts - site_arts
+    );
+
+    // The biggest block should be the redundant core.
+    let mut block_sizes = std::collections::HashMap::new();
+    for &c in &r.edge_comp {
+        *block_sizes.entry(c).or_insert(0usize) += 1;
+    }
+    let largest = block_sizes.values().copied().max().unwrap_or(0);
+    println!(
+        "\nlargest biconnected block: {largest} links (the redundant core + dual-homed sites)"
+    );
+    println!("time: {:?} on {} threads", r.phases.total, pool.threads());
+}
+
+/// Site routers are the first vertex of each (1 + hosts) block after the
+/// backbone.
+fn is_site_router(v: u32, backbone: u32, hosts_per_site: u32) -> bool {
+    (v - backbone).is_multiple_of(1 + hosts_per_site)
+}

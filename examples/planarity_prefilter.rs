@@ -1,0 +1,78 @@
+//! Planarity prefiltering — the paper's second motivating application
+//! (§1: biconnected components are "used in graph planarity testing").
+//!
+//! A graph is planar iff every biconnected component is planar, so
+//! planarity testers decompose into blocks first and test each block
+//! independently (smaller instances, parallelizable). This example runs
+//! the decomposition and applies the cheap Euler-formula screens per
+//! block:
+//!
+//! * a block with `m > 3n - 6` edges is certainly non-planar;
+//! * bridges and cycles are trivially planar;
+//! * everything else is "needs a real planarity test" — the point is
+//!   how much of the graph the decomposition settles for free.
+//!
+//! ```text
+//! cargo run --release --example planarity_prefilter [n] [m] [seed]
+//! ```
+
+use smp_bcc::{biconnected_components_per_component, Algorithm, Pool};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let m: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3 * n as usize / 2);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(11);
+
+    // A sparse random graph: mostly trees and small blocks.
+    let g = smp_bcc::graph::gen::random_gnm(n, m, seed);
+    let pool = Pool::machine();
+    let r = biconnected_components_per_component(&pool, &g, Algorithm::TvFilter);
+
+    // Per-block vertex and edge counts.
+    let mut block_edges: HashMap<u32, usize> = HashMap::new();
+    let mut block_vertices: HashMap<u32, std::collections::HashSet<u32>> = HashMap::new();
+    for (i, e) in g.edges().iter().enumerate() {
+        let c = r.edge_comp[i];
+        *block_edges.entry(c).or_default() += 1;
+        let set = block_vertices.entry(c).or_default();
+        set.insert(e.u);
+        set.insert(e.v);
+    }
+
+    let mut trivially_planar = 0usize; // bridges and cycles
+    let mut euler_nonplanar = 0usize; // m > 3n - 6
+    let mut needs_full_test = 0usize;
+    let mut largest_pending = 0usize;
+    for (c, &me) in &block_edges {
+        let nv = block_vertices[c].len();
+        if me == 1 || me == nv {
+            // Bridge (1 edge) or a single cycle (m == n in a block).
+            trivially_planar += 1;
+        } else if me > 3 * nv.saturating_sub(2) {
+            // m > 3n - 6 (rewritten to dodge underflow for tiny blocks).
+            euler_nonplanar += 1;
+        } else {
+            needs_full_test += 1;
+            largest_pending = largest_pending.max(me);
+        }
+    }
+
+    println!("graph: n = {}, m = {}", g.n(), g.m());
+    println!("biconnected components: {}", r.num_components);
+    println!("  trivially planar (bridges + cycles): {trivially_planar}");
+    println!("  certainly non-planar (m > 3n - 6):   {euler_nonplanar}");
+    println!("  need a full planarity test:          {needs_full_test}");
+    println!("  largest pending block:               {largest_pending} edges");
+    println!(
+        "\nThe decomposition settles {:.1}% of the blocks without running a\n\
+         planarity algorithm at all, and the remaining tests are independent\n\
+         (one per block) — exactly why planarity testers start with BCC.",
+        100.0 * (trivially_planar + euler_nonplanar) as f64 / (r.num_components.max(1) as f64)
+    );
+    println!("decomposition time: {:?}", r.phases.total);
+}

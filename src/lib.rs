@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! # smp-bcc — parallel biconnected components for shared memory
+//!
+//! A Rust reproduction of Cong & Bader, *An Experimental Study of
+//! Parallel Biconnected Components Algorithms on Symmetric
+//! Multiprocessors (SMPs)* (IPDPS 2005): the sequential Tarjan baseline
+//! plus the three parallel pipelines the paper studies (TV-SMP, TV-opt,
+//! TV-filter) on top of from-scratch SMP implementations of the
+//! underlying primitives (prefix sums, list ranking, sample sort,
+//! Shiloach–Vishkin connectivity, BFS and work-stealing spanning trees,
+//! Euler tours, tree computations).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use smp_bcc::{bcc, Algorithm, Graph};
+//!
+//! // A triangle and a pendant edge: one block + one bridge.
+//! let g = Graph::from_tuples(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! let result = bcc(&g, Algorithm::TvFilter);
+//! assert_eq!(result.num_components, 2);
+//! assert_eq!(result.articulation_points(&g), vec![2]);
+//! assert_eq!(result.bridges(&g), vec![3]); // edge index of (2,3)
+//! ```
+//!
+//! For explicit control over thread count and connectivity handling use
+//! the re-exported crate modules:
+//!
+//! ```
+//! use smp_bcc::{biconnected_components, Algorithm, Pool};
+//! use smp_bcc::graph::gen;
+//!
+//! let g = gen::random_connected(10_000, 40_000, 42);
+//! let pool = Pool::new(4);
+//! let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
+//! println!("{} components in {:?}", r.num_components, r.phases.total);
+//! ```
+
+pub use bcc_connectivity as connectivity;
+pub use bcc_core as algorithms;
+pub use bcc_euler as euler;
+pub use bcc_graph as graph;
+pub use bcc_primitives as primitives;
+pub use bcc_smp as smp;
+
+pub use bcc_core::per_component::biconnected_components_per_component;
+pub use bcc_core::{
+    biconnected_components, double_bfs_upper_bound, sequential, Algorithm, BccError, BccResult,
+    PhaseTimes,
+};
+pub use bcc_graph::{Csr, Edge, Graph};
+pub use bcc_smp::Pool;
+
+/// One-call convenience API: runs `alg` on `g` with a machine-sized
+/// pool, handling disconnected inputs transparently.
+pub fn bcc(g: &Graph, alg: Algorithm) -> BccResult {
+    let pool = Pool::machine();
+    biconnected_components_per_component(&pool, g, alg)
+}

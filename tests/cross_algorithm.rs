@@ -1,0 +1,116 @@
+//! Cross-crate integration: all four algorithms must produce identical
+//! canonical partitions on every input family, at every thread count.
+
+use smp_bcc::graph::gen;
+use smp_bcc::{biconnected_components, sequential, Algorithm, Graph, Pool};
+
+fn check_all(g: &Graph, threads: &[usize]) {
+    let base = sequential(g);
+    for &p in threads {
+        let pool = Pool::new(p);
+        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+            let r = biconnected_components(&pool, g, alg)
+                .unwrap_or_else(|e| panic!("{} p={p}: {e}", alg.name()));
+            assert_eq!(
+                r.num_components,
+                base.num_components,
+                "{} p={p} component count",
+                alg.name()
+            );
+            assert_eq!(r.edge_comp, base.edge_comp, "{} p={p} labels", alg.name());
+        }
+    }
+}
+
+#[test]
+fn random_graphs_many_seeds_and_densities() {
+    for seed in 0..12u64 {
+        let n = 150 + (seed as u32 * 37) % 200;
+        for mult in [1usize, 3, 8] {
+            let m = (n as usize - 1)
+                .max(mult * n as usize)
+                .min(gen::max_edges(n));
+            let g = gen::random_connected(n, m, seed);
+            check_all(&g, &[1, 3]);
+        }
+    }
+}
+
+#[test]
+fn thread_count_sweep_on_one_instance() {
+    let g = gen::random_connected(1_000, 5_000, 7);
+    check_all(&g, &[1, 2, 3, 4, 6, 8]);
+}
+
+#[test]
+fn trees_forests_of_bridges() {
+    for seed in 0..4u64 {
+        let g = gen::random_tree(500, seed);
+        check_all(&g, &[1, 4]);
+        let base = sequential(&g);
+        assert_eq!(base.num_components as usize, g.m());
+    }
+}
+
+#[test]
+fn biconnected_inputs_single_component() {
+    check_all(&gen::cycle(257), &[1, 4]);
+    check_all(&gen::torus(9, 11), &[1, 4]);
+    check_all(&gen::complete(40), &[1, 4]);
+    check_all(&gen::wheel(50), &[1, 4]);
+    check_all(&gen::ladder(40), &[1, 4]);
+    check_all(&gen::hypercube(8), &[1, 4]);
+    check_all(&gen::complete_bipartite(12, 17), &[1, 4]);
+    for g in [
+        gen::torus(9, 11),
+        gen::wheel(50),
+        gen::ladder(40),
+        gen::hypercube(8),
+        gen::complete_bipartite(12, 17),
+    ] {
+        assert_eq!(sequential(&g).num_components, 1);
+    }
+}
+
+#[test]
+fn barbell_has_two_blocks_plus_bridges() {
+    let g = gen::barbell(6, 4);
+    check_all(&g, &[1, 3]);
+    let base = sequential(&g);
+    assert_eq!(base.num_components, 2 + 4);
+}
+
+#[test]
+fn pathological_chain_for_bfs_diameter() {
+    // The paper's pathological case for TV-filter: a chain (d = O(n)).
+    let g = gen::path(5_000);
+    check_all(&g, &[1, 4]);
+}
+
+#[test]
+fn dense_woo_sahni_style_instances() {
+    for pct in [0.7f64, 0.9] {
+        let g = gen::dense_percent(120, pct, 3);
+        assert!(smp_bcc::graph::validate::is_connected(&g));
+        check_all(&g, &[1, 4]);
+        assert_eq!(sequential(&g).num_components, 1);
+    }
+}
+
+#[test]
+fn medium_random_instance_exercises_parallel_paths() {
+    // Above the sequential-fallback thresholds of BFS/traversal/CSR.
+    let g = gen::random_connected(30_000, 120_000, 5);
+    check_all(&g, &[4]);
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let g = gen::random_connected(400, 1200, 9);
+    let pool = Pool::new(4);
+    let r1 = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    for _ in 0..5 {
+        let r2 = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        assert_eq!(r1.edge_comp, r2.edge_comp);
+    }
+}

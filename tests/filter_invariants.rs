@@ -1,0 +1,147 @@
+//! Integration tests for the §4 filtering machinery: the size bound on
+//! the reduced edge set, the lemmas' structural claims, and the paper's
+//! "corollary" about counting components via double BFS (including a
+//! counterexample we found while reproducing — see EXPERIMENTS.md).
+
+use smp_bcc::connectivity::bfs::bfs_tree_seq;
+use smp_bcc::connectivity::sv::connected_components;
+use smp_bcc::graph::gen;
+use smp_bcc::{sequential, Csr, Edge, Graph, Pool};
+
+/// T ∪ F for `g` via BFS tree + SV forest — mirrors tv_filter's
+/// filtering step.
+fn reduced_edge_count(g: &Graph) -> usize {
+    let csr = Csr::build(g);
+    let bfs = bfs_tree_seq(&csr, 0);
+    assert_eq!(bfs.reached, g.n());
+    let mut in_tree = vec![false; g.m()];
+    for &e in &bfs.tree_edge_ids() {
+        in_tree[e as usize] = true;
+    }
+    let nontree: Vec<Edge> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !in_tree[*i])
+        .map(|(_, &e)| e)
+        .collect();
+    let pool = Pool::new(1);
+    let forest = connected_components(&pool, g.n(), &nontree);
+    (g.n() as usize - 1) + forest.tree_edges.len()
+}
+
+#[test]
+fn reduced_set_is_at_most_2n_minus_2() {
+    for seed in 0..6u64 {
+        for mult in [2usize, 5, 12] {
+            let n = 300u32;
+            let m = (mult * n as usize).min(gen::max_edges(n));
+            let g = gen::random_connected(n, m, seed);
+            let r = reduced_edge_count(&g);
+            assert!(
+                r <= 2 * (n as usize - 1),
+                "reduced {r} > 2(n-1) for m={m} seed={seed}"
+            );
+            // The paper: at least max(m - 2(n-1), 0) edges are filtered.
+            assert!(m - r >= m.saturating_sub(2 * (n as usize - 1)));
+        }
+    }
+}
+
+#[test]
+fn sparse_graphs_filter_nothing_much() {
+    // A tree reduces to itself.
+    let g = gen::random_tree(200, 1);
+    assert_eq!(reduced_edge_count(&g), 199);
+}
+
+#[test]
+fn bfs_tree_nontree_edges_span_at_most_one_level() {
+    // Lemma 1's precondition: in a BFS tree, no nontree edge joins an
+    // ancestor/descendant pair (they'd be ≥ 2 levels apart).
+    for seed in 0..4u64 {
+        let g = gen::random_connected(500, 2500, seed);
+        let csr = Csr::build(&g);
+        let bfs = bfs_tree_seq(&csr, 0);
+        let mut in_tree = vec![false; g.m()];
+        for &e in &bfs.tree_edge_ids() {
+            in_tree[e as usize] = true;
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            if in_tree[i] {
+                continue;
+            }
+            let du = bfs.level[e.u as usize] as i64;
+            let dv = bfs.level[e.v as usize] as i64;
+            assert!((du - dv).abs() <= 1, "nontree edge {e:?} spans 2+ levels");
+        }
+    }
+}
+
+/// The paper's "immediate corollary" claims the number of components of
+/// the spanning forest F of G − T equals the number of biconnected
+/// components. This theta-graph counterexample shows the claim needs a
+/// caveat: a single biconnected component's nontree edges can split
+/// into several components of G − T under a valid BFS tree.
+#[test]
+fn double_bfs_counting_corollary_has_a_counterexample() {
+    // Theta graph: a—x—b, a—y—b, a—z—b (vertices a=0, b=1, x=2, y=3, z=4).
+    let g = Graph::from_tuples(5, [(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
+    assert_eq!(
+        sequential(&g).num_components,
+        1,
+        "theta graph is biconnected"
+    );
+
+    // A valid BFS tree from root x=2: levels x=0; a,b=1; y,z=2, with y
+    // attached via a and z attached via b.
+    let tree: Vec<Edge> = vec![
+        Edge::new(0, 2), // a - x
+        Edge::new(2, 1), // x - b
+        Edge::new(0, 3), // a - y
+        Edge::new(4, 1), // b - z
+    ];
+    // Check it is a BFS tree: every edge spans <= 1 level.
+    let level = [1u32, 1, 0, 2, 2]; // a, b, x, y, z
+    for e in g.edges() {
+        assert!(level[e.u as usize].abs_diff(level[e.v as usize]) <= 1);
+    }
+    let tree_keys: std::collections::HashSet<u64> = tree.iter().map(|e| e.key()).collect();
+    let nontree: Vec<Edge> = g
+        .edges()
+        .iter()
+        .filter(|e| !tree_keys.contains(&e.key()))
+        .copied()
+        .collect();
+    assert_eq!(nontree.len(), 2); // (3,1) = y-b and (0,4) = a-z
+
+    // The two nontree edges share no vertex: two components of G − T,
+    // yet the graph has ONE biconnected component.
+    let pool = Pool::new(1);
+    let f = connected_components(&pool, 5, &nontree);
+    let non_isolated_components = f.tree_edges.len(); // each forest edge = one 2-vertex comp here
+    assert_eq!(non_isolated_components, 2);
+    // TV-filter itself remains correct: it keeps both forest edges.
+}
+
+#[test]
+fn tv_filter_correct_on_the_counterexample_family() {
+    // Generalized theta graphs with k internal paths.
+    for k in 3u32..8 {
+        let n = 2 + k;
+        let mut edges = vec![];
+        for i in 0..k {
+            edges.push((0, 2 + i));
+            edges.push((2 + i, 1));
+        }
+        let g = Graph::from_tuples(n, edges);
+        let base = sequential(&g);
+        assert_eq!(base.num_components, 1);
+        for p in [1, 3] {
+            let pool = Pool::new(p);
+            let r =
+                smp_bcc::biconnected_components(&pool, &g, smp_bcc::Algorithm::TvFilter).unwrap();
+            assert_eq!(r.edge_comp, base.edge_comp, "k={k} p={p}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based integration tests: random graphs from proptest
+//! strategies, checked against the independent cycle-enumeration oracle
+//! and structural invariants.
+
+use proptest::prelude::*;
+use smp_bcc::algorithms::verify::{
+    articulation_points, articulation_points_oracle, assert_classes_biconnected, bcc_oracle_small,
+    bridges, canonicalize_edge_labels,
+};
+use smp_bcc::graph::gen;
+use smp_bcc::{biconnected_components, sequential, Algorithm, Edge, Graph, Pool};
+
+/// Strategy: small arbitrary simple graphs (possibly disconnected).
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (
+        3u32..9,
+        proptest::collection::vec((0u32..9, 0u32..9), 0..18),
+    )
+        .prop_map(|(n, pairs)| {
+            let edges = pairs
+                .into_iter()
+                .map(|(a, b)| Edge::new(a % n, b % n))
+                .collect::<Vec<_>>();
+            Graph::from_edges_lenient(n, edges)
+        })
+}
+
+/// Strategy: connected random graphs of moderate size.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (10u32..120, 0usize..300, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let m = ((n as usize - 1) + extra).min(gen::max_edges(n));
+        gen::random_connected(n, m, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequential_matches_cycle_oracle(g in small_graph()) {
+        let mut want = bcc_oracle_small(&g);
+        let kw = canonicalize_edge_labels(&mut want);
+        let got = sequential(&g);
+        prop_assert_eq!(kw, got.num_components);
+        prop_assert_eq!(want, got.edge_comp);
+    }
+
+    #[test]
+    fn parallel_algorithms_match_oracle_on_connected_small(g in small_graph()) {
+        prop_assume!(smp_bcc::graph::validate::is_connected(&g) && g.m() > 0);
+        let mut want = bcc_oracle_small(&g);
+        canonicalize_edge_labels(&mut want);
+        let pool = Pool::new(3);
+        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+            let r = biconnected_components(&pool, &g, alg).unwrap();
+            prop_assert_eq!(&want, &r.edge_comp, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn partitions_are_structurally_biconnected(g in connected_graph()) {
+        let pool = Pool::new(2);
+        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        assert_classes_biconnected(&g, &r.edge_comp);
+    }
+
+    #[test]
+    fn articulation_points_match_removal_oracle(g in connected_graph()) {
+        let pool = Pool::new(2);
+        let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
+        let mut got = articulation_points(&g, &r.edge_comp);
+        got.sort_unstable();
+        prop_assert_eq!(got, articulation_points_oracle(&g));
+    }
+
+    #[test]
+    fn bridge_endpoints_behave_like_bridges(g in connected_graph()) {
+        // Removing a bridge edge disconnects the graph; removing a
+        // non-bridge edge does not.
+        let pool = Pool::new(2);
+        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let bridge_set: std::collections::HashSet<u32> =
+            bridges(&g, &r.edge_comp).into_iter().collect();
+        for i in 0..g.m().min(20) {
+            let h = g.edge_subgraph(|j| j != i);
+            // Edge i is a bridge iff its endpoints are separated once it
+            // is removed.
+            let separated = endpoints_separated(&h, g.edges()[i]);
+            prop_assert_eq!(bridge_set.contains(&(i as u32)), separated,
+                "edge {} bridge status", i);
+        }
+    }
+
+    #[test]
+    fn num_components_bounds(g in connected_graph()) {
+        let pool = Pool::new(2);
+        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        // Between 1 and m components; exactly m iff the graph is a tree.
+        prop_assert!(r.num_components >= 1);
+        prop_assert!((r.num_components as usize) <= g.m());
+        if g.m() == g.n() as usize - 1 {
+            prop_assert_eq!(r.num_components as usize, g.m());
+        }
+    }
+}
+
+/// True iff `e`'s endpoints are disconnected in `h` (= e was a bridge).
+fn endpoints_separated(h: &Graph, e: Edge) -> bool {
+    use smp_bcc::Csr;
+    let csr = Csr::build(h);
+    let mut seen = vec![false; h.n() as usize];
+    let mut stack = vec![e.u];
+    seen[e.u as usize] = true;
+    while let Some(v) = stack.pop() {
+        if v == e.v {
+            return false;
+        }
+        for &w in csr.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    true
+}

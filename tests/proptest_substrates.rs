@@ -1,0 +1,123 @@
+//! Property-based tests across the substrate crates: random trees (via
+//! Prüfer-like random attachment), connectivity on arbitrary edge sets,
+//! Euler-tour invariants, and the label-invariance of the biconnected
+//! components partition under vertex renaming.
+
+use proptest::prelude::*;
+use smp_bcc::connectivity::seq::components_union_find;
+use smp_bcc::connectivity::sv::connected_components;
+use smp_bcc::euler::{euler_tour_classic, tour::assert_valid_tour, tree_computations, Ranker};
+use smp_bcc::graph::gen;
+use smp_bcc::{sequential, Edge, Graph, Pool};
+
+fn arbitrary_edge_set() -> impl Strategy<Value = (u32, Vec<Edge>)> {
+    (
+        2u32..60,
+        proptest::collection::vec((0u32..60, 0u32..60), 0..150),
+    )
+        .prop_map(|(n, pairs)| {
+            let g = Graph::from_edges_lenient(
+                n,
+                pairs.into_iter().map(|(a, b)| Edge::new(a % n, b % n)),
+            );
+            (n, g.edges().to_vec())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sv_matches_union_find_on_arbitrary_edge_sets(
+        (n, edges) in arbitrary_edge_set(),
+        p in 1usize..5,
+    ) {
+        let pool = Pool::new(p);
+        let got = connected_components(&pool, n, &edges);
+        let want = components_union_find(n, &edges);
+        prop_assert_eq!(got.num_components, want.count);
+        // The recorded forest must reconnect exactly the same partition.
+        let forest: Vec<Edge> = got.tree_edges.iter().map(|&i| edges[i as usize]).collect();
+        let via_forest = components_union_find(n, &forest);
+        for v in 0..n as usize {
+            for w in 0..n as usize {
+                prop_assert_eq!(
+                    want.label[v] == want.label[w],
+                    via_forest.label[v] == via_forest.label[w]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classic_euler_tours_on_random_trees(
+        n in 2u32..200,
+        seed in any::<u64>(),
+        root_pick in any::<u32>(),
+        p in 1usize..4,
+    ) {
+        let tree = gen::random_tree(n, seed);
+        let root = root_pick % n;
+        let pool = Pool::new(p);
+        let tour = euler_tour_classic(&pool, n, tree.edges().to_vec(), root, Ranker::HelmanJaja);
+        assert_valid_tour(&tour, root);
+        let info = tree_computations(&pool, &tour, root);
+        // Sum of (size(v) - 1) over children-of-root equals n - 1... the
+        // simplest global invariants:
+        prop_assert_eq!(info.size[root as usize], n);
+        let total_depth: u64 = info.depth.iter().map(|&d| d as u64).sum();
+        // Sum of sizes = sum over v of (#ancestors incl. self) = n + total depth.
+        let total_size: u64 = info.size.iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(total_size, n as u64 + total_depth);
+    }
+
+    #[test]
+    fn bcc_partition_is_label_invariant(
+        n in 4u32..40,
+        extra in 0usize..60,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let m = ((n as usize - 1) + extra).min(gen::max_edges(n));
+        let g = gen::random_connected(n, m, seed);
+        let mut perm: Vec<u32> = (0..n).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let h = g.relabel(&perm);
+
+        // Edge order is preserved by relabel, so the canonical per-edge
+        // partitions must be identical vectors.
+        let rg = sequential(&g);
+        let rh = sequential(&h);
+        prop_assert_eq!(&rg.edge_comp, &rh.edge_comp);
+        prop_assert_eq!(rg.num_components, rh.num_components);
+
+        // Articulation points map through the permutation.
+        let mut ag: Vec<u32> = rg
+            .articulation_points(&g)
+            .iter()
+            .map(|&v| perm[v as usize])
+            .collect();
+        ag.sort_unstable();
+        let ah = rh.articulation_points(&h);
+        prop_assert_eq!(ag, ah);
+    }
+
+    #[test]
+    fn parallel_partition_label_invariant_too(
+        n in 4u32..30,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let m = ((n as usize - 1) + extra).min(gen::max_edges(n));
+        let g = gen::random_connected(n, m, seed);
+        let mut perm: Vec<u32> = (0..n).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xabcdef));
+        let h = g.relabel(&perm);
+        let pool = Pool::new(2);
+        let rg = smp_bcc::biconnected_components(&pool, &g, smp_bcc::Algorithm::TvFilter).unwrap();
+        let rh = smp_bcc::biconnected_components(&pool, &h, smp_bcc::Algorithm::TvFilter).unwrap();
+        prop_assert_eq!(rg.edge_comp, rh.edge_comp);
+    }
+}

@@ -1,0 +1,73 @@
+//! Heavy stress tests — `cargo test -- --ignored` to run.
+//!
+//! These exercise oversubscription (more threads than cores), large
+//! instances, and long barrier sequences; they are excluded from the
+//! default run to keep CI fast.
+
+use smp_bcc::graph::gen;
+use smp_bcc::{biconnected_components, sequential, Algorithm, Pool};
+
+#[test]
+#[ignore = "heavy: large instance"]
+fn half_million_vertex_pipeline() {
+    let g = gen::random_connected(500_000, 2_000_000, 1);
+    let base = sequential(&g);
+    let pool = Pool::new(4);
+    for alg in [Algorithm::TvOpt, Algorithm::TvFilter] {
+        let r = biconnected_components(&pool, &g, alg).unwrap();
+        assert_eq!(r.num_components, base.num_components, "{}", alg.name());
+        assert_eq!(r.edge_comp, base.edge_comp);
+    }
+}
+
+#[test]
+#[ignore = "heavy: oversubscription"]
+fn sixteen_threads_on_few_cores() {
+    let g = gen::random_connected(50_000, 200_000, 2);
+    let base = sequential(&g);
+    let pool = Pool::new(16);
+    for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+        let r = biconnected_components(&pool, &g, alg).unwrap();
+        assert_eq!(r.edge_comp, base.edge_comp, "{}", alg.name());
+    }
+}
+
+#[test]
+#[ignore = "heavy: barrier soak"]
+fn barrier_soak_many_episodes() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let pool = Pool::new(8);
+    let counter = AtomicU64::new(0);
+    pool.run(|ctx| {
+        for _ in 0..50_000 {
+            counter.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 8 * 50_000);
+}
+
+#[test]
+#[ignore = "heavy: repeated runs shake out races"]
+fn determinism_soak() {
+    let g = gen::random_connected(30_000, 120_000, 3);
+    let pool = Pool::new(8);
+    let first = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    for round in 0..20 {
+        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        assert_eq!(r.edge_comp, first.edge_comp, "round {round}");
+    }
+}
+
+#[test]
+#[ignore = "heavy: dense paper-adjacent instance"]
+fn dense_instance_end_to_end() {
+    let g = gen::dense_percent(1_500, 0.8, 4);
+    let base = sequential(&g);
+    assert_eq!(base.num_components, 1);
+    let pool = Pool::new(4);
+    let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    assert_eq!(r.edge_comp, base.edge_comp);
+    // The filter must cap the effective edge set.
+    assert!(r.stats.effective_edges <= 2 * (g.n() as usize - 1));
+}
