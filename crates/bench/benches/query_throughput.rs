@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the query engine: queries/second over
+//! pool-parallel batches of sizes {1k, 100k, 1M} at p ∈ {1, machine},
+//! against a build-once [`BiconnectivityIndex`] — the serving-side
+//! companion to the construction benches in `bcc_algorithms.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bcc_graph::gen;
+use bcc_query::{run_batch, BiconnectivityIndex, Failure, Query};
+use bcc_smp::Pool;
+
+const N: u32 = 1 << 16;
+const BATCH_SIZES: &[usize] = &[1_000, 100_000, 1_000_000];
+
+/// Deterministic query mix: the cheap O(1)/O(log n) point queries plus
+/// failure probes, weighted toward the failure queries a monitoring
+/// workload is dominated by. (No `VertexCutBetween` here: its answers
+/// allocate, which would measure the allocator, not the index.)
+fn mixed_queries(n: u32, count: usize) -> Vec<Query> {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut rand = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 16) as u32
+    };
+    (0..count)
+        .map(|_| {
+            let (u, v, w) = (rand() % n, rand() % n, rand() % n);
+            match rand() % 5 {
+                0 => Query::Connected(u, v),
+                1 => Query::SameBlock(u, v),
+                2 => Query::IsBridge(u, v),
+                3 => Query::SurvivesFailure(u, v, Failure::Vertex(w)),
+                _ => Query::SurvivesFailure(u, v, Failure::Edge(v, w)),
+            }
+        })
+        .collect()
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    // A sparse graph with real block structure: cut vertices, bridges,
+    // and non-trivial blocks (so queries exercise every code path).
+    let g = gen::random_connected(N, 2 * N as usize, 33);
+    let build_pool = Pool::machine();
+    let idx = BiconnectivityIndex::from_graph(&build_pool, &g);
+    let machine = build_pool.threads();
+
+    let mut group = c.benchmark_group("query_throughput");
+    group.sample_size(10);
+    for &size in BATCH_SIZES {
+        let queries = mixed_queries(N, size);
+        group.throughput(Throughput::Elements(size as u64));
+        for p in [1, machine] {
+            let pool = Pool::new(p);
+            group.bench_with_input(BenchmarkId::new(format!("p{p}"), size), &queries, |b, q| {
+                b.iter(|| std::hint::black_box(run_batch(&pool, &idx, q)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_point_queries(c: &mut Criterion) {
+    // Individual point-query latency (no batch machinery), for the
+    // O(log n) claim.
+    let g = gen::cycle_chain(2_000, 40, 0); // deep block-cut tree
+    let pool = Pool::machine();
+    let idx = BiconnectivityIndex::from_graph(&pool, &g);
+    let n = g.n();
+    let mut group = c.benchmark_group("query_point");
+    group.bench_function("same_block", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            std::hint::black_box(idx.same_block(i % n, (i / 3) % n))
+        })
+    });
+    group.bench_function("survives_vertex_failure", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            std::hint::black_box(idx.survives_failure(
+                i % n,
+                (i / 3) % n,
+                Failure::Vertex((i / 7) % n),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput, bench_point_queries);
+criterion_main!(benches);

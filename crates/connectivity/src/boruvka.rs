@@ -193,10 +193,7 @@ pub fn minimum_spanning_forest(pool: &Pool, n: u32, edges: &[WeightedEdge]) -> M
     }
 
     let tree_edges: Vec<u32> = (0..m as u32).filter(|&i| picked[i as usize]).collect();
-    let total_weight: u64 = tree_edges
-        .iter()
-        .map(|&i| edges[i as usize].w as u64)
-        .sum();
+    let total_weight: u64 = tree_edges.iter().map(|&i| edges[i as usize].w as u64).sum();
     let num_components = n - tree_edges.len() as u32;
     MsfResult {
         tree_edges,

@@ -14,7 +14,7 @@
 
 use crate::pipeline::BccResult;
 use crate::verify::{articulation_points, bridges};
-use bcc_graph::Graph;
+use bcc_graph::{Csr, Graph};
 use bcc_smp::{Pool, NIL};
 
 /// The block-cut tree (forest, for disconnected inputs).
@@ -89,6 +89,27 @@ impl BlockCutTree {
             deg[b as usize] += 1;
         }
         deg
+    }
+
+    /// True if tree node `x` is a block node (ids `0..num_blocks`);
+    /// false for cut nodes (`num_blocks..num_nodes`).
+    #[inline]
+    pub fn is_block_node(&self, x: u32) -> bool {
+        x < self.num_blocks
+    }
+
+    /// The tree itself as a [`Graph`] over its node ids — block nodes
+    /// `0..num_blocks` followed by cut nodes.
+    pub fn tree_graph(&self) -> Graph {
+        Graph::from_tuples(self.num_nodes(), self.edges.iter().copied())
+    }
+
+    /// CSR adjacency over the tree's nodes, so consumers can traverse
+    /// the tree (rooting passes, path walks) without rebuilding
+    /// neighbor lists from the raw edge pairs themselves. O(nodes +
+    /// edges) to build; `csr.neighbors(x)` then answers in O(1).
+    pub fn adjacency(&self) -> Csr {
+        Csr::build(&self.tree_graph())
     }
 }
 
@@ -169,6 +190,26 @@ mod tests {
                 "block-cut tree must be acyclic (seed {seed})"
             );
         }
+    }
+
+    #[test]
+    fn adjacency_matches_edge_pairs() {
+        let t = tree_of(&gen::path(5)); // 4 blocks, 3 cuts, a 7-node path
+        let csr = t.adjacency();
+        assert_eq!(csr.n(), t.num_nodes());
+        let deg = t.degrees();
+        for x in 0..t.num_nodes() {
+            assert_eq!(csr.degree(x) as u32, deg[x as usize], "node {x}");
+            for &y in csr.neighbors(x) {
+                let pair = if t.is_block_node(x) { (x, y) } else { (y, x) };
+                assert!(t.edges.contains(&pair), "arc ({x},{y}) not a tree edge");
+            }
+        }
+        // Cut node for vertex 2 (cut_index 1) touches exactly 2 blocks.
+        let cut_node = t.num_blocks + 1;
+        assert_eq!(csr.degree(cut_node), 2);
+        assert!(!t.is_block_node(cut_node));
+        assert!(t.is_block_node(0));
     }
 
     #[test]

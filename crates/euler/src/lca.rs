@@ -35,13 +35,24 @@ impl LcaIndex {
     /// assert_eq!(lca.path_length(0, 2), 2);
     /// ```
     pub fn build(pool: &Pool, info: &TreeInfo) -> Self {
-        let n = info.parent.len();
+        Self::from_forest(pool, &info.parent, &info.depth)
+    }
+
+    /// Builds the index from raw parent/depth arrays — any rooted tree
+    /// or forest, not just ones that came out of an Euler tour (the
+    /// query engine lifts block-cut trees this way). Every root must
+    /// satisfy `parent[r] == r` and `depth[r] == 0`; for forests,
+    /// [`LcaIndex::lca`] is only meaningful when `u` and `v` share a
+    /// tree (callers check connectivity first).
+    pub fn from_forest(pool: &Pool, parent: &[u32], depth: &[u32]) -> Self {
+        let n = parent.len();
+        assert_eq!(n, depth.len(), "parent/depth length mismatch");
         let mut levels = 1usize;
         while (1usize << levels) < n.max(2) {
             levels += 1;
         }
         let mut up: Vec<Vec<u32>> = Vec::with_capacity(levels);
-        up.push(info.parent.clone());
+        up.push(parent.to_vec());
         for k in 1..levels {
             let prev = &up[k - 1];
             let mut cur = vec![0u32; n];
@@ -57,7 +68,7 @@ impl LcaIndex {
         }
         LcaIndex {
             up,
-            depth: info.depth.clone(),
+            depth: depth.to_vec(),
         }
     }
 
@@ -207,6 +218,22 @@ mod tests {
         assert_eq!(idx.ancestor(9, 3), 6);
         assert_eq!(idx.ancestor(9, 9), 0);
         assert_eq!(idx.ancestor(9, 1000), 0);
+    }
+
+    #[test]
+    fn from_forest_handles_multiple_roots() {
+        let pool = Pool::new(2);
+        // Two trees: a path 0-1-2 rooted at 0 and a star 3-{4,5} rooted
+        // at 3.
+        let parent = vec![0, 0, 1, 3, 3, 3];
+        let depth = vec![0, 1, 2, 0, 1, 1];
+        let idx = LcaIndex::from_forest(&pool, &parent, &depth);
+        assert_eq!(idx.lca(2, 1), 1);
+        assert_eq!(idx.lca(2, 0), 0);
+        assert_eq!(idx.lca(4, 5), 3);
+        assert_eq!(idx.path_length(4, 5), 2);
+        assert_eq!(idx.ancestor(2, 2), 0);
+        assert_eq!(idx.ancestor(5, 7), 3); // clamps at its own root
     }
 
     #[test]

@@ -1,16 +1,26 @@
 //! Plain-text graph I/O.
 //!
-//! Format (whitespace-separated):
+//! Two formats are accepted:
+//!
+//! **DIMACS-flavored** (what [`write_text`] emits):
 //!
 //! ```text
-//! # comments allowed
+//! # comments allowed (also % and c lines)
 //! p <n> <m>
 //! e <u> <v>
 //! ...
 //! ```
 //!
-//! — a DIMACS-flavored edge list (0-based vertex ids) so instances can be
-//! exchanged with external tooling or pinned as regression fixtures.
+//! **Bare edge lists** (SNAP / Matrix Market dumps): lines of two
+//! whitespace-separated 0-based vertex ids, no problem line. The vertex
+//! count is inferred as `max id + 1`, and the list is read leniently
+//! (duplicate edges, both orientations, and self loops are dropped) —
+//! real-world dumps contain all three.
+//!
+//! Both formats tolerate blank lines, `#`/`%`/`c` comment lines, and
+//! CRLF line endings. When a `p` line is present the reader is strict:
+//! it must precede every edge, endpoints must be in range, self loops
+//! are rejected, and the edge count must match the declaration.
 
 use crate::edge::{Edge, Graph};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -24,16 +34,16 @@ pub fn write_text<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a graph in the text format; validates counts and ranges.
+/// Reads a graph in either text format (see the module docs); validates
+/// counts and ranges when a `p` problem line is present.
 pub fn read_text<R: Read>(r: R) -> io::Result<Graph> {
     let reader = BufReader::new(r);
-    let mut n: Option<u32> = None;
-    let mut declared_m = 0usize;
+    let mut header: Option<(u32, usize)> = None;
     let mut edges: Vec<Edge> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let line = line.trim(); // also strips the \r of CRLF endings
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
         let mut it = line.split_whitespace();
@@ -44,51 +54,69 @@ pub fn read_text<R: Read>(r: R) -> io::Result<Graph> {
                 format!("line {}: {msg}", lineno + 1),
             )
         };
-        match tag {
+        let endpoint = |it: &mut std::str::SplitWhitespace| -> io::Result<u32> {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad("bad endpoint"))
+        };
+        let (u, v) = match tag {
+            "c" => continue, // DIMACS comment line
             "p" => {
-                if n.is_some() {
+                if header.is_some() {
                     return Err(bad("duplicate problem line"));
+                }
+                if !edges.is_empty() {
+                    return Err(bad("problem line after edges"));
                 }
                 let nv: u32 = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| bad("bad vertex count"))?;
-                declared_m = it
+                let m = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| bad("bad edge count"))?;
-                n = Some(nv);
-                edges.reserve(declared_m);
+                header = Some((nv, m));
+                edges.reserve(m);
+                continue;
             }
             "e" => {
-                let nv = n.ok_or_else(|| bad("edge before problem line"))?;
-                let u: u32 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad("bad endpoint"))?;
-                let v: u32 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad("bad endpoint"))?;
-                if u >= nv || v >= nv {
-                    return Err(bad("endpoint out of range"));
+                if header.is_none() {
+                    return Err(bad("edge before problem line"));
                 }
-                if u == v {
-                    return Err(bad("self loop"));
-                }
-                edges.push(Edge::new(u, v));
+                (endpoint(&mut it)?, endpoint(&mut it)?)
             }
-            _ => return Err(bad("unknown line tag")),
+            // SNAP-style bare "u v" line.
+            _ => {
+                let u: u32 = tag.parse().map_err(|_| bad("unknown line tag"))?;
+                (u, endpoint(&mut it)?)
+            }
+        };
+        if let Some((nv, _)) = header {
+            if u >= nv || v >= nv {
+                return Err(bad("endpoint out of range"));
+            }
+            if u == v {
+                return Err(bad("self loop"));
+            }
+        }
+        edges.push(Edge::new(u, v));
+    }
+    match header {
+        Some((n, declared_m)) => {
+            if edges.len() != declared_m {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("declared {declared_m} edges, found {}", edges.len()),
+                ));
+            }
+            Ok(Graph::new(n, edges))
+        }
+        None => {
+            let n = edges.iter().map(|e| e.u.max(e.v) + 1).max().unwrap_or(0);
+            Ok(Graph::from_edges_lenient(n, edges))
         }
     }
-    let n = n.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing problem line"))?;
-    if edges.len() != declared_m {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("declared {declared_m} edges, found {}", edges.len()),
-        ));
-    }
-    Ok(Graph::new(n, edges))
 }
 
 #[cfg(test)]
@@ -115,12 +143,51 @@ mod tests {
     }
 
     #[test]
+    fn percent_and_c_comments_ignored() {
+        let text = "% MatrixMarket-ish header\nc dimacs comment\np 3 2\ne 0 1\ne 1 2\n";
+        let g = read_text(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let text = "# win\r\np 3 2\r\ne 0 1\r\ne 1 2\r\n";
+        let g = read_text(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edges(), &[Edge::new(0, 1), Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn bare_snap_edge_list() {
+        // No problem line, % comments, duplicates + both orientations +
+        // a self loop — the shape of a real SNAP dump.
+        let text = "% snap dump\n0 1\n1 0\n1 2\n2 2\n\n4 2\n";
+        let g = read_text(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 5); // max id 4
+        assert_eq!(g.m(), 3); // (0,1), (1,2), (2,4)
+    }
+
+    #[test]
+    fn bare_lines_validated_when_header_present() {
+        // Bare "u v" lines mix with e-lines under a header and count
+        // toward the declared total, with full validation.
+        let g = read_text("p 3 2\n0 1\ne 1 2\n".as_bytes()).unwrap();
+        assert_eq!(g.m(), 2);
+        assert!(read_text("p 3 1\n0 5\n".as_bytes()).is_err()); // range
+        assert!(read_text("p 3 1\n1 1\n".as_bytes()).is_err()); // loop
+    }
+
+    #[test]
     fn errors_are_reported() {
-        assert!(read_text("e 0 1\n".as_bytes()).is_err()); // edge before p
+        assert!(read_text("e 0 1\n".as_bytes()).is_err()); // e before p
         assert!(read_text("p 3 1\ne 0 5\n".as_bytes()).is_err()); // range
         assert!(read_text("p 3 1\ne 1 1\n".as_bytes()).is_err()); // loop
         assert!(read_text("p 3 2\ne 0 1\n".as_bytes()).is_err()); // count
         assert!(read_text("x 1\n".as_bytes()).is_err()); // tag
-        assert!(read_text("".as_bytes()).is_err()); // empty
+        assert!(read_text("0 1\np 3 1\n".as_bytes()).is_err()); // p after edges
+        assert!(read_text("0\n".as_bytes()).is_err()); // missing endpoint
+        let empty = read_text("".as_bytes()).unwrap(); // headerless empty
+        assert_eq!(empty.n(), 0);
     }
 }

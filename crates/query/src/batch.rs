@@ -1,0 +1,136 @@
+//! Pool-parallel batch execution.
+//!
+//! A serving system sees queries in bursts, not one at a time. A
+//! [`QueryBatch`] fans a slice of [`Query`] values across the SPMD
+//! pool with static block partitioning ([`bcc_smp::Pool::par_map`]):
+//! each thread answers a contiguous block, results come back in input
+//! order, and every answer is produced by the *same* point-query code —
+//! batch answers are bit-identical to calling the index directly.
+
+use crate::index::{BiconnectivityIndex, Failure};
+use bcc_smp::Pool;
+
+/// One point query against a [`BiconnectivityIndex`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Are `u` and `v` in the same connected component?
+    Connected(u32, u32),
+    /// Do `u` and `v` share a biconnected component?
+    SameBlock(u32, u32),
+    /// Is `v` an articulation point?
+    IsArticulation(u32),
+    /// Is the edge `{u, v}` a bridge?
+    IsBridge(u32, u32),
+    /// Which articulation points separate `u` from `v`?
+    VertexCutBetween(u32, u32),
+    /// Are `u` and `v` still connected after the failure?
+    SurvivesFailure(u32, u32, Failure),
+}
+
+/// The answer to a [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// Answer to the boolean queries.
+    Bool(bool),
+    /// Answer to [`Query::VertexCutBetween`]: the separating
+    /// articulation points, ascending.
+    Vertices(Vec<u32>),
+}
+
+impl Answer {
+    /// The boolean payload; panics on a [`Answer::Vertices`] answer.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Answer::Bool(b) => *b,
+            Answer::Vertices(_) => panic!("answer is a vertex list, not a bool"),
+        }
+    }
+
+    /// The vertex-list payload; panics on a boolean answer.
+    pub fn as_vertices(&self) -> &[u32] {
+        match self {
+            Answer::Vertices(v) => v,
+            Answer::Bool(_) => panic!("answer is a bool, not a vertex list"),
+        }
+    }
+}
+
+impl BiconnectivityIndex {
+    /// Answers one query — the single dispatch point both the point
+    /// path and the batch path go through.
+    pub fn answer(&self, q: &Query) -> Answer {
+        match *q {
+            Query::Connected(u, v) => Answer::Bool(self.connected(u, v)),
+            Query::SameBlock(u, v) => Answer::Bool(self.same_block(u, v)),
+            Query::IsArticulation(v) => Answer::Bool(self.is_articulation(v)),
+            Query::IsBridge(u, v) => Answer::Bool(self.is_bridge(u, v)),
+            Query::VertexCutBetween(u, v) => Answer::Vertices(self.vertex_cut_between(u, v)),
+            Query::SurvivesFailure(u, v, f) => Answer::Bool(self.survives_failure(u, v, f)),
+        }
+    }
+}
+
+/// Runs a slice of queries across the pool; answers in input order.
+pub fn run_batch(pool: &Pool, index: &BiconnectivityIndex, queries: &[Query]) -> Vec<Answer> {
+    pool.par_map(queries, |_, q| index.answer(q))
+}
+
+/// A reusable batch of queries (a builder over [`run_batch`]).
+///
+/// ```
+/// use bcc_query::{BiconnectivityIndex, Query, QueryBatch};
+/// use bcc_graph::gen;
+/// use bcc_smp::Pool;
+///
+/// let pool = Pool::new(2);
+/// let idx = BiconnectivityIndex::from_graph(&pool, &gen::cycle(8));
+/// let mut batch = QueryBatch::new();
+/// batch.push(Query::SameBlock(0, 4));
+/// batch.push(Query::IsArticulation(3));
+/// let answers = batch.run(&pool, &idx);
+/// assert!(answers[0].as_bool());
+/// assert!(!answers[1].as_bool());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QueryBatch {
+    queries: Vec<Query>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one query; returns its position in the answer vector.
+    pub fn push(&mut self, q: Query) -> usize {
+        self.queries.push(q);
+        self.queries.len() - 1
+    }
+
+    /// Adds many queries at once.
+    pub fn extend(&mut self, qs: impl IntoIterator<Item = Query>) {
+        self.queries.extend(qs);
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if no queries were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries, in push order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Executes the batch on the pool. Answers are indexed by push
+    /// position and identical to running each query individually.
+    pub fn run(&self, pool: &Pool, index: &BiconnectivityIndex) -> Vec<Answer> {
+        run_batch(pool, index, &self.queries)
+    }
+}

@@ -1,0 +1,145 @@
+//! Index construction: vertex→node mapping, forest rooting, lifting
+//! table, bridge table.
+//!
+//! The expensive, size-`O(n + m)` passes (connectivity labels, home
+//! blocks, block sizes, the lifting levels) run on the pool; the
+//! rooting DFS is sequential over the block-cut forest, which has at
+//! most `2n` nodes and `n` edges regardless of how dense the graph is.
+
+use crate::index::BiconnectivityIndex;
+use bcc_connectivity::sv::{connected_components, normalize_labels};
+use bcc_core::per_component::biconnected_components_per_component;
+use bcc_core::{Algorithm, BccResult, BlockCutTree};
+use bcc_euler::LcaIndex;
+use bcc_graph::Graph;
+use bcc_smp::atomic::as_atomic_u32;
+use bcc_smp::{Pool, NIL};
+use std::sync::atomic::Ordering;
+
+impl BiconnectivityIndex {
+    /// Builds the index from a graph, its (canonical) BCC labeling, and
+    /// the block-cut tree derived from it. Works for disconnected
+    /// inputs (the block-cut structure is a forest, and every query
+    /// checks component membership first).
+    pub fn build(pool: &Pool, g: &Graph, r: &BccResult, t: &BlockCutTree) -> Self {
+        let n = g.n();
+        let m = g.m();
+        let num_blocks = t.num_blocks;
+        let nodes = t.num_nodes() as usize;
+
+        // Connected-component labels (cross-component queries short out
+        // before touching the forest).
+        let mut cc = connected_components(pool, n, g.edges()).label;
+        normalize_labels(pool, &mut cc);
+
+        // Vertex → forest node. Cut vertices own their cut node; every
+        // other vertex maps to its home block, found by one parallel
+        // sweep over the edges. All edges of a non-cut vertex carry the
+        // same block label, so racing stores write the same value —
+        // they go through atomics to keep the benign race defined.
+        let mut node = vec![NIL; n as usize];
+        for (i, &v) in t.articulation.iter().enumerate() {
+            node[v as usize] = num_blocks + i as u32;
+        }
+        {
+            let node_a = as_atomic_u32(&mut node);
+            let edges = g.edges();
+            let cut_index = &t.cut_index;
+            pool.run(|ctx| {
+                for i in ctx.block_range(m) {
+                    let b = r.edge_comp[i];
+                    let e = edges[i];
+                    for v in [e.u, e.v] {
+                        if cut_index[v as usize] == NIL {
+                            node_a[v as usize].store(b, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Root every tree of the forest: parent/depth by DFS, preorder
+        // assigned at visit time (subtree intervals are contiguous),
+        // sizes by a reverse-preorder accumulation.
+        let csr = t.adjacency();
+        let mut parent = vec![NIL; nodes];
+        let mut depth = vec![0u32; nodes];
+        let mut pre = vec![0u32; nodes];
+        let mut order = Vec::with_capacity(nodes);
+        let mut next_pre = 0u32;
+        let mut stack = Vec::new();
+        for root in 0..nodes as u32 {
+            if parent[root as usize] != NIL {
+                continue;
+            }
+            parent[root as usize] = root;
+            stack.push(root);
+            while let Some(x) = stack.pop() {
+                pre[x as usize] = next_pre;
+                next_pre += 1;
+                order.push(x);
+                for &y in csr.neighbors(x) {
+                    if parent[y as usize] == NIL {
+                        parent[y as usize] = x;
+                        depth[y as usize] = depth[x as usize] + 1;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        let mut size = vec![1u32; nodes];
+        for &x in order.iter().rev() {
+            let p = parent[x as usize];
+            if p != x {
+                size[p as usize] += size[x as usize];
+            }
+        }
+
+        // Binary-lifting ancestor table, level-parallel on the pool.
+        let lca = LcaIndex::from_forest(pool, &parent, &depth);
+
+        // Bridge table: blocks of exactly one edge, keyed for binary
+        // search. Counting is a parallel atomic histogram.
+        let mut block_size = vec![0u32; num_blocks as usize];
+        {
+            let size_a = as_atomic_u32(&mut block_size);
+            pool.run(|ctx| {
+                for i in ctx.block_range(m) {
+                    size_a[r.edge_comp[i] as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let mut bridges: Vec<(u64, u32)> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| block_size[r.edge_comp[*i] as usize] == 1)
+            .map(|(i, e)| (e.key(), r.edge_comp[i]))
+            .collect();
+        bridges.sort_unstable();
+        let (bridge_keys, bridge_block) = bridges.into_iter().unzip();
+
+        BiconnectivityIndex {
+            n,
+            num_blocks,
+            cc,
+            articulation: t.articulation.clone(),
+            cut_index: t.cut_index.clone(),
+            node,
+            lca,
+            pre,
+            size,
+            bridge_keys,
+            bridge_block,
+        }
+    }
+
+    /// One-call build: runs the cheapest pipeline (TV-filter, falling
+    /// back per component for disconnected inputs), derives the
+    /// block-cut tree, and indexes it.
+    pub fn from_graph(pool: &Pool, g: &Graph) -> Self {
+        let r = biconnected_components_per_component(pool, g, Algorithm::TvFilter);
+        let t = BlockCutTree::build(g, &r);
+        Self::build(pool, g, &r, &t)
+    }
+}

@@ -1,0 +1,368 @@
+//! The immutable biconnectivity index and its point queries.
+//!
+//! # Layout
+//!
+//! Every graph vertex maps to one node of the block-cut forest
+//! ([`bcc_core::BlockCutTree`]): articulation vertices map to their cut
+//! node, every other vertex to its unique *home block* (the block all
+//! of its edges belong to), and isolated vertices to no node at all.
+//! Over the forest nodes the index stores a rooting (parent, depth,
+//! preorder, subtree size) plus a binary-lifting ancestor table, so
+//! tree distances and lowest common ancestors — the primitives behind
+//! every query below — cost O(log n). A sorted table of bridge-edge
+//! keys answers "is this edge a bridge" by binary search.
+//!
+//! The crucial structural facts (classic block-cut-tree theory):
+//!
+//! * two vertices lie in a common block iff the forest distance
+//!   between their nodes equals the number of endpoints that are cut
+//!   vertices (0, 1 or 2);
+//! * the articulation points whose failure separates `u` from `v` are
+//!   exactly the cut nodes strictly inside the forest path between
+//!   their nodes;
+//! * a bridge separates `u` from `v` iff its (single-edge) block node
+//!   lies on that path — or is the home of `u` or `v`, which makes
+//!   that endpoint a leaf hanging off the bridge itself.
+
+use bcc_euler::LcaIndex;
+use bcc_smp::NIL;
+
+/// A single failure to test connectivity against.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Failure {
+    /// A vertex (router) goes down, taking all its edges with it.
+    Vertex(u32),
+    /// An edge (link) goes down; endpoints are unordered.
+    Edge(u32, u32),
+}
+
+/// A build-once, query-millions biconnectivity index. Immutable and
+/// `Sync`: share it behind an `Arc` and query from any number of
+/// threads (see [`crate::IndexStore`] for updates).
+///
+/// Vertex arguments must be `< n` for the indexed graph; like the
+/// rest of the workspace, out-of-range ids panic with a bounds error
+/// rather than returning a wrong answer.
+pub struct BiconnectivityIndex {
+    /// Number of graph vertices.
+    pub(crate) n: u32,
+    /// Number of blocks (block-cut nodes `0..num_blocks` are blocks).
+    pub(crate) num_blocks: u32,
+    /// Connected-component label per graph vertex (normalized).
+    pub(crate) cc: Vec<u32>,
+    /// Articulation vertices, ascending (as in the block-cut tree).
+    pub(crate) articulation: Vec<u32>,
+    /// Per graph vertex: index into `articulation`, or `NIL`.
+    pub(crate) cut_index: Vec<u32>,
+    /// Per graph vertex: its block-cut-forest node, or `NIL` if
+    /// isolated.
+    pub(crate) node: Vec<u32>,
+    /// Binary-lifting table over forest nodes (`up[0]` = parent).
+    pub(crate) lca: LcaIndex,
+    /// DFS preorder number of each forest node (per tree, disjoint
+    /// globally), for O(1) ancestor tests.
+    pub(crate) pre: Vec<u32>,
+    /// Subtree size of each forest node.
+    pub(crate) size: Vec<u32>,
+    /// Normalized keys of bridge edges, sorted ascending.
+    pub(crate) bridge_keys: Vec<u64>,
+    /// Block node of each bridge, parallel to `bridge_keys`.
+    pub(crate) bridge_block: Vec<u32>,
+}
+
+impl BiconnectivityIndex {
+    /// Number of graph vertices the index covers.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of biconnected components (blocks).
+    #[inline]
+    pub fn num_blocks(&self) -> u32 {
+        self.num_blocks
+    }
+
+    /// The articulation points, ascending.
+    #[inline]
+    pub fn articulation_points(&self) -> &[u32] {
+        &self.articulation
+    }
+
+    /// Number of bridge edges.
+    #[inline]
+    pub fn num_bridges(&self) -> usize {
+        self.bridge_keys.len()
+    }
+
+    /// True if `v` is an articulation (cut) vertex. O(1).
+    #[inline]
+    pub fn is_articulation(&self, v: u32) -> bool {
+        self.cut_index[v as usize] != NIL
+    }
+
+    /// True if `u` and `v` are in the same connected component. O(1).
+    #[inline]
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        self.cc[u as usize] == self.cc[v as usize]
+    }
+
+    /// True if the edge `{u, v}` exists and is a bridge (its removal
+    /// disconnects its endpoints). O(log #bridges).
+    pub fn is_bridge(&self, u: u32, v: u32) -> bool {
+        self.bridge_lookup(u, v).is_some()
+    }
+
+    /// True if some biconnected component contains both `u` and `v`
+    /// (i.e. they survive the failure of any *third* vertex). By
+    /// convention `same_block(v, v)` is true. O(log n).
+    pub fn same_block(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        if !self.connected(u, v) {
+            return false;
+        }
+        let (a, b) = (self.node[u as usize], self.node[v as usize]);
+        if a == NIL || b == NIL {
+            return false; // isolated vertices share no block
+        }
+        // Forest distance 0/1/2 matches exactly the cut-endpoint count:
+        // block+block share iff the nodes coincide (dist 0), cut+block
+        // iff adjacent (dist 1), cut+cut iff both adjacent to a common
+        // block (dist 2). Any larger distance means separate blocks.
+        let cuts = u32::from(self.is_articulation(u)) + u32::from(self.is_articulation(v));
+        self.lca.path_length(a, b) == cuts
+    }
+
+    /// The articulation points whose individual failure separates `u`
+    /// from `v` — the cut vertices strictly inside the block-cut-forest
+    /// path between them (`u` and `v` themselves are never reported).
+    /// Empty when `u == v`, when they share a block, or when they are
+    /// already disconnected. Sorted ascending. O(log n + answer · path
+    /// walk), i.e. output-sensitive.
+    pub fn vertex_cut_between(&self, u: u32, v: u32) -> Vec<u32> {
+        let mut cuts = Vec::new();
+        if u == v || !self.connected(u, v) {
+            return cuts;
+        }
+        let (a, b) = (self.node[u as usize], self.node[v as usize]);
+        if a == NIL || b == NIL {
+            return cuts;
+        }
+        let l = self.lca.lca(a, b);
+        let mut collect = |x: u32| {
+            if let Some(c) = self.cut_vertex_of_node(x) {
+                if c != u && c != v {
+                    cuts.push(c);
+                }
+            }
+        };
+        let mut walk = a;
+        while walk != l {
+            collect(walk);
+            walk = self.lca.ancestor(walk, 1);
+        }
+        let mut walk = b;
+        while walk != l {
+            collect(walk);
+            walk = self.lca.ancestor(walk, 1);
+        }
+        collect(l);
+        cuts.sort_unstable();
+        cuts
+    }
+
+    /// Are `u` and `v` still connected after failure `f`? For vertex
+    /// failures, `f == u` or `f == v` answers false (the endpoint is
+    /// gone); for edge failures the endpoints stay. Removing an edge
+    /// that does not exist is a no-op. Pairs that were already
+    /// disconnected answer false; `u == v` answers true unless the
+    /// failed vertex is `u` itself. O(log n).
+    pub fn survives_failure(&self, u: u32, v: u32, f: Failure) -> bool {
+        if u == v {
+            return match f {
+                Failure::Vertex(x) => x != u,
+                Failure::Edge(..) => true,
+            };
+        }
+        if !self.connected(u, v) {
+            return false;
+        }
+        match f {
+            Failure::Vertex(x) => {
+                if x == u || x == v {
+                    return false;
+                }
+                if !self.is_articulation(x) || !self.connected(x, u) {
+                    return true; // can't separate anything relevant
+                }
+                let c = self.node[x as usize]; // x's cut node
+                let (a, b) = (self.node[u as usize], self.node[v as usize]);
+                // c != a and c != b here: a cut node is the image of
+                // its articulation vertex only, and x is neither u nor
+                // v — so "on path" is exactly "strictly between".
+                !self.on_path(c, a, b)
+            }
+            Failure::Edge(x, y) => {
+                let Some(bridge) = self.bridge_lookup(x, y) else {
+                    return true; // non-bridge (or absent) edges never cut
+                };
+                if !self.connected(x, u) {
+                    return true;
+                }
+                let (a, b) = (self.node[u as usize], self.node[v as usize]);
+                if a == bridge || b == bridge {
+                    // The endpoint's home *is* the bridge block: it is
+                    // a leaf whose only edge is the failed one.
+                    return false;
+                }
+                !self.on_path(bridge, a, b)
+            }
+        }
+    }
+
+    /// The bridge table slot for edge `{u, v}`, if it is a bridge.
+    #[inline]
+    fn bridge_lookup(&self, u: u32, v: u32) -> Option<u32> {
+        let key = bcc_graph::Edge::new(u, v).key();
+        self.bridge_keys
+            .binary_search(&key)
+            .ok()
+            .map(|i| self.bridge_block[i])
+    }
+
+    /// The articulation vertex a forest node stands for, if it is a
+    /// cut node.
+    #[inline]
+    fn cut_vertex_of_node(&self, x: u32) -> Option<u32> {
+        x.checked_sub(self.num_blocks)
+            .map(|i| self.articulation[i as usize])
+    }
+
+    /// O(1) ancestor test over forest nodes via preorder intervals.
+    #[inline]
+    fn is_ancestor(&self, a: u32, d: u32) -> bool {
+        let pa = self.pre[a as usize];
+        let pd = self.pre[d as usize];
+        pd >= pa && pd - pa < self.size[a as usize]
+    }
+
+    /// True if forest node `c` lies on the tree path from `a` to `b`
+    /// (all three must be in the same tree). One LCA = O(log n).
+    fn on_path(&self, c: u32, a: u32, b: u32) -> bool {
+        let l = self.lca.lca(a, b);
+        (self.is_ancestor(c, a) || self.is_ancestor(c, b)) && self.is_ancestor(l, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::gen;
+    use bcc_smp::Pool;
+
+    fn idx(g: &bcc_graph::Graph) -> BiconnectivityIndex {
+        BiconnectivityIndex::from_graph(&Pool::new(2), g)
+    }
+
+    #[test]
+    fn two_cliques() {
+        // Cliques {0..3} and {3..6} sharing the cut vertex 3 (n = 7).
+        let g = gen::two_cliques_sharing_vertex(4);
+        let i = idx(&g);
+        assert_eq!(i.num_blocks(), 2);
+        assert_eq!(i.articulation_points(), &[3]);
+        assert_eq!(i.num_bridges(), 0);
+        assert!(i.is_articulation(3) && !i.is_articulation(0));
+        assert!(i.same_block(0, 2) && i.same_block(0, 3) && i.same_block(3, 5));
+        assert!(!i.same_block(0, 4));
+        assert!(!i.is_bridge(0, 1)); // clique edge, not a bridge
+        assert_eq!(i.vertex_cut_between(0, 6), vec![3]);
+        assert_eq!(i.vertex_cut_between(0, 3), Vec::<u32>::new());
+        assert_eq!(i.vertex_cut_between(0, 1), Vec::<u32>::new());
+        assert!(!i.survives_failure(0, 6, Failure::Vertex(3)));
+        assert!(i.survives_failure(0, 6, Failure::Vertex(1)));
+        assert!(i.survives_failure(0, 6, Failure::Edge(3, 5)));
+        assert!(i.survives_failure(0, 2, Failure::Vertex(3)));
+    }
+
+    #[test]
+    fn barbell_with_bridges() {
+        // Cliques {0,1,2} and {4,5,6} joined by the path 2-3-4.
+        let g = gen::barbell(3, 2);
+        let i = idx(&g);
+        assert_eq!(i.articulation_points(), &[2, 3, 4]);
+        assert_eq!(i.num_bridges(), 2);
+        assert!(i.is_bridge(2, 3) && i.is_bridge(4, 3));
+        assert!(!i.is_bridge(0, 1));
+        assert!(!i.is_bridge(0, 6)); // not even an edge
+        assert!(i.same_block(2, 3) && i.same_block(3, 4)); // bridge blocks
+        assert!(!i.same_block(2, 4));
+        assert_eq!(i.vertex_cut_between(0, 6), vec![2, 3, 4]);
+        assert_eq!(i.vertex_cut_between(1, 3), vec![2]);
+        assert!(!i.survives_failure(0, 6, Failure::Edge(2, 3)));
+        assert!(!i.survives_failure(0, 6, Failure::Vertex(3)));
+        assert!(i.survives_failure(0, 2, Failure::Edge(2, 3)));
+        assert!(i.survives_failure(0, 1, Failure::Vertex(3)));
+        // Order of bridge endpoints must not matter.
+        assert!(!i.survives_failure(6, 0, Failure::Edge(3, 2)));
+    }
+
+    #[test]
+    fn leaf_endpoint_of_a_bridge() {
+        // Path 0-1-2-3-4: every edge a bridge, 0 and 4 are leaves.
+        let g = gen::path(5);
+        let i = idx(&g);
+        assert_eq!(i.num_bridges(), 4);
+        assert!(!i.survives_failure(0, 4, Failure::Edge(0, 1)));
+        assert!(!i.survives_failure(0, 1, Failure::Edge(0, 1)));
+        assert!(i.survives_failure(1, 4, Failure::Edge(0, 1)));
+        assert_eq!(i.vertex_cut_between(0, 4), vec![1, 2, 3]);
+        assert!(i.same_block(0, 1) && !i.same_block(0, 2));
+    }
+
+    #[test]
+    fn biconnected_graph_has_no_cuts() {
+        let i = idx(&gen::wheel(10));
+        assert_eq!(i.num_blocks(), 1);
+        assert!(i.articulation_points().is_empty());
+        for u in 0..10 {
+            for v in 0..10 {
+                assert!(i.same_block(u, v));
+                assert!(i.vertex_cut_between(u, v).is_empty());
+            }
+        }
+        assert!(i.survives_failure(1, 5, Failure::Vertex(0)));
+        assert!(i.survives_failure(1, 5, Failure::Edge(0, 1)));
+    }
+
+    #[test]
+    fn disconnected_and_isolated_vertices() {
+        // Triangle {0,1,2}, edge {3,4}, isolated 5.
+        let g = bcc_graph::Graph::from_tuples(6, [(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let i = idx(&g);
+        assert!(i.connected(0, 2) && !i.connected(0, 3) && !i.connected(5, 0));
+        assert!(!i.same_block(0, 3));
+        assert!(i.same_block(5, 5)); // convention: reflexive
+        assert!(!i.same_block(5, 0));
+        assert!(i.vertex_cut_between(0, 4).is_empty()); // disconnected
+        assert!(!i.survives_failure(0, 3, Failure::Vertex(1))); // never connected
+        assert!(i.survives_failure(5, 5, Failure::Edge(0, 1)));
+        assert!(!i.survives_failure(5, 5, Failure::Vertex(5)));
+        assert!(i.is_bridge(3, 4));
+    }
+
+    #[test]
+    fn self_and_endpoint_failures() {
+        let g = gen::cycle(6);
+        let i = idx(&g);
+        assert!(!i.survives_failure(2, 2, Failure::Vertex(2)));
+        assert!(i.survives_failure(2, 2, Failure::Vertex(3)));
+        assert!(!i.survives_failure(2, 5, Failure::Vertex(2)));
+        assert!(!i.survives_failure(2, 5, Failure::Vertex(5)));
+        assert!(i.survives_failure(2, 5, Failure::Edge(2, 3))); // cycle survives
+                                                                // Removing a non-existent edge is a no-op.
+        assert!(i.survives_failure(2, 5, Failure::Edge(0, 3)));
+    }
+}

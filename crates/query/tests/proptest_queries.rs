@@ -1,0 +1,107 @@
+//! Property tests (satellite of the query-engine PR): on random graphs
+//! from `bcc_graph::gen`, sampled `(u, v, f)` triples must answer
+//! `survives_failure` exactly like a naive BFS on the graph with `f`
+//! removed, `vertex_cut_between` must match recomputed articulation
+//! points, and every other point query must match its naive
+//! recomputation.
+
+use bcc_graph::gen;
+use bcc_query::{naive, BiconnectivityIndex, Failure, Query};
+use bcc_smp::Pool;
+use proptest::prelude::*;
+
+/// Strategy: a connected random graph plus a sampled query triple.
+fn graph_and_triple() -> impl Strategy<Value = (bcc_graph::Graph, u32, u32, u32)> {
+    (8u32..60, 0usize..120, any::<u64>()).prop_flat_map(|(n, extra, seed)| {
+        let m = ((n as usize - 1) + extra).min(gen::max_edges(n));
+        let g = gen::random_connected(n, m, seed);
+        (Just(g), 0..n, 0..n, 0..n)
+    })
+}
+
+/// Strategy: a sparse (often disconnected) graph plus a triple.
+fn sparse_graph_and_triple() -> impl Strategy<Value = (bcc_graph::Graph, u32, u32, u32)> {
+    (8u32..50, 0usize..40, any::<u64>()).prop_flat_map(|(n, m, seed)| {
+        let g = gen::random_gnm(n, m.min(gen::max_edges(n)), seed);
+        (Just(g), 0..n, 0..n, 0..n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn survives_vertex_failure_matches_bfs((g, u, v, x) in graph_and_triple()) {
+        let pool = Pool::new(2);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        let f = Failure::Vertex(x);
+        prop_assert_eq!(
+            idx.survives_failure(u, v, f),
+            naive::survives_failure_bfs(&g, u, v, f),
+            "u={} v={} x={}", u, v, x
+        );
+    }
+
+    #[test]
+    fn survives_edge_failure_matches_bfs((g, u, v, x) in graph_and_triple()) {
+        let pool = Pool::new(2);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        // Test both a real edge (when x indexes one) and a random pair.
+        let e = g.edges()[x as usize % g.m()];
+        for f in [Failure::Edge(e.u, e.v), Failure::Edge(u, x)] {
+            prop_assert_eq!(
+                idx.survives_failure(u, v, f),
+                naive::survives_failure_bfs(&g, u, v, f),
+                "u={} v={} f={:?}", u, v, f
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_cut_matches_recomputed_articulation_points((g, u, v, _x) in graph_and_triple()) {
+        let pool = Pool::new(2);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        // The naive answer *is* a recomputation per candidate vertex;
+        // additionally every reported vertex must be an articulation
+        // point of the graph.
+        let cut = idx.vertex_cut_between(u, v);
+        prop_assert_eq!(&cut, &naive::vertex_cut_between_bfs(&g, u, v), "u={} v={}", u, v);
+        let arts = bcc_core::verify::articulation_points_oracle(&g);
+        for w in &cut {
+            prop_assert!(arts.binary_search(w).is_ok(), "{} not an articulation point", w);
+        }
+    }
+
+    #[test]
+    fn point_queries_match_naive_even_disconnected((g, u, v, x) in sparse_graph_and_triple()) {
+        let pool = Pool::new(2);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        prop_assert_eq!(idx.connected(u, v), naive::connected_bfs(&g, u, v));
+        prop_assert_eq!(idx.same_block(u, v), naive::same_block_bfs(&g, u, v));
+        prop_assert_eq!(idx.is_bridge(u, v), naive::is_bridge_bfs(&g, u, v));
+        let arts = bcc_core::verify::articulation_points_oracle(&g);
+        prop_assert_eq!(idx.is_articulation(x), arts.binary_search(&x).is_ok());
+        let f = Failure::Vertex(x);
+        prop_assert_eq!(
+            idx.survives_failure(u, v, f),
+            naive::survives_failure_bfs(&g, u, v, f)
+        );
+    }
+
+    #[test]
+    fn batch_path_is_bit_identical_to_point_path((g, u, v, x) in graph_and_triple()) {
+        let pool = Pool::new(3);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        let queries = vec![
+            Query::Connected(u, v),
+            Query::SameBlock(u, v),
+            Query::IsArticulation(x),
+            Query::IsBridge(u, v),
+            Query::VertexCutBetween(u, v),
+            Query::SurvivesFailure(u, v, Failure::Vertex(x)),
+            Query::SurvivesFailure(u, v, Failure::Edge(u, x)),
+        ];
+        let point: Vec<_> = queries.iter().map(|q| idx.answer(q)).collect();
+        prop_assert_eq!(bcc_query::run_batch(&pool, &idx, &queries), point);
+    }
+}

@@ -1,0 +1,147 @@
+//! Randomized cross-checks of every indexed query against the naive
+//! BFS oracle, plus the batch-equals-point guarantee. Deterministic
+//! (seeded LCG for query sampling) so failures reproduce.
+
+use bcc_graph::{gen, Graph};
+use bcc_query::{naive, run_batch, Answer, BiconnectivityIndex, Failure, Query, QueryBatch};
+use bcc_smp::Pool;
+
+/// Minimal splitmix-style generator for sampling query arguments.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, bound: u32) -> u32 {
+        (self.next() % bound as u64) as u32
+    }
+}
+
+fn check_against_naive(g: &Graph, pool: &Pool, seed: u64, samples: usize) {
+    let idx = BiconnectivityIndex::from_graph(pool, g);
+    let n = g.n();
+    let mut rng = Lcg(seed.wrapping_mul(2654435761).wrapping_add(99991));
+    for _ in 0..samples {
+        let (u, v, x) = (rng.below(n), rng.below(n), rng.below(n));
+        // Edge failures: half the time a real edge, half a random pair.
+        let (a, b) = if g.m() > 0 && rng.next().is_multiple_of(2) {
+            let e = g.edges()[rng.next() as usize % g.m()];
+            (e.u, e.v)
+        } else {
+            (rng.below(n), rng.below(n))
+        };
+
+        assert_eq!(
+            idx.connected(u, v),
+            naive::connected_bfs(g, u, v),
+            "connected({u},{v})"
+        );
+        assert_eq!(
+            idx.same_block(u, v),
+            naive::same_block_bfs(g, u, v),
+            "same_block({u},{v})"
+        );
+        assert_eq!(
+            idx.is_bridge(a, b),
+            naive::is_bridge_bfs(g, a, b),
+            "is_bridge({a},{b})"
+        );
+        assert_eq!(
+            idx.vertex_cut_between(u, v),
+            naive::vertex_cut_between_bfs(g, u, v),
+            "vertex_cut_between({u},{v})"
+        );
+        assert_eq!(
+            idx.survives_failure(u, v, Failure::Vertex(x)),
+            naive::survives_failure_bfs(g, u, v, Failure::Vertex(x)),
+            "survives_failure({u},{v},Vertex({x}))"
+        );
+        assert_eq!(
+            idx.survives_failure(u, v, Failure::Edge(a, b)),
+            naive::survives_failure_bfs(g, u, v, Failure::Edge(a, b)),
+            "survives_failure({u},{v},Edge({a},{b}))"
+        );
+    }
+    // is_articulation against the removal oracle, exhaustively.
+    let arts = bcc_core::verify::articulation_points_oracle(g);
+    for v in 0..n {
+        assert_eq!(
+            idx.is_articulation(v),
+            arts.binary_search(&v).is_ok(),
+            "is_articulation({v})"
+        );
+    }
+}
+
+#[test]
+fn indexed_queries_match_naive_on_random_connected_graphs() {
+    for seed in 0..6u64 {
+        let g = gen::random_connected(60, 60 + (seed as usize) * 25, seed);
+        for p in [1, 3] {
+            check_against_naive(&g, &Pool::new(p), seed, 150);
+        }
+    }
+}
+
+#[test]
+fn indexed_queries_match_naive_on_disconnected_graphs() {
+    for seed in 0..6u64 {
+        // G(n, m) with few edges: several components, isolated
+        // vertices, trees, and small cycles.
+        let g = gen::random_gnm(50, 35, seed);
+        check_against_naive(&g, &Pool::new(2), seed, 150);
+    }
+}
+
+#[test]
+fn indexed_queries_match_naive_on_structured_graphs() {
+    let pool = Pool::new(3);
+    for (i, g) in [
+        gen::path(12),
+        gen::cycle(9),
+        gen::star(10),
+        gen::cycle_chain(4, 5, 0),
+        gen::barbell(4, 3),
+        gen::two_cliques_sharing_vertex(5),
+        gen::binary_tree(31),
+    ]
+    .iter()
+    .enumerate()
+    {
+        check_against_naive(g, &pool, i as u64, 200);
+    }
+}
+
+#[test]
+fn batch_answers_are_bit_identical_to_point_answers() {
+    let g = gen::random_connected(120, 260, 11);
+    let pool = Pool::new(4);
+    let idx = BiconnectivityIndex::from_graph(&pool, &g);
+    let mut rng = Lcg(0xB1C0);
+    let n = g.n();
+    let mut batch = QueryBatch::new();
+    for _ in 0..500 {
+        let (u, v, x) = (rng.below(n), rng.below(n), rng.below(n));
+        batch.extend([
+            Query::Connected(u, v),
+            Query::SameBlock(u, v),
+            Query::IsArticulation(x),
+            Query::IsBridge(u, v),
+            Query::VertexCutBetween(u, v),
+            Query::SurvivesFailure(u, v, Failure::Vertex(x)),
+            Query::SurvivesFailure(u, v, Failure::Edge(u, x)),
+        ]);
+    }
+    let point: Vec<Answer> = batch.queries().iter().map(|q| idx.answer(q)).collect();
+    for p in [1, 2, 4] {
+        let par_pool = Pool::new(p);
+        assert_eq!(batch.run(&par_pool, &idx), point, "p={p}");
+        assert_eq!(run_batch(&par_pool, &idx, batch.queries()), point, "p={p}");
+    }
+}

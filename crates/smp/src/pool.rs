@@ -183,6 +183,37 @@ impl Pool {
             .map(|m| m.into_inner().unwrap().expect("thread produced no value"))
             .collect()
     }
+
+    /// Applies `f` to every item of a slice under static block
+    /// partitioning and returns the results in input order — the
+    /// batch-execution helper behind the query engine's fan-out. `f`
+    /// receives `(index, &item)`.
+    ///
+    /// Each thread fills its own contiguous block, so results are
+    /// assembled by concatenating per-thread vectors in tid order (block
+    /// ranges tile `0..items.len()` ascending); answers are therefore
+    /// identical to a sequential `items.iter().map(...)` run.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let parts = self.run_map(|ctx| {
+            let r = ctx.block_range(items.len());
+            let start = r.start;
+            items[r]
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(start + i, t))
+                .collect::<Vec<R>>()
+        });
+        let mut all = Vec::with_capacity(items.len());
+        for p in parts {
+            all.extend(p);
+        }
+        all
+    }
 }
 
 /// Blocks until all workers finish the current phase, then clears the
@@ -417,6 +448,27 @@ mod tests {
         let pool = Pool::new(6);
         let got = pool.run_map(|ctx| ctx.tid() * 10);
         assert_eq!(got, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for p in [1, 3, 4, 7] {
+            let pool = Pool::new(p);
+            let items: Vec<u64> = (0..1013).collect();
+            let got = pool.par_map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            let want: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_fewer_items_than_threads() {
+        let pool = Pool::new(6);
+        assert_eq!(pool.par_map(&[] as &[u32], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(pool.par_map(&[9u32, 4], |_, &x| x + 1), vec![10, 5]);
     }
 
     #[test]

@@ -1,17 +1,27 @@
-//! Fault-tolerant network design — the paper's motivating application.
+//! Fault-tolerant network analysis — the paper's motivating
+//! application, served through the query engine.
 //!
 //! Builds a synthetic two-tier network (a biconnected backbone ring of
 //! core routers with redundant chords, plus access trees hanging off
-//! it), finds its biconnected components, and reports exactly where a
-//! single router or link failure would partition the network: the
-//! articulation points and bridges.
+//! it), indexes it once with [`bcc_query::BiconnectivityIndex`], and
+//! then does what a monitoring system does all day:
+//!
+//! 1. point queries — which routers are single points of failure, who
+//!    survives a given router/link going down, which cut routers stand
+//!    between two hosts;
+//! 2. a pool-parallel batch — failure impact for thousands of host
+//!    pairs at once;
+//! 3. a failure injection — severs an uplink through the epoch-based
+//!    [`bcc_query::IndexStore`] and queries the freshly published
+//!    snapshot while the old epoch stays valid.
 //!
 //! ```text
 //! cargo run --release --example network_resilience [backbone] [sites] [hosts_per_site] [seed]
 //! ```
 
 use rand::prelude::*;
-use smp_bcc::{biconnected_components, Algorithm, Edge, Graph, Pool};
+use smp_bcc::query::{EdgeUpdate, Failure, IndexStore, Query, QueryBatch};
+use smp_bcc::{Edge, Graph, Pool};
 
 fn build_network(backbone: u32, sites: u32, hosts_per_site: u32, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -77,57 +87,114 @@ fn main() {
     let seed = arg(4, 7) as u64;
 
     let g = build_network(backbone, sites, hosts, seed);
+    let n = g.n();
     println!(
         "network: {} nodes, {} links ({} core, {} sites x {} hosts)\n",
-        g.n(),
+        n,
         g.m(),
         backbone,
         sites,
         hosts
     );
 
+    // ---- Build once ----------------------------------------------------
     let pool = Pool::machine();
-    let r = biconnected_components(&pool, &g, Algorithm::TvFilter).expect("connected");
-
-    let arts = r.articulation_points(&g);
-    let bridges = r.bridges(&g);
-    println!("biconnected components: {}", r.num_components);
+    let t0 = std::time::Instant::now();
+    let store = IndexStore::new(pool.clone(), g);
+    let snap = store.load();
+    println!(
+        "index built in {:?} on {} threads (epoch {})",
+        t0.elapsed(),
+        pool.threads(),
+        snap.epoch
+    );
+    let arts = snap.index.articulation_points();
+    println!("biconnected components: {}", snap.index.num_blocks());
     println!(
         "single-point-of-failure routers (articulation points): {}",
         arts.len()
     );
     println!(
         "single-point-of-failure links (bridges): {}\n",
-        bridges.len()
+        snap.index.num_bridges()
     );
 
-    // Classify the failure domains.
-    let core_arts = arts.iter().filter(|&&v| v < backbone).count();
-    let site_arts = arts
-        .iter()
-        .filter(|&&v| v >= backbone && is_site_router(v, backbone, hosts))
-        .count();
-    println!("  core routers that are cut vertices:  {core_arts}");
-    println!("  site routers that are cut vertices:  {site_arts}");
+    // ---- Point queries -------------------------------------------------
+    // Two hosts on different sites: what stands between them?
+    let host_a = backbone + 1; // first host of site 0
+    let host_b = backbone + (1 + hosts) + 1; // first host of site 1
+    println!("hosts {host_a} and {host_b} (different sites):");
     println!(
-        "  host-tree cut vertices:               {}",
-        arts.len() - core_arts - site_arts
+        "  same block?            {}",
+        snap.index.same_block(host_a, host_b)
     );
-
-    // The biggest block should be the redundant core.
-    let mut block_sizes = std::collections::HashMap::new();
-    for &c in &r.edge_comp {
-        *block_sizes.entry(c).or_insert(0usize) += 1;
+    let cut = snap.index.vertex_cut_between(host_a, host_b);
+    println!("  routers between them:  {} cut vertices", cut.len());
+    if let Some(&worst) = cut.first() {
+        println!(
+            "  surviving failure of router {worst}? {}",
+            snap.index
+                .survives_failure(host_a, host_b, Failure::Vertex(worst))
+        );
     }
-    let largest = block_sizes.values().copied().max().unwrap_or(0);
     println!(
-        "\nlargest biconnected block: {largest} links (the redundant core + dual-homed sites)"
+        "  surviving a core ring link loss? {}\n",
+        snap.index
+            .survives_failure(host_a, host_b, Failure::Edge(0, 1))
     );
-    println!("time: {:?} on {} threads", r.phases.total, pool.threads());
-}
 
-/// Site routers are the first vertex of each (1 + hosts) block after the
-/// backbone.
-fn is_site_router(v: u32, backbone: u32, hosts_per_site: u32) -> bool {
-    (v - backbone).is_multiple_of(1 + hosts_per_site)
+    // ---- Batch: failure impact over many host pairs --------------------
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C4);
+    let mut batch = QueryBatch::new();
+    let probe = arts.first().copied().unwrap_or(0);
+    for _ in 0..50_000 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        batch.push(Query::SurvivesFailure(u, v, Failure::Vertex(probe)));
+    }
+    let t1 = std::time::Instant::now();
+    let answers = batch.run(&pool, &snap.index);
+    let dt = t1.elapsed();
+    let survivors = answers.iter().filter(|a| a.as_bool()).count();
+    println!(
+        "batch: {} random pairs vs failure of router {probe}: {:.1}% survive",
+        batch.len(),
+        100.0 * survivors as f64 / batch.len() as f64
+    );
+    println!(
+        "       answered in {:?} ({:.1}M queries/s on {} threads)\n",
+        dt,
+        batch.len() as f64 / dt.as_secs_f64() / 1e6,
+        pool.threads()
+    );
+
+    // ---- Failure injection through the store ---------------------------
+    // Sever site 0's uplink: the first edge out of the backbone.
+    let site0 = backbone;
+    let uplink = snap
+        .graph
+        .edges()
+        .iter()
+        .find(|e| e.u.max(e.v) == site0)
+        .copied()
+        .expect("site 0 has an uplink");
+    store.enqueue(EdgeUpdate::Remove(uplink.u, uplink.v));
+    let t2 = std::time::Instant::now();
+    let after = store.commit();
+    println!(
+        "injected failure of uplink ({}, {}): rebuilt epoch {} in {:?}",
+        uplink.u,
+        uplink.v,
+        after.epoch,
+        t2.elapsed()
+    );
+    println!(
+        "  host {host_a} reaches the core now?   {}",
+        after.index.connected(host_a, 0)
+    );
+    println!(
+        "  ...but the epoch-{} snapshot still answers from before: {}",
+        snap.epoch,
+        snap.index.connected(host_a, 0)
+    );
 }

@@ -35,12 +35,28 @@
 //! let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
 //! println!("{} components in {:?}", r.num_components, r.phases.total);
 //! ```
+//!
+//! Once the components are known, the [`query`] engine serves
+//! connectivity-under-failure questions from a build-once index:
+//!
+//! ```
+//! use smp_bcc::query::Failure;
+//! use smp_bcc::{BiconnectivityIndex, Pool};
+//! use smp_bcc::graph::gen;
+//!
+//! let g = gen::two_cliques_sharing_vertex(4); // cut vertex 3
+//! let pool = Pool::new(2);
+//! let idx = BiconnectivityIndex::from_graph(&pool, &g);
+//! assert!(idx.same_block(0, 3) && !idx.same_block(0, 5));
+//! assert!(!idx.survives_failure(0, 5, Failure::Vertex(3)));
+//! ```
 
 pub use bcc_connectivity as connectivity;
 pub use bcc_core as algorithms;
 pub use bcc_euler as euler;
 pub use bcc_graph as graph;
 pub use bcc_primitives as primitives;
+pub use bcc_query as query;
 pub use bcc_smp as smp;
 
 pub use bcc_core::per_component::biconnected_components_per_component;
@@ -49,6 +65,7 @@ pub use bcc_core::{
     PhaseTimes,
 };
 pub use bcc_graph::{Csr, Edge, Graph};
+pub use bcc_query::{BiconnectivityIndex, IndexStore};
 pub use bcc_smp::Pool;
 
 /// One-call convenience API: runs `alg` on `g` with a machine-sized
