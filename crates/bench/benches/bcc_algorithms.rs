@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bcc_core::{biconnected_components, Algorithm};
+use bcc_core::{Algorithm, BccConfig};
 use bcc_graph::gen;
 use bcc_smp::Pool;
 
@@ -18,7 +18,10 @@ fn bench_bcc_sparse(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         let pool = Pool::new(1);
         b.iter(|| {
-            let r = biconnected_components(&pool, &g, Algorithm::Sequential).unwrap();
+            let r = BccConfig::new(Algorithm::Sequential)
+                .run(&pool, &g)
+                .unwrap()
+                .result;
             std::hint::black_box(r.num_components)
         })
     });
@@ -27,7 +30,7 @@ fn bench_bcc_sparse(c: &mut Criterion) {
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
             group.bench_with_input(BenchmarkId::new(alg.name(), p), &p, |b, _| {
                 b.iter(|| {
-                    let r = biconnected_components(&pool, &g, alg).unwrap();
+                    let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
                     std::hint::black_box(r.num_components)
                 })
             });
@@ -44,7 +47,10 @@ fn bench_bcc_dense(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         let pool = Pool::new(1);
         b.iter(|| {
-            let r = biconnected_components(&pool, &g, Algorithm::Sequential).unwrap();
+            let r = BccConfig::new(Algorithm::Sequential)
+                .run(&pool, &g)
+                .unwrap()
+                .result;
             std::hint::black_box(r.num_components)
         })
     });
@@ -53,7 +59,7 @@ fn bench_bcc_dense(c: &mut Criterion) {
         for alg in [Algorithm::TvOpt, Algorithm::TvFilter] {
             group.bench_with_input(BenchmarkId::new(alg.name(), p), &p, |b, _| {
                 b.iter(|| {
-                    let r = biconnected_components(&pool, &g, alg).unwrap();
+                    let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
                     std::hint::black_box(r.num_components)
                 })
             });
@@ -68,7 +74,10 @@ fn bench_derived_outputs(c: &mut Criterion) {
     group.sample_size(10);
     let g = gen::random_connected(N, 3 * N as usize, 21);
     let pool1 = Pool::new(1);
-    let r = biconnected_components(&pool1, &g, Algorithm::TvFilter).unwrap();
+    let r = BccConfig::new(Algorithm::TvFilter)
+        .run(&pool1, &g)
+        .unwrap()
+        .result;
     group.bench_function("articulation_seq", |b| {
         b.iter(|| std::hint::black_box(articulation_points(&g, &r.edge_comp).len()))
     });

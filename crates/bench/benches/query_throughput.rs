@@ -43,7 +43,7 @@ fn bench_query_throughput(c: &mut Criterion) {
     // and non-trivial blocks (so queries exercise every code path).
     let g = gen::random_connected(N, 2 * N as usize, 33);
     let build_pool = Pool::machine();
-    let idx = BiconnectivityIndex::from_graph(&build_pool, &g);
+    let idx = BiconnectivityIndex::from_graph(&build_pool, &g).unwrap();
     let machine = build_pool.threads();
 
     let mut group = c.benchmark_group("query_throughput");
@@ -66,7 +66,7 @@ fn bench_point_queries(c: &mut Criterion) {
     // O(log n) claim.
     let g = gen::cycle_chain(2_000, 40, 0); // deep block-cut tree
     let pool = Pool::machine();
-    let idx = BiconnectivityIndex::from_graph(&pool, &g);
+    let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
     let n = g.n();
     let mut group = c.benchmark_group("query_point");
     group.bench_function("same_block", |b| {

@@ -12,7 +12,7 @@
 //! ```
 
 use bcc_bench::{fmt_dur, maybe_write_json, time_median, Options, Record};
-use bcc_core::{biconnected_components, Algorithm};
+use bcc_core::{Algorithm, BccConfig};
 use bcc_graph::gen;
 use bcc_smp::Pool;
 
@@ -35,11 +35,17 @@ fn main() {
         let g = gen::random_connected(n, m, opts.seed);
 
         let opt = time_median(opts.runs, || {
-            let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
+            let r = BccConfig::new(Algorithm::TvOpt)
+                .run(&pool, &g)
+                .unwrap()
+                .result;
             std::hint::black_box(r.num_components);
         });
         let filt = time_median(opts.runs, || {
-            let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+            let r = BccConfig::new(Algorithm::TvFilter)
+                .run(&pool, &g)
+                .unwrap()
+                .result;
             std::hint::black_box(r.num_components);
         });
         let filtered = m.saturating_sub(2 * (n as usize - 1));
@@ -69,11 +75,17 @@ fn main() {
     let chain_n = (n / 10).max(1_000);
     let g = gen::path(chain_n);
     let opt = time_median(opts.runs, || {
-        let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
+        let r = BccConfig::new(Algorithm::TvOpt)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         std::hint::black_box(r.num_components);
     });
     let filt = time_median(opts.runs, || {
-        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         std::hint::black_box(r.num_components);
     });
     println!(

@@ -1,0 +1,153 @@
+//! `bcc-bench` — the paper's experiment grid in one command.
+//!
+//! ```text
+//! bcc-bench [--smoke] [--n <vertices>] [--p <max threads>]
+//!           [--trials <k>] [--seed <u64>] [--out <path>]
+//! bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]
+//! ```
+//!
+//! The default run sweeps every graph family × every algorithm ×
+//! p ∈ {1, 2, 4, …, max} with median-of-k timing and writes
+//! `BENCH_bcc.json` (schema in `bcc_bench::grid`). `--smoke` shrinks
+//! the grid to CI size. `compare` exits non-zero when the candidate
+//! document is more than `--threshold` percent slower than the
+//! baseline on any matching cell.
+
+use bcc_bench::grid::{self, GridConfig};
+use bcc_bench::json;
+use bcc_smp::Pool;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        return run_compare(&args[1..]);
+    }
+    run_grid_cli(&args)
+}
+
+fn bad_usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--out <path>]");
+    eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]");
+    ExitCode::from(2)
+}
+
+fn run_grid_cli(args: &[String]) -> ExitCode {
+    let machine = Pool::default_threads();
+    let mut cfg = GridConfig::full(machine);
+    let mut out = String::from("BENCH_bcc.json");
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        if key == "--smoke" {
+            let threads = cfg.threads.clone();
+            cfg = GridConfig::smoke(machine);
+            cfg.threads = threads;
+            i += 1;
+            continue;
+        }
+        if key == "--help" || key == "-h" {
+            return bad_usage("bcc-bench: run the full experiment grid");
+        }
+        let Some(val) = args.get(i + 1) else {
+            return bad_usage(&format!("missing value for {key}"));
+        };
+        let parsed = match key {
+            "--n" => val.parse().map(|n| cfg.n = n).is_ok(),
+            "--p" => val
+                .parse()
+                .map(|p| cfg.threads = grid::thread_sweep(p))
+                .is_ok(),
+            "--trials" => val.parse().map(|t| cfg.trials = t).is_ok(),
+            "--seed" => val.parse().map(|s| cfg.seed = s).is_ok(),
+            "--out" => {
+                out = val.clone();
+                true
+            }
+            other => return bad_usage(&format!("unknown flag {other}")),
+        };
+        if !parsed {
+            return bad_usage(&format!("bad value for {key}: {val}"));
+        }
+        i += 2;
+    }
+
+    eprintln!(
+        "bcc-bench grid: n={} threads={:?} trials={} seed={}{}",
+        cfg.n,
+        cfg.threads,
+        cfg.trials,
+        cfg.seed,
+        if cfg.smoke { " (smoke)" } else { "" }
+    );
+    let doc = grid::run_grid(&cfg, |line| eprintln!("  {line}"));
+    if let Err(e) = std::fs::write(&out, doc.pretty()) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let cells = doc
+        .get("entries")
+        .and_then(json::Json::as_arr)
+        .map_or(0, <[json::Json]>::len);
+    eprintln!("wrote {cells} cells to {out}");
+    ExitCode::SUCCESS
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = vec![];
+    let mut threshold = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            let Some(val) = args.get(i + 1) else {
+                return bad_usage("missing value for --threshold");
+            };
+            match val.parse() {
+                Ok(t) => threshold = t,
+                Err(_) => return bad_usage(&format!("bad value for --threshold: {val}")),
+            }
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [base_path, cand_path] = paths[..] else {
+        return bad_usage("compare needs exactly two BENCH files");
+    };
+    let load = |path: &str| -> Result<json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match grid::compare(&base, &cand, threshold) {
+        Err(e) => {
+            eprintln!("compare failed: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(regressions) if regressions.is_empty() => {
+            eprintln!("no regressions above {threshold}% ({base_path} -> {cand_path})");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            eprintln!(
+                "{} cell(s) regressed by more than {threshold}%:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!(
+                    "  {:<40} {:>10.6}s -> {:>10.6}s  (+{:.1}%)",
+                    r.key, r.baseline, r.candidate, r.slowdown_pct
+                );
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

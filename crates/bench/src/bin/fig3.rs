@@ -11,7 +11,7 @@
 //! ```
 
 use bcc_bench::{fmt_dur, maybe_write_json, time_median, Options, Record};
-use bcc_core::{biconnected_components, Algorithm};
+use bcc_core::{Algorithm, BccConfig};
 use bcc_graph::gen;
 use bcc_smp::Pool;
 
@@ -35,7 +35,10 @@ fn main() {
 
         // Sequential baseline.
         let seq = time_median(opts.runs, || {
-            let r = biconnected_components(&Pool::new(1), &g, Algorithm::Sequential).unwrap();
+            let r = BccConfig::new(Algorithm::Sequential)
+                .run(&Pool::new(1), &g)
+                .unwrap()
+                .result;
             std::hint::black_box(r.num_components);
         });
         println!("  {:<11} {:>10}", "Sequential", fmt_dur(seq));
@@ -62,7 +65,7 @@ fn main() {
             for &p in &opts.thread_sweep() {
                 let pool = Pool::new(p);
                 let d = time_median(opts.runs, || {
-                    let r = biconnected_components(&pool, &g, alg).unwrap();
+                    let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
                     std::hint::black_box(r.num_components);
                 });
                 row.push_str(&format!("{:>10}", fmt_dur(d)));

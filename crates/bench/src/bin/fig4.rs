@@ -9,7 +9,7 @@
 //! `--p` here is the single thread count to instrument (paper: 12).
 
 use bcc_bench::{fmt_dur, maybe_write_json, Options, Record};
-use bcc_core::{biconnected_components, Algorithm, PhaseTimes};
+use bcc_core::{Algorithm, BccConfig, PhaseTimes};
 use bcc_graph::gen;
 use bcc_smp::Pool;
 
@@ -38,7 +38,7 @@ fn main() {
             // `runs` total runs (phases are stable at these sizes).
             let mut best: Option<(PhaseTimes, bcc_core::PipelineStats)> = None;
             for _ in 0..opts.runs.max(1) {
-                let r = biconnected_components(&pool, &g, alg).unwrap();
+                let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
                 if best.as_ref().is_none_or(|(b, _)| r.phases.total < b.total) {
                     best = Some((r.phases, r.stats));
                 }

@@ -8,7 +8,7 @@
 //! ```
 
 use bcc_bench::{fmt_dur, maybe_write_json, Options, Record};
-use bcc_core::{biconnected_components, Algorithm};
+use bcc_core::{Algorithm, BccConfig};
 use bcc_graph::gen;
 use bcc_smp::Pool;
 use std::time::Instant;
@@ -28,7 +28,10 @@ fn main() {
         eprintln!("  generated in {}", fmt_dur(t.elapsed()));
 
         println!("== n = {n}, m = {m} ==");
-        let seq = biconnected_components(&Pool::new(1), &g, Algorithm::Sequential).unwrap();
+        let seq = BccConfig::new(Algorithm::Sequential)
+            .run(&Pool::new(1), &g)
+            .unwrap()
+            .result;
         println!(
             "  {:<11} {:>10}   ({} biconnected components)",
             "Sequential",
@@ -48,7 +51,7 @@ fn main() {
         for &p in &[1usize, opts.max_threads] {
             let pool = Pool::new(p);
             for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
-                let r = biconnected_components(&pool, &g, alg).unwrap();
+                let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
                 assert_eq!(r.edge_comp, seq.edge_comp, "{} must agree", alg.name());
                 println!(
                     "  {:<11} {:>10}   p={p:<2} effective m = {:>9}  aux = {}/{}",

@@ -9,7 +9,7 @@
 //! ```
 
 use bcc_bench::{fmt_dur, maybe_write_json, time_median, Options, Record};
-use bcc_core::{biconnected_components, Algorithm};
+use bcc_core::{Algorithm, BccConfig};
 use bcc_graph::gen;
 use bcc_smp::Pool;
 
@@ -27,7 +27,10 @@ fn main() {
             assert!(bcc_graph::validate::is_connected(&g));
 
             let seq = time_median(opts.runs, || {
-                let r = biconnected_components(&Pool::new(1), &g, Algorithm::Sequential).unwrap();
+                let r = BccConfig::new(Algorithm::Sequential)
+                    .run(&Pool::new(1), &g)
+                    .unwrap()
+                    .result;
                 std::hint::black_box(r.num_components);
             });
             records.push(Record {
@@ -43,7 +46,10 @@ fn main() {
             let p = opts.max_threads;
             let pool = Pool::new(p);
             let par = time_median(opts.runs, || {
-                let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+                let r = BccConfig::new(Algorithm::TvFilter)
+                    .run(&pool, &g)
+                    .unwrap()
+                    .result;
                 std::hint::black_box(r.num_components);
             });
             records.push(Record {

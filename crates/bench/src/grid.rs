@@ -1,0 +1,473 @@
+//! The paper's experiment grid as a library: graph families ×
+//! algorithms × thread counts × trials, reduced to a `BENCH_bcc.json`
+//! document, plus the regression comparator behind `bcc-bench compare`.
+//!
+//! Keeping this in the library (rather than the binary) makes the
+//! schema testable: the golden-schema test emits a grid, parses it
+//! back, and checks every field the plotting and CI tooling relies on.
+
+use crate::json::Json;
+use bcc_core::{Algorithm, BccConfig, PhaseReport};
+use bcc_graph::{gen, Graph};
+use bcc_smp::{Pool, Telemetry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Version stamp for the `BENCH_bcc.json` layout; bump on breaking
+/// schema changes so `compare` can refuse mismatched documents.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Graph families the grid sweeps — the paper's three workload shapes:
+/// random sparse graphs, regular meshes, and the articulation-heavy
+/// chain of cycles.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// `random_connected(n, 4n)` — the paper's random sparse inputs.
+    RandomSparse,
+    /// `torus(k, k)` with `k = floor(sqrt(n))` — the mesh family.
+    Torus,
+    /// `cycle_chain(n/8, 8)` — many small blocks joined by bridges.
+    CycleChain,
+}
+
+impl Family {
+    /// Every family, in presentation order.
+    pub const ALL: [Family; 3] = [Family::RandomSparse, Family::Torus, Family::CycleChain];
+
+    /// Name used in the JSON document.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::RandomSparse => "random-sparse",
+            Family::Torus => "torus",
+            Family::CycleChain => "cycle-chain",
+        }
+    }
+
+    /// The instance of this family with roughly `n` vertices.
+    pub fn generate(self, n: u32, seed: u64) -> Graph {
+        match self {
+            Family::RandomSparse => gen::random_connected(n, 4 * n as usize, seed),
+            Family::Torus => {
+                let k = (n as f64).sqrt().floor().max(3.0) as u32;
+                gen::torus(k, k)
+            }
+            Family::CycleChain => gen::cycle_chain((n / 8).max(2), 8, seed),
+        }
+    }
+}
+
+/// Grid parameters (what the `bcc-bench` CLI parses into).
+#[derive(Clone, Debug)]
+pub struct GridConfig {
+    /// Target vertex count per family instance.
+    pub n: u32,
+    /// Thread counts to sweep (must contain 1 for speedup baselines).
+    pub threads: Vec<usize>,
+    /// Timed repetitions per cell; medians are reported.
+    pub trials: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Marks the document as a smoke run (small sizes, CI-friendly).
+    pub smoke: bool,
+}
+
+impl GridConfig {
+    /// The default full-size grid for `max_threads` threads.
+    pub fn full(max_threads: usize) -> GridConfig {
+        GridConfig {
+            n: 20_000,
+            threads: thread_sweep(max_threads),
+            trials: 3,
+            seed: 42,
+            smoke: false,
+        }
+    }
+
+    /// A CI-sized grid: seconds, not minutes, on one core.
+    pub fn smoke(max_threads: usize) -> GridConfig {
+        GridConfig {
+            n: 600,
+            threads: thread_sweep(max_threads),
+            trials: 2,
+            seed: 42,
+            smoke: true,
+        }
+    }
+}
+
+/// 1, 2, 4, ... up to and always including `max` (and always at least
+/// {1, 2}, so speedup columns exist even on one-core machines).
+pub fn thread_sweep(max: usize) -> Vec<usize> {
+    let max = max.max(2);
+    let mut ps = vec![];
+    let mut p = 1;
+    while p < max {
+        ps.push(p);
+        p *= 2;
+    }
+    ps.push(max);
+    ps.dedup();
+    ps
+}
+
+fn median_f64(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[(xs.len() - 1) / 2]
+}
+
+/// Field-wise medians over one cell's trial reports, flattened to the
+/// JSON entry layout.
+fn cell_json(
+    family: Family,
+    g: &Graph,
+    threads: usize,
+    reports: &[PhaseReport],
+    seq_baseline: f64,
+) -> Json {
+    let med = |f: &dyn Fn(&PhaseReport) -> f64| median_f64(reports.iter().map(f).collect());
+    let seconds = med(&|r| r.total.as_secs_f64());
+    // Per-phase medians, keyed by step name in first-seen order.
+    let mut phase_names: Vec<&'static str> = vec![];
+    for r in reports {
+        for s in &r.steps {
+            if !phase_names.contains(&s.name()) {
+                phase_names.push(s.name());
+            }
+        }
+    }
+    let phases: Vec<Json> = phase_names
+        .iter()
+        .map(|&name| {
+            let samples: Vec<f64> = reports
+                .iter()
+                .map(|r| {
+                    r.steps
+                        .iter()
+                        .find(|s| s.name() == name)
+                        .map_or(0.0, |s| s.duration.as_secs_f64())
+                })
+                .collect();
+            Json::Arr(vec![Json::str(name), Json::num(median_f64(samples))])
+        })
+        .collect();
+    Json::obj(vec![
+        ("family", Json::str(family.name())),
+        ("algorithm", Json::str(reports[0].algorithm)),
+        ("n", Json::num(g.n())),
+        ("m", Json::num(g.m() as f64)),
+        ("threads", Json::num(threads as f64)),
+        ("seconds", Json::num(seconds)),
+        (
+            "speedup_vs_sequential",
+            Json::num(if seconds > 0.0 {
+                seq_baseline / seconds
+            } else {
+                0.0
+            }),
+        ),
+        ("phases", Json::Arr(phases)),
+        ("phase_runs", Json::num(med(&|r| r.phase_runs as f64))),
+        (
+            "barrier_episodes",
+            Json::num(med(&|r| r.barrier_episodes as f64)),
+        ),
+        (
+            "barrier_wait_seconds",
+            Json::num(med(&|r| r.barrier_wait.as_secs_f64())),
+        ),
+        ("imbalance", Json::num(med(&|r| r.imbalance))),
+    ])
+}
+
+/// Runs the full grid and returns the `BENCH_bcc.json` document.
+/// `progress` receives one line per finished cell (pass `|_| {}` to
+/// silence it).
+pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
+    assert!(cfg.threads.contains(&1), "thread sweep must include 1");
+    let mut entries: Vec<Json> = vec![];
+    for family in Family::ALL {
+        let g = family.generate(cfg.n, cfg.seed);
+        // Sequential at p = 1 is the speedup denominator for the family.
+        let mut seq_baseline = f64::INFINITY;
+        for &p in &cfg.threads {
+            let sink = Arc::new(Telemetry::new(p));
+            let pool = Pool::builder()
+                .threads(p)
+                .telemetry(Arc::clone(&sink))
+                .build();
+            for alg in Algorithm::ALL {
+                let reports: Vec<PhaseReport> = (0..cfg.trials.max(1))
+                    .map(|_| {
+                        BccConfig::new(alg)
+                            .run(&pool, &g)
+                            .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name(), family.name()))
+                            .report
+                    })
+                    .collect();
+                let seconds = median_f64(reports.iter().map(|r| r.total.as_secs_f64()).collect());
+                if alg == Algorithm::Sequential && p == 1 {
+                    seq_baseline = seconds;
+                }
+                entries.push(cell_json(family, &g, p, &reports, seq_baseline));
+                progress(&format!(
+                    "{:>13} {:>10} p={p}: {:>9.3?} ({} trials)",
+                    family.name(),
+                    alg.name(),
+                    Duration::from_secs_f64(seconds),
+                    cfg.trials.max(1),
+                ));
+            }
+        }
+    }
+    Json::obj(vec![
+        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+        ("experiment", Json::str("bcc-grid")),
+        ("smoke", Json::Bool(cfg.smoke)),
+        ("n", Json::num(cfg.n)),
+        (
+            "threads",
+            Json::Arr(cfg.threads.iter().map(|&p| Json::num(p as f64)).collect()),
+        ),
+        ("trials", Json::num(cfg.trials.max(1) as f64)),
+        ("seed", Json::num(cfg.seed as f64)),
+        ("entries", Json::Arr(entries)),
+    ])
+}
+
+/// One regression found by [`compare`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// `family/algorithm/n/threads` key of the offending entry.
+    pub key: String,
+    /// Baseline median seconds.
+    pub baseline: f64,
+    /// Candidate median seconds.
+    pub candidate: f64,
+    /// Slowdown in percent (`(candidate/baseline - 1) * 100`).
+    pub slowdown_pct: f64,
+}
+
+/// Structural problems that stop a comparison before it starts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompareError {
+    /// A document is not a `bcc-grid` object with an `entries` array.
+    MalformedDocument(&'static str),
+    /// The two documents carry different `schema_version` stamps.
+    SchemaMismatch,
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::MalformedDocument(which) => {
+                write!(f, "{which} document is not a bcc-grid BENCH file")
+            }
+            CompareError::SchemaMismatch => write!(f, "schema_version differs between documents"),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+fn entry_key(e: &Json) -> Option<String> {
+    Some(format!(
+        "{}/{}/n{}/p{}",
+        e.get("family")?.as_str()?,
+        e.get("algorithm")?.as_str()?,
+        e.get("n")?.as_u64()?,
+        e.get("threads")?.as_u64()?,
+    ))
+}
+
+/// Compares two BENCH documents; entries are matched by
+/// `(family, algorithm, n, threads)` and flagged when the candidate's
+/// median `seconds` exceeds the baseline's by more than
+/// `threshold_pct` percent. Entries present on only one side are
+/// skipped (grids of different sizes stay comparable).
+pub fn compare(
+    baseline: &Json,
+    candidate: &Json,
+    threshold_pct: f64,
+) -> Result<Vec<Regression>, CompareError> {
+    let doc = |j: &Json, which| -> Result<Vec<(String, f64)>, CompareError> {
+        let entries = j
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or(CompareError::MalformedDocument(which))?;
+        entries
+            .iter()
+            .map(|e| {
+                let key = entry_key(e).ok_or(CompareError::MalformedDocument(which))?;
+                let secs = e
+                    .get("seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or(CompareError::MalformedDocument(which))?;
+                Ok((key, secs))
+            })
+            .collect()
+    };
+    let sv = |j: &Json| j.get("schema_version").and_then(Json::as_u64);
+    if sv(baseline) != sv(candidate) {
+        return Err(CompareError::SchemaMismatch);
+    }
+    let base = doc(baseline, "baseline")?;
+    let cand = doc(candidate, "candidate")?;
+    let mut regressions = vec![];
+    for (key, b) in &base {
+        let Some((_, c)) = cand.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        if *b > 0.0 && c / b > 1.0 + threshold_pct / 100.0 {
+            regressions.push(Regression {
+                key: key.clone(),
+                baseline: *b,
+                candidate: *c,
+                slowdown_pct: (c / b - 1.0) * 100.0,
+            });
+        }
+    }
+    regressions.sort_by(|a, b| b.slowdown_pct.partial_cmp(&a.slowdown_pct).unwrap());
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> Json {
+        let cfg = GridConfig {
+            n: 80,
+            threads: vec![1, 2],
+            trials: 1,
+            seed: 7,
+            smoke: true,
+        };
+        run_grid(&cfg, |_| {})
+    }
+
+    #[test]
+    fn golden_schema_round_trips() {
+        let doc = tiny_grid();
+        let text = doc.pretty();
+        let parsed = crate::json::parse(&text).expect("emitted BENCH json must parse");
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("experiment").and_then(Json::as_str),
+            Some("bcc-grid")
+        );
+        let entries = parsed.get("entries").and_then(Json::as_arr).unwrap();
+        // families × algorithms × threads cells.
+        assert_eq!(entries.len(), 3 * 4 * 2);
+        let mut algs_seen = std::collections::BTreeSet::new();
+        for e in entries {
+            algs_seen.insert(e.get("algorithm").and_then(Json::as_str).unwrap());
+            for field in [
+                "seconds",
+                "speedup_vs_sequential",
+                "phase_runs",
+                "barrier_episodes",
+                "barrier_wait_seconds",
+                "imbalance",
+            ] {
+                assert!(
+                    e.get(field).and_then(Json::as_f64).is_some(),
+                    "missing {field}"
+                );
+            }
+            assert!(e.get("phases").and_then(Json::as_arr).is_some());
+            assert!(e.get("imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(algs_seen.into_iter().collect::<Vec<_>>(), {
+            let mut sorted = names.clone();
+            sorted.sort();
+            sorted
+        });
+        // Parallel entries carry per-phase breakdowns; the Sequential
+        // baseline legitimately has none.
+        let tv = entries
+            .iter()
+            .find(|e| e.get("algorithm").and_then(Json::as_str) == Some("TV-filter"))
+            .unwrap();
+        assert!(!tv.get("phases").and_then(Json::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sequential_speedup_is_one_at_p1() {
+        let doc = tiny_grid();
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        for e in entries {
+            if e.get("algorithm").and_then(Json::as_str) == Some("Sequential")
+                && e.get("threads").and_then(Json::as_u64) == Some(1)
+            {
+                let s = e
+                    .get("speedup_vs_sequential")
+                    .and_then(Json::as_f64)
+                    .unwrap();
+                assert!((s - 1.0).abs() < 1e-9, "got {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_flags_injected_regression_and_only_it() {
+        let base = tiny_grid();
+        let mut slowed = base.clone();
+        // Inject a 50% slowdown into exactly one entry.
+        if let Json::Obj(fields) = &mut slowed {
+            let entries = fields
+                .iter_mut()
+                .find(|(k, _)| k == "entries")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Json::Arr(list) = entries {
+                if let Json::Obj(entry) = &mut list[5] {
+                    let secs = entry
+                        .iter_mut()
+                        .find(|(k, _)| k == "seconds")
+                        .map(|(_, v)| v)
+                        .unwrap();
+                    let old = secs.as_f64().unwrap();
+                    *secs = Json::num(old * 1.5 + 1.0);
+                }
+            }
+        }
+        assert_eq!(compare(&base, &base, 10.0).unwrap(), vec![]);
+        let regs = compare(&base, &slowed, 25.0).unwrap();
+        assert_eq!(regs.len(), 1, "exactly the injected cell: {regs:?}");
+        assert!(regs[0].slowdown_pct > 25.0);
+        // The reverse direction (speedup) is not a regression.
+        assert_eq!(compare(&slowed, &base, 25.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn compare_rejects_malformed_and_mismatched_documents() {
+        let good = tiny_grid();
+        let junk = crate::json::parse("{\"entries\": [{}]}").unwrap();
+        assert!(matches!(
+            compare(&junk, &junk, 10.0),
+            Err(CompareError::SchemaMismatch) | Err(CompareError::MalformedDocument(_))
+        ));
+        let mut other = good.clone();
+        if let Json::Obj(fields) = &mut other {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::num(99.0);
+                }
+            }
+        }
+        assert_eq!(
+            compare(&good, &other, 10.0),
+            Err(CompareError::SchemaMismatch)
+        );
+    }
+
+    #[test]
+    fn thread_sweep_always_has_one_and_two() {
+        assert_eq!(thread_sweep(1), vec![1, 2]);
+        assert_eq!(thread_sweep(2), vec![1, 2]);
+        assert_eq!(thread_sweep(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_sweep(6), vec![1, 2, 4, 6]);
+    }
+}

@@ -12,8 +12,12 @@
 //! --json <path>     also dump machine-readable results
 //! ```
 
-use serde::Serialize;
 use std::time::{Duration, Instant};
+
+pub mod grid;
+pub mod json;
+
+use json::Json;
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]
@@ -103,7 +107,7 @@ pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> Duration {
 }
 
 /// One measurement row for JSON output.
-#[derive(Serialize, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct Record {
     /// Experiment id (e.g. "fig3").
     pub experiment: String,
@@ -118,14 +122,40 @@ pub struct Record {
     /// Seconds (median).
     pub seconds: f64,
     /// Optional per-step breakdown in seconds, Fig. 4 order.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub steps: Option<Vec<(String, f64)>>,
+}
+
+impl Record {
+    /// This record as a JSON object (`steps` omitted when absent,
+    /// matching the previous serde `skip_serializing_if` layout).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("experiment", Json::str(&*self.experiment)),
+            ("algorithm", Json::str(&*self.algorithm)),
+            ("n", Json::num(self.n)),
+            ("m", Json::num(self.m as f64)),
+            ("threads", Json::num(self.threads as f64)),
+            ("seconds", Json::num(self.seconds)),
+        ];
+        if let Some(steps) = &self.steps {
+            pairs.push((
+                "steps",
+                Json::Arr(
+                    steps
+                        .iter()
+                        .map(|(name, secs)| Json::Arr(vec![Json::str(&**name), Json::num(*secs)]))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(pairs)
+    }
 }
 
 /// Writes records as JSON if `--json` was given.
 pub fn maybe_write_json(opts: &Options, records: &[Record]) {
     if let Some(path) = &opts.json {
-        let payload = serde_json::to_string_pretty(records).expect("serialize");
+        let payload = Json::Arr(records.iter().map(Record::to_json).collect()).pretty();
         std::fs::write(path, payload).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

@@ -38,12 +38,14 @@ impl BlockCutTree {
     /// canonical, as produced by the pipelines).
     ///
     /// ```
-    /// use bcc_core::{sequential, BlockCutTree};
+    /// use bcc_core::{Algorithm, BccConfig, BlockCutTree};
     /// use bcc_graph::gen;
+    /// use bcc_smp::Pool;
     ///
     /// let g = gen::two_cliques_sharing_vertex(4);
-    /// let r = sequential(&g);
-    /// let t = BlockCutTree::build(&g, &r);
+    /// let pool = Pool::new(1);
+    /// let run = BccConfig::new(Algorithm::Sequential).run(&pool, &g).unwrap();
+    /// let t = BlockCutTree::build(&g, &run.result);
     /// assert_eq!(t.num_blocks, 2);
     /// assert_eq!(t.articulation, vec![3]);
     /// ```
@@ -134,7 +136,7 @@ pub fn two_edge_connected_components(pool: &Pool, g: &Graph, r: &BccResult) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::sequential;
+    use crate::pipeline::sequential_impl as sequential;
     use bcc_graph::gen;
 
     fn tree_of(g: &Graph) -> BlockCutTree {

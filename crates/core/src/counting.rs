@@ -137,7 +137,7 @@ pub fn double_bfs_upper_bound(pool: &Pool, g: &Graph) -> Result<u32, crate::BccE
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::sequential;
+    use crate::pipeline::sequential_impl as sequential;
     use bcc_graph::gen;
 
     #[test]

@@ -15,16 +15,22 @@
 //!   remainder, run TV on ≤ 2(n−1) edges, place filtered edges by
 //!   condition 1.
 //!
+//! The entry point is the [`BccConfig`] builder; each run returns the
+//! component labels plus a structured [`PhaseReport`] (per-step times,
+//! barrier-wait and load-imbalance when the pool carries a
+//! [`bcc_smp::Telemetry`] sink).
+//!
 //! ```
-//! use bcc_core::{biconnected_components, Algorithm};
+//! use bcc_core::{Algorithm, BccConfig};
 //! use bcc_graph::gen;
 //! use bcc_smp::Pool;
 //!
 //! let g = gen::two_cliques_sharing_vertex(4); // two blocks, one cut vertex
 //! let pool = Pool::new(2);
-//! let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
-//! assert_eq!(r.num_components, 2);
-//! assert_eq!(r.articulation_points(&g), vec![3]);
+//! let run = BccConfig::new(Algorithm::TvFilter).run(&pool, &g).unwrap();
+//! assert_eq!(run.result.num_components, 2);
+//! assert_eq!(run.result.articulation_points(&g), vec![3]);
+//! assert_eq!(run.report.algorithm, "TV-filter");
 //! ```
 
 pub mod aux_graph;
@@ -41,10 +47,21 @@ pub mod verify;
 pub use block_cut::{two_edge_connected_components, BlockCutTree};
 pub use counting::double_bfs_upper_bound;
 pub use low_high::{compute_low_high, compute_low_high_with, LowHigh, LowHighMethod};
-pub use phase::{PhaseTimes, PipelineStats};
-pub use pipeline::{
-    biconnected_components, sequential, tv_filter, tv_opt, tv_smp, tv_smp_with_ranker, Algorithm,
-    BccError, BccResult,
-};
+pub use phase::{PhaseRecorder, PhaseReport, PhaseTimes, PipelineStats, Step, StepReport};
+pub use pipeline::{Algorithm, BccConfig, BccError, BccResult, BccRun};
 pub use schmidt::{chain_decomposition, ChainDecomposition};
 pub use tarjan::tarjan_bcc;
+
+/// List-ranking selector for the classic Euler tour (re-exported from
+/// [`bcc_euler`] so [`BccConfig::ranker`] is usable without a second
+/// crate dependency).
+pub use bcc_euler::Ranker;
+
+// The pre-`BccConfig` free-function entry points, kept as deprecated
+// wrappers for one release cycle.
+#[allow(deprecated)]
+pub use per_component::biconnected_components_per_component;
+#[allow(deprecated)]
+pub use pipeline::{
+    biconnected_components, sequential, tv_filter, tv_opt, tv_smp, tv_smp_with_ranker,
+};

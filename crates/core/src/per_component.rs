@@ -3,28 +3,40 @@
 //! The TV pipelines require a connected input (the paper assumes one).
 //! This driver splits a general graph into connected components with
 //! Shiloach–Vishkin, runs the chosen algorithm on each induced
-//! subgraph, and stitches the per-edge labels back together.
+//! subgraph, and stitches the per-edge labels back together. It backs
+//! [`BccConfig::run_any`](crate::BccConfig::run_any); the per-subgraph
+//! step times accumulate into one [`PhaseRecorder`], so the final
+//! report reads like a single run over the whole edge list.
 
-use crate::pipeline::{biconnected_components, sequential, Algorithm, BccResult};
+use crate::phase::PhaseRecorder;
+use crate::pipeline::{run_connected, Algorithm, BccError, BccResult};
 use crate::verify::canonicalize_edge_labels;
 use bcc_connectivity::sv::{connected_components, normalize_labels};
+use bcc_euler::Ranker;
 use bcc_graph::{Edge, Graph};
 use bcc_smp::Pool;
 use std::time::Instant;
 
 /// Biconnected components of an arbitrary simple graph: per connected
 /// component, using `alg`; labels are canonical over the whole edge
-/// list. Never fails (the connectivity precondition is satisfied by
-/// construction).
-pub fn biconnected_components_per_component(pool: &Pool, g: &Graph, alg: Algorithm) -> BccResult {
+/// list. The connectivity precondition of the TV pipelines is satisfied
+/// by construction, so the only way this fails is a future error
+/// variant — callers that know better may `expect`.
+pub(crate) fn run_per_component(
+    pool: &Pool,
+    g: &Graph,
+    alg: Algorithm,
+    ranker: Ranker,
+    rec: &mut PhaseRecorder,
+) -> Result<BccResult, BccError> {
     if alg == Algorithm::Sequential {
-        return sequential(g);
+        return run_connected(pool, g, alg, ranker, rec);
     }
     let start = Instant::now();
     let cc = connected_components(pool, g.n(), g.edges());
     if cc.num_components <= 1 {
         // Connected (or empty): run directly.
-        return biconnected_components(pool, g, alg).expect("connected by SV check");
+        return run_connected(pool, g, alg, ranker, rec);
     }
     let mut comp_of = cc.label;
     let k = normalize_labels(pool, &mut comp_of) as usize;
@@ -49,9 +61,9 @@ pub fn biconnected_components_per_component(pool: &Pool, g: &Graph, alg: Algorit
         sub_orig[c].push(i as u32);
     }
 
-    // Solve each component; merge labels with disjoint offsets.
+    // Solve each component; merge labels with disjoint offsets. The
+    // shared recorder accumulates the per-step times across subgraphs.
     let mut edge_comp = vec![0u32; g.m()];
-    let mut phases = crate::phase::PhaseTimes::default();
     let mut stats = crate::phase::PipelineStats {
         input_edges: g.m(),
         ..Default::default()
@@ -62,20 +74,11 @@ pub fn biconnected_components_per_component(pool: &Pool, g: &Graph, alg: Algorit
             continue;
         }
         let sub = Graph::new(counts[c], std::mem::take(&mut sub_edges[c]));
-        let r = biconnected_components(pool, &sub, alg).expect("component subgraphs are connected");
+        let r = run_connected(pool, &sub, alg, ranker, rec)?;
         for (j, &orig) in sub_orig[c].iter().enumerate() {
             edge_comp[orig as usize] = base + r.edge_comp[j];
         }
         base += r.num_components;
-        // Accumulate the step breakdown across components.
-        let p = &r.phases;
-        phases.spanning_tree += p.spanning_tree;
-        phases.euler_tour += p.euler_tour;
-        phases.root_tree += p.root_tree;
-        phases.low_high += p.low_high;
-        phases.label_edge += p.label_edge;
-        phases.connected_components += p.connected_components;
-        phases.filtering += p.filtering;
         stats.effective_edges += r.stats.effective_edges;
         stats.filtered_edges += r.stats.filtered_edges;
         stats.aux_vertices += r.stats.aux_vertices;
@@ -86,29 +89,44 @@ pub fn biconnected_components_per_component(pool: &Pool, g: &Graph, alg: Algorit
     }
     let num_components = canonicalize_edge_labels(&mut edge_comp);
     debug_assert_eq!(num_components, base);
+    let mut phases = rec.phases().clone();
     phases.total = start.elapsed();
-    BccResult {
+    Ok(BccResult {
         edge_comp,
         num_components,
         phases,
         stats,
-    }
+    })
+}
+
+/// Biconnected components of an arbitrary simple graph. Never fails.
+#[deprecated(note = "use BccConfig::new(alg).run_any(pool, g) and read .result")]
+pub fn biconnected_components_per_component(pool: &Pool, g: &Graph, alg: Algorithm) -> BccResult {
+    crate::pipeline::BccConfig::new(alg)
+        .run_any(pool, g)
+        .expect("per-component subgraphs are connected")
+        .result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::BccConfig;
     use bcc_graph::gen;
 
     #[test]
     fn matches_sequential_on_disconnected_random_graphs() {
         for seed in 0..6u64 {
             let g = gen::random_gnm(120, 100, seed); // typically disconnected
-            let base = sequential(&g);
+            let pool1 = Pool::new(1);
+            let base = BccConfig::new(Algorithm::Sequential)
+                .run_any(&pool1, &g)
+                .unwrap()
+                .result;
             for p in [1, 3] {
                 let pool = Pool::new(p);
                 for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
-                    let r = biconnected_components_per_component(&pool, &g, alg);
+                    let r = BccConfig::new(alg).run_any(&pool, &g).unwrap().result;
                     assert_eq!(r.edge_comp, base.edge_comp, "{} seed={seed}", alg.name());
                     assert_eq!(r.num_components, base.num_components);
                 }
@@ -120,7 +138,10 @@ mod tests {
     fn connected_input_short_circuits() {
         let g = gen::cycle(12);
         let pool = Pool::new(2);
-        let r = biconnected_components_per_component(&pool, &g, Algorithm::TvOpt);
+        let r = BccConfig::new(Algorithm::TvOpt)
+            .run_any(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r.num_components, 1);
     }
 
@@ -128,18 +149,39 @@ mod tests {
     fn isolated_vertices_and_empty_components() {
         let g = Graph::from_tuples(7, [(1, 2), (2, 3), (3, 1), (5, 6)]);
         let pool = Pool::new(2);
-        let r = biconnected_components_per_component(&pool, &g, Algorithm::TvFilter);
+        let run = BccConfig::new(Algorithm::TvFilter)
+            .run_any(&pool, &g)
+            .unwrap();
+        let r = &run.result;
         assert_eq!(r.num_components, 2);
         assert_eq!(r.edge_comp[0], r.edge_comp[1]);
         assert_eq!(r.edge_comp[1], r.edge_comp[2]);
         assert_ne!(r.edge_comp[3], r.edge_comp[0]);
+        // The stitched report still respects the step-sum bound.
+        assert!(run.report.step_sum() <= run.report.total);
     }
 
     #[test]
     fn no_edges_at_all() {
         let g = Graph::new(4, vec![]);
         let pool = Pool::new(2);
-        let r = biconnected_components_per_component(&pool, &g, Algorithm::TvOpt);
+        let r = BccConfig::new(Algorithm::TvOpt)
+            .run_any(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r.num_components, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_answers() {
+        let g = gen::random_gnm(60, 40, 9);
+        let pool = Pool::new(2);
+        let a = biconnected_components_per_component(&pool, &g, Algorithm::TvOpt);
+        let b = BccConfig::new(Algorithm::TvOpt)
+            .run_any(&pool, &g)
+            .unwrap()
+            .result;
+        assert_eq!(a.edge_comp, b.edge_comp);
     }
 }

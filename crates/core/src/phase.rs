@@ -1,7 +1,63 @@
 //! Per-step timing, the instrumentation behind the paper's Fig. 4
 //! (execution-time breakdown at fixed processor count).
+//!
+//! Two layers:
+//!
+//! * [`PhaseTimes`] / [`PipelineStats`] — the flat per-run numbers the
+//!   original harness consumed (kept for compatibility).
+//! * [`PhaseReport`] — the structured record produced by
+//!   [`BccConfig::run`](crate::BccConfig::run): per-step durations
+//!   *plus* per-step barrier-wait and load-imbalance (when the pool
+//!   carries a [`Telemetry`] sink) and the input sizes that contextualize
+//!   them (n, m, effective/filtered edge counts).
 
+use bcc_smp::telemetry::{Telemetry, TelemetrySnapshot};
 use std::time::{Duration, Instant};
+
+/// Identifies one pipeline step (the rows of the paper's Fig. 4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Spanning-tree construction (TV-filter: the BFS tree).
+    SpanningTree,
+    /// Euler-tour construction (classic or DFS-order).
+    EulerTour,
+    /// Root-tree / tree computations (preorder, sizes, depths).
+    RootTree,
+    /// Low-high values.
+    LowHigh,
+    /// Label-edge: building the auxiliary graph (paper Alg. 1).
+    LabelEdge,
+    /// Connected components of the auxiliary graph + label write-back.
+    ConnectedComponents,
+    /// TV-filter only: filtering and filtered-edge placement.
+    Filtering,
+}
+
+impl Step {
+    /// All steps in the paper's Fig. 4 order.
+    pub const ALL: [Step; 7] = [
+        Step::SpanningTree,
+        Step::EulerTour,
+        Step::RootTree,
+        Step::LowHigh,
+        Step::LabelEdge,
+        Step::ConnectedComponents,
+        Step::Filtering,
+    ];
+
+    /// Display name matching [`PhaseTimes::named`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Step::SpanningTree => "Spanning-tree",
+            Step::EulerTour => "Euler-tour",
+            Step::RootTree => "Root",
+            Step::LowHigh => "Low-high",
+            Step::LabelEdge => "Label-edge",
+            Step::ConnectedComponents => "Connected-comp",
+            Step::Filtering => "Filtering",
+        }
+    }
+}
 
 /// Wall-clock time of each pipeline step. Steps that an algorithm does
 /// not perform stay zero (e.g. `filtering` for TV-SMP/TV-opt; TV-opt's
@@ -27,6 +83,19 @@ pub struct PhaseTimes {
 }
 
 impl PhaseTimes {
+    /// Mutable slot for one step's accumulated duration.
+    pub fn slot_mut(&mut self, step: Step) -> &mut Duration {
+        match step {
+            Step::SpanningTree => &mut self.spanning_tree,
+            Step::EulerTour => &mut self.euler_tour,
+            Step::RootTree => &mut self.root_tree,
+            Step::LowHigh => &mut self.low_high,
+            Step::LabelEdge => &mut self.label_edge,
+            Step::ConnectedComponents => &mut self.connected_components,
+            Step::Filtering => &mut self.filtering,
+        }
+    }
+
     /// Sum of the individual steps (excludes `total`).
     pub fn step_sum(&self) -> Duration {
         self.spanning_tree
@@ -89,6 +158,226 @@ pub struct PipelineStats {
     pub bfs_levels: u32,
 }
 
+/// One step of a [`PhaseReport`]: duration plus the telemetry split for
+/// exactly this step's pool activity.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Which step.
+    pub step: Step,
+    /// Accumulated wall-clock time of the step.
+    pub duration: Duration,
+    /// Total barrier-wait time across all threads during the step
+    /// (zero without a telemetry sink).
+    pub barrier_wait: Duration,
+    /// Load-imbalance ratio (max busy / mean busy) of the step's pool
+    /// phases; `1.0` without a telemetry sink or pool work.
+    pub imbalance: f64,
+    /// Per-thread busy time during the step (empty without telemetry).
+    pub busy: Vec<Duration>,
+}
+
+impl StepReport {
+    /// Display name of the step.
+    pub fn name(&self) -> &'static str {
+        self.step.name()
+    }
+}
+
+/// Structured record of one pipeline run: sizes, per-step breakdown,
+/// and synchronization/imbalance statistics.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Algorithm display name (matching the paper's figures).
+    pub algorithm: &'static str,
+    /// SPMD thread count of the pool that ran the pipeline.
+    pub threads: usize,
+    /// Input vertices.
+    pub n: u32,
+    /// Input edges.
+    pub m: usize,
+    /// Edges fed to steps 4–6 (reduced set for TV-filter).
+    pub effective_edges: usize,
+    /// Edges removed by filtering (TV-filter only).
+    pub filtered_edges: usize,
+    /// Per-step reports in execution order (only steps that ran).
+    pub steps: Vec<StepReport>,
+    /// End-to-end wall-clock time (≥ step sum; includes glue).
+    pub total: Duration,
+    /// `Pool::run` phases issued during the run (0 without telemetry).
+    pub phase_runs: u64,
+    /// Barrier episodes completed during the run (0 without telemetry).
+    pub barrier_episodes: u64,
+    /// Total barrier-wait time across threads (zero without telemetry).
+    pub barrier_wait: Duration,
+    /// Whole-run load-imbalance ratio (`1.0` without telemetry).
+    pub imbalance: f64,
+    /// The run's machine-independent work counters.
+    pub stats: PipelineStats,
+}
+
+impl PhaseReport {
+    /// Sum of the per-step durations (excludes glue; `<= total`).
+    pub fn step_sum(&self) -> Duration {
+        self.steps.iter().map(|s| s.duration).sum()
+    }
+
+    /// The report for `step`, if that step ran.
+    pub fn step(&self, step: Step) -> Option<&StepReport> {
+        self.steps.iter().find(|s| s.step == step)
+    }
+}
+
+/// Accumulates per-step durations and telemetry deltas while a pipeline
+/// runs; [`finish`](PhaseRecorder::finish)ing it yields the
+/// [`PhaseReport`]. Repeated steps (TV-filter's two filtering
+/// sub-phases, per-component reruns) merge into one entry.
+pub struct PhaseRecorder<'a> {
+    phases: PhaseTimes,
+    order: Vec<Step>,
+    accum: [Option<StepAccum>; 7],
+    telem: Option<&'a Telemetry>,
+    first: Option<TelemetrySnapshot>,
+    prev: Option<TelemetrySnapshot>,
+}
+
+struct StepAccum {
+    duration: Duration,
+    barrier_wait: Duration,
+    busy: Vec<Duration>,
+}
+
+fn step_index(step: Step) -> usize {
+    Step::ALL.iter().position(|&s| s == step).unwrap()
+}
+
+impl<'a> PhaseRecorder<'a> {
+    /// A recorder reading telemetry deltas from `telem` (pass the
+    /// pool's sink, or `None` for timing-only reports).
+    pub fn new(telem: Option<&'a Telemetry>) -> Self {
+        let first = telem.map(|t| t.snapshot());
+        PhaseRecorder {
+            phases: PhaseTimes::default(),
+            order: Vec::new(),
+            accum: Default::default(),
+            telem,
+            first: first.clone(),
+            prev: first,
+        }
+    }
+
+    /// The flat times accumulated so far.
+    pub fn phases(&self) -> &PhaseTimes {
+        &self.phases
+    }
+
+    /// Times `f` as one execution of `step`, attributing the pool's
+    /// telemetry movement during `f` to that step.
+    pub fn step<T>(&mut self, step: Step, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let duration = start.elapsed();
+        *self.phases.slot_mut(step) += duration;
+
+        let (barrier_wait, busy) = match self.telem {
+            None => (Duration::ZERO, Vec::new()),
+            Some(t) => {
+                let now = t.snapshot();
+                let delta = now.delta_since(self.prev.as_ref().unwrap());
+                self.prev = Some(now);
+                (delta.total_barrier_wait(), delta.busy)
+            }
+        };
+
+        let slot = &mut self.accum[step_index(step)];
+        match slot {
+            None => {
+                self.order.push(step);
+                *slot = Some(StepAccum {
+                    duration,
+                    barrier_wait,
+                    busy,
+                });
+            }
+            Some(acc) => {
+                acc.duration += duration;
+                acc.barrier_wait += barrier_wait;
+                if acc.busy.len() < busy.len() {
+                    acc.busy.resize(busy.len(), Duration::ZERO);
+                }
+                for (a, b) in acc.busy.iter_mut().zip(busy) {
+                    *a += b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the report. `total` should be the pipeline's end-to-end
+    /// time; sizes and `stats` come from the finished run.
+    pub fn finish(
+        mut self,
+        algorithm: &'static str,
+        threads: usize,
+        n: u32,
+        m: usize,
+        stats: PipelineStats,
+        total: Duration,
+    ) -> PhaseReport {
+        let steps = self
+            .order
+            .iter()
+            .map(|&step| {
+                let acc = self.accum[step_index(step)].take().unwrap();
+                StepReport {
+                    step,
+                    duration: acc.duration,
+                    barrier_wait: acc.barrier_wait,
+                    imbalance: imbalance_of(&acc.busy),
+                    busy: acc.busy,
+                }
+            })
+            .collect();
+
+        let (phase_runs, barrier_episodes, barrier_wait, imbalance) = match self.telem {
+            None => (0, 0, Duration::ZERO, 1.0),
+            Some(t) => {
+                let delta = t.snapshot().delta_since(self.first.as_ref().unwrap());
+                (
+                    delta.phase_runs,
+                    delta.barrier_episodes,
+                    delta.total_barrier_wait(),
+                    delta.imbalance(),
+                )
+            }
+        };
+
+        PhaseReport {
+            algorithm,
+            threads,
+            n,
+            m,
+            effective_edges: stats.effective_edges,
+            filtered_edges: stats.filtered_edges,
+            steps,
+            total,
+            phase_runs,
+            barrier_episodes,
+            barrier_wait,
+            imbalance,
+            stats,
+        }
+    }
+}
+
+fn imbalance_of(busy: &[Duration]) -> f64 {
+    let max = busy.iter().max().copied().unwrap_or_default();
+    let sum: Duration = busy.iter().sum();
+    if sum.is_zero() {
+        return 1.0;
+    }
+    max.as_secs_f64() / (sum.as_secs_f64() / busy.len() as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +393,78 @@ mod tests {
         assert!(d >= Duration::from_millis(5));
         timed(&mut d, || ());
         assert!(d >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn recorder_merges_repeated_steps_in_first_seen_order() {
+        let mut rec = PhaseRecorder::new(None);
+        rec.step(Step::Filtering, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        rec.step(Step::SpanningTree, || ());
+        rec.step(Step::Filtering, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        let report = rec.finish(
+            "TV-filter",
+            2,
+            10,
+            20,
+            PipelineStats::default(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(report.steps.len(), 2);
+        assert_eq!(report.steps[0].step, Step::Filtering);
+        assert_eq!(report.steps[1].step, Step::SpanningTree);
+        assert!(report.steps[0].duration >= Duration::from_millis(4));
+        assert!(report.step(Step::LowHigh).is_none());
+        assert!(report.step(Step::Filtering).is_some());
+    }
+
+    #[test]
+    fn recorder_attributes_telemetry_deltas_per_step() {
+        use bcc_smp::Pool;
+        use std::sync::Arc;
+        let sink = Arc::new(Telemetry::new(2));
+        let pool = Pool::builder()
+            .threads(2)
+            .telemetry(Arc::clone(&sink))
+            .build();
+        let mut rec = PhaseRecorder::new(Some(&sink));
+        rec.step(Step::SpanningTree, || {
+            pool.run(|ctx| {
+                if ctx.tid() == 0 {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            });
+        });
+        rec.step(Step::EulerTour, || {
+            // No pool work: deltas must be zero for this step.
+        });
+        let report = rec.finish(
+            "TV-opt",
+            2,
+            5,
+            5,
+            PipelineStats::default(),
+            Duration::from_millis(20),
+        );
+        let st = report.step(Step::SpanningTree).unwrap();
+        assert!(st.busy[0] >= Duration::from_millis(5), "{:?}", st.busy);
+        assert!(st.imbalance > 1.0);
+        let et = report.step(Step::EulerTour).unwrap();
+        assert_eq!(et.busy.iter().sum::<Duration>(), Duration::ZERO);
+        assert_eq!(et.imbalance, 1.0);
+        assert_eq!(report.phase_runs, 1);
+        assert_eq!(report.barrier_episodes, 1);
+    }
+
+    #[test]
+    fn step_names_match_phase_times_named() {
+        let times = PhaseTimes::default();
+        for (step, (name, _)) in Step::ALL.iter().zip(times.named()) {
+            assert_eq!(step.name(), name);
+        }
     }
 
     #[test]

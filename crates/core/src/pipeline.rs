@@ -4,12 +4,30 @@
 //! All three parallel pipelines share steps 4–6 (Low-high, Label-edge,
 //! Connected-components — [`tv_tail`]); they differ in how the rooted
 //! spanning tree and its Euler tour are produced, and TV-filter shrinks
-//! the edge set first. Each phase is timed into [`PhaseTimes`] to
-//! regenerate the paper's Fig. 4 breakdown.
+//! the edge set first.
+//!
+//! The entry point is [`BccConfig`]: select an algorithm, optionally a
+//! list ranker and a telemetry sink, then [`run`](BccConfig::run) it on
+//! a pool. Each run yields a [`BccRun`] — the component labels plus a
+//! structured [`PhaseReport`] (per-step durations, barrier-wait and
+//! load-imbalance when the pool carries telemetry) that regenerates the
+//! paper's Fig. 4 breakdown.
+//!
+//! ```
+//! use bcc_core::{Algorithm, BccConfig};
+//! use bcc_graph::gen;
+//! use bcc_smp::Pool;
+//!
+//! let pool = Pool::new(2);
+//! let g = gen::two_cliques_sharing_vertex(4);
+//! let run = BccConfig::new(Algorithm::TvFilter).run(&pool, &g).unwrap();
+//! assert_eq!(run.result.num_components, 2);
+//! assert!(run.report.step_sum() <= run.report.total);
+//! ```
 
 use crate::aux_graph::build_aux_graph;
 use crate::low_high::{compute_low_high_with, LowHighMethod};
-use crate::phase::{timed, PhaseTimes, PipelineStats};
+use crate::phase::{PhaseRecorder, PhaseReport, PhaseTimes, PipelineStats, Step};
 use crate::tarjan::tarjan_bcc;
 use crate::verify::canonicalize_edge_labels;
 use bcc_connectivity::bfs::bfs_tree_par;
@@ -17,7 +35,9 @@ use bcc_connectivity::sv::connected_components;
 use bcc_connectivity::traversal::work_stealing_tree;
 use bcc_euler::{dfs_euler_tour, euler_tour_classic, tree_computations, Ranker, TreeInfo};
 use bcc_graph::{Csr, Edge, Graph};
+use bcc_smp::telemetry::Telemetry;
 use bcc_smp::{Pool, SharedSlice, NIL};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Algorithm selector for [`biconnected_components`].
@@ -101,22 +121,191 @@ impl BccResult {
     }
 }
 
+/// Configured biconnected-components computation: the algorithm plus
+/// the knobs that used to be separate entry points.
+///
+/// ```
+/// use bcc_core::{Algorithm, BccConfig, Ranker};
+/// use bcc_graph::gen;
+/// use bcc_smp::Pool;
+///
+/// let pool = Pool::new(2);
+/// let g = gen::torus(4, 4);
+/// let run = BccConfig::new(Algorithm::TvSmp)
+///     .ranker(Ranker::Wyllie)
+///     .run(&pool, &g)
+///     .unwrap();
+/// assert_eq!(run.result.num_components, 1);
+/// assert_eq!(run.report.algorithm, "TV-SMP");
+/// ```
+#[derive(Clone, Debug)]
+pub struct BccConfig {
+    alg: Algorithm,
+    ranker: Ranker,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl BccConfig {
+    /// A configuration running `alg` with default knobs (Helman–JáJá
+    /// list ranking, telemetry taken from the pool if it has any).
+    pub fn new(alg: Algorithm) -> Self {
+        BccConfig {
+            alg,
+            ranker: Ranker::HelmanJaja,
+            telemetry: None,
+        }
+    }
+
+    /// Selects the list-ranking algorithm (TV-SMP's classic Euler tour
+    /// only; the ablation hook formerly exposed as
+    /// `tv_smp_with_ranker`).
+    pub fn ranker(mut self, ranker: Ranker) -> Self {
+        self.ranker = ranker;
+        self
+    }
+
+    /// Reads telemetry deltas from `sink` instead of the pool's own
+    /// sink. Pass the sink the pool was built with
+    /// ([`Pool::builder`]) — a sink the pool does not record into
+    /// yields all-zero synchronization stats.
+    pub fn telemetry(mut self, sink: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.alg
+    }
+
+    /// Runs on a **connected** graph (the paper's setting). Fails with
+    /// [`BccError::Disconnected`] otherwise; use
+    /// [`run_any`](BccConfig::run_any) for general graphs.
+    pub fn run(&self, pool: &Pool, g: &Graph) -> Result<BccRun, BccError> {
+        let start = Instant::now();
+        let mut rec = PhaseRecorder::new(self.sink(pool));
+        let result = run_connected(pool, g, self.alg, self.ranker, &mut rec)?;
+        Ok(self.package(pool, g, rec, result, start))
+    }
+
+    /// Runs on an arbitrary (possibly disconnected) graph: connected
+    /// components first, then the configured algorithm per component,
+    /// with labels stitched canonically over the whole edge list.
+    pub fn run_any(&self, pool: &Pool, g: &Graph) -> Result<BccRun, BccError> {
+        let start = Instant::now();
+        let mut rec = PhaseRecorder::new(self.sink(pool));
+        let result =
+            crate::per_component::run_per_component(pool, g, self.alg, self.ranker, &mut rec)?;
+        Ok(self.package(pool, g, rec, result, start))
+    }
+
+    fn sink<'a>(&'a self, pool: &'a Pool) -> Option<&'a Telemetry> {
+        self.telemetry
+            .as_deref()
+            .or_else(|| pool.telemetry().map(Arc::as_ref))
+    }
+
+    fn package(
+        &self,
+        pool: &Pool,
+        g: &Graph,
+        rec: PhaseRecorder,
+        result: BccResult,
+        start: Instant,
+    ) -> BccRun {
+        let report = rec.finish(
+            self.alg.name(),
+            pool.threads(),
+            g.n(),
+            g.m(),
+            result.stats.clone(),
+            start.elapsed(),
+        );
+        BccRun { result, report }
+    }
+}
+
+/// Output of one [`BccConfig`] run: the labels and the breakdown.
+#[derive(Clone, Debug)]
+pub struct BccRun {
+    /// Component labels and flat counters (the classic result type).
+    pub result: BccResult,
+    /// Structured per-step breakdown with synchronization stats.
+    pub report: PhaseReport,
+}
+
+/// Dispatches one connected-graph pipeline into `rec`. Shared by
+/// [`BccConfig::run`] and the per-component driver.
+pub(crate) fn run_connected(
+    pool: &Pool,
+    g: &Graph,
+    alg: Algorithm,
+    ranker: Ranker,
+    rec: &mut PhaseRecorder,
+) -> Result<BccResult, BccError> {
+    match alg {
+        Algorithm::Sequential => Ok(sequential_impl(g)),
+        Algorithm::TvSmp => tv_smp_impl(pool, g, ranker, rec),
+        Algorithm::TvOpt => tv_opt_impl(pool, g, rec),
+        Algorithm::TvFilter => tv_filter_impl(pool, g, rec),
+    }
+}
+
 /// Runs the selected algorithm on a connected graph.
+#[deprecated(note = "use BccConfig::new(alg).run(pool, g) and read .result")]
 pub fn biconnected_components(
     pool: &Pool,
     g: &Graph,
     alg: Algorithm,
 ) -> Result<BccResult, BccError> {
-    match alg {
-        Algorithm::Sequential => Ok(sequential(g)),
-        Algorithm::TvSmp => tv_smp(pool, g),
-        Algorithm::TvOpt => tv_opt(pool, g),
-        Algorithm::TvFilter => tv_filter(pool, g),
-    }
+    BccConfig::new(alg).run(pool, g).map(|run| run.result)
 }
 
 /// The sequential baseline (handles disconnected inputs too).
+#[deprecated(note = "use BccConfig::new(Algorithm::Sequential).run(pool, g)")]
 pub fn sequential(g: &Graph) -> BccResult {
+    sequential_impl(g)
+}
+
+/// TV-SMP: SV spanning tree → classic Euler tour (sort + list ranking)
+/// → tree computations → shared tail.
+#[deprecated(note = "use BccConfig::new(Algorithm::TvSmp).run(pool, g)")]
+pub fn tv_smp(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+    BccConfig::new(Algorithm::TvSmp)
+        .run(pool, g)
+        .map(|run| run.result)
+}
+
+/// [`tv_smp`] with an explicit list-ranking algorithm (ablation hook).
+#[deprecated(note = "use BccConfig::new(Algorithm::TvSmp).ranker(r).run(pool, g)")]
+pub fn tv_smp_with_ranker(pool: &Pool, g: &Graph, ranker: Ranker) -> Result<BccResult, BccError> {
+    BccConfig::new(Algorithm::TvSmp)
+        .ranker(ranker)
+        .run(pool, g)
+        .map(|run| run.result)
+}
+
+/// TV-opt: work-stealing rooted spanning tree (merged Spanning-tree +
+/// Root-tree) → DFS-order Euler tour → prefix-sum tree computations →
+/// shared tail.
+#[deprecated(note = "use BccConfig::new(Algorithm::TvOpt).run(pool, g)")]
+pub fn tv_opt(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+    BccConfig::new(Algorithm::TvOpt)
+        .run(pool, g)
+        .map(|run| run.result)
+}
+
+/// TV-filter (paper Alg. 2): BFS tree `T`, spanning forest `F` of
+/// `G − T`, TV(-opt) on `T ∪ F`, then condition-1 placement of the
+/// filtered edges.
+#[deprecated(note = "use BccConfig::new(Algorithm::TvFilter).run(pool, g)")]
+pub fn tv_filter(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+    BccConfig::new(Algorithm::TvFilter)
+        .run(pool, g)
+        .map(|run| run.result)
+}
+
+pub(crate) fn sequential_impl(g: &Graph) -> BccResult {
     let start = Instant::now();
     let mut comp = tarjan_bcc(g);
     let num_components = canonicalize_edge_labels(&mut comp);
@@ -137,23 +326,20 @@ pub fn sequential(g: &Graph) -> BccResult {
     }
 }
 
-/// TV-SMP: SV spanning tree → classic Euler tour (sort + list ranking)
-/// → tree computations → shared tail.
-pub fn tv_smp(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
-    tv_smp_with_ranker(pool, g, Ranker::HelmanJaja)
-}
-
-/// [`tv_smp`] with an explicit list-ranking algorithm (ablation hook).
-pub fn tv_smp_with_ranker(pool: &Pool, g: &Graph, ranker: Ranker) -> Result<BccResult, BccError> {
+fn tv_smp_impl(
+    pool: &Pool,
+    g: &Graph,
+    ranker: Ranker,
+    rec: &mut PhaseRecorder,
+) -> Result<BccResult, BccError> {
     let start = Instant::now();
     let n = g.n();
-    let mut phases = PhaseTimes::default();
-    if let Some(r) = trivial_result(g, start, &phases) {
+    if let Some(r) = trivial_result(g, start, rec.phases()) {
         return Ok(r);
     }
 
     // Step 1: Spanning-tree (Shiloach–Vishkin on the edge list).
-    let sv = timed(&mut phases.spanning_tree, || {
+    let sv = rec.step(Step::SpanningTree, || {
         connected_components(pool, n, g.edges())
     });
     if sv.num_components != 1 {
@@ -172,17 +358,15 @@ pub fn tv_smp_with_ranker(pool: &Pool, g: &Graph, ranker: Ranker) -> Result<BccR
     // Step 2: Euler-tour (circular adjacency by sorting + cross
     // pointers + list ranking).
     let root = 0u32;
-    let tour = timed(&mut phases.euler_tour, || {
+    let tour = rec.step(Step::EulerTour, || {
         euler_tour_classic(pool, n, tree_edges, root, ranker)
     });
 
     // Step 3: Root-tree / tree computations.
-    let info = timed(&mut phases.root_tree, || {
-        tree_computations(pool, &tour, root)
-    });
+    let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
 
     // Steps 4–6.
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, &mut phases);
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, rec);
     let stats = PipelineStats {
         input_edges: g.m(),
         effective_edges: g.m(),
@@ -192,23 +376,24 @@ pub fn tv_smp_with_ranker(pool: &Pool, g: &Graph, ranker: Ranker) -> Result<BccR
         sv_rounds_cc: tail.sv_rounds_cc,
         ..PipelineStats::default()
     };
-    Ok(finalize(tail.edge_labels, phases, stats, start))
+    Ok(finalize(
+        tail.edge_labels,
+        rec.phases().clone(),
+        stats,
+        start,
+    ))
 }
 
-/// TV-opt: work-stealing rooted spanning tree (merged Spanning-tree +
-/// Root-tree) → DFS-order Euler tour → prefix-sum tree computations →
-/// shared tail.
-pub fn tv_opt(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+fn tv_opt_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<BccResult, BccError> {
     let start = Instant::now();
     let n = g.n();
-    let mut phases = PhaseTimes::default();
-    if let Some(r) = trivial_result(g, start, &phases) {
+    if let Some(r) = trivial_result(g, start, rec.phases()) {
         return Ok(r);
     }
 
     // Step 1 (merged with rooting): adjacency conversion + traversal.
     let root = 0u32;
-    let st = timed(&mut phases.spanning_tree, || {
+    let st = rec.step(Step::SpanningTree, || {
         let csr = Csr::build_par(pool, g);
         work_stealing_tree(pool, &csr, root)
     });
@@ -226,16 +411,14 @@ pub fn tv_opt(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
     }
 
     // Step 2: cache-friendly DFS-order Euler tour.
-    let tour = timed(&mut phases.euler_tour, || {
+    let tour = rec.step(Step::EulerTour, || {
         dfs_euler_tour(pool, n, tree_edges, &st.parent, root)
     });
 
     // Step 3: tree computations by prefix sums over the tour.
-    let info = timed(&mut phases.root_tree, || {
-        tree_computations(pool, &tour, root)
-    });
+    let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
 
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, &mut phases);
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, rec);
     let stats = PipelineStats {
         input_edges: g.m(),
         effective_edges: g.m(),
@@ -244,24 +427,25 @@ pub fn tv_opt(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
         sv_rounds_cc: tail.sv_rounds_cc,
         ..PipelineStats::default()
     };
-    Ok(finalize(tail.edge_labels, phases, stats, start))
+    Ok(finalize(
+        tail.edge_labels,
+        rec.phases().clone(),
+        stats,
+        start,
+    ))
 }
 
-/// TV-filter (paper Alg. 2): BFS tree `T`, spanning forest `F` of
-/// `G − T`, TV(-opt) on `T ∪ F`, then condition-1 placement of the
-/// filtered edges.
-pub fn tv_filter(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
+fn tv_filter_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<BccResult, BccError> {
     let start = Instant::now();
     let n = g.n();
     let m = g.m();
-    let mut phases = PhaseTimes::default();
-    if let Some(r) = trivial_result(g, start, &phases) {
+    if let Some(r) = trivial_result(g, start, rec.phases()) {
         return Ok(r);
     }
 
     // Step 1: BFS spanning tree T (Lemma 1 requires a BFS tree).
     let root = 0u32;
-    let bfs = timed(&mut phases.spanning_tree, || {
+    let bfs = rec.step(Step::SpanningTree, || {
         let csr = Csr::build_par(pool, g);
         bfs_tree_par(pool, &csr, root)
     });
@@ -271,7 +455,7 @@ pub fn tv_filter(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
 
     // Step 2 (Filtering): spanning forest F of G − T, then assemble the
     // reduced graph T ∪ F (≤ 2(n−1) edges).
-    let (reduced_edges, reduced_is_tree, reduced_of_orig) = timed(&mut phases.filtering, || {
+    let (reduced_edges, reduced_is_tree, reduced_of_orig) = rec.step(Step::Filtering, || {
         let mut in_tree = vec![false; m];
         for v in 0..n {
             let eid = bfs.parent_eid[v as usize];
@@ -313,28 +497,19 @@ pub fn tv_filter(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
 
     // Steps 2'–3': Euler tour + tree computations on T.
     let tree_edges: Vec<Edge> = reduced_edges[..n as usize - 1].to_vec();
-    let tour = timed(&mut phases.euler_tour, || {
+    let tour = rec.step(Step::EulerTour, || {
         dfs_euler_tour(pool, n, tree_edges, &bfs.parent, root)
     });
-    let info = timed(&mut phases.root_tree, || {
-        tree_computations(pool, &tour, root)
-    });
+    let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
 
     // Steps 4–6 on the reduced graph.
-    let tail = tv_tail(
-        pool,
-        n,
-        &reduced_edges,
-        &reduced_is_tree,
-        &info,
-        &mut phases,
-    );
+    let tail = tv_tail(pool, n, &reduced_edges, &reduced_is_tree, &info, rec);
 
     // Step 4 of Alg. 2: place each filtered edge (u, v) into the
     // component of the tree edge (x, p(x)) of its larger-preorder
     // endpoint x (condition 1 holds for any rooted spanning tree).
     let mut comp = vec![0u32; m];
-    timed(&mut phases.filtering, || {
+    rec.step(Step::Filtering, || {
         let comp_s = SharedSlice::new(&mut comp);
         let labels: &[u32] = &tail.edge_labels;
         let aux: &[u32] = &tail.aux_vertex_labels;
@@ -369,7 +544,7 @@ pub fn tv_filter(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
         bfs_levels: bfs.levels,
         ..PipelineStats::default()
     };
-    Ok(finalize(comp, phases, stats, start))
+    Ok(finalize(comp, rec.phases().clone(), stats, start))
 }
 
 /// Output of the shared tail: raw (non-canonical) labels.
@@ -395,17 +570,17 @@ fn tv_tail(
     edges: &[Edge],
     is_tree_edge: &[bool],
     info: &TreeInfo,
-    phases: &mut PhaseTimes,
+    rec: &mut PhaseRecorder,
 ) -> TailOutput {
     let m = edges.len();
 
     // Step 4: Low-high.
-    let lh = timed(&mut phases.low_high, || {
+    let lh = rec.step(Step::LowHigh, || {
         compute_low_high_with(pool, edges, is_tree_edge, info, LowHighMethod::Auto)
     });
 
     // Step 5: Label-edge.
-    let aux = timed(&mut phases.label_edge, || {
+    let aux = rec.step(Step::LabelEdge, || {
         build_aux_graph(pool, n, edges, is_tree_edge, info, &lh)
     });
 
@@ -413,7 +588,7 @@ fn tv_tail(
     // to the input edges.
     let aux_vertices = aux.num_vertices;
     let aux_edges = aux.edges.len();
-    timed(&mut phases.connected_components, || {
+    rec.step(Step::ConnectedComponents, || {
         let cc = connected_components(pool, aux.num_vertices, &aux.edges);
         let mut edge_labels = vec![0u32; m];
         {
@@ -488,10 +663,12 @@ mod tests {
 
     fn all_agree(g: &Graph, p: usize) {
         let pool = Pool::new(p);
-        let base = sequential(g);
+        let base = sequential_impl(g);
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
-            let r = biconnected_components(&pool, g, alg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+            let r = BccConfig::new(alg)
+                .run(&pool, g)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()))
+                .result;
             assert_eq!(
                 r.num_components,
                 base.num_components,
@@ -547,7 +724,10 @@ mod tests {
         let g = Graph::from_tuples(2, [(0, 1)]);
         all_agree(&g, 2);
         let pool = Pool::new(2);
-        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r.num_components, 1);
     }
 
@@ -556,7 +736,7 @@ mod tests {
         let pool = Pool::new(2);
         let g = Graph::new(1, vec![]);
         for alg in Algorithm::ALL {
-            let r = biconnected_components(&pool, &g, alg).unwrap();
+            let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
             assert_eq!(r.num_components, 0);
             assert!(r.edge_comp.is_empty());
         }
@@ -568,14 +748,17 @@ mod tests {
         let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
             assert_eq!(
-                biconnected_components(&pool, &g, alg).unwrap_err(),
+                BccConfig::new(alg).run(&pool, &g).unwrap_err(),
                 BccError::Disconnected,
                 "{}",
                 alg.name()
             );
         }
         // Sequential handles it.
-        let r = biconnected_components(&pool, &g, Algorithm::Sequential).unwrap();
+        let r = BccConfig::new(Algorithm::Sequential)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r.num_components, 2);
     }
 
@@ -583,7 +766,10 @@ mod tests {
     fn derived_outputs() {
         let g = gen::cycle_chain(3, 4, 0); // 3 cycles + 2 bridges
         let pool = Pool::new(2);
-        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r.num_components, 5);
         assert_eq!(r.bridges(&g).len(), 2);
         // Cut vertices: both endpoints of each bridge.
@@ -595,7 +781,10 @@ mod tests {
         let n = 500u32;
         let g = gen::random_connected(n, 5_000, 4);
         let pool = Pool::new(2);
-        let f = tv_filter(&pool, &g).unwrap();
+        let f = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(f.stats.input_edges, 5_000);
         assert!(f.stats.effective_edges <= 2 * (n as usize - 1));
         assert_eq!(
@@ -605,7 +794,10 @@ mod tests {
         assert!(f.stats.filtered_edges >= 5_000 - 2 * (n as usize - 1));
         assert!(f.stats.bfs_levels >= 2);
         // Aux graph of the reduced set is tiny relative to TV-opt's.
-        let o = tv_opt(&pool, &g).unwrap();
+        let o = BccConfig::new(Algorithm::TvOpt)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(o.stats.effective_edges, 5_000);
         assert!(f.stats.aux_vertices < o.stats.aux_vertices);
         assert!(f.stats.aux_edges < o.stats.aux_edges);
@@ -616,10 +808,95 @@ mod tests {
     fn phases_are_populated() {
         let g = gen::random_connected(300, 900, 2);
         let pool = Pool::new(2);
-        let r = tv_filter(&pool, &g).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert!(r.phases.total >= r.phases.step_sum() / 2);
         assert!(r.phases.filtering.as_nanos() > 0);
-        let r = tv_opt(&pool, &g).unwrap();
+        let r = BccConfig::new(Algorithm::TvOpt)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r.phases.filtering.as_nanos(), 0);
+    }
+
+    #[test]
+    fn report_step_sum_is_bounded_by_total() {
+        let g = gen::random_connected(400, 1_200, 7);
+        for p in [1, 2] {
+            let pool = Pool::new(p);
+            for alg in Algorithm::ALL {
+                let run = BccConfig::new(alg).run(&pool, &g).unwrap();
+                assert!(
+                    run.report.step_sum() <= run.report.total,
+                    "{} p={p}: step_sum {:?} > total {:?}",
+                    alg.name(),
+                    run.report.step_sum(),
+                    run.report.total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_carries_sizes_and_steps() {
+        let g = gen::random_connected(300, 2_000, 5);
+        let pool = Pool::new(2);
+        let run = BccConfig::new(Algorithm::TvFilter).run(&pool, &g).unwrap();
+        let rep = &run.report;
+        assert_eq!(rep.algorithm, "TV-filter");
+        assert_eq!(rep.threads, 2);
+        assert_eq!(rep.n, 300);
+        assert_eq!(rep.m, 2_000);
+        assert_eq!(rep.effective_edges, run.result.stats.effective_edges);
+        assert_eq!(rep.filtered_edges, run.result.stats.filtered_edges);
+        assert!(rep.effective_edges <= 2 * 299);
+        assert!(rep.step(crate::phase::Step::Filtering).is_some());
+        assert!(rep.step(crate::phase::Step::LowHigh).is_some());
+        // Per-step durations agree with the flat PhaseTimes.
+        assert_eq!(
+            rep.step(crate::phase::Step::LowHigh).unwrap().duration,
+            run.result.phases.low_high
+        );
+        // Without telemetry the synchronization stats are inert.
+        assert_eq!(rep.phase_runs, 0);
+        assert_eq!(rep.imbalance, 1.0);
+    }
+
+    #[test]
+    fn telemetry_pool_fills_synchronization_stats() {
+        let g = gen::random_connected(300, 900, 3);
+        let sink = Arc::new(Telemetry::new(2));
+        let pool = Pool::builder()
+            .threads(2)
+            .telemetry(Arc::clone(&sink))
+            .build();
+        let run = BccConfig::new(Algorithm::TvOpt).run(&pool, &g).unwrap();
+        assert!(run.report.phase_runs > 0, "pool phases must be counted");
+        assert!(run.report.barrier_episodes >= run.report.phase_runs);
+        assert!(run.report.imbalance >= 1.0);
+        // The same sink passed explicitly reads identically.
+        let run2 = BccConfig::new(Algorithm::TvOpt)
+            .telemetry(Arc::clone(&sink))
+            .run(&pool, &g)
+            .unwrap();
+        assert!(run2.report.phase_runs > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer() {
+        let g = gen::torus(4, 5);
+        let pool = Pool::new(2);
+        let base = sequential(&g);
+        let a = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let b = tv_smp(&pool, &g).unwrap();
+        let c = tv_opt(&pool, &g).unwrap();
+        let d = tv_filter(&pool, &g).unwrap();
+        let e = tv_smp_with_ranker(&pool, &g, Ranker::Sequential).unwrap();
+        for r in [&a, &b, &c, &d, &e] {
+            assert_eq!(r.edge_comp, base.edge_comp);
+        }
     }
 }

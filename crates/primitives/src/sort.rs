@@ -234,7 +234,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn random_u64s(n: usize, seed: u64, max: u64) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(seed);

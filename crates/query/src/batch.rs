@@ -83,7 +83,7 @@ pub fn run_batch(pool: &Pool, index: &BiconnectivityIndex, queries: &[Query]) ->
 /// use bcc_smp::Pool;
 ///
 /// let pool = Pool::new(2);
-/// let idx = BiconnectivityIndex::from_graph(&pool, &gen::cycle(8));
+/// let idx = BiconnectivityIndex::from_graph(&pool, &gen::cycle(8)).unwrap();
 /// let mut batch = QueryBatch::new();
 /// batch.push(Query::SameBlock(0, 4));
 /// batch.push(Query::IsArticulation(3));

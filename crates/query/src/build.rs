@@ -8,8 +8,7 @@
 
 use crate::index::BiconnectivityIndex;
 use bcc_connectivity::sv::{connected_components, normalize_labels};
-use bcc_core::per_component::biconnected_components_per_component;
-use bcc_core::{Algorithm, BccResult, BlockCutTree};
+use bcc_core::{Algorithm, BccConfig, BccError, BccResult, BlockCutTree};
 use bcc_euler::LcaIndex;
 use bcc_graph::Graph;
 use bcc_smp::atomic::as_atomic_u32;
@@ -136,10 +135,14 @@ impl BiconnectivityIndex {
 
     /// One-call build: runs the cheapest pipeline (TV-filter, falling
     /// back per component for disconnected inputs), derives the
-    /// block-cut tree, and indexes it.
-    pub fn from_graph(pool: &Pool, g: &Graph) -> Self {
-        let r = biconnected_components_per_component(pool, g, Algorithm::TvFilter);
-        let t = BlockCutTree::build(g, &r);
-        Self::build(pool, g, &r, &t)
+    /// block-cut tree, and indexes it. Propagates the pipeline's
+    /// [`BccError`] rather than second-guessing it here; the
+    /// per-component driver satisfies the connectivity precondition by
+    /// construction, so today's error set is empty, but the signature
+    /// is ready for fallible pipelines.
+    pub fn from_graph(pool: &Pool, g: &Graph) -> Result<Self, BccError> {
+        let run = BccConfig::new(Algorithm::TvFilter).run_any(pool, g)?;
+        let t = BlockCutTree::build(g, &run.result);
+        Ok(Self::build(pool, g, &run.result, &t))
     }
 }

@@ -263,7 +263,7 @@ mod tests {
     use bcc_smp::Pool;
 
     fn idx(g: &bcc_graph::Graph) -> BiconnectivityIndex {
-        BiconnectivityIndex::from_graph(&Pool::new(2), g)
+        BiconnectivityIndex::from_graph(&Pool::new(2), g).unwrap()
     }
 
     #[test]

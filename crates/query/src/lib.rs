@@ -34,7 +34,7 @@
 //! // Two 4-cliques sharing vertex 3: one cut vertex, two blocks.
 //! let g = gen::two_cliques_sharing_vertex(4);
 //! let pool = Pool::new(2);
-//! let idx = BiconnectivityIndex::from_graph(&pool, &g);
+//! let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
 //! assert!(idx.is_articulation(3));
 //! assert!(!idx.same_block(0, 5));
 //! assert_eq!(idx.vertex_cut_between(0, 5), vec![3]);

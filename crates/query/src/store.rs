@@ -17,6 +17,7 @@
 //! far more complex than this whole workspace.
 
 use crate::index::BiconnectivityIndex;
+use bcc_core::BccError;
 use bcc_graph::{Edge, Graph};
 use bcc_smp::Pool;
 use std::sync::{Arc, Mutex, RwLock};
@@ -54,10 +55,10 @@ pub struct IndexStore {
 
 impl IndexStore {
     /// Builds epoch 0 from `g` and takes ownership of the pool used
-    /// for every rebuild.
-    pub fn new(pool: Pool, g: Graph) -> Self {
-        let index = BiconnectivityIndex::from_graph(&pool, &g);
-        IndexStore {
+    /// for every rebuild. Fails if the initial index build does.
+    pub fn new(pool: Pool, g: Graph) -> Result<Self, BccError> {
+        let index = BiconnectivityIndex::from_graph(&pool, &g)?;
+        Ok(IndexStore {
             pool,
             current: RwLock::new(Arc::new(Snapshot {
                 epoch: 0,
@@ -66,7 +67,7 @@ impl IndexStore {
             })),
             journal: Mutex::new(Vec::new()),
             commit_lock: Mutex::new(()),
-        }
+        })
     }
 
     /// The current snapshot. Cheap (one `Arc` clone under a read
@@ -88,26 +89,38 @@ impl IndexStore {
     /// Drains the journal, applies it to the current graph, rebuilds,
     /// and publishes the next epoch; returns the new snapshot. With an
     /// empty journal this is a no-op returning the current snapshot.
-    pub fn commit(&self) -> Arc<Snapshot> {
+    /// On a rebuild error the previous epoch stays published and the
+    /// journal is restored, so a failed commit loses nothing.
+    pub fn commit(&self) -> Result<Arc<Snapshot>, BccError> {
         let _serial = self.commit_lock.lock().unwrap();
         let updates: Vec<EdgeUpdate> = std::mem::take(&mut *self.journal.lock().unwrap());
         if updates.is_empty() {
-            return self.load();
+            return Ok(self.load());
         }
         let prev = self.load();
         let graph = apply_updates(&prev.graph, &updates);
-        let index = BiconnectivityIndex::from_graph(&self.pool, &graph);
+        let index = match BiconnectivityIndex::from_graph(&self.pool, &graph) {
+            Ok(index) => index,
+            Err(e) => {
+                // Put the drained updates back in front of anything
+                // enqueued while we were rebuilding.
+                let mut journal = self.journal.lock().unwrap();
+                let newer = std::mem::replace(&mut *journal, updates);
+                journal.extend(newer);
+                return Err(e);
+            }
+        };
         let next = Arc::new(Snapshot {
             epoch: prev.epoch + 1,
             graph,
             index,
         });
         *self.current.write().unwrap() = Arc::clone(&next);
-        next
+        Ok(next)
     }
 
     /// Convenience: enqueue a whole journal and commit it.
-    pub fn apply(&self, updates: &[EdgeUpdate]) -> Arc<Snapshot> {
+    pub fn apply(&self, updates: &[EdgeUpdate]) -> Result<Arc<Snapshot>, BccError> {
         {
             let mut journal = self.journal.lock().unwrap();
             journal.extend_from_slice(updates);
@@ -152,7 +165,7 @@ mod tests {
 
     #[test]
     fn epochs_advance_and_old_snapshots_survive() {
-        let store = IndexStore::new(Pool::new(2), gen::cycle(6));
+        let store = IndexStore::new(Pool::new(2), gen::cycle(6)).unwrap();
         let before = store.load();
         assert_eq!(before.epoch, 0);
         assert!(before.index.articulation_points().is_empty());
@@ -160,7 +173,7 @@ mod tests {
         // Cut the cycle open: edge (0,1) gone, the rest becomes a path.
         store.enqueue(EdgeUpdate::Remove(0, 1));
         assert_eq!(store.pending(), 1);
-        let after = store.commit();
+        let after = store.commit().unwrap();
         assert_eq!(after.epoch, 1);
         assert_eq!(store.pending(), 0);
         assert_eq!(after.index.articulation_points(), &[2, 3, 4, 5]);
@@ -177,22 +190,24 @@ mod tests {
 
     #[test]
     fn empty_commit_is_a_no_op() {
-        let store = IndexStore::new(Pool::new(1), gen::cycle(4));
-        let a = store.commit();
+        let store = IndexStore::new(Pool::new(1), gen::cycle(4)).unwrap();
+        let a = store.commit().unwrap();
         assert_eq!(a.epoch, 0);
         assert!(Arc::ptr_eq(&a, &store.load()));
     }
 
     #[test]
     fn inserts_grow_the_vertex_set_and_heal_cuts() {
-        let store = IndexStore::new(Pool::new(2), gen::path(4));
+        let store = IndexStore::new(Pool::new(2), gen::path(4)).unwrap();
         // Close the path into a cycle, and hang a brand-new vertex 4.
-        let snap = store.apply(&[
-            EdgeUpdate::Insert(3, 0),
-            EdgeUpdate::Insert(0, 4),
-            EdgeUpdate::Insert(0, 0), // self loop: ignored
-            EdgeUpdate::Insert(0, 1), // duplicate: ignored
-        ]);
+        let snap = store
+            .apply(&[
+                EdgeUpdate::Insert(3, 0),
+                EdgeUpdate::Insert(0, 4),
+                EdgeUpdate::Insert(0, 0), // self loop: ignored
+                EdgeUpdate::Insert(0, 1), // duplicate: ignored
+            ])
+            .unwrap();
         assert_eq!(snap.epoch, 1);
         assert_eq!(snap.graph.n(), 5);
         assert_eq!(snap.graph.m(), 5); // 4 path/cycle edges + pendant
@@ -203,19 +218,19 @@ mod tests {
 
     #[test]
     fn removal_can_disconnect() {
-        let store = IndexStore::new(Pool::new(2), gen::cycle_chain(2, 4, 0));
-        let snap = store.apply(&[EdgeUpdate::Remove(3, 4)]); // the bridge
+        let store = IndexStore::new(Pool::new(2), gen::cycle_chain(2, 4, 0)).unwrap();
+        let snap = store.apply(&[EdgeUpdate::Remove(3, 4)]).unwrap(); // the bridge
         assert!(!snap.index.connected(0, 5));
         assert!(!snap.index.survives_failure(0, 5, Failure::Vertex(2)));
         // Removing an absent edge is a no-op but still bumps the epoch.
-        let snap2 = store.apply(&[EdgeUpdate::Remove(0, 5)]);
+        let snap2 = store.apply(&[EdgeUpdate::Remove(0, 5)]).unwrap();
         assert_eq!(snap2.epoch, 2);
         assert_eq!(snap2.graph.m(), snap.graph.m());
     }
 
     #[test]
     fn readers_keep_serving_across_concurrent_commits() {
-        let store = IndexStore::new(Pool::new(2), gen::cycle(8));
+        let store = IndexStore::new(Pool::new(2), gen::cycle(8)).unwrap();
         std::thread::scope(|s| {
             let reader = s.spawn(|| {
                 let mut answered = 0u64;
@@ -234,9 +249,13 @@ mod tests {
             let writer = s.spawn(|| {
                 for round in 0..20 {
                     if round % 2 == 0 {
-                        store.apply(&[EdgeUpdate::Remove(0, 1), EdgeUpdate::Remove(4, 5)]);
+                        store
+                            .apply(&[EdgeUpdate::Remove(0, 1), EdgeUpdate::Remove(4, 5)])
+                            .unwrap();
                     } else {
-                        store.apply(&[EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(4, 5)]);
+                        store
+                            .apply(&[EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(4, 5)])
+                            .unwrap();
                     }
                 }
             });

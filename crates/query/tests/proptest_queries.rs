@@ -33,7 +33,7 @@ proptest! {
     #[test]
     fn survives_vertex_failure_matches_bfs((g, u, v, x) in graph_and_triple()) {
         let pool = Pool::new(2);
-        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
         let f = Failure::Vertex(x);
         prop_assert_eq!(
             idx.survives_failure(u, v, f),
@@ -45,7 +45,7 @@ proptest! {
     #[test]
     fn survives_edge_failure_matches_bfs((g, u, v, x) in graph_and_triple()) {
         let pool = Pool::new(2);
-        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
         // Test both a real edge (when x indexes one) and a random pair.
         let e = g.edges()[x as usize % g.m()];
         for f in [Failure::Edge(e.u, e.v), Failure::Edge(u, x)] {
@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn vertex_cut_matches_recomputed_articulation_points((g, u, v, _x) in graph_and_triple()) {
         let pool = Pool::new(2);
-        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
         // The naive answer *is* a recomputation per candidate vertex;
         // additionally every reported vertex must be an articulation
         // point of the graph.
@@ -75,7 +75,7 @@ proptest! {
     #[test]
     fn point_queries_match_naive_even_disconnected((g, u, v, x) in sparse_graph_and_triple()) {
         let pool = Pool::new(2);
-        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
         prop_assert_eq!(idx.connected(u, v), naive::connected_bfs(&g, u, v));
         prop_assert_eq!(idx.same_block(u, v), naive::same_block_bfs(&g, u, v));
         prop_assert_eq!(idx.is_bridge(u, v), naive::is_bridge_bfs(&g, u, v));
@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn batch_path_is_bit_identical_to_point_path((g, u, v, x) in graph_and_triple()) {
         let pool = Pool::new(3);
-        let idx = BiconnectivityIndex::from_graph(&pool, &g);
+        let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
         let queries = vec![
             Query::Connected(u, v),
             Query::SameBlock(u, v),

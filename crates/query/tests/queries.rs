@@ -24,7 +24,7 @@ impl Lcg {
 }
 
 fn check_against_naive(g: &Graph, pool: &Pool, seed: u64, samples: usize) {
-    let idx = BiconnectivityIndex::from_graph(pool, g);
+    let idx = BiconnectivityIndex::from_graph(pool, g).unwrap();
     let n = g.n();
     let mut rng = Lcg(seed.wrapping_mul(2654435761).wrapping_add(99991));
     for _ in 0..samples {
@@ -122,7 +122,7 @@ fn indexed_queries_match_naive_on_structured_graphs() {
 fn batch_answers_are_bit_identical_to_point_answers() {
     let g = gen::random_connected(120, 260, 11);
     let pool = Pool::new(4);
-    let idx = BiconnectivityIndex::from_graph(&pool, &g);
+    let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
     let mut rng = Lcg(0xB1C0);
     let n = g.n();
     let mut batch = QueryBatch::new();

@@ -17,6 +17,8 @@
 //!   CAS-based phases (grafting, BFS claiming).
 //! * [`dynamic`] — a shared chunk counter for dynamically scheduled
 //!   loops (load balancing irregular frontiers).
+//! * [`telemetry`] — opt-in per-thread counters (barrier wait, busy
+//!   time, phase counts) for attributing parallel overhead.
 //!
 //! # Example
 //!
@@ -41,11 +43,13 @@ pub mod barrier;
 pub mod dynamic;
 pub mod pool;
 pub mod shared;
+pub mod telemetry;
 
 pub use barrier::Barrier;
 pub use dynamic::ChunkCounter;
-pub use pool::{Ctx, Pool};
+pub use pool::{Ctx, Pool, PoolBuilder};
 pub use shared::SharedSlice;
+pub use telemetry::{Telemetry, TelemetrySnapshot};
 
 /// Sentinel used throughout the workspace for "no vertex / no index".
 pub const NIL: u32 = u32::MAX;

@@ -14,10 +14,12 @@
 //! remains: one wake + one completion handshake).
 
 use crate::barrier::Barrier;
+use crate::telemetry::Telemetry;
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// An SPMD executor with a fixed thread count.
 ///
@@ -49,6 +51,8 @@ struct Inner {
     /// Number of live `Pool` handles (workers hold `Arc<Inner>` too, so
     /// `Arc::strong_count` cannot detect the last handle).
     handles: AtomicUsize,
+    /// Optional counter sink; `None` costs one pointer test per phase.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 struct PhaseState {
@@ -73,7 +77,19 @@ struct JobPacket<'a> {
 impl Pool {
     /// Creates a pool of `threads` SPMD threads. Must be >= 1.
     pub fn new(threads: usize) -> Self {
+        Pool::with_telemetry(threads, None)
+    }
+
+    fn with_telemetry(threads: usize, telemetry: Option<Arc<Telemetry>>) -> Self {
         assert!(threads >= 1, "pool needs at least one thread");
+        if let Some(sink) = &telemetry {
+            assert_eq!(
+                sink.threads(),
+                threads,
+                "telemetry sink sized for {} threads, pool has {threads}",
+                sink.threads(),
+            );
+        }
         let inner = Arc::new(Inner {
             threads,
             run_lock: Mutex::new(()),
@@ -88,6 +104,7 @@ impl Pool {
             done_cv: Condvar::new(),
             worker_panicked: std::sync::atomic::AtomicBool::new(false),
             handles: AtomicUsize::new(1),
+            telemetry,
         });
         for tid in 1..threads {
             let inner = Arc::clone(&inner);
@@ -99,18 +116,39 @@ impl Pool {
         Pool { inner }
     }
 
+    /// Starts configuring a pool (thread count, telemetry sink).
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder {
+            threads: None,
+            telemetry: None,
+        }
+    }
+
     /// A pool sized to the machine (`std::thread::available_parallelism`).
     pub fn machine() -> Self {
-        let p = std::thread::available_parallelism()
+        Pool::new(Pool::default_threads())
+    }
+
+    /// The machine's available parallelism, clamped to `1..=64` so a
+    /// misreported core count (containers, exotic SMPs) cannot oversubscribe
+    /// the barrier's spin loops into pathology.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1);
-        Pool::new(p)
+            .unwrap_or(1)
+            .clamp(1, 64)
     }
 
     /// Number of SPMD threads.
     #[inline]
     pub fn threads(&self) -> usize {
         self.inner.threads
+    }
+
+    /// The telemetry sink attached at construction, if any.
+    #[inline]
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.inner.telemetry.as_ref()
     }
 
     /// Runs `f` on all threads of the pool. `f(ctx)` is invoked once per
@@ -125,10 +163,24 @@ impl Pool {
         F: Fn(&Ctx) + Sync,
     {
         let p = self.inner.threads;
+        let telem = self.inner.telemetry.as_deref();
+        if let Some(t) = telem {
+            t.record_run();
+        }
         let barrier = Barrier::new(p);
         if p == 1 {
-            let ctx = Ctx::new(0, 1, &barrier);
+            let ctx = Ctx::new(0, 1, &barrier, telem);
+            let start = telem.map(|_| Instant::now());
             f(&ctx);
+            if let Some(t) = telem {
+                let elapsed = start.unwrap().elapsed().as_nanos() as u64;
+                let wait = ctx.wait_ns.get();
+                t.record_thread(0, elapsed.saturating_sub(wait), wait);
+                // The (trivial) end-of-phase join still counts as the
+                // phase's barrier episode, so episode counts don't
+                // change shape between p = 1 and p > 1.
+                t.record_episode();
+            }
             return;
         }
 
@@ -156,10 +208,21 @@ impl Pool {
         let phase_guard = PhaseGuard { inner: &self.inner };
 
         // Participate as thread 0.
-        let ctx = Ctx::new(0, p, &barrier);
+        let ctx = Ctx::new(0, p, &barrier, telem);
+        let start = telem.map(|_| Instant::now());
         f(&ctx);
+        let closure_ns = start.map(|s| s.elapsed().as_nanos() as u64);
 
+        let join_start = telem.map(|_| Instant::now());
         drop(phase_guard); // waits for workers, clears the packet
+        if let Some(t) = telem {
+            // Thread 0's wait for the stragglers is the phase's implicit
+            // join barrier: bill it as barrier wait, count one episode.
+            let join_ns = join_start.unwrap().elapsed().as_nanos() as u64;
+            let wait = ctx.wait_ns.get();
+            t.record_thread(0, closure_ns.unwrap().saturating_sub(wait), wait + join_ns);
+            t.record_episode();
+        }
         if self.inner.worker_panicked.load(Ordering::Acquire) {
             panic!("a pool worker panicked during Pool::run");
         }
@@ -293,7 +356,9 @@ fn worker_loop(inner: &Inner, tid: usize) {
         // SAFETY: the issuing `run` keeps the packet alive until every
         // worker has bumped `done` below.
         let packet = unsafe { &*packet };
-        let ctx = Ctx::new(tid, inner.threads, packet.barrier);
+        let telem = inner.telemetry.as_deref();
+        let ctx = Ctx::new(tid, inner.threads, packet.barrier, telem);
+        let start = telem.map(|_| Instant::now());
         // Catch panics so a failing closure cannot wedge the handshake.
         // (A panic while *other* threads wait on an in-closure barrier
         // still deadlocks them — inherent to barrier programs, same as
@@ -301,10 +366,57 @@ fn worker_loop(inner: &Inner, tid: usize) {
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (packet.f)(&ctx))).is_err() {
             inner.worker_panicked.store(true, Ordering::Release);
         }
+        if let Some(t) = telem {
+            let elapsed = start.unwrap().elapsed().as_nanos() as u64;
+            let wait = ctx.wait_ns.get();
+            t.record_thread(tid, elapsed.saturating_sub(wait), wait);
+        }
         // Signal completion.
         let _g = inner.done_lock.lock().unwrap();
         inner.done.fetch_add(1, Ordering::AcqRel);
         inner.done_cv.notify_one();
+    }
+}
+
+/// Configures a [`Pool`] before construction.
+///
+/// ```
+/// use bcc_smp::{Pool, Telemetry};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(Telemetry::new(2));
+/// let pool = Pool::builder().threads(2).telemetry(sink.clone()).build();
+/// pool.run(|_| {});
+/// assert_eq!(sink.snapshot().phase_runs, 1);
+/// ```
+pub struct PoolBuilder {
+    threads: Option<usize>,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl PoolBuilder {
+    /// Sets the SPMD thread count (default: [`Pool::default_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Attaches a counter sink. Must be sized for the pool's thread
+    /// count ([`Telemetry::new`] with the same `threads`).
+    pub fn telemetry(mut self, sink: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// Spawns the pool.
+    ///
+    /// # Panics
+    ///
+    /// If a telemetry sink was attached whose [`Telemetry::threads`]
+    /// disagrees with the pool's thread count.
+    pub fn build(self) -> Pool {
+        let threads = self.threads.unwrap_or_else(Pool::default_threads);
+        Pool::with_telemetry(threads, self.telemetry)
     }
 }
 
@@ -314,15 +426,21 @@ pub struct Ctx<'a> {
     threads: usize,
     barrier: &'a Barrier,
     sense: Cell<bool>,
+    /// Phase-local barrier-wait accumulator, flushed to `telem` by the
+    /// thread that owns this context once its closure returns.
+    wait_ns: Cell<u64>,
+    telem: Option<&'a Telemetry>,
 }
 
 impl<'a> Ctx<'a> {
-    fn new(tid: usize, threads: usize, barrier: &'a Barrier) -> Self {
+    fn new(tid: usize, threads: usize, barrier: &'a Barrier, telem: Option<&'a Telemetry>) -> Self {
         Ctx {
             tid,
             threads,
             barrier,
             sense: Cell::new(false),
+            wait_ns: Cell::new(0),
+            telem,
         }
     }
 
@@ -349,7 +467,19 @@ impl<'a> Ctx<'a> {
     #[inline]
     pub fn barrier(&self) -> bool {
         let mut sense = self.sense.get();
-        let leader = self.barrier.wait(&mut sense);
+        let leader = match self.telem {
+            None => self.barrier.wait(&mut sense),
+            Some(t) => {
+                let start = Instant::now();
+                let leader = self.barrier.wait(&mut sense);
+                self.wait_ns
+                    .set(self.wait_ns.get() + start.elapsed().as_nanos() as u64);
+                if leader {
+                    t.record_episode();
+                }
+                leader
+            }
+        };
         self.sense.set(sense);
         leader
     }
@@ -603,6 +733,99 @@ mod tests {
             }
         });
         assert_eq!(leaders.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn telemetry_records_one_barrier_entry_per_run() {
+        for p in [1, 4] {
+            let sink = Arc::new(Telemetry::new(p));
+            let pool = Pool::builder()
+                .threads(p)
+                .telemetry(Arc::clone(&sink))
+                .build();
+            for _ in 0..10 {
+                pool.run(|_| {});
+            }
+            let snap = sink.snapshot();
+            assert_eq!(snap.phase_runs, 10, "p={p}");
+            assert_eq!(
+                snap.barrier_episodes, 10,
+                "p={p}: each run's join is exactly one episode"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_explicit_barrier_episodes() {
+        let p = 3;
+        let sink = Arc::new(Telemetry::new(p));
+        let pool = Pool::builder()
+            .threads(p)
+            .telemetry(Arc::clone(&sink))
+            .build();
+        for _ in 0..5 {
+            pool.run(|ctx| {
+                ctx.barrier();
+                ctx.barrier();
+                ctx.barrier();
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.phase_runs, 5);
+        // 3 explicit episodes + the implicit join, per run.
+        assert_eq!(snap.barrier_episodes, 5 * 4);
+    }
+
+    #[test]
+    fn telemetry_sees_skew_as_wait_and_imbalance() {
+        let p = 2;
+        let sink = Arc::new(Telemetry::new(p));
+        let pool = Pool::builder()
+            .threads(p)
+            .telemetry(Arc::clone(&sink))
+            .build();
+        pool.run(|ctx| {
+            if ctx.tid() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            ctx.barrier();
+        });
+        let snap = sink.snapshot();
+        // Thread 1 worked ~20ms; thread 0 waited for it at the barrier.
+        assert!(
+            snap.busy[1] >= std::time::Duration::from_millis(15),
+            "sleeping thread's busy time: {:?}",
+            snap.busy
+        );
+        assert!(
+            snap.barrier_wait[0] >= std::time::Duration::from_millis(10),
+            "idle thread's barrier wait: {:?}",
+            snap.barrier_wait
+        );
+        assert!(snap.imbalance() > 1.2, "imbalance: {}", snap.imbalance());
+    }
+
+    #[test]
+    fn pools_without_telemetry_have_none() {
+        let pool = Pool::new(2);
+        assert!(pool.telemetry().is_none());
+        let built = Pool::builder().threads(2).build();
+        assert!(built.telemetry().is_none());
+    }
+
+    #[test]
+    fn builder_defaults_match_machine() {
+        let pool = Pool::builder().build();
+        assert_eq!(pool.threads(), Pool::default_threads());
+        assert!(Pool::default_threads() >= 1);
+        assert!(Pool::default_threads() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry sink sized for")]
+    fn builder_rejects_mismatched_sink() {
+        let sink = Arc::new(Telemetry::new(3));
+        let _ = Pool::builder().threads(2).telemetry(sink).build();
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Per-thread performance counters for the SPMD pool.
+//!
+//! The paper's analysis attributes parallel overhead to two machine
+//! effects the wall clock alone cannot separate: time spent *waiting*
+//! at barriers (synchronization cost) and *uneven* busy time across
+//! threads (load imbalance). A [`Telemetry`] sink attached to a
+//! [`Pool`](crate::Pool) via [`Pool::builder`](crate::Pool::builder)
+//! splits every SPMD phase into those components:
+//!
+//! * `phase_runs` — number of [`Pool::run`](crate::Pool::run) phases
+//!   executed.
+//! * `barrier_episodes` — completed barrier episodes. Every `run`
+//!   contributes exactly one (the end-of-phase join is a barrier in all
+//!   but name), plus one per explicit in-closure
+//!   [`Ctx::barrier`](crate::Ctx::barrier) episode.
+//! * per-thread `busy` / `barrier_wait` — each thread's closure time
+//!   splits into productive work and time blocked on barriers.
+//!
+//! Counters are recorded at phase *end* from a per-thread cell, so the
+//! hot path adds one branch and two `Instant` reads per barrier when
+//! enabled — and exactly one `Option` test per phase when disabled.
+//! Pools built without a sink ([`Pool::new`](crate::Pool::new)) skip
+//! even that: telemetry is strictly opt-in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One thread's counters, padded to a cache line so threads never
+/// contend on neighbouring counts.
+#[repr(align(128))]
+#[derive(Default)]
+struct PerThread {
+    busy_ns: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+/// Accumulating counter sink for one pool. Cheap to share (`Arc`),
+/// cheap to read; see the module docs for what is counted.
+pub struct Telemetry {
+    threads: usize,
+    phase_runs: AtomicU64,
+    barrier_episodes: AtomicU64,
+    per_thread: Box<[PerThread]>,
+}
+
+impl Telemetry {
+    /// A sink for a pool of `threads` SPMD threads.
+    pub fn new(threads: usize) -> Telemetry {
+        assert!(threads >= 1, "telemetry needs at least one thread");
+        Telemetry {
+            threads,
+            phase_runs: AtomicU64::new(0),
+            barrier_episodes: AtomicU64::new(0),
+            per_thread: (0..threads).map(|_| PerThread::default()).collect(),
+        }
+    }
+
+    /// Thread count this sink was sized for.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    #[inline]
+    pub(crate) fn record_run(&self) {
+        self.phase_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_episode(&self) {
+        self.barrier_episodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_thread(&self, tid: usize, busy_ns: u64, wait_ns: u64) {
+        let t = &self.per_thread[tid];
+        t.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+        t.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of all counters (reads are relaxed; the
+    /// caller is expected to snapshot while the pool is quiescent,
+    /// which every `Pool::run` return guarantees).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            phase_runs: self.phase_runs.load(Ordering::Relaxed),
+            barrier_episodes: self.barrier_episodes.load(Ordering::Relaxed),
+            busy: self
+                .per_thread
+                .iter()
+                .map(|t| Duration::from_nanos(t.busy_ns.load(Ordering::Relaxed)))
+                .collect(),
+            barrier_wait: self
+                .per_thread
+                .iter()
+                .map(|t| Duration::from_nanos(t.wait_ns.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.phase_runs.store(0, Ordering::Relaxed);
+        self.barrier_episodes.store(0, Ordering::Relaxed);
+        for t in self.per_thread.iter() {
+            t.busy_ns.store(0, Ordering::Relaxed);
+            t.wait_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Telemetry")
+            .field("threads", &self.threads)
+            .field("phase_runs", &snap.phase_runs)
+            .field("barrier_episodes", &snap.barrier_episodes)
+            .finish()
+    }
+}
+
+/// Point-in-time copy of a [`Telemetry`] sink's counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// [`Pool::run`](crate::Pool::run) phases executed so far.
+    pub phase_runs: u64,
+    /// Barrier episodes completed (one per run, plus explicit ones).
+    pub barrier_episodes: u64,
+    /// Per-thread productive time (closure time minus barrier waits).
+    pub busy: Vec<Duration>,
+    /// Per-thread time blocked on barriers (including the end-of-phase
+    /// join on thread 0).
+    pub barrier_wait: Vec<Duration>,
+}
+
+impl TelemetrySnapshot {
+    /// Load-imbalance ratio: max per-thread busy time over mean busy
+    /// time. `1.0` is perfect balance; `p` is one thread doing all the
+    /// work. Returns `1.0` when no busy time was recorded.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.busy.iter().max().copied().unwrap_or_default();
+        let sum: Duration = self.busy.iter().sum();
+        if sum.is_zero() {
+            return 1.0;
+        }
+        let mean = sum.as_secs_f64() / self.busy.len() as f64;
+        max.as_secs_f64() / mean
+    }
+
+    /// Sum of per-thread busy time.
+    pub fn total_busy(&self) -> Duration {
+        self.busy.iter().sum()
+    }
+
+    /// Sum of per-thread barrier-wait time.
+    pub fn total_barrier_wait(&self) -> Duration {
+        self.barrier_wait.iter().sum()
+    }
+
+    /// The worst single thread's barrier-wait time.
+    pub fn max_barrier_wait(&self) -> Duration {
+        self.barrier_wait.iter().max().copied().unwrap_or_default()
+    }
+
+    /// Counter movement between `earlier` and `self` (saturating, so a
+    /// `reset` between the two snapshots yields zeros rather than a
+    /// panic).
+    pub fn delta_since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let sub = |a: &[Duration], b: &[Duration]| -> Vec<Duration> {
+            a.iter()
+                .zip(b.iter().chain(std::iter::repeat(&Duration::ZERO)))
+                .map(|(x, y)| x.saturating_sub(*y))
+                .collect()
+        };
+        TelemetrySnapshot {
+            phase_runs: self.phase_runs.saturating_sub(earlier.phase_runs),
+            barrier_episodes: self
+                .barrier_episodes
+                .saturating_sub(earlier.barrier_episodes),
+            busy: sub(&self.busy, &earlier.busy),
+            barrier_wait: sub(&self.barrier_wait, &earlier.barrier_wait),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reflects_recordings() {
+        let t = Telemetry::new(2);
+        t.record_run();
+        t.record_episode();
+        t.record_thread(0, 1_000, 500);
+        t.record_thread(1, 3_000, 0);
+        let s = t.snapshot();
+        assert_eq!(s.phase_runs, 1);
+        assert_eq!(s.barrier_episodes, 1);
+        assert_eq!(
+            s.busy,
+            vec![Duration::from_nanos(1_000), Duration::from_nanos(3_000)]
+        );
+        assert_eq!(s.total_barrier_wait(), Duration::from_nanos(500));
+        assert_eq!(s.total_busy(), Duration::from_nanos(4_000));
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let t = Telemetry::new(4);
+        // One thread does all the work: imbalance == p.
+        t.record_thread(2, 4_000, 0);
+        assert!((t.snapshot().imbalance() - 4.0).abs() < 1e-9);
+        // Perfect balance: imbalance == 1.
+        t.reset();
+        for tid in 0..4 {
+            t.record_thread(tid, 1_000, 0);
+        }
+        assert!((t.snapshot().imbalance() - 1.0).abs() < 1e-9);
+        // No work at all: defined as 1.
+        t.reset();
+        assert_eq!(t.snapshot().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let t = Telemetry::new(1);
+        t.record_run();
+        t.record_thread(0, 100, 10);
+        let before = t.snapshot();
+        t.record_run();
+        t.record_run();
+        t.record_episode();
+        t.record_thread(0, 250, 40);
+        let delta = t.snapshot().delta_since(&before);
+        assert_eq!(delta.phase_runs, 2);
+        assert_eq!(delta.barrier_episodes, 1);
+        assert_eq!(delta.busy[0], Duration::from_nanos(250));
+        assert_eq!(delta.barrier_wait[0], Duration::from_nanos(40));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let t = Arc::new(Telemetry::new(3));
+        t.record_run();
+        t.record_episode();
+        t.record_thread(1, 5, 5);
+        t.reset();
+        let s = t.snapshot();
+        assert_eq!(s.phase_runs, 0);
+        assert_eq!(s.barrier_episodes, 0);
+        assert_eq!(s.total_busy(), Duration::ZERO);
+        assert_eq!(s.total_barrier_wait(), Duration::ZERO);
+    }
+}

@@ -15,7 +15,7 @@
 //! ```
 
 use smp_bcc::graph::{gen, io};
-use smp_bcc::{biconnected_components_per_component, Algorithm, Pool};
+use smp_bcc::{Algorithm, BccConfig, Pool};
 use std::io::Write;
 
 fn main() {
@@ -40,7 +40,10 @@ fn main() {
     };
 
     let pool = Pool::machine();
-    let r = biconnected_components_per_component(&pool, &g, Algorithm::TvFilter);
+    let r = BccConfig::new(Algorithm::TvFilter)
+        .run_any(&pool, &g)
+        .expect("per-component driver accepts any graph")
+        .result;
 
     let arts = r.articulation_points(&g);
     let bridges = r.bridges(&g);

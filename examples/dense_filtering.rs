@@ -7,7 +7,7 @@
 //! ```
 
 use smp_bcc::graph::gen;
-use smp_bcc::{biconnected_components, Algorithm, Pool};
+use smp_bcc::{Algorithm, BccConfig, Pool};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,9 +29,18 @@ fn main() {
         let m = (n as usize * d).min(gen::max_edges(n));
         let g = gen::random_connected(n, m, seed);
 
-        let opt = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
-        let filter = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
-        let seq = biconnected_components(&pool, &g, Algorithm::Sequential).unwrap();
+        let opt = BccConfig::new(Algorithm::TvOpt)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
+        let filter = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
+        let seq = BccConfig::new(Algorithm::Sequential)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(opt.edge_comp, filter.edge_comp, "algorithms must agree");
         assert_eq!(opt.edge_comp, seq.edge_comp);
 

@@ -100,7 +100,7 @@ fn main() {
     // ---- Build once ----------------------------------------------------
     let pool = Pool::machine();
     let t0 = std::time::Instant::now();
-    let store = IndexStore::new(pool.clone(), g);
+    let store = IndexStore::new(pool.clone(), g).expect("index build");
     let snap = store.load();
     println!(
         "index built in {:?} on {} threads (epoch {})",
@@ -180,7 +180,7 @@ fn main() {
         .expect("site 0 has an uplink");
     store.enqueue(EdgeUpdate::Remove(uplink.u, uplink.v));
     let t2 = std::time::Instant::now();
-    let after = store.commit();
+    let after = store.commit().expect("rebuild");
     println!(
         "injected failure of uplink ({}, {}): rebuilt epoch {} in {:?}",
         uplink.u,

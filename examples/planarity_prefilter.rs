@@ -16,7 +16,7 @@
 //! cargo run --release --example planarity_prefilter [n] [m] [seed]
 //! ```
 
-use smp_bcc::{biconnected_components_per_component, Algorithm, Pool};
+use smp_bcc::{Algorithm, BccConfig, Pool};
 use std::collections::HashMap;
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
     // A sparse random graph: mostly trees and small blocks.
     let g = smp_bcc::graph::gen::random_gnm(n, m, seed);
     let pool = Pool::machine();
-    let r = biconnected_components_per_component(&pool, &g, Algorithm::TvFilter);
+    let r = BccConfig::new(Algorithm::TvFilter)
+        .run_any(&pool, &g)
+        .expect("per-component driver accepts any graph")
+        .result;
 
     // Per-block vertex and edge counts.
     let mut block_edges: HashMap<u32, usize> = HashMap::new();

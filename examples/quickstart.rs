@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use smp_bcc::{biconnected_components, Algorithm, Graph, Pool};
+use smp_bcc::{Algorithm, BccConfig, Graph, Pool};
 
 fn main() {
     // The classic lecture example: two triangles joined by a bridge,
@@ -35,7 +35,10 @@ fn main() {
     println!("pool:  {} threads\n", pool.threads());
 
     for alg in Algorithm::ALL {
-        let r = biconnected_components(&pool, &g, alg).expect("connected input");
+        let r = BccConfig::new(alg)
+            .run(&pool, &g)
+            .expect("connected input")
+            .result;
         println!(
             "{:<11} {} biconnected components",
             alg.name(),

@@ -7,7 +7,7 @@
 //! ```
 
 use smp_bcc::graph::gen;
-use smp_bcc::{biconnected_components, Algorithm, Pool};
+use smp_bcc::{Algorithm, BccConfig, Pool};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,7 +21,10 @@ fn main() {
     println!("random connected graph: n = {n}, m = {m}");
     let g = gen::random_connected(n, m, 42);
 
-    let seq = biconnected_components(&Pool::new(1), &g, Algorithm::Sequential).unwrap();
+    let seq = BccConfig::new(Algorithm::Sequential)
+        .run(&Pool::new(1), &g)
+        .unwrap()
+        .result;
     println!(
         "Sequential (Tarjan): {:?}  [{} components]\n",
         seq.phases.total, seq.num_components
@@ -36,7 +39,7 @@ fn main() {
         let pool = Pool::new(p);
         let mut cells = Vec::new();
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
-            let r = biconnected_components(&pool, &g, alg).unwrap();
+            let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
             assert_eq!(r.edge_comp, seq.edge_comp, "{} must agree", alg.name());
             let speedup = seq.phases.total.as_secs_f64() / r.phases.total.as_secs_f64();
             cells.push(format!("{:>8.0?}({speedup:4.2})", r.phases.total));

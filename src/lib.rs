@@ -23,17 +23,21 @@
 //! assert_eq!(result.bridges(&g), vec![3]); // edge index of (2,3)
 //! ```
 //!
-//! For explicit control over thread count and connectivity handling use
-//! the re-exported crate modules:
+//! For explicit control over thread count, ranker, and telemetry use
+//! the [`BccConfig`] builder; each run returns the labels plus a
+//! structured [`PhaseReport`]:
 //!
 //! ```
-//! use smp_bcc::{biconnected_components, Algorithm, Pool};
+//! use smp_bcc::{Algorithm, BccConfig, Pool};
 //! use smp_bcc::graph::gen;
 //!
 //! let g = gen::random_connected(10_000, 40_000, 42);
 //! let pool = Pool::new(4);
-//! let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
-//! println!("{} components in {:?}", r.num_components, r.phases.total);
+//! let run = BccConfig::new(Algorithm::TvOpt).run(&pool, &g).unwrap();
+//! println!(
+//!     "{} components in {:?} (imbalance {:.2})",
+//!     run.result.num_components, run.report.total, run.report.imbalance
+//! );
 //! ```
 //!
 //! Once the components are known, the [`query`] engine serves
@@ -46,7 +50,7 @@
 //!
 //! let g = gen::two_cliques_sharing_vertex(4); // cut vertex 3
 //! let pool = Pool::new(2);
-//! let idx = BiconnectivityIndex::from_graph(&pool, &g);
+//! let idx = BiconnectivityIndex::from_graph(&pool, &g).unwrap();
 //! assert!(idx.same_block(0, 3) && !idx.same_block(0, 5));
 //! assert!(!idx.survives_failure(0, 5, Failure::Vertex(3)));
 //! ```
@@ -59,18 +63,27 @@ pub use bcc_primitives as primitives;
 pub use bcc_query as query;
 pub use bcc_smp as smp;
 
-pub use bcc_core::per_component::biconnected_components_per_component;
 pub use bcc_core::{
-    biconnected_components, double_bfs_upper_bound, sequential, Algorithm, BccError, BccResult,
-    PhaseTimes,
+    double_bfs_upper_bound, Algorithm, BccConfig, BccError, BccResult, BccRun, PhaseReport,
+    PhaseTimes, Ranker, Step, StepReport,
 };
 pub use bcc_graph::{Csr, Edge, Graph};
 pub use bcc_query::{BiconnectivityIndex, IndexStore};
-pub use bcc_smp::Pool;
+pub use bcc_smp::{Pool, Telemetry, TelemetrySnapshot};
+
+// Deprecated pre-`BccConfig` entry points, re-exported for one release
+// cycle so downstream code keeps compiling (with a warning).
+#[allow(deprecated)]
+pub use bcc_core::per_component::biconnected_components_per_component;
+#[allow(deprecated)]
+pub use bcc_core::{biconnected_components, sequential};
 
 /// One-call convenience API: runs `alg` on `g` with a machine-sized
 /// pool, handling disconnected inputs transparently.
 pub fn bcc(g: &Graph, alg: Algorithm) -> BccResult {
     let pool = Pool::machine();
-    biconnected_components_per_component(&pool, g, alg)
+    BccConfig::new(alg)
+        .run_any(&pool, g)
+        .expect("per-component driver accepts any graph")
+        .result
 }

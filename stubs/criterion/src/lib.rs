@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The container building this workspace cannot fetch crates, so this
+//! crate supplies the API subset the benches use — `Criterion`,
+//! `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a short fixed schedule
+//! (one warm-up pass, then a handful of timed passes) and prints the
+//! best observed time; there is no statistical analysis. The point is
+//! that `cargo bench` and `cargo test` compile and execute the bench
+//! targets quickly, not that the numbers rival real criterion.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Timed passes per benchmark (after one warm-up pass).
+const PASSES: u32 = 3;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Unit attached to a group's measurements for per-element reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id rendered as just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the closure under test repeatedly and records the elapsed time.
+pub struct Bencher {
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best of a few passes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let mut best = Duration::MAX;
+        for _ in 0..PASSES {
+            let start = Instant::now();
+            black_box(routine());
+            best = best.min(start.elapsed());
+        }
+        self.best = best;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measured throughput unit for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Caps measurement wall time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn record(&self, id: &str, best: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if !best.is_zero() => {
+                format!("  ({:.1} Melem/s)", n as f64 / best.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if !best.is_zero() => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / best.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{id}: best of {PASSES} = {best:?}{rate}",
+            self.name
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            best: Duration::ZERO,
+        };
+        f(&mut b);
+        self.record(&id.into_benchmark_id().full, b.best);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            best: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.record(&id.full, b.best);
+        self
+    }
+
+    /// Ends the group (accepted for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversions accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            full: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            best: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {id}: best of {PASSES} = {:?}", b.best);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10)
+                .throughput(Throughput::Elements(100))
+                .bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+            g.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &p| {
+                b.iter(|| black_box(p * 2))
+            });
+            g.finish();
+            ran += 1;
+        }
+        assert_eq!(ran, 1);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("top-level", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn macros_expand_to_runnables() {
+        demo_group();
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Implements the `Worker` / `Stealer` / `Steal` API subset the
+//! work-stealing spanning tree uses, over an `Arc<Mutex<VecDeque>>`.
+//! Semantics match the original (LIFO owner pops, FIFO steals); only
+//! the lock-freedom is sacrificed, which costs throughput, not
+//! correctness.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Owner handle of a work-stealing deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Thief handle of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Outcome of a steal attempt.
+pub enum Steal<T> {
+    /// One item was stolen.
+    Success(T),
+    /// The deque was empty.
+    Empty,
+    /// Transient contention; try again.
+    Retry,
+}
+
+impl<T> Worker<T> {
+    /// A new deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A thief handle sharing this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Pushes onto the owner end.
+    pub fn push(&self, item: T) {
+        self.queue.lock().unwrap().push_back(item);
+    }
+
+    /// Pops from the owner end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().unwrap().pop_back()
+    }
+
+    /// True when the deque holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one item from the victim end (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(_)) => Steal::Empty,
+        }
+    }
+
+    /// True when the deque holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.pop().is_none());
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn concurrent_producers_and_thieves_conserve_items() {
+        let w = Worker::new_lifo();
+        for i in 0..10_000u32 {
+            w.push(i);
+        }
+        let taken = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(_) => {
+                            taken.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => std::thread::yield_now(),
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(std::sync::atomic::Ordering::Relaxed), 10_000);
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This container has no network access and no cargo registry cache, so
+//! the real `rand` cannot be fetched. This crate implements exactly the
+//! API subset the workspace uses — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_bool, gen_range}`, `SliceRandom::{shuffle, choose}` —
+//! on top of a splitmix64 generator. Streams are deterministic per seed
+//! but differ from real `rand 0.8` output; seeds baked into tests were
+//! re-checked against this generator.
+
+/// The subset of `rand::rngs` the workspace touches.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Everything call sites import via `use rand::prelude::*`.
+pub mod prelude {
+    pub use crate::{Rng, SeedableRng, SliceRandom, StdRng};
+}
+
+/// A deterministic 64-bit generator (splitmix64 core).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Seeding entry point, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types producible by `Rng::gen`.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        // 53 mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_in(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// Range forms accepted by `gen_range` (one blanket impl per range kind
+/// so integer literals unify with the expected output type).
+pub trait UniformRange<T> {
+    /// Bounds as a half-open `[lo, hi)` pair.
+    fn lo_hi(self) -> (T, T);
+}
+
+impl<T: SampleUniform> UniformRange<T> for std::ops::Range<T> {
+    fn lo_hi(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Access to the underlying generator.
+    fn rng_mut(&mut self) -> &mut StdRng;
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self.rng_mut())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::draw(self.rng_mut()) < p
+    }
+
+    /// A uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform, R: UniformRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.lo_hi();
+        T::sample_in(self.rng_mut(), lo, hi)
+    }
+}
+
+impl Rng for StdRng {
+    fn rng_mut(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+/// The subset of `rand::seq::SliceRandom` the workspace uses.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut StdRng);
+
+    /// A uniformly chosen element, `None` on an empty slice.
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.next_u64() as usize % (i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.next_u64() as usize % self.len()])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 3 must actually permute");
+    }
+
+    #[test]
+    fn f64_draws_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

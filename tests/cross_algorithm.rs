@@ -2,15 +2,17 @@
 //! canonical partitions on every input family, at every thread count.
 
 use smp_bcc::graph::gen;
-use smp_bcc::{biconnected_components, sequential, Algorithm, Graph, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Graph, Pool};
 
 fn check_all(g: &Graph, threads: &[usize]) {
-    let base = sequential(g);
+    let base = bcc(g, Algorithm::Sequential);
     for &p in threads {
         let pool = Pool::new(p);
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
-            let r = biconnected_components(&pool, g, alg)
-                .unwrap_or_else(|e| panic!("{} p={p}: {e}", alg.name()));
+            let r = BccConfig::new(alg)
+                .run(&pool, g)
+                .unwrap_or_else(|e| panic!("{} p={p}: {e}", alg.name()))
+                .result;
             assert_eq!(
                 r.num_components,
                 base.num_components,
@@ -47,7 +49,7 @@ fn trees_forests_of_bridges() {
     for seed in 0..4u64 {
         let g = gen::random_tree(500, seed);
         check_all(&g, &[1, 4]);
-        let base = sequential(&g);
+        let base = bcc(&g, Algorithm::Sequential);
         assert_eq!(base.num_components as usize, g.m());
     }
 }
@@ -68,7 +70,7 @@ fn biconnected_inputs_single_component() {
         gen::hypercube(8),
         gen::complete_bipartite(12, 17),
     ] {
-        assert_eq!(sequential(&g).num_components, 1);
+        assert_eq!(bcc(&g, Algorithm::Sequential).num_components, 1);
     }
 }
 
@@ -76,7 +78,7 @@ fn biconnected_inputs_single_component() {
 fn barbell_has_two_blocks_plus_bridges() {
     let g = gen::barbell(6, 4);
     check_all(&g, &[1, 3]);
-    let base = sequential(&g);
+    let base = bcc(&g, Algorithm::Sequential);
     assert_eq!(base.num_components, 2 + 4);
 }
 
@@ -93,7 +95,7 @@ fn dense_woo_sahni_style_instances() {
         let g = gen::dense_percent(120, pct, 3);
         assert!(smp_bcc::graph::validate::is_connected(&g));
         check_all(&g, &[1, 4]);
-        assert_eq!(sequential(&g).num_components, 1);
+        assert_eq!(bcc(&g, Algorithm::Sequential).num_components, 1);
     }
 }
 
@@ -108,9 +110,15 @@ fn medium_random_instance_exercises_parallel_paths() {
 fn repeated_runs_are_deterministic() {
     let g = gen::random_connected(400, 1200, 9);
     let pool = Pool::new(4);
-    let r1 = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    let r1 = BccConfig::new(Algorithm::TvFilter)
+        .run(&pool, &g)
+        .unwrap()
+        .result;
     for _ in 0..5 {
-        let r2 = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r2 = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r1.edge_comp, r2.edge_comp);
     }
 }

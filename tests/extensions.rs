@@ -3,7 +3,6 @@
 //! double-BFS counting corollary, parallel derived outputs, and R-MAT
 //! workloads through the per-component driver.
 
-use smp_bcc::algorithms::tv_smp_with_ranker;
 use smp_bcc::algorithms::verify::{
     articulation_points, articulation_points_par, bridges, bridges_par,
 };
@@ -11,18 +10,20 @@ use smp_bcc::connectivity::as_sync::awerbuch_shiloach;
 use smp_bcc::connectivity::seq::components_union_find;
 use smp_bcc::euler::Ranker;
 use smp_bcc::graph::gen;
-use smp_bcc::{
-    bcc, biconnected_components_per_component, double_bfs_upper_bound, sequential, Algorithm, Pool,
-};
+use smp_bcc::{bcc, double_bfs_upper_bound, Algorithm, BccConfig, Pool};
 
 #[test]
 fn tv_smp_ranker_variants_agree() {
     let g = gen::random_connected(600, 2400, 3);
-    let base = sequential(&g);
+    let base = bcc(&g, Algorithm::Sequential);
     for p in [1, 4] {
         let pool = Pool::new(p);
         for ranker in [Ranker::Sequential, Ranker::Wyllie, Ranker::HelmanJaja] {
-            let r = tv_smp_with_ranker(&pool, &g, ranker).unwrap();
+            let r = BccConfig::new(Algorithm::TvSmp)
+                .ranker(ranker)
+                .run(&pool, &g)
+                .unwrap()
+                .result;
             assert_eq!(r.edge_comp, base.edge_comp, "{ranker:?} p={p}");
         }
     }
@@ -43,10 +44,10 @@ fn awerbuch_shiloach_agrees_with_union_find_at_scale() {
 fn rmat_graphs_through_per_component_driver() {
     for seed in 0..3u64 {
         let g = gen::rmat(10, 3000, 0.57, 0.19, 0.19, seed);
-        let base = sequential(&g);
+        let base = bcc(&g, Algorithm::Sequential);
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
             let pool = Pool::new(3);
-            let r = biconnected_components_per_component(&pool, &g, alg);
+            let r = BccConfig::new(alg).run_any(&pool, &g).unwrap().result;
             assert_eq!(r.edge_comp, base.edge_comp, "{} seed={seed}", alg.name());
         }
     }
@@ -56,7 +57,7 @@ fn rmat_graphs_through_per_component_driver() {
 fn double_bfs_bound_via_facade() {
     let pool = Pool::new(2);
     let g = gen::random_connected(400, 1600, 5);
-    let truth = sequential(&g).num_components;
+    let truth = bcc(&g, Algorithm::Sequential).num_components;
     let bound = double_bfs_upper_bound(&pool, &g).unwrap();
     assert!(bound >= truth);
     // At the paper's density the bound is exact for this seed.
@@ -82,7 +83,10 @@ fn block_cut_tree_and_two_ecc_from_parallel_results() {
     use smp_bcc::algorithms::{two_edge_connected_components, BlockCutTree};
     let g = gen::barbell(5, 3);
     let pool = Pool::new(3);
-    let r = smp_bcc::biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    let r = BccConfig::new(Algorithm::TvFilter)
+        .run(&pool, &g)
+        .unwrap()
+        .result;
     let t = BlockCutTree::build(&g, &r);
     assert_eq!(t.num_blocks, 2 + 3); // two cliques + three bridges
     assert_eq!(t.articulation.len(), 4); // both clique gates + 2 path vertices
@@ -123,7 +127,10 @@ fn schmidt_cross_checks_the_pipeline_at_scale() {
     // 20k vertices — far beyond the brute-force oracles' reach.
     let g = gen::random_connected(20_000, 50_000, 13);
     let pool = Pool::new(4);
-    let r = smp_bcc::biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    let r = BccConfig::new(Algorithm::TvFilter)
+        .run(&pool, &g)
+        .unwrap()
+        .result;
     let d = chain_decomposition(&g);
     let mut art = r.articulation_points(&g);
     art.sort_unstable();
@@ -138,7 +145,7 @@ fn facade_one_call_api_handles_everything() {
     // Disconnected, self-contained call with machine pool.
     let g = gen::rmat(9, 1200, 0.5, 0.2, 0.2, 1);
     let r = bcc(&g, Algorithm::TvFilter);
-    let base = sequential(&g);
+    let base = bcc(&g, Algorithm::Sequential);
     assert_eq!(r.edge_comp, base.edge_comp);
     assert_eq!(r.num_components, base.num_components);
 }

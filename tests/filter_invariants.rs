@@ -6,7 +6,7 @@
 use smp_bcc::connectivity::bfs::bfs_tree_seq;
 use smp_bcc::connectivity::sv::connected_components;
 use smp_bcc::graph::gen;
-use smp_bcc::{sequential, Csr, Edge, Graph, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Csr, Edge, Graph, Pool};
 
 /// T ∪ F for `g` via BFS tree + SV forest — mirrors tv_filter's
 /// filtering step.
@@ -88,7 +88,7 @@ fn double_bfs_counting_corollary_has_a_counterexample() {
     // Theta graph: a—x—b, a—y—b, a—z—b (vertices a=0, b=1, x=2, y=3, z=4).
     let g = Graph::from_tuples(5, [(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
     assert_eq!(
-        sequential(&g).num_components,
+        bcc(&g, Algorithm::Sequential).num_components,
         1,
         "theta graph is biconnected"
     );
@@ -135,12 +135,14 @@ fn tv_filter_correct_on_the_counterexample_family() {
             edges.push((2 + i, 1));
         }
         let g = Graph::from_tuples(n, edges);
-        let base = sequential(&g);
+        let base = bcc(&g, Algorithm::Sequential);
         assert_eq!(base.num_components, 1);
         for p in [1, 3] {
             let pool = Pool::new(p);
-            let r =
-                smp_bcc::biconnected_components(&pool, &g, smp_bcc::Algorithm::TvFilter).unwrap();
+            let r = BccConfig::new(Algorithm::TvFilter)
+                .run(&pool, &g)
+                .unwrap()
+                .result;
             assert_eq!(r.edge_comp, base.edge_comp, "k={k} p={p}");
         }
     }

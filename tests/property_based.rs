@@ -8,7 +8,7 @@ use smp_bcc::algorithms::verify::{
     bridges, canonicalize_edge_labels,
 };
 use smp_bcc::graph::gen;
-use smp_bcc::{biconnected_components, sequential, Algorithm, Edge, Graph, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Edge, Graph, Pool};
 
 /// Strategy: small arbitrary simple graphs (possibly disconnected).
 fn small_graph() -> impl Strategy<Value = Graph> {
@@ -40,7 +40,7 @@ proptest! {
     fn sequential_matches_cycle_oracle(g in small_graph()) {
         let mut want = bcc_oracle_small(&g);
         let kw = canonicalize_edge_labels(&mut want);
-        let got = sequential(&g);
+        let got = bcc(&g, Algorithm::Sequential);
         prop_assert_eq!(kw, got.num_components);
         prop_assert_eq!(want, got.edge_comp);
     }
@@ -52,7 +52,7 @@ proptest! {
         canonicalize_edge_labels(&mut want);
         let pool = Pool::new(3);
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
-            let r = biconnected_components(&pool, &g, alg).unwrap();
+            let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
             prop_assert_eq!(&want, &r.edge_comp, "{}", alg.name());
         }
     }
@@ -60,14 +60,14 @@ proptest! {
     #[test]
     fn partitions_are_structurally_biconnected(g in connected_graph()) {
         let pool = Pool::new(2);
-        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter).run(&pool, &g).unwrap().result;
         assert_classes_biconnected(&g, &r.edge_comp);
     }
 
     #[test]
     fn articulation_points_match_removal_oracle(g in connected_graph()) {
         let pool = Pool::new(2);
-        let r = biconnected_components(&pool, &g, Algorithm::TvOpt).unwrap();
+        let r = BccConfig::new(Algorithm::TvOpt).run(&pool, &g).unwrap().result;
         let mut got = articulation_points(&g, &r.edge_comp);
         got.sort_unstable();
         prop_assert_eq!(got, articulation_points_oracle(&g));
@@ -78,7 +78,7 @@ proptest! {
         // Removing a bridge edge disconnects the graph; removing a
         // non-bridge edge does not.
         let pool = Pool::new(2);
-        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter).run(&pool, &g).unwrap().result;
         let bridge_set: std::collections::HashSet<u32> =
             bridges(&g, &r.edge_comp).into_iter().collect();
         for i in 0..g.m().min(20) {
@@ -94,7 +94,7 @@ proptest! {
     #[test]
     fn num_components_bounds(g in connected_graph()) {
         let pool = Pool::new(2);
-        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter).run(&pool, &g).unwrap().result;
         // Between 1 and m components; exactly m iff the graph is a tree.
         prop_assert!(r.num_components >= 1);
         prop_assert!((r.num_components as usize) <= g.m());

@@ -8,7 +8,7 @@ use smp_bcc::connectivity::seq::components_union_find;
 use smp_bcc::connectivity::sv::connected_components;
 use smp_bcc::euler::{euler_tour_classic, tour::assert_valid_tour, tree_computations, Ranker};
 use smp_bcc::graph::gen;
-use smp_bcc::{sequential, Edge, Graph, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Edge, Graph, Pool};
 
 fn arbitrary_edge_set() -> impl Strategy<Value = (u32, Vec<Edge>)> {
     (
@@ -87,8 +87,8 @@ proptest! {
 
         // Edge order is preserved by relabel, so the canonical per-edge
         // partitions must be identical vectors.
-        let rg = sequential(&g);
-        let rh = sequential(&h);
+        let rg = bcc(&g, Algorithm::Sequential);
+        let rh = bcc(&h, Algorithm::Sequential);
         prop_assert_eq!(&rg.edge_comp, &rh.edge_comp);
         prop_assert_eq!(rg.num_components, rh.num_components);
 
@@ -116,8 +116,9 @@ proptest! {
         perm.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xabcdef));
         let h = g.relabel(&perm);
         let pool = Pool::new(2);
-        let rg = smp_bcc::biconnected_components(&pool, &g, smp_bcc::Algorithm::TvFilter).unwrap();
-        let rh = smp_bcc::biconnected_components(&pool, &h, smp_bcc::Algorithm::TvFilter).unwrap();
+        let cfg = BccConfig::new(Algorithm::TvFilter);
+        let rg = cfg.run(&pool, &g).unwrap().result;
+        let rh = cfg.run(&pool, &h).unwrap().result;
         prop_assert_eq!(rg.edge_comp, rh.edge_comp);
     }
 }

@@ -5,16 +5,16 @@
 //! default run to keep CI fast.
 
 use smp_bcc::graph::gen;
-use smp_bcc::{biconnected_components, sequential, Algorithm, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Pool};
 
 #[test]
 #[ignore = "heavy: large instance"]
 fn half_million_vertex_pipeline() {
     let g = gen::random_connected(500_000, 2_000_000, 1);
-    let base = sequential(&g);
+    let base = bcc(&g, Algorithm::Sequential);
     let pool = Pool::new(4);
     for alg in [Algorithm::TvOpt, Algorithm::TvFilter] {
-        let r = biconnected_components(&pool, &g, alg).unwrap();
+        let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
         assert_eq!(r.num_components, base.num_components, "{}", alg.name());
         assert_eq!(r.edge_comp, base.edge_comp);
     }
@@ -24,10 +24,10 @@ fn half_million_vertex_pipeline() {
 #[ignore = "heavy: oversubscription"]
 fn sixteen_threads_on_few_cores() {
     let g = gen::random_connected(50_000, 200_000, 2);
-    let base = sequential(&g);
+    let base = bcc(&g, Algorithm::Sequential);
     let pool = Pool::new(16);
     for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
-        let r = biconnected_components(&pool, &g, alg).unwrap();
+        let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
         assert_eq!(r.edge_comp, base.edge_comp, "{}", alg.name());
     }
 }
@@ -52,9 +52,15 @@ fn barrier_soak_many_episodes() {
 fn determinism_soak() {
     let g = gen::random_connected(30_000, 120_000, 3);
     let pool = Pool::new(8);
-    let first = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    let first = BccConfig::new(Algorithm::TvFilter)
+        .run(&pool, &g)
+        .unwrap()
+        .result;
     for round in 0..20 {
-        let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+        let r = BccConfig::new(Algorithm::TvFilter)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
         assert_eq!(r.edge_comp, first.edge_comp, "round {round}");
     }
 }
@@ -63,10 +69,13 @@ fn determinism_soak() {
 #[ignore = "heavy: dense paper-adjacent instance"]
 fn dense_instance_end_to_end() {
     let g = gen::dense_percent(1_500, 0.8, 4);
-    let base = sequential(&g);
+    let base = bcc(&g, Algorithm::Sequential);
     assert_eq!(base.num_components, 1);
     let pool = Pool::new(4);
-    let r = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
+    let r = BccConfig::new(Algorithm::TvFilter)
+        .run(&pool, &g)
+        .unwrap()
+        .result;
     assert_eq!(r.edge_comp, base.edge_comp);
     // The filter must cap the effective edge set.
     assert!(r.stats.effective_edges <= 2 * (g.n() as usize - 1));
