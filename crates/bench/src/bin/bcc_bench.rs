@@ -2,19 +2,24 @@
 //!
 //! ```text
 //! bcc-bench [--smoke] [--n <vertices>] [--p <max threads>]
-//!           [--trials <k>] [--seed <u64>] [--out <path>]
+//!           [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>]
+//!           [--out <path>]
 //! bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]
 //! ```
 //!
 //! The default run sweeps every graph family × every algorithm ×
 //! p ∈ {1, 2, 4, …, max} with median-of-k timing and writes
 //! `BENCH_bcc.json` (schema in `bcc_bench::grid`). `--smoke` shrinks
-//! the grid to CI size. `compare` exits non-zero when the candidate
-//! document is more than `--threshold` percent slower than the
-//! baseline on any matching cell.
+//! the grid to CI size. `--tuning` takes a comma-separated list of
+//! traversal ablation points (each a `+`-joined spec, e.g.
+//! `--tuning topdown,hybrid` or `--tuning topdown+classic-sv,hybrid`);
+//! the parallel algorithms run once per point. `compare` exits non-zero
+//! when the candidate document is more than `--threshold` percent
+//! slower than the baseline on any matching cell.
 
 use bcc_bench::grid::{self, GridConfig};
 use bcc_bench::json;
+use bcc_core::TraversalTuning;
 use bcc_smp::Pool;
 use std::process::ExitCode;
 
@@ -28,7 +33,7 @@ fn main() -> ExitCode {
 
 fn bad_usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--out <path>]");
+    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--out <path>]");
     eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]");
     ExitCode::from(2)
 }
@@ -42,8 +47,10 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
         let key = args[i].as_str();
         if key == "--smoke" {
             let threads = cfg.threads.clone();
+            let tunings = cfg.tunings.clone();
             cfg = GridConfig::smoke(machine);
             cfg.threads = threads;
+            cfg.tunings = tunings;
             i += 1;
             continue;
         }
@@ -61,6 +68,13 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
                 .is_ok(),
             "--trials" => val.parse().map(|t| cfg.trials = t).is_ok(),
             "--seed" => val.parse().map(|s| cfg.seed = s).is_ok(),
+            "--tuning" => match parse_tunings(val) {
+                Ok(ts) => {
+                    cfg.tunings = ts;
+                    true
+                }
+                Err(e) => return bad_usage(&format!("bad value for --tuning: {e}")),
+            },
             "--out" => {
                 out = val.clone();
                 true
@@ -73,12 +87,14 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
         i += 2;
     }
 
+    let specs: Vec<String> = cfg.tunings.iter().map(TraversalTuning::spec).collect();
     eprintln!(
-        "bcc-bench grid: n={} threads={:?} trials={} seed={}{}",
+        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?}{}",
         cfg.n,
         cfg.threads,
         cfg.trials,
         cfg.seed,
+        specs,
         if cfg.smoke { " (smoke)" } else { "" }
     );
     let doc = grid::run_grid(&cfg, |line| eprintln!("  {line}"));
@@ -92,6 +108,25 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
         .map_or(0, <[json::Json]>::len);
     eprintln!("wrote {cells} cells to {out}");
     ExitCode::SUCCESS
+}
+
+/// Parses `--tuning`'s comma-separated ablation list; each element is a
+/// `+`-joined [`TraversalTuning`] spec (`topdown`, `hybrid`,
+/// `classic-sv`, `fastsv`). Duplicate specs are rejected — they would
+/// collide on the entry key.
+fn parse_tunings(val: &str) -> Result<Vec<TraversalTuning>, String> {
+    let mut tunings: Vec<TraversalTuning> = vec![];
+    for spec in val.split(',') {
+        let t: TraversalTuning = spec.trim().parse()?;
+        if tunings.contains(&t) {
+            return Err(format!("duplicate tuning {:?}", t.spec()));
+        }
+        tunings.push(t);
+    }
+    if tunings.is_empty() {
+        return Err("empty tuning list".to_string());
+    }
+    Ok(tunings)
 }
 
 fn run_compare(args: &[String]) -> ExitCode {

@@ -87,6 +87,30 @@ fn main() {
         for st in &stat_sets {
             print!("{:>17}", format!("{}/{}", st.aux_vertices, st.aux_edges));
         }
+        println!();
+        // SV graft rounds: spanning-tree run (TV-SMP's step 1, TV-filter's
+        // forest of G − T) / step-6 tail.
+        print!("  {:<16}", "SV rounds s/6");
+        for st in &stat_sets {
+            print!(
+                "{:>12}",
+                format!("{}/{}", st.sv_rounds_spanning, st.sv_rounds_cc)
+            );
+        }
+        println!();
+        // BFS direction schedule (TV-filter only): levels, how many ran
+        // bottom-up, and the per-level T/B string.
+        print!("  {:<16}", "BFS dirs");
+        for st in &stat_sets {
+            if st.bfs_levels == 0 {
+                print!("{:>12}", "-");
+            } else {
+                print!(
+                    "{:>12}",
+                    format!("{}({}B)", st.bfs_directions, st.bfs_bottom_up_levels)
+                );
+            }
+        }
         println!("\n");
     }
 

@@ -7,23 +7,37 @@
 //! back, and checks every field the plotting and CI tooling relies on.
 
 use crate::json::Json;
-use bcc_core::{Algorithm, BccConfig, PhaseReport};
-use bcc_graph::{gen, Graph};
+use bcc_connectivity::bfs::bfs_tree_seq;
+use bcc_core::{Algorithm, BccConfig, PhaseReport, TraversalTuning};
+use bcc_graph::{gen, Csr, Graph};
 use bcc_smp::{Pool, Telemetry};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Version stamp for the `BENCH_bcc.json` layout; bump on breaking
-/// schema changes so `compare` can refuse mismatched documents.
-pub const SCHEMA_VERSION: u64 = 1;
+/// schema changes. `compare` reads any version listed in
+/// [`COMPAT_SCHEMA_VERSIONS`].
+///
+/// v2 adds the `geo` family, the per-entry `tuning` spec and traversal
+/// work counters (`sv_rounds_*`, `bfs_*`), and the per-family shape
+/// summary (`families[].effective_diameter_90`).
+pub const SCHEMA_VERSION: u64 = 2;
 
-/// Graph families the grid sweeps — the paper's three workload shapes:
-/// random sparse graphs, regular meshes, and the articulation-heavy
-/// chain of cycles.
+/// Schema versions [`compare`] can still read (v1 documents predate the
+/// tuning/diameter fields; their entries simply carry fewer keys).
+pub const COMPAT_SCHEMA_VERSIONS: [u64; 2] = [1, 2];
+
+/// Graph families the grid sweeps — the paper's three workload shapes
+/// (random sparse graphs, regular meshes, the articulation-heavy chain
+/// of cycles) plus a low-effective-diameter spatial network.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Family {
     /// `random_connected(n, 4n)` — the paper's random sparse inputs.
     RandomSparse,
+    /// `geometric(n, deg ≈ 12, n long-range chords)` — a spatial
+    /// network with enough random chords to give it a genuinely low
+    /// effective diameter (small-world shape).
+    Geo,
     /// `torus(k, k)` with `k = floor(sqrt(n))` — the mesh family.
     Torus,
     /// `cycle_chain(n/8, 8)` — many small blocks joined by bridges.
@@ -32,12 +46,18 @@ pub enum Family {
 
 impl Family {
     /// Every family, in presentation order.
-    pub const ALL: [Family; 3] = [Family::RandomSparse, Family::Torus, Family::CycleChain];
+    pub const ALL: [Family; 4] = [
+        Family::RandomSparse,
+        Family::Geo,
+        Family::Torus,
+        Family::CycleChain,
+    ];
 
     /// Name used in the JSON document.
     pub fn name(self) -> &'static str {
         match self {
             Family::RandomSparse => "random-sparse",
+            Family::Geo => "geo",
             Family::Torus => "torus",
             Family::CycleChain => "cycle-chain",
         }
@@ -47,6 +67,7 @@ impl Family {
     pub fn generate(self, n: u32, seed: u64) -> Graph {
         match self {
             Family::RandomSparse => gen::random_connected(n, 4 * n as usize, seed),
+            Family::Geo => gen::geometric(n, 12.0, (n as usize).max(4), seed),
             Family::Torus => {
                 let k = (n as f64).sqrt().floor().max(3.0) as u32;
                 gen::torus(k, k)
@@ -69,17 +90,24 @@ pub struct GridConfig {
     pub seed: u64,
     /// Marks the document as a smoke run (small sizes, CI-friendly).
     pub smoke: bool,
+    /// Traversal ablation points: the parallel algorithms run once per
+    /// tuning (the Sequential baseline ignores tunings and runs once).
+    pub tunings: Vec<TraversalTuning>,
 }
 
 impl GridConfig {
     /// The default full-size grid for `max_threads` threads.
+    ///
+    /// 50k vertices puts the per-vertex arrays past L2 so the
+    /// traversal ablation measures the memory system, not the cache.
     pub fn full(max_threads: usize) -> GridConfig {
         GridConfig {
-            n: 20_000,
+            n: 50_000,
             threads: thread_sweep(max_threads),
             trials: 3,
             seed: 42,
             smoke: false,
+            tunings: vec![TraversalTuning::fast()],
         }
     }
 
@@ -91,6 +119,7 @@ impl GridConfig {
             trials: 2,
             seed: 42,
             smoke: true,
+            tunings: vec![TraversalTuning::fast()],
         }
     }
 }
@@ -124,6 +153,7 @@ fn cell_json(
     threads: usize,
     reports: &[PhaseReport],
     seq_baseline: f64,
+    tuning: Option<&TraversalTuning>,
 ) -> Json {
     let med = |f: &dyn Fn(&PhaseReport) -> f64| median_f64(reports.iter().map(f).collect());
     let seconds = med(&|r| r.total.as_secs_f64());
@@ -151,13 +181,26 @@ fn cell_json(
             Json::Arr(vec![Json::str(name), Json::num(median_f64(samples))])
         })
         .collect();
-    Json::obj(vec![
+    let mut fields = vec![
         ("family", Json::str(family.name())),
         ("algorithm", Json::str(reports[0].algorithm)),
         ("n", Json::num(g.n())),
         ("m", Json::num(g.m() as f64)),
         ("threads", Json::num(threads as f64)),
         ("seconds", Json::num(seconds)),
+        // Minimum across trials: the regression gate's metric. Host
+        // noise (scheduler bursts, oversubscription) only ever adds
+        // time, so the min converges to the true cost long before the
+        // median settles on a shared CI runner.
+        (
+            "seconds_min",
+            Json::num(
+                reports
+                    .iter()
+                    .map(|r| r.total.as_secs_f64())
+                    .fold(f64::INFINITY, f64::min),
+            ),
+        ),
         (
             "speedup_vs_sequential",
             Json::num(if seconds > 0.0 {
@@ -177,48 +220,166 @@ fn cell_json(
             Json::num(med(&|r| r.barrier_wait.as_secs_f64())),
         ),
         ("imbalance", Json::num(med(&|r| r.imbalance))),
+    ];
+    if let Some(t) = tuning {
+        // Work counters are deterministic per (graph, tuning) except SV
+        // rounds under races; take the last trial (all trials agree in
+        // practice, and the last is past any warm-up).
+        let stats = &reports[reports.len() - 1].stats;
+        fields.push(("tuning", Json::str(t.spec())));
+        fields.push(("sv_rounds_spanning", Json::num(stats.sv_rounds_spanning)));
+        fields.push(("sv_rounds_cc", Json::num(stats.sv_rounds_cc)));
+        fields.push(("bfs_levels", Json::num(stats.bfs_levels)));
+        fields.push((
+            "bfs_bottom_up_levels",
+            Json::num(stats.bfs_bottom_up_levels),
+        ));
+        fields.push(("bfs_directions", Json::str(stats.bfs_directions.clone())));
+    }
+    Json::obj(fields)
+}
+
+/// Shape summary for one family instance: the 90th-percentile effective
+/// diameter (smallest BFS depth from vertex 0 reaching 90% of the
+/// reachable vertices), the statistic the direction-optimizing
+/// heuristic's payoff depends on.
+fn family_json(family: Family, g: &Graph) -> Json {
+    let csr = Csr::build(g);
+    let tree = bfs_tree_seq(&csr, 0);
+    Json::obj(vec![
+        ("family", Json::str(family.name())),
+        ("n", Json::num(g.n())),
+        ("m", Json::num(g.m() as f64)),
+        ("bfs_levels", Json::num(tree.levels)),
+        (
+            "effective_diameter_90",
+            Json::num(tree.effective_diameter(0.9)),
+        ),
     ])
 }
 
 /// Runs the full grid and returns the `BENCH_bcc.json` document.
-/// `progress` receives one line per finished cell (pass `|_| {}` to
-/// silence it).
+/// `progress` receives one line per trial round and per finished cell
+/// (pass `|_| {}` to silence it).
+///
+/// Trials run **trial-major** (round-robin over every cell, repeated
+/// `trials` times) rather than back-to-back per cell: a host-scheduler
+/// burst lasts far longer than one cell's handful of consecutive
+/// trials, so per-cell batching lets a burst poison *all* of a cell's
+/// samples at once. Spreading each cell's trials across the whole run
+/// lets the min-of-trials gate metric escape any single burst.
 pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
     assert!(cfg.threads.contains(&1), "thread sweep must include 1");
-    let mut entries: Vec<Json> = vec![];
-    for family in Family::ALL {
-        let g = family.generate(cfg.n, cfg.seed);
-        // Sequential at p = 1 is the speedup denominator for the family.
-        let mut seq_baseline = f64::INFINITY;
-        for &p in &cfg.threads {
-            let sink = Arc::new(Telemetry::new(p));
-            let pool = Pool::builder()
+    assert!(!cfg.tunings.is_empty(), "at least one tuning is required");
+    let trials = cfg.trials.max(1);
+
+    // Instances and pools are built once; every trial round reuses
+    // them. PhaseRecorder reads telemetry *deltas*, so sharing a pool
+    // (and its sink) across cells is safe.
+    let graphs: Vec<(Family, Graph)> = Family::ALL
+        .into_iter()
+        .map(|f| {
+            let g = f.generate(cfg.n, cfg.seed);
+            (f, g)
+        })
+        .collect();
+    let pools: Vec<Pool> = cfg
+        .threads
+        .iter()
+        .map(|&p| {
+            Pool::builder()
                 .threads(p)
-                .telemetry(Arc::clone(&sink))
-                .build();
+                .telemetry(Arc::new(Telemetry::new(p)))
+                .build()
+        })
+        .collect();
+
+    // Cell order matches the reducer's expectations below: family-major
+    // (Sequential at p = 1 leads each family, providing the speedup
+    // denominator), then threads, algorithm, ablation point. Tarjan's
+    // DFS has no traversal knobs: one cell; the parallel pipelines get
+    // one cell per tuning.
+    struct Cell {
+        fam: usize,
+        pool: usize,
+        alg: Algorithm,
+        tuning: Option<TraversalTuning>,
+    }
+    let mut cells: Vec<Cell> = vec![];
+    for fam in 0..graphs.len() {
+        for pool in 0..cfg.threads.len() {
             for alg in Algorithm::ALL {
-                let reports: Vec<PhaseReport> = (0..cfg.trials.max(1))
-                    .map(|_| {
-                        BccConfig::new(alg)
-                            .run(&pool, &g)
-                            .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name(), family.name()))
-                            .report
-                    })
-                    .collect();
-                let seconds = median_f64(reports.iter().map(|r| r.total.as_secs_f64()).collect());
-                if alg == Algorithm::Sequential && p == 1 {
-                    seq_baseline = seconds;
+                let cell_tunings: Vec<Option<TraversalTuning>> = if alg == Algorithm::Sequential {
+                    vec![None]
+                } else {
+                    cfg.tunings.iter().copied().map(Some).collect()
+                };
+                for tuning in cell_tunings {
+                    cells.push(Cell {
+                        fam,
+                        pool,
+                        alg,
+                        tuning,
+                    });
                 }
-                entries.push(cell_json(family, &g, p, &reports, seq_baseline));
-                progress(&format!(
-                    "{:>13} {:>10} p={p}: {:>9.3?} ({} trials)",
-                    family.name(),
-                    alg.name(),
-                    Duration::from_secs_f64(seconds),
-                    cfg.trials.max(1),
-                ));
             }
         }
+    }
+
+    let mut trial_reports: Vec<Vec<PhaseReport>> = (0..cells.len())
+        .map(|_| Vec::with_capacity(trials))
+        .collect();
+    for round in 0..trials {
+        for (i, cell) in cells.iter().enumerate() {
+            let (family, g) = &graphs[cell.fam];
+            let mut config = BccConfig::new(cell.alg);
+            if let Some(t) = cell.tuning {
+                config = config.tuning(t);
+            }
+            let run = config
+                .run(&pools[cell.pool], g)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", cell.alg.name(), family.name()));
+            trial_reports[i].push(run.report);
+        }
+        progress(&format!("trial round {}/{trials} complete", round + 1));
+    }
+
+    let mut entries: Vec<Json> = vec![];
+    let mut families: Vec<Json> = vec![];
+    let mut current_fam = usize::MAX;
+    let mut seq_baseline = f64::INFINITY;
+    for (cell, reports) in cells.iter().zip(&trial_reports) {
+        let (family, g) = &graphs[cell.fam];
+        if cell.fam != current_fam {
+            current_fam = cell.fam;
+            families.push(family_json(*family, g));
+            // Sequential at p = 1 is the speedup denominator for the
+            // family; it is always this family's first cell.
+            seq_baseline = f64::INFINITY;
+        }
+        let p = cfg.threads[cell.pool];
+        let seconds = median_f64(reports.iter().map(|r| r.total.as_secs_f64()).collect());
+        if cell.alg == Algorithm::Sequential && p == 1 {
+            seq_baseline = seconds;
+        }
+        entries.push(cell_json(
+            *family,
+            g,
+            p,
+            reports,
+            seq_baseline,
+            cell.tuning.as_ref(),
+        ));
+        progress(&format!(
+            "{:>13} {:>10} p={p}{}: {:>9.3?} ({} trials)",
+            family.name(),
+            cell.alg.name(),
+            cell.tuning
+                .map(|t| format!(" [{}]", t.spec()))
+                .unwrap_or_default(),
+            Duration::from_secs_f64(seconds),
+            trials,
+        ));
     }
     Json::obj(vec![
         ("schema_version", Json::num(SCHEMA_VERSION as f64)),
@@ -231,6 +392,11 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
         ),
         ("trials", Json::num(cfg.trials.max(1) as f64)),
         ("seed", Json::num(cfg.seed as f64)),
+        (
+            "tunings",
+            Json::Arr(cfg.tunings.iter().map(|t| Json::str(t.spec())).collect()),
+        ),
+        ("families", Json::Arr(families)),
         ("entries", Json::Arr(entries)),
     ])
 }
@@ -253,7 +419,8 @@ pub struct Regression {
 pub enum CompareError {
     /// A document is not a `bcc-grid` object with an `entries` array.
     MalformedDocument(&'static str),
-    /// The two documents carry different `schema_version` stamps.
+    /// A document carries a `schema_version` outside
+    /// [`COMPAT_SCHEMA_VERSIONS`] (or none at all).
     SchemaMismatch,
 }
 
@@ -263,7 +430,12 @@ impl std::fmt::Display for CompareError {
             CompareError::MalformedDocument(which) => {
                 write!(f, "{which} document is not a bcc-grid BENCH file")
             }
-            CompareError::SchemaMismatch => write!(f, "schema_version differs between documents"),
+            CompareError::SchemaMismatch => {
+                write!(
+                    f,
+                    "unsupported schema_version (supported: {COMPAT_SCHEMA_VERSIONS:?})"
+                )
+            }
         }
     }
 }
@@ -271,20 +443,46 @@ impl std::fmt::Display for CompareError {
 impl std::error::Error for CompareError {}
 
 fn entry_key(e: &Json) -> Option<String> {
-    Some(format!(
+    let mut key = format!(
         "{}/{}/n{}/p{}",
         e.get("family")?.as_str()?,
         e.get("algorithm")?.as_str()?,
         e.get("n")?.as_u64()?,
         e.get("threads")?.as_u64()?,
-    ))
+    );
+    // v2 ablation cells are distinct series per tuning; v1 entries (and
+    // Sequential cells) have no tuning field and keep the short key.
+    if let Some(t) = e.get("tuning").and_then(Json::as_str) {
+        key.push('/');
+        key.push_str(t);
+    }
+    Some(key)
 }
 
+/// Residual slowdowns smaller than this many seconds never flag:
+/// timer granularity and scheduler jitter move microsecond-scale cells
+/// by double-digit percentages that no amount of calibration removes.
+/// The gate therefore catches regressions of at least
+/// `max(threshold_pct, MIN_ABS_REGRESSION_SECS)`.
+const MIN_ABS_REGRESSION_SECS: f64 = 50e-6;
+
 /// Compares two BENCH documents; entries are matched by
-/// `(family, algorithm, n, threads)` and flagged when the candidate's
-/// median `seconds` exceeds the baseline's by more than
-/// `threshold_pct` percent. Entries present on only one side are
-/// skipped (grids of different sizes stay comparable).
+/// `(family, algorithm, n, threads[, tuning])` and flagged when the
+/// candidate's `seconds_min` (falling back to the median `seconds` for
+/// v1 documents) exceeds the baseline's by more than `threshold_pct`
+/// percent **after machine-speed calibration**, under **two**
+/// calibrations at once: the median candidate/baseline ratio over all
+/// shared cells (the global host-speed factor) and the median over the
+/// entry's own family. Host drift is correlated in arbitrary subsets
+/// of the grid (whole-machine slowdowns, one family's working set
+/// landing at different cache-aliasing offsets, one thread count
+/// scheduling differently), and each calibration is blind to the
+/// subsets the other one absorbs — but a real kernel regression stands
+/// out against *both* medians, because the grid's other cells and the
+/// family's other cells both anchor them. The residual slowdown must
+/// also exceed [`MIN_ABS_REGRESSION_SECS`]. Entries present on only
+/// one side are skipped (grids of different sizes — or a v1 baseline
+/// against a v2 candidate — stay comparable on their shared cells).
 pub fn compare(
     baseline: &Json,
     candidate: &Json,
@@ -299,31 +497,73 @@ pub fn compare(
             .iter()
             .map(|e| {
                 let key = entry_key(e).ok_or(CompareError::MalformedDocument(which))?;
+                // Gate on the min-of-trials when the document carries it
+                // (v2); fall back to the median `seconds` (v1).
                 let secs = e
-                    .get("seconds")
+                    .get("seconds_min")
                     .and_then(Json::as_f64)
+                    .or_else(|| e.get("seconds").and_then(Json::as_f64))
                     .ok_or(CompareError::MalformedDocument(which))?;
                 Ok((key, secs))
             })
             .collect()
     };
     let sv = |j: &Json| j.get("schema_version").and_then(Json::as_u64);
-    if sv(baseline) != sv(candidate) {
+    let readable = |j: &Json| sv(j).is_some_and(|v| COMPAT_SCHEMA_VERSIONS.contains(&v));
+    if !readable(baseline) || !readable(candidate) {
         return Err(CompareError::SchemaMismatch);
     }
     let base = doc(baseline, "baseline")?;
     let cand = doc(candidate, "candidate")?;
+    // Machine-speed calibration: shared CI runners (and laptops) drift
+    // wholesale between runs, so an absolute per-cell gate flags
+    // everything on a slow day and nothing on a fast one. The drift is
+    // additionally correlated in subsets (one family, one thread
+    // count), so a cell must look regressed against both the global
+    // median ratio *and* its family's before it flags — whichever
+    // median absorbs the drift pattern clears the innocent cell, while
+    // a genuinely regressed kernel stands out against both.
+    let family_of = |key: &str| key.split('/').next().unwrap_or("").to_string();
+    let shared: Vec<(&String, f64, f64)> = base
+        .iter()
+        .filter_map(|(key, b)| {
+            let (_, c) = cand.iter().find(|(k, _)| k == key)?;
+            (*b > 0.0).then_some((key, *b, *c))
+        })
+        .collect();
+    let median_ratio = |pick: &dyn Fn(&str) -> bool| -> Option<f64> {
+        let mut ratios: Vec<f64> = shared
+            .iter()
+            .filter(|(key, _, _)| pick(key))
+            .map(|(_, b, c)| c / b)
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (!ratios.is_empty()).then(|| ratios[ratios.len() / 2])
+    };
+    let global_factor = median_ratio(&|_| true).unwrap_or(1.0);
     let mut regressions = vec![];
-    for (key, b) in &base {
-        let Some((_, c)) = cand.iter().find(|(k, _)| k == key) else {
-            continue;
+    for (key, b, c) in &shared {
+        let fam = family_of(key);
+        let fam_cells = shared
+            .iter()
+            .filter(|(k, _, _)| family_of(k) == fam)
+            .count();
+        // A family needs a few cells for its median to be meaningful;
+        // otherwise the global factor stands in for it.
+        let fam_factor = if fam_cells >= 4 {
+            median_ratio(&|k| family_of(k) == fam).unwrap_or(global_factor)
+        } else {
+            global_factor
         };
-        if *b > 0.0 && c / b > 1.0 + threshold_pct / 100.0 {
+        // Judge against the more forgiving of the two calibrations.
+        let calibrated = b * global_factor.max(fam_factor);
+        if c / calibrated > 1.0 + threshold_pct / 100.0 && c - calibrated > MIN_ABS_REGRESSION_SECS
+        {
             regressions.push(Regression {
-                key: key.clone(),
+                key: (*key).clone(),
                 baseline: *b,
                 candidate: *c,
-                slowdown_pct: (c / b - 1.0) * 100.0,
+                slowdown_pct: (c / calibrated - 1.0) * 100.0,
             });
         }
     }
@@ -336,12 +576,17 @@ mod tests {
     use super::*;
 
     fn tiny_grid() -> Json {
+        tiny_grid_with(vec![TraversalTuning::fast()])
+    }
+
+    fn tiny_grid_with(tunings: Vec<TraversalTuning>) -> Json {
         let cfg = GridConfig {
             n: 80,
             threads: vec![1, 2],
             trials: 1,
             seed: 7,
             smoke: true,
+            tunings,
         };
         run_grid(&cfg, |_| {})
     }
@@ -351,14 +596,25 @@ mod tests {
         let doc = tiny_grid();
         let text = doc.pretty();
         let parsed = crate::json::parse(&text).expect("emitted BENCH json must parse");
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(2));
         assert_eq!(
             parsed.get("experiment").and_then(Json::as_str),
             Some("bcc-grid")
         );
+        // Per-family shape summaries carry the effective diameter.
+        let fams = parsed.get("families").and_then(Json::as_arr).unwrap();
+        assert_eq!(fams.len(), Family::ALL.len());
+        for f in fams {
+            let d = f
+                .get("effective_diameter_90")
+                .and_then(Json::as_u64)
+                .unwrap();
+            let levels = f.get("bfs_levels").and_then(Json::as_u64).unwrap();
+            assert!(d >= 1 && d <= levels, "diameter {d} vs levels {levels}");
+        }
         let entries = parsed.get("entries").and_then(Json::as_arr).unwrap();
-        // families × algorithms × threads cells.
-        assert_eq!(entries.len(), 3 * 4 * 2);
+        // families × threads × (Sequential + 3 parallel × |tunings|).
+        assert_eq!(entries.len(), 4 * 2 * (1 + 3));
         let mut algs_seen = std::collections::BTreeSet::new();
         for e in entries {
             algs_seen.insert(e.get("algorithm").and_then(Json::as_str).unwrap());
@@ -377,6 +633,17 @@ mod tests {
             }
             assert!(e.get("phases").and_then(Json::as_arr).is_some());
             assert!(e.get("imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
+            // Tuning + work counters on parallel cells only.
+            let seq = e.get("algorithm").and_then(Json::as_str) == Some("Sequential");
+            assert_eq!(e.get("tuning").is_none(), seq);
+            assert_eq!(e.get("sv_rounds_cc").is_none(), seq);
+            if !seq {
+                assert_eq!(
+                    e.get("tuning").and_then(Json::as_str),
+                    Some("hybrid+fastsv")
+                );
+                assert!(e.get("bfs_directions").and_then(Json::as_str).is_some());
+            }
         }
         let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(algs_seen.into_iter().collect::<Vec<_>>(), {
@@ -391,6 +658,39 @@ mod tests {
             .find(|e| e.get("algorithm").and_then(Json::as_str) == Some("TV-filter"))
             .unwrap();
         assert!(!tv.get("phases").and_then(Json::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ablation_grid_emits_one_series_per_tuning() {
+        let doc = tiny_grid_with(vec![
+            "topdown+classic-sv".parse().unwrap(),
+            TraversalTuning::fast(),
+        ]);
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        // Sequential once, 3 parallel algorithms × 2 tunings.
+        assert_eq!(entries.len(), 4 * 2 * (1 + 3 * 2));
+        // Keys stay unique (the tuning disambiguates the ablation cells).
+        let keys: std::collections::BTreeSet<String> =
+            entries.iter().map(|e| entry_key(e).unwrap()).collect();
+        assert_eq!(keys.len(), entries.len());
+        // FastSV finishes its step-6 run in strictly fewer graft rounds
+        // than classic SV on at least one family.
+        let rounds = |e: &&Json| e.get("sv_rounds_cc").and_then(Json::as_u64).unwrap();
+        let of = |tuning: &str| -> Vec<u64> {
+            entries
+                .iter()
+                .filter(|e| e.get("tuning").and_then(Json::as_str) == Some(tuning))
+                .map(|e| rounds(&e))
+                .collect()
+        };
+        let classic = of("topdown+classic-sv");
+        let fast = of("hybrid+fastsv");
+        assert_eq!(classic.len(), fast.len());
+        assert!(!classic.is_empty());
+        assert!(
+            fast.iter().zip(&classic).any(|(f, c)| f < c),
+            "fast {fast:?} vs classic {classic:?}"
+        );
     }
 
     #[test]
@@ -410,35 +710,59 @@ mod tests {
         }
     }
 
-    #[test]
-    fn compare_flags_injected_regression_and_only_it() {
-        let base = tiny_grid();
-        let mut slowed = base.clone();
-        // Inject a 50% slowdown into exactly one entry.
-        if let Json::Obj(fields) = &mut slowed {
+    /// Rescales the gate's timing fields (`seconds` and `seconds_min`)
+    /// of every entry by `f(index, old)`.
+    fn rescale_entries(doc: &Json, f: &dyn Fn(usize, f64) -> f64) -> Json {
+        let mut scaled = doc.clone();
+        if let Json::Obj(fields) = &mut scaled {
             let entries = fields
                 .iter_mut()
                 .find(|(k, _)| k == "entries")
                 .map(|(_, v)| v)
                 .unwrap();
             if let Json::Arr(list) = entries {
-                if let Json::Obj(entry) = &mut list[5] {
-                    let secs = entry
-                        .iter_mut()
-                        .find(|(k, _)| k == "seconds")
-                        .map(|(_, v)| v)
-                        .unwrap();
-                    let old = secs.as_f64().unwrap();
-                    *secs = Json::num(old * 1.5 + 1.0);
+                for (i, e) in list.iter_mut().enumerate() {
+                    if let Json::Obj(entry) = e {
+                        for (k, v) in entry.iter_mut() {
+                            if k == "seconds" || k == "seconds_min" {
+                                let old = v.as_f64().unwrap();
+                                *v = Json::num(f(i, old));
+                            }
+                        }
+                    }
                 }
             }
         }
+        scaled
+    }
+
+    #[test]
+    fn compare_flags_injected_regression_and_only_it() {
+        let base = tiny_grid();
+        // Inject a 50%+ slowdown into exactly one entry.
+        let slowed = rescale_entries(&base, &|i, s| if i == 5 { s * 1.5 + 1.0 } else { s });
         assert_eq!(compare(&base, &base, 10.0).unwrap(), vec![]);
         let regs = compare(&base, &slowed, 25.0).unwrap();
         assert_eq!(regs.len(), 1, "exactly the injected cell: {regs:?}");
         assert!(regs[0].slowdown_pct > 25.0);
         // The reverse direction (speedup) is not a regression.
         assert_eq!(compare(&slowed, &base, 25.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn compare_calibrates_out_uniform_machine_drift() {
+        let base = tiny_grid();
+        // A uniformly 2x-slower host: every cell doubles. The gate must
+        // stay quiet — and still catch a cell that regressed on top of
+        // the drift.
+        let drifted = rescale_entries(&base, &|_, s| s * 2.0);
+        assert_eq!(compare(&base, &drifted, 10.0).unwrap(), vec![]);
+        // Drift plus one real (large, past the absolute noise floor)
+        // regression: exactly that cell flags.
+        let drifted_plus =
+            rescale_entries(&base, &|i, s| if i == 3 { s * 6.0 + 1.0 } else { s * 2.0 });
+        let regs = compare(&base, &drifted_plus, 25.0).unwrap();
+        assert_eq!(regs.len(), 1, "exactly the regressed cell: {regs:?}");
     }
 
     #[test]
@@ -461,6 +785,17 @@ mod tests {
             compare(&good, &other, 10.0),
             Err(CompareError::SchemaMismatch)
         );
+        // A v1 document is still readable against a v2 one (matching
+        // falls back to the shared keys).
+        let mut v1 = good.clone();
+        if let Json::Obj(fields) = &mut v1 {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::num(1.0);
+                }
+            }
+        }
+        assert_eq!(compare(&v1, &good, 10.0), Ok(vec![]));
     }
 
     #[test]

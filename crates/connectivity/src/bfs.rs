@@ -1,16 +1,51 @@
-//! Breadth-first search trees, sequential and level-synchronous parallel.
+//! Breadth-first search trees: sequential, level-synchronous top-down,
+//! and direction-optimizing hybrid.
 //!
 //! TV-filter's correctness (paper Lemma 1) requires the primary spanning
 //! tree to be a **BFS** tree: a nontree edge of a BFS tree never joins an
-//! ancestor/descendant pair more than one level apart. The parallel
-//! version is the standard level-synchronous frontier expansion with
-//! CAS-claimed parents and dynamically scheduled chunks (frontier
-//! vertices have irregular degrees).
+//! ancestor/descendant pair more than one level apart. Any
+//! level-synchronous expansion produces one, which leaves the expansion
+//! *direction* free per level:
+//!
+//! * **top-down** — frontier vertices claim unvisited neighbors by CAS
+//!   (examines every out-arc of the frontier);
+//! * **bottom-up** — unvisited vertices scan their own arcs for a
+//!   frontier member and adopt the first one found (examines at most
+//!   one *hit* per unvisited vertex, and no CAS: each vertex claims
+//!   itself).
+//!
+//! The hybrid ([`BfsStrategy::Hybrid`]) switches by the standard
+//! frontier-edge heuristic (Beamer et al., SC'12): go bottom-up when the
+//! frontier's out-arcs exceed `remaining_arcs / α`, return top-down when
+//! the frontier shrinks below `n / β`. Bottom-up runs as a **single
+//! contiguous phase**: the first sweep covers every vertex, later sweeps
+//! revisit only the survivors of the previous one (the unvisited set
+//! only shrinks), and once the exit condition fires the sweep never
+//! re-engages — near the end of the traversal the entry test becomes
+//! trivially true and re-entering would pay a full sweep for a handful
+//! of claims. On low-diameter graphs the one or two "fat" levels carry
+//! almost all edges, and the bottom-up sweep short-circuits most of
+//! their examinations — a work reduction, so it pays at any thread
+//! count. Frontier membership during bottom-up sweeps is a shared
+//! [`Bitmap`]; both sweep flavors pull degree-weighted chunks from a
+//! [`ChunkCounter`] so hub vertices cannot serialize a chunk behind one
+//! thread.
 
+use crate::tuning::{BfsStrategy, TraversalTuning};
 use bcc_graph::Csr;
 use bcc_smp::atomic::as_atomic_u32;
-use bcc_smp::{ChunkCounter, Pool, NIL};
+use bcc_smp::{Bitmap, ChunkCounter, Pool, NIL};
 use std::sync::atomic::Ordering;
+
+/// How one BFS level was discovered (recorded per level for telemetry
+/// and the `bcc-bench` ablation columns).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BfsDirection {
+    /// Frontier-expands-outward (classic).
+    TopDown,
+    /// Unvisited-vertices-look-back (direction-optimized sweep).
+    BottomUp,
+}
 
 /// A rooted BFS tree (or partial tree if the graph is disconnected).
 #[derive(Clone, Debug)]
@@ -27,16 +62,44 @@ pub struct BfsTree {
     /// Number of BFS levels (eccentricity of the root + 1); this is the
     /// `O(d)` factor in TV-filter's running time.
     pub levels: u32,
+    /// Vertices discovered at each depth (`frontier_sizes[0] == 1`, the
+    /// root; `frontier_sizes.len() == levels`). The raw material for
+    /// effective-diameter estimates.
+    pub frontier_sizes: Vec<u32>,
+    /// Direction used to discover each depth (`directions[0]` is the
+    /// root's trivial `TopDown`); parallel to `frontier_sizes`.
+    pub directions: Vec<BfsDirection>,
 }
 
 impl BfsTree {
     /// Indices of the tree edges (one per reached non-root vertex).
     pub fn tree_edge_ids(&self) -> Vec<u32> {
-        self.parent_eid
+        let mut ids = Vec::with_capacity(self.reached.saturating_sub(1) as usize);
+        ids.extend(self.parent_eid.iter().copied().filter(|&e| e != NIL));
+        ids
+    }
+
+    /// Number of levels that were discovered bottom-up.
+    pub fn bottom_up_levels(&self) -> u32 {
+        self.directions
             .iter()
-            .copied()
-            .filter(|&e| e != NIL)
-            .collect()
+            .filter(|&&d| d == BfsDirection::BottomUp)
+            .count() as u32
+    }
+
+    /// Effective diameter at quantile `q` (e.g. `0.9`): the smallest
+    /// depth by which at least `q * reached` vertices have been
+    /// discovered. Returns 0 for empty trees.
+    pub fn effective_diameter(&self, q: f64) -> u32 {
+        let target = (q * self.reached as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (d, &s) in self.frontier_sizes.iter().enumerate() {
+            cum += u64::from(s);
+            if cum >= target {
+                return d as u32;
+            }
+        }
+        self.frontier_sizes.len().saturating_sub(1) as u32
     }
 }
 
@@ -53,6 +116,8 @@ pub fn bfs_tree_seq(csr: &Csr, root: u32) -> BfsTree {
             level,
             reached: 0,
             levels: 0,
+            frontier_sizes: vec![],
+            directions: vec![],
         };
     }
     parent[root as usize] = root;
@@ -61,6 +126,7 @@ pub fn bfs_tree_seq(csr: &Csr, root: u32) -> BfsTree {
     let mut next = Vec::new();
     let mut reached = 1u32;
     let mut depth = 0u32;
+    let mut frontier_sizes = vec![1u32];
     while !frontier.is_empty() {
         depth += 1;
         for &v in &frontier {
@@ -74,70 +140,191 @@ pub fn bfs_tree_seq(csr: &Csr, root: u32) -> BfsTree {
                 }
             }
         }
+        if !next.is_empty() {
+            frontier_sizes.push(next.len() as u32);
+        }
         std::mem::swap(&mut frontier, &mut next);
         next.clear();
     }
+    let directions = vec![BfsDirection::TopDown; frontier_sizes.len()];
     BfsTree {
         parent,
         parent_eid,
         level,
         reached,
         levels: depth, // last increment found an empty level
+        frontier_sizes,
+        directions,
     }
 }
 
-/// Level-synchronous parallel BFS tree from `root`.
-///
-/// Each level: threads pull chunks of the frontier from a shared
-/// counter, claim unvisited neighbors by CAS on the parent array, and
-/// buffer them locally; buffers are concatenated into the next frontier.
+/// Level-synchronous parallel BFS tree from `root` with the default
+/// tuning (direction-optimizing hybrid).
 pub fn bfs_tree_par(pool: &Pool, csr: &Csr, root: u32) -> BfsTree {
+    bfs_tree(pool, csr, root, &TraversalTuning::default())
+}
+
+/// Per-chunk edge budget for degree-weighted frontier scheduling.
+const EDGE_BUDGET: usize = 2048;
+
+/// BFS tree from `root` under explicit [`TraversalTuning`].
+///
+/// Top-down levels CAS-claim neighbors from dynamically scheduled,
+/// degree-weighted frontier chunks; bottom-up levels sweep the
+/// unvisited vertices against a frontier bitmap. With
+/// [`BfsStrategy::TopDown`] and a single thread (or a tiny graph) this
+/// falls back to [`bfs_tree_seq`]; the hybrid always runs its own loop
+/// so the direction optimization applies at every thread count.
+pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> BfsTree {
     let n = csr.n() as usize;
-    if pool.threads() == 1 || n < 1 << 12 {
+    let hybrid = tuning.bfs == BfsStrategy::Hybrid;
+    if n == 0 || (!hybrid && (pool.threads() == 1 || n < 1 << 12)) {
         return bfs_tree_seq(csr, root);
     }
+    let alpha = tuning.alpha.max(1) as usize;
+    let beta = tuning.beta.max(1) as usize;
+
     let mut parent = vec![NIL; n];
     let mut parent_eid = vec![NIL; n];
     let mut level = vec![u32::MAX; n];
     parent[root as usize] = root;
     level[root as usize] = 0;
-    let mut frontier = vec![root];
-    let mut reached = 1u32;
-    let mut depth = 0u32;
 
     let parent_a = as_atomic_u32(&mut parent);
     let eid_a = as_atomic_u32(&mut parent_eid);
     let level_a = as_atomic_u32(&mut level);
 
+    let mut frontier = vec![root];
+    let mut frontier_arcs = csr.degree(root);
+    let mut remaining_arcs = 2 * csr.m() - frontier_arcs;
+    let mut reached = 1u32;
+    let mut depth = 0u32;
+    let mut frontier_sizes = vec![1u32];
+    let mut directions = vec![BfsDirection::TopDown];
+
+    // Allocated on the first bottom-up level, reused afterwards.
+    let mut frontier_bm: Option<Bitmap> = None;
+    // Vertices still unclaimed after the previous bottom-up sweep: the
+    // sweep domain only shrinks, so later levels never rescan what an
+    // earlier level already claimed.
+    let mut unvisited: Option<Vec<u32>> = None;
+    let mut bottom_up = false;
+    let mut bottom_up_done = false;
+
     while !frontier.is_empty() {
+        if hybrid {
+            // Beamer's direction heuristic, evaluated pre-expansion.
+            // Bottom-up is a single contiguous phase: once the frontier
+            // thins back out the sweep never re-engages — late levels
+            // have few unvisited vertices, so a re-entered sweep would
+            // pay the full vertex scan for almost no claims (and the
+            // shrinking `remaining_arcs` makes the entry test trivially
+            // true near the end, which used to cause T/B thrash).
+            if !bottom_up && !bottom_up_done {
+                bottom_up = frontier.len() > 1 && frontier_arcs * alpha > remaining_arcs;
+            } else if bottom_up {
+                bottom_up = frontier.len() * beta >= n;
+                bottom_up_done = !bottom_up;
+            }
+        }
         depth += 1;
-        let work = ChunkCounter::new(frontier.len(), 64);
-        let frontier_ro: &[u32] = &frontier;
-        let buffers: Vec<Vec<u32>> = pool.run_map(|_ctx| {
-            let mut local = Vec::new();
-            while let Some(chunk) = work.next_chunk() {
-                for &v in &frontier_ro[chunk] {
-                    for (w, eid) in csr.arcs(v) {
-                        if parent_a[w as usize].load(Ordering::Relaxed) == NIL
-                            && parent_a[w as usize]
-                                .compare_exchange(NIL, v, Ordering::AcqRel, Ordering::Acquire)
-                                .is_ok()
-                        {
-                            // Winner writes the auxiliary fields.
-                            eid_a[w as usize].store(eid, Ordering::Relaxed);
-                            level_a[w as usize].store(depth, Ordering::Relaxed);
-                            local.push(w);
+
+        let (next, next_arcs) = if bottom_up {
+            let bm = frontier_bm.get_or_insert_with(|| Bitmap::new(n));
+            bm.clear();
+            for &v in &frontier {
+                // Single-threaded fill phase: no other thread touches the
+                // bitmap until the next pool barrier.
+                bm.set_unsync(v as usize);
+            }
+            // Sweep domain: every vertex on the first bottom-up level,
+            // then only the survivors of the previous sweep.
+            let domain: Vec<u32> = unvisited.take().unwrap_or_else(|| (0..n as u32).collect());
+            let work = ChunkCounter::weighted(domain.len(), EDGE_BUDGET, |i| csr.degree(domain[i]));
+            let domain_ro: &[u32] = &domain;
+            let parts = pool.run_map(|_ctx| {
+                let mut local = Vec::new();
+                let mut local_arcs = 0usize;
+                let mut local_miss = Vec::new();
+                while let Some(chunk) = work.next_chunk() {
+                    for &v in &domain_ro[chunk] {
+                        if parent_a[v as usize].load(Ordering::Relaxed) != NIL {
+                            // Already visited; only possible on the first
+                            // sweep, whose domain is all of 0..n.
+                            continue;
+                        }
+                        // Scan only the neighbor slice until the first
+                        // frontier hit; the parallel edge-id slice is
+                        // touched once, on the hit.
+                        let nbrs = csr.neighbors(v);
+                        match nbrs.iter().position(|&w| bm.test(w as usize)) {
+                            Some(k) => {
+                                // Only this thread's chunk owns v: plain
+                                // stores, no CAS.
+                                let w = nbrs[k];
+                                let eid = csr.edge_ids(v)[k];
+                                parent_a[v as usize].store(w, Ordering::Relaxed);
+                                eid_a[v as usize].store(eid, Ordering::Relaxed);
+                                level_a[v as usize].store(depth, Ordering::Relaxed);
+                                local.push(v);
+                                local_arcs += nbrs.len();
+                            }
+                            None => local_miss.push(v),
                         }
                     }
                 }
+                (local, local_arcs, local_miss)
+            });
+            let mut next = Vec::new();
+            let mut arcs = 0usize;
+            let mut miss = Vec::new();
+            for (mut b, a, mut u) in parts {
+                next.append(&mut b);
+                arcs += a;
+                miss.append(&mut u);
             }
-            local
-        });
-        let mut next = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
-        for mut b in buffers {
-            next.append(&mut b);
-        }
+            unvisited = Some(miss);
+            (next, arcs)
+        } else {
+            let work =
+                ChunkCounter::weighted(frontier.len(), EDGE_BUDGET, |i| csr.degree(frontier[i]));
+            let frontier_ro: &[u32] = &frontier;
+            let parts = pool.run_map(|_ctx| {
+                let mut local = Vec::new();
+                let mut local_arcs = 0usize;
+                while let Some(chunk) = work.next_chunk() {
+                    for &v in &frontier_ro[chunk] {
+                        for (w, eid) in csr.arcs(v) {
+                            if parent_a[w as usize].load(Ordering::Relaxed) == NIL
+                                && parent_a[w as usize]
+                                    .compare_exchange(NIL, v, Ordering::AcqRel, Ordering::Acquire)
+                                    .is_ok()
+                            {
+                                // Winner writes the auxiliary fields.
+                                eid_a[w as usize].store(eid, Ordering::Relaxed);
+                                level_a[w as usize].store(depth, Ordering::Relaxed);
+                                local.push(w);
+                                local_arcs += csr.degree(w);
+                            }
+                        }
+                    }
+                }
+                (local, local_arcs)
+            });
+            concat_parts(parts)
+        };
+
         reached += next.len() as u32;
+        remaining_arcs -= next_arcs;
+        frontier_arcs = next_arcs;
+        if !next.is_empty() {
+            frontier_sizes.push(next.len() as u32);
+            directions.push(if bottom_up {
+                BfsDirection::BottomUp
+            } else {
+                BfsDirection::TopDown
+            });
+        }
         frontier = next;
     }
 
@@ -147,7 +334,20 @@ pub fn bfs_tree_par(pool: &Pool, csr: &Csr, root: u32) -> BfsTree {
         level,
         reached,
         levels: depth,
+        frontier_sizes,
+        directions,
     }
+}
+
+/// Concatenates per-thread `(vertices, arc_count)` buffers.
+fn concat_parts(parts: Vec<(Vec<u32>, usize)>) -> (Vec<u32>, usize) {
+    let mut next = Vec::with_capacity(parts.iter().map(|(b, _)| b.len()).sum());
+    let mut arcs = 0usize;
+    for (mut b, a) in parts {
+        next.append(&mut b);
+        arcs += a;
+    }
+    (next, arcs)
 }
 
 #[cfg(test)]
@@ -166,6 +366,9 @@ mod tests {
         assert_eq!(t.levels, 6); // includes final empty-frontier level
         assert_eq!(t.parent, vec![0, 0, 1, 2, 3, 4]);
         assert_eq!(t.tree_edge_ids().len(), 5);
+        assert_eq!(t.frontier_sizes, vec![1; 6]);
+        assert_eq!(t.effective_diameter(1.0), 5);
+        assert_eq!(t.bottom_up_levels(), 0);
     }
 
     #[test]
@@ -173,23 +376,49 @@ mod tests {
         // In a BFS tree, every graph edge spans at most one level.
         let g = gen::random_connected(800, 3000, 17);
         let csr = Csr::build(&g);
-        for p in [1, 4] {
-            let pool = Pool::new(p);
-            let t = bfs_tree_par(&pool, &csr, 0);
-            assert_eq!(t.reached, g.n());
-            assert_valid_rooted_tree(&g, &t.parent, 0);
-            for e in g.edges() {
-                let lu = t.level[e.u as usize] as i64;
-                let lv = t.level[e.v as usize] as i64;
-                assert!((lu - lv).abs() <= 1, "edge {e:?} spans levels {lu},{lv}");
-            }
-            // Parent is exactly one level up.
-            for v in 0..g.n() {
-                if v != 0 {
-                    let p = t.parent[v as usize];
-                    assert_eq!(t.level[v as usize], t.level[p as usize] + 1);
+        for tuning in [TraversalTuning::classic(), TraversalTuning::fast()] {
+            for p in [1, 4] {
+                let pool = Pool::new(p);
+                let t = bfs_tree(&pool, &csr, 0, &tuning);
+                assert_eq!(t.reached, g.n());
+                assert_valid_rooted_tree(&g, &t.parent, 0);
+                for e in g.edges() {
+                    let lu = t.level[e.u as usize] as i64;
+                    let lv = t.level[e.v as usize] as i64;
+                    assert!((lu - lv).abs() <= 1, "edge {e:?} spans levels {lu},{lv}");
+                }
+                // Parent is exactly one level up.
+                for v in 0..g.n() {
+                    if v != 0 {
+                        let p = t.parent[v as usize];
+                        assert_eq!(t.level[v as usize], t.level[p as usize] + 1);
+                    }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn hybrid_switches_bottom_up_on_dense_graphs_and_matches_seq_levels() {
+        // A dense random graph has 2-3 BFS levels carrying nearly all
+        // edges: the heuristic must fire, and levels must still match
+        // the sequential oracle exactly.
+        let g = gen::random_connected(2000, 30_000, 5);
+        let csr = Csr::build(&g);
+        let s = bfs_tree_seq(&csr, 0);
+        for p in [1, 4] {
+            let pool = Pool::new(p);
+            let t = bfs_tree(&pool, &csr, 0, &TraversalTuning::fast());
+            assert_eq!(t.level, s.level, "p={p}");
+            assert_eq!(t.levels, s.levels);
+            assert_eq!(t.frontier_sizes, s.frontier_sizes);
+            assert!(
+                t.bottom_up_levels() >= 1,
+                "direction heuristic never fired: {:?} (sizes {:?})",
+                t.directions,
+                t.frontier_sizes
+            );
+            assert_valid_rooted_tree(&g, &t.parent, 0);
         }
     }
 
@@ -198,16 +427,18 @@ mod tests {
         let g = gen::torus(5, 7);
         let csr = Csr::build(&g);
         let pool = Pool::new(3);
-        let t = bfs_tree_par(&pool, &csr, 3);
-        for v in 0..g.n() {
-            let eid = t.parent_eid[v as usize];
-            if v == 3 {
-                assert_eq!(eid, NIL);
-                continue;
+        for tuning in [TraversalTuning::classic(), TraversalTuning::fast()] {
+            let t = bfs_tree(&pool, &csr, 3, &tuning);
+            for v in 0..g.n() {
+                let eid = t.parent_eid[v as usize];
+                if v == 3 {
+                    assert_eq!(eid, NIL);
+                    continue;
+                }
+                let e = g.edges()[eid as usize];
+                let p = t.parent[v as usize];
+                assert!((e.u == v && e.v == p) || (e.v == v && e.u == p));
             }
-            let e = g.edges()[eid as usize];
-            let p = t.parent[v as usize];
-            assert!((e.u == v && e.v == p) || (e.v == v && e.u == p));
         }
     }
 
@@ -219,6 +450,11 @@ mod tests {
         assert_eq!(t.reached, 3);
         assert_eq!(t.parent[3], NIL);
         assert_eq!(t.parent[4], NIL);
+        // The hybrid agrees on partial trees.
+        let pool = Pool::new(2);
+        let h = bfs_tree(&pool, &csr, 0, &TraversalTuning::fast());
+        assert_eq!(h.reached, 3);
+        assert_eq!(h.level, t.level);
     }
 
     #[test]
@@ -227,14 +463,33 @@ mod tests {
         let g = gen::random_connected(5000, 15_000, 2);
         let csr = Csr::build(&g);
         let pool = Pool::new(4);
-        let t = bfs_tree_par(&pool, &csr, 100);
-        assert_eq!(t.reached, 5000);
-        assert_valid_rooted_tree(&g, &t.parent, 100);
-        // Levels must match the sequential BFS (levels are unique even
-        // though parents are not).
         let s = bfs_tree_seq(&csr, 100);
-        assert_eq!(t.level, s.level);
-        assert_eq!(t.levels, s.levels);
+        for tuning in [TraversalTuning::classic(), TraversalTuning::fast()] {
+            let t = bfs_tree(&pool, &csr, 100, &tuning);
+            assert_eq!(t.reached, 5000);
+            assert_valid_rooted_tree(&g, &t.parent, 100);
+            // Levels must match the sequential BFS (levels are unique
+            // even though parents are not).
+            assert_eq!(t.level, s.level);
+            assert_eq!(t.levels, s.levels);
+            assert_eq!(t.frontier_sizes, s.frontier_sizes);
+        }
+    }
+
+    #[test]
+    fn effective_diameter_quantiles() {
+        let t = BfsTree {
+            parent: vec![],
+            parent_eid: vec![],
+            level: vec![],
+            reached: 100,
+            levels: 4,
+            frontier_sizes: vec![1, 9, 80, 10],
+            directions: vec![BfsDirection::TopDown; 4],
+        };
+        assert_eq!(t.effective_diameter(0.05), 1);
+        assert_eq!(t.effective_diameter(0.9), 2);
+        assert_eq!(t.effective_diameter(1.0), 3);
     }
 
     #[test]
@@ -243,5 +498,9 @@ mod tests {
         let csr = Csr::build(&g);
         let t = bfs_tree_seq(&csr, 0);
         assert_eq!(t.reached, 0);
+        let pool = Pool::new(2);
+        let h = bfs_tree(&pool, &csr, 0, &TraversalTuning::fast());
+        assert_eq!(h.reached, 0);
+        assert_eq!(h.levels, 0);
     }
 }

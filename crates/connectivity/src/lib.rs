@@ -25,9 +25,11 @@ pub mod boruvka;
 pub mod seq;
 pub mod sv;
 pub mod traversal;
+pub mod tuning;
 
 pub use as_sync::awerbuch_shiloach;
-pub use bfs::{bfs_tree_par, bfs_tree_seq};
+pub use bfs::{bfs_tree, bfs_tree_par, bfs_tree_seq, BfsDirection, BfsTree};
 pub use boruvka::{minimum_spanning_forest, MsfResult, WeightedEdge};
-pub use sv::{connected_components, SvResult};
+pub use sv::{connected_components, connected_components_with, SvResult};
 pub use traversal::work_stealing_tree;
+pub use tuning::{BfsStrategy, SvVariant, TraversalTuning};

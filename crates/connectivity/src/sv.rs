@@ -1,18 +1,31 @@
-//! Shiloach–Vishkin connected components with spanning-forest recording.
+//! Shiloach–Vishkin-family connected components with spanning-forest
+//! recording: the classic synchronous graft-and-shortcut rounds and a
+//! FastSV-style asynchronous variant.
 //!
-//! The SMP adaptation of the graft-and-shortcut family: rounds of
-//! (a) *graft* — for every edge whose endpoints currently have different
-//! roots, CAS the larger root onto the smaller label — and (b)
-//! *shortcut* — pointer-jump every vertex until the structure is flat.
-//! Labels only decrease, so the pointer structure is acyclic at every
-//! instant and each CAS win merges two genuinely distinct trees; the
-//! winning edges therefore form a spanning forest (the paper's
-//! observation that "grafting defines the parent relationship naturally",
-//! §3.2).
+//! **Classic** ([`SvVariant::Classic`]): rounds of (a) *graft* — for
+//! every edge whose endpoints currently have different roots, CAS the
+//! larger root onto the smaller label — and (b) *shortcut* —
+//! pointer-jump every vertex until the structure is flat, iterated to a
+//! fixpoint. Work is O((n + m) · rounds) with O(log n) rounds, and the
+//! fixpoint check costs one extra verification round.
 //!
-//! Work is O((n + m) · rounds); rounds is O(log n) for the synchronous
-//! algorithm and small in practice for the asynchronous one.
+//! **FastSV** ([`SvVariant::FastSv`]): each edge is resolved *completely*
+//! in a single sweep — chase both endpoints to their roots (compacting
+//! the paths walked with `fetch_min` as we go), hook the higher root
+//! onto the lower by CAS, and on a lost race re-chase and retry instead
+//! of deferring to a next round. A lost CAS means another thread merged
+//! that root, so total retries are bounded by the n − 1 possible merges;
+//! after one sweep plus a flattening pass the labeling is final — no
+//! verification round, `rounds == 1` whenever there are edges.
+//!
+//! Both variants share the soundness argument: labels only decrease
+//! (grafts hook higher roots onto lower labels, compaction writes a
+//! chain minimum), so the pointer structure is acyclic at every instant
+//! and each CAS win merges two genuinely distinct trees; the winning
+//! edges therefore form a spanning forest (the paper's observation that
+//! "grafting defines the parent relationship naturally", §3.2).
 
+use crate::tuning::SvVariant;
 use bcc_graph::Edge;
 use bcc_smp::atomic::as_atomic_u32;
 use bcc_smp::{Pool, SharedSlice, NIL};
@@ -29,12 +42,14 @@ pub struct SvResult {
     pub tree_edges: Vec<u32>,
     /// Number of connected components (isolated vertices included).
     pub num_components: u32,
-    /// Graft-and-shortcut rounds executed (exposed for the benchmarks).
+    /// Graft rounds executed (exposed for the benchmarks). Classic runs
+    /// O(log n) rounds plus a verification round; FastSV resolves every
+    /// edge in its single sweep, so this is 1 whenever edges exist.
     pub rounds: u32,
 }
 
-/// Shiloach–Vishkin connected components over `edges` on vertex set
-/// `0..n`, using `pool`.
+/// Connected components over `edges` on vertex set `0..n` with the
+/// default variant ([`SvVariant::FastSv`]).
 ///
 /// ```
 /// use bcc_connectivity::sv::connected_components;
@@ -49,6 +64,24 @@ pub struct SvResult {
 /// assert_ne!(r.label[0], r.label[3]);
 /// ```
 pub fn connected_components(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
+    connected_components_with(pool, n, edges, SvVariant::FastSv)
+}
+
+/// Connected components with an explicit algorithm [`SvVariant`].
+pub fn connected_components_with(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    variant: SvVariant,
+) -> SvResult {
+    match variant {
+        SvVariant::Classic => classic_sv(pool, n, edges),
+        SvVariant::FastSv => fast_sv(pool, n, edges),
+    }
+}
+
+/// The classic synchronous graft-and-shortcut rounds (paper §3.2).
+fn classic_sv(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
     let n_us = n as usize;
     let m = edges.len();
     let mut label: Vec<u32> = (0..n).collect();
@@ -136,7 +169,67 @@ pub fn connected_components(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
         rounds = round_ctr.load(Ordering::Relaxed);
     }
 
-    // Collect tree edges and count components.
+    finish(n, label, graft_edge, rounds)
+}
+
+/// FastSV-style asynchronous hooking: one sweep over the edges with
+/// in-place CAS retry and path compaction, then one flattening pass.
+fn fast_sv(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
+    let n_us = n as usize;
+    let m = edges.len();
+    let mut label: Vec<u32> = (0..n).collect();
+    let mut graft_edge: Vec<u32> = vec![NIL; n_us];
+    let mut rounds = 0u32;
+
+    if n > 0 && m > 0 {
+        let label_a = as_atomic_u32(&mut label);
+        let graft_a = as_atomic_u32(&mut graft_edge);
+
+        pool.run(|ctx| {
+            // --- single hooking sweep: resolve each edge to completion ---
+            for i in ctx.block_range(m) {
+                let e = edges[i];
+                loop {
+                    let ru = find_root_compact(label_a, e.u);
+                    let rv = find_root_compact(label_a, e.v);
+                    if ru == rv {
+                        break;
+                    }
+                    let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+                    if label_a[hi as usize]
+                        .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        let prev = graft_a[hi as usize].swap(i as u32, Ordering::Relaxed);
+                        debug_assert_eq!(prev, NIL);
+                        break;
+                    }
+                    // Lost the race: another thread merged `hi`, i.e. the
+                    // forest shrank — re-chase the (new) roots and retry.
+                    // Total retries across all threads are bounded by the
+                    // n - 1 possible merges.
+                }
+            }
+            ctx.barrier();
+            // --- flatten: the forest is now fixed, so one pass of
+            // walk-to-root stores suffices (stores only ever write root
+            // values, which are chain minima, preserving monotonicity
+            // for concurrent walkers). Root slots are left untouched.
+            for v in ctx.block_range(n_us) {
+                let r = find_root(label_a, v as u32);
+                if label_a[v].load(Ordering::Relaxed) != r {
+                    label_a[v].store(r, Ordering::Relaxed);
+                }
+            }
+        });
+        rounds = 1;
+    }
+
+    finish(n, label, graft_edge, rounds)
+}
+
+/// Collects tree edges and counts components.
+fn finish(n: u32, label: Vec<u32>, graft_edge: Vec<u32>, rounds: u32) -> SvResult {
     let tree_edges: Vec<u32> = graft_edge.iter().copied().filter(|&e| e != NIL).collect();
     let num_components = n - tree_edges.len() as u32;
     SvResult {
@@ -159,6 +252,29 @@ fn find_root(label: &[AtomicU32], v: u32) -> u32 {
         }
         x = d;
     }
+}
+
+/// [`find_root`] plus aggressive path-shortcutting: every non-root slot
+/// on the walked chain is lowered toward the discovered root with
+/// `fetch_min`, so later chases through the same region are O(1)-ish.
+///
+/// Only slots *observed* to be non-roots are written (a slot whose label
+/// has ever dropped below its index can never become a root again), and
+/// `fetch_min` keeps labels monotonically decreasing, so root slots are
+/// never clobbered and grafting's CAS/forest-recording invariants hold.
+#[inline]
+fn find_root_compact(label: &[AtomicU32], v: u32) -> u32 {
+    let root = find_root(label, v);
+    let mut x = v;
+    while x != root {
+        let d = label[x as usize].load(Ordering::Acquire);
+        if d == x {
+            break; // x is (still) a root; never write root slots
+        }
+        label[x as usize].fetch_min(root, Ordering::AcqRel);
+        x = d;
+    }
+    root
 }
 
 /// Relabels `label` so components are numbered `0..k` in order of their
@@ -199,16 +315,18 @@ mod tests {
     use crate::seq;
     use bcc_graph::{gen, Graph};
 
-    fn check_against_oracle(g: &Graph, p: usize) {
+    const VARIANTS: [SvVariant; 2] = [SvVariant::Classic, SvVariant::FastSv];
+
+    fn check_against_oracle(g: &Graph, p: usize, variant: SvVariant) {
         let pool = Pool::new(p);
-        let res = connected_components(&pool, g.n(), g.edges());
+        let res = connected_components_with(&pool, g.n(), g.edges(), variant);
         let oracle = seq::components_union_find(g.n(), g.edges());
 
         // Same partition (labels equal iff oracle labels equal).
         for e in g.edges() {
             assert_eq!(
                 res.label[e.u as usize], res.label[e.v as usize],
-                "edge endpoints must share a label"
+                "edge endpoints must share a label ({variant:?})"
             );
         }
         let mut pairs: Vec<(u32, u32)> = res
@@ -240,44 +358,85 @@ mod tests {
         let fres = seq::components_union_find(g.n(), &forest);
         assert_eq!(
             fres.count, oracle.count,
-            "forest must connect exactly the same components"
+            "forest must connect exactly the same components ({variant:?})"
         );
     }
 
     #[test]
     fn matches_oracle_on_families() {
-        for p in [1, 2, 4] {
-            check_against_oracle(&gen::path(50), p);
-            check_against_oracle(&gen::cycle(33), p);
-            check_against_oracle(&gen::star(40), p);
-            check_against_oracle(&gen::complete(20), p);
-            check_against_oracle(&gen::torus(4, 5), p);
-            check_against_oracle(&gen::random_connected(500, 1500, p as u64), p);
-            check_against_oracle(&gen::random_gnm(500, 400, p as u64), p); // disconnected
+        for variant in VARIANTS {
+            for p in [1, 2, 4] {
+                check_against_oracle(&gen::path(50), p, variant);
+                check_against_oracle(&gen::cycle(33), p, variant);
+                check_against_oracle(&gen::star(40), p, variant);
+                check_against_oracle(&gen::complete(20), p, variant);
+                check_against_oracle(&gen::torus(4, 5), p, variant);
+                check_against_oracle(&gen::random_connected(500, 1500, p as u64), p, variant);
+                // Disconnected:
+                check_against_oracle(&gen::random_gnm(500, 400, p as u64), p, variant);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges() {
+        // `Graph` forbids self-loops, but the SV kernels take raw edge
+        // lists (step 6 feeds them auxiliary-graph edges), so they must
+        // tolerate loops and duplicates directly.
+        let edges = vec![
+            Edge::new(0, 0),
+            Edge::new(0, 1),
+            Edge::new(1, 0),
+            Edge::new(2, 2),
+            Edge::new(3, 4),
+            Edge::new(3, 4),
+        ];
+        let oracle = seq::components_union_find(6, &edges);
+        assert_eq!(oracle.count, 4); // {0,1} {2} {3,4} {5}
+        for variant in VARIANTS {
+            for p in [1, 3] {
+                let pool = Pool::new(p);
+                let r = connected_components_with(&pool, 6, &edges, variant);
+                assert_eq!(r.num_components, 4, "{variant:?}");
+                assert_eq!(r.tree_edges.len(), 2);
+                assert_eq!(r.label[0], r.label[1]);
+                assert_eq!(r.label[3], r.label[4]);
+                assert_ne!(r.label[0], r.label[2]);
+                // A self-loop is never a tree edge.
+                for &i in &r.tree_edges {
+                    let e = edges[i as usize];
+                    assert_ne!(e.u, e.v);
+                }
+            }
         }
     }
 
     #[test]
     fn empty_and_trivial() {
         let pool = Pool::new(2);
-        let empty = Graph::new(0, vec![]);
-        let r = connected_components(&pool, empty.n(), empty.edges());
-        assert_eq!(r.num_components, 0);
-        assert!(r.tree_edges.is_empty());
+        for variant in VARIANTS {
+            let empty = Graph::new(0, vec![]);
+            let r = connected_components_with(&pool, empty.n(), empty.edges(), variant);
+            assert_eq!(r.num_components, 0);
+            assert!(r.tree_edges.is_empty());
+            assert_eq!(r.rounds, 0);
 
-        let isolated = Graph::new(5, vec![]);
-        let r = connected_components(&pool, isolated.n(), isolated.edges());
-        assert_eq!(r.num_components, 5);
-        assert_eq!(r.label, vec![0, 1, 2, 3, 4]);
+            let isolated = Graph::new(5, vec![]);
+            let r = connected_components_with(&pool, isolated.n(), isolated.edges(), variant);
+            assert_eq!(r.num_components, 5);
+            assert_eq!(r.label, vec![0, 1, 2, 3, 4]);
+        }
     }
 
     #[test]
     fn single_edge() {
         let pool = Pool::new(3);
         let g = Graph::from_tuples(2, [(0, 1)]);
-        let r = connected_components(&pool, g.n(), g.edges());
-        assert_eq!(r.num_components, 1);
-        assert_eq!(r.tree_edges, vec![0]);
+        for variant in VARIANTS {
+            let r = connected_components_with(&pool, g.n(), g.edges(), variant);
+            assert_eq!(r.num_components, 1);
+            assert_eq!(r.tree_edges, vec![0]);
+        }
     }
 
     #[test]
@@ -294,11 +453,13 @@ mod tests {
         edges.push((4, 14));
         edges.push((5, 15));
         let g = Graph::from_tuples(20, edges);
-        for p in [1, 4] {
-            let pool = Pool::new(p);
-            let r = connected_components(&pool, g.n(), g.edges());
-            assert_eq!(r.num_components, 1);
-            assert_eq!(r.tree_edges.len(), 19);
+        for variant in VARIANTS {
+            for p in [1, 4] {
+                let pool = Pool::new(p);
+                let r = connected_components_with(&pool, g.n(), g.edges(), variant);
+                assert_eq!(r.num_components, 1);
+                assert_eq!(r.tree_edges.len(), 19);
+            }
         }
     }
 
@@ -313,9 +474,6 @@ mod tests {
         assert_eq!(max + 1, k);
         // Still a valid labeling of the same partition.
         let oracle = seq::components_union_find(g.n(), g.edges());
-        for (v, w) in (0..g.n()).zip(0..g.n()) {
-            let _ = (v, w);
-        }
         for e in g.edges() {
             assert_eq!(r.label[e.u as usize], r.label[e.v as usize]);
         }
@@ -323,11 +481,36 @@ mod tests {
     }
 
     #[test]
-    fn rounds_are_reported() {
+    fn fastsv_labels_are_flat_and_minimal() {
+        // After FastSV, every label must point directly at the component
+        // minimum (flattening is part of the algorithm, not a cleanup).
+        let g = gen::random_connected(400, 900, 9);
+        let pool = Pool::new(4);
+        let r = connected_components_with(&pool, g.n(), g.edges(), SvVariant::FastSv);
+        let oracle = seq::components_union_find(g.n(), g.edges());
+        // Component minimum per oracle label.
+        let mut min_of = std::collections::HashMap::new();
+        for v in 0..g.n() {
+            let e = min_of.entry(oracle.label[v as usize]).or_insert(v);
+            if v < *e {
+                *e = v;
+            }
+        }
+        for v in 0..g.n() {
+            assert_eq!(r.label[v as usize], min_of[&oracle.label[v as usize]]);
+        }
+    }
+
+    #[test]
+    fn rounds_are_reported_and_fastsv_is_strictly_lower() {
         let pool = Pool::new(2);
         let g = gen::path(1000);
-        let r = connected_components(&pool, g.n(), g.edges());
-        assert!(r.rounds >= 1);
-        assert_eq!(r.num_components, 1);
+        let classic = connected_components_with(&pool, g.n(), g.edges(), SvVariant::Classic);
+        let fast = connected_components_with(&pool, g.n(), g.edges(), SvVariant::FastSv);
+        assert_eq!(classic.num_components, 1);
+        assert_eq!(fast.num_components, 1);
+        assert!(classic.rounds >= 2, "classic pays a verification round");
+        assert_eq!(fast.rounds, 1, "FastSV resolves everything in one sweep");
+        assert!(fast.rounds < classic.rounds);
     }
 }

@@ -1,0 +1,160 @@
+//! Property tests for the rebuilt traversal kernels (satellite of the
+//! direction-optimizing BFS + FastSV PR).
+//!
+//! Two oracles:
+//!
+//! * The hybrid BFS must produce the **same `level[]`** as the
+//!   sequential queue BFS on every graph (direction switching changes
+//!   the order of discovery within a level, never the level itself),
+//!   and its parent array must be a valid BFS tree: the parent edge
+//!   exists in the graph and `level[parent[v]] == level[v] - 1`.
+//! * FastSV must induce the **same partition** as classic SV on random,
+//!   disconnected, and self-loop/duplicate-edge inputs, with matching
+//!   component counts and spanning-forest sizes.
+
+use bcc_connectivity::bfs::{bfs_tree, bfs_tree_seq};
+use bcc_connectivity::sv::connected_components_with;
+use bcc_connectivity::tuning::{SvVariant, TraversalTuning};
+use bcc_graph::{gen, Csr, Edge, Graph};
+use bcc_smp::Pool;
+use proptest::prelude::*;
+
+const NIL: u32 = u32::MAX;
+
+/// Strategy: a connected graph spanning sparse-to-dense shapes.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (8u32..80, 0usize..400, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let m = ((n as usize - 1) + extra).min(gen::max_edges(n));
+        gen::random_connected(n, m, seed)
+    })
+}
+
+/// Strategy: a raw edge list over `n` vertices that may contain
+/// self-loops, duplicate edges, and isolated vertices — the shape the
+/// SV kernels see from the step-6 auxiliary graph.
+fn raw_edge_list() -> impl Strategy<Value = (u32, Vec<Edge>)> {
+    (4u32..60, 0usize..150, any::<u64>()).prop_flat_map(|(n, m, _seed)| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..m.max(1)),
+        )
+            .prop_map(|(n, pairs)| {
+                let edges = pairs.into_iter().map(|(u, v)| Edge::new(u, v)).collect();
+                (n, edges)
+            })
+    })
+}
+
+/// Canonical partition fingerprint: relabels components by first
+/// appearance so two labelings compare equal iff they induce the same
+/// partition of the vertices.
+fn canonical_partition(label: &[u32]) -> Vec<u32> {
+    let mut rename = std::collections::HashMap::new();
+    label
+        .iter()
+        .map(|&l| {
+            let next = rename.len() as u32;
+            *rename.entry(l).or_insert(next)
+        })
+        .collect()
+}
+
+fn check_bfs_tree_valid(g: &Graph, tree: &bcc_connectivity::BfsTree, root: u32) {
+    assert_eq!(tree.parent[root as usize], root);
+    assert_eq!(tree.level[root as usize], 0);
+    let mut reached = 0;
+    for v in 0..g.n() {
+        let p = tree.parent[v as usize];
+        if p == NIL {
+            assert_eq!(tree.level[v as usize], NIL, "unreached vertex has a level");
+            assert_eq!(tree.parent_eid[v as usize], NIL);
+            continue;
+        }
+        reached += 1;
+        if v == root {
+            continue;
+        }
+        // Parent is one level up and the parent edge really joins them.
+        assert_eq!(
+            tree.level[p as usize] + 1,
+            tree.level[v as usize],
+            "parent level must be child level - 1 (v={v})"
+        );
+        let eid = tree.parent_eid[v as usize] as usize;
+        let e = g.edges()[eid];
+        assert!(
+            (e.u == v && e.v == p) || (e.u == p && e.v == v),
+            "parent_eid {eid} does not join {v} and {p}"
+        );
+    }
+    assert_eq!(reached, tree.reached, "reached count mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hybrid_bfs_levels_match_sequential_oracle(g in connected_graph(), root_pick in any::<u32>()) {
+        let root = root_pick % g.n();
+        let csr = Csr::build(&g);
+        let oracle = bfs_tree_seq(&csr, root);
+        for p in [1usize, 2] {
+            let pool = Pool::new(p);
+            // Force the aggressive heuristic (alpha = 1 switches early)
+            // as well as the default, so bottom-up sweeps actually run
+            // on these small graphs.
+            for alpha in [1u32, TraversalTuning::fast().alpha] {
+                let tuning = TraversalTuning { alpha, ..TraversalTuning::fast() };
+                let tree = bfs_tree(&pool, &csr, root, &tuning);
+                prop_assert_eq!(&tree.level, &oracle.level, "p={} alpha={}", p, alpha);
+                prop_assert_eq!(tree.reached, oracle.reached);
+                prop_assert_eq!(tree.levels, oracle.levels);
+                check_bfs_tree_valid(&g, &tree, root);
+                // The tree-edge id list is exactly the non-root parent
+                // edges (the satellite's pre-sized fast path).
+                prop_assert_eq!(tree.tree_edge_ids().len(), tree.reached as usize - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fastsv_partition_matches_classic_on_random_graphs(
+        n in 6u32..80,
+        m in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        // random_gnm is frequently disconnected at these densities.
+        let g = gen::random_gnm(n, m.min(gen::max_edges(n)), seed);
+        let pool = Pool::new(2);
+        let classic = connected_components_with(&pool, g.n(), g.edges(), SvVariant::Classic);
+        let fast = connected_components_with(&pool, g.n(), g.edges(), SvVariant::FastSv);
+        prop_assert_eq!(classic.num_components, fast.num_components);
+        prop_assert_eq!(
+            canonical_partition(&classic.label),
+            canonical_partition(&fast.label)
+        );
+        // Both variants produce spanning forests of the same size.
+        prop_assert_eq!(classic.tree_edges.len(), fast.tree_edges.len());
+        prop_assert_eq!(
+            classic.tree_edges.len(),
+            (g.n() - classic.num_components) as usize
+        );
+    }
+
+    #[test]
+    fn fastsv_matches_classic_on_self_loops_and_duplicates((n, edges) in raw_edge_list()) {
+        let pool = Pool::new(2);
+        let classic = connected_components_with(&pool, n, &edges, SvVariant::Classic);
+        let fast = connected_components_with(&pool, n, &edges, SvVariant::FastSv);
+        prop_assert_eq!(classic.num_components, fast.num_components);
+        prop_assert_eq!(
+            canonical_partition(&classic.label),
+            canonical_partition(&fast.label)
+        );
+        // No spanning forest edge may be a self-loop.
+        for &eid in &fast.tree_edges {
+            let e = edges[eid as usize];
+            prop_assert_ne!(e.u, e.v, "self-loop in the spanning forest");
+        }
+    }
+}

@@ -57,6 +57,10 @@ pub use tarjan::tarjan_bcc;
 /// crate dependency).
 pub use bcc_euler::Ranker;
 
+/// Traversal ablation knobs, re-exported from [`bcc_connectivity`] so
+/// [`BccConfig::tuning`] is usable without a second crate dependency.
+pub use bcc_connectivity::{BfsStrategy, SvVariant, TraversalTuning};
+
 // The pre-`BccConfig` free-function entry points, kept as deprecated
 // wrappers for one release cycle.
 #[allow(deprecated)]

@@ -11,7 +11,8 @@
 use crate::phase::PhaseRecorder;
 use crate::pipeline::{run_connected, Algorithm, BccError, BccResult};
 use crate::verify::canonicalize_edge_labels;
-use bcc_connectivity::sv::{connected_components, normalize_labels};
+use bcc_connectivity::sv::{connected_components_with, normalize_labels};
+use bcc_connectivity::tuning::TraversalTuning;
 use bcc_euler::Ranker;
 use bcc_graph::{Edge, Graph};
 use bcc_smp::Pool;
@@ -27,16 +28,17 @@ pub(crate) fn run_per_component(
     g: &Graph,
     alg: Algorithm,
     ranker: Ranker,
+    tuning: TraversalTuning,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     if alg == Algorithm::Sequential {
-        return run_connected(pool, g, alg, ranker, rec);
+        return run_connected(pool, g, alg, ranker, tuning, rec);
     }
     let start = Instant::now();
-    let cc = connected_components(pool, g.n(), g.edges());
+    let cc = connected_components_with(pool, g.n(), g.edges(), tuning.sv);
     if cc.num_components <= 1 {
         // Connected (or empty): run directly.
-        return run_connected(pool, g, alg, ranker, rec);
+        return run_connected(pool, g, alg, ranker, tuning, rec);
     }
     let mut comp_of = cc.label;
     let k = normalize_labels(pool, &mut comp_of) as usize;
@@ -74,7 +76,7 @@ pub(crate) fn run_per_component(
             continue;
         }
         let sub = Graph::new(counts[c], std::mem::take(&mut sub_edges[c]));
-        let r = run_connected(pool, &sub, alg, ranker, rec)?;
+        let r = run_connected(pool, &sub, alg, ranker, tuning, rec)?;
         for (j, &orig) in sub_orig[c].iter().enumerate() {
             edge_comp[orig as usize] = base + r.edge_comp[j];
         }
@@ -85,7 +87,13 @@ pub(crate) fn run_per_component(
         stats.aux_edges += r.stats.aux_edges;
         stats.sv_rounds_spanning = stats.sv_rounds_spanning.max(r.stats.sv_rounds_spanning);
         stats.sv_rounds_cc = stats.sv_rounds_cc.max(r.stats.sv_rounds_cc);
-        stats.bfs_levels = stats.bfs_levels.max(r.stats.bfs_levels);
+        // BFS shape stats: keep the deepest component's profile.
+        if r.stats.bfs_levels > stats.bfs_levels {
+            stats.bfs_levels = r.stats.bfs_levels;
+            stats.bfs_bottom_up_levels = r.stats.bfs_bottom_up_levels;
+            stats.bfs_frontier_sizes = r.stats.bfs_frontier_sizes.clone();
+            stats.bfs_directions = r.stats.bfs_directions.clone();
+        }
     }
     let num_components = canonicalize_edge_labels(&mut edge_comp);
     debug_assert_eq!(num_components, base);

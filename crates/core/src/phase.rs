@@ -149,13 +149,23 @@ pub struct PipelineStats {
     /// Edges of the auxiliary graph (|R'_c| — the paper's Fig. 1
     /// quantity).
     pub aux_edges: usize,
-    /// Graft-and-shortcut rounds of the spanning-tree SV run (0 when a
-    /// traversal-based tree was used).
+    /// Graft rounds of the spanning-tree SV run: TV-SMP's step 1, or
+    /// TV-filter's forest-of-`G − T` run (0 when a traversal-based tree
+    /// was used).
     pub sv_rounds_spanning: u32,
-    /// Graft-and-shortcut rounds of the step-6 SV run.
+    /// Graft rounds of the step-6 SV run.
     pub sv_rounds_cc: u32,
     /// BFS levels (TV-filter only; the `O(d)` term of Alg. 2).
     pub bfs_levels: u32,
+    /// Vertices discovered per BFS level (TV-filter only; empty
+    /// otherwise). Feeds effective-diameter estimates in the benchmarks.
+    pub bfs_frontier_sizes: Vec<u32>,
+    /// BFS levels the direction-optimizing heuristic ran bottom-up
+    /// (0 under the pure top-down strategy).
+    pub bfs_bottom_up_levels: u32,
+    /// Chosen direction per BFS level, compactly: `T` = top-down,
+    /// `B` = bottom-up (e.g. `"TTBBT"`; empty when no BFS ran).
+    pub bfs_directions: String,
 }
 
 /// One step of a [`PhaseReport`]: duration plus the telemetry split for

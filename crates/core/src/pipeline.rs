@@ -30,9 +30,11 @@ use crate::low_high::{compute_low_high_with, LowHighMethod};
 use crate::phase::{PhaseRecorder, PhaseReport, PhaseTimes, PipelineStats, Step};
 use crate::tarjan::tarjan_bcc;
 use crate::verify::canonicalize_edge_labels;
-use bcc_connectivity::bfs::bfs_tree_par;
-use bcc_connectivity::sv::connected_components;
+use bcc_connectivity::bfs::bfs_tree;
+use bcc_connectivity::sv::connected_components_with;
 use bcc_connectivity::traversal::work_stealing_tree;
+use bcc_connectivity::tuning::TraversalTuning;
+use bcc_connectivity::BfsDirection;
 use bcc_euler::{dfs_euler_tour, euler_tour_classic, tree_computations, Ranker, TreeInfo};
 use bcc_graph::{Csr, Edge, Graph};
 use bcc_smp::telemetry::Telemetry;
@@ -142,16 +144,19 @@ impl BccResult {
 pub struct BccConfig {
     alg: Algorithm,
     ranker: Ranker,
+    tuning: TraversalTuning,
     telemetry: Option<Arc<Telemetry>>,
 }
 
 impl BccConfig {
     /// A configuration running `alg` with default knobs (Helman–JáJá
-    /// list ranking, telemetry taken from the pool if it has any).
+    /// list ranking, the fast traversal variants, telemetry taken from
+    /// the pool if it has any).
     pub fn new(alg: Algorithm) -> Self {
         BccConfig {
             alg,
             ranker: Ranker::HelmanJaja,
+            tuning: TraversalTuning::default(),
             telemetry: None,
         }
     }
@@ -162,6 +167,21 @@ impl BccConfig {
     pub fn ranker(mut self, ranker: Ranker) -> Self {
         self.ranker = ranker;
         self
+    }
+
+    /// Selects the traversal variants: the BFS direction strategy used
+    /// by TV-filter's spanning tree and the SV flavor used for TV-SMP's
+    /// spanning tree and the shared step-6 tail. Defaults to
+    /// [`TraversalTuning::fast`]; pass [`TraversalTuning::classic`] (or
+    /// a parsed ablation spec) to benchmark the baselines.
+    pub fn tuning(mut self, tuning: TraversalTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The configured traversal tuning.
+    pub fn traversal_tuning(&self) -> TraversalTuning {
+        self.tuning
     }
 
     /// Reads telemetry deltas from `sink` instead of the pool's own
@@ -184,7 +204,7 @@ impl BccConfig {
     pub fn run(&self, pool: &Pool, g: &Graph) -> Result<BccRun, BccError> {
         let start = Instant::now();
         let mut rec = PhaseRecorder::new(self.sink(pool));
-        let result = run_connected(pool, g, self.alg, self.ranker, &mut rec)?;
+        let result = run_connected(pool, g, self.alg, self.ranker, self.tuning, &mut rec)?;
         Ok(self.package(pool, g, rec, result, start))
     }
 
@@ -194,8 +214,14 @@ impl BccConfig {
     pub fn run_any(&self, pool: &Pool, g: &Graph) -> Result<BccRun, BccError> {
         let start = Instant::now();
         let mut rec = PhaseRecorder::new(self.sink(pool));
-        let result =
-            crate::per_component::run_per_component(pool, g, self.alg, self.ranker, &mut rec)?;
+        let result = crate::per_component::run_per_component(
+            pool,
+            g,
+            self.alg,
+            self.ranker,
+            self.tuning,
+            &mut rec,
+        )?;
         Ok(self.package(pool, g, rec, result, start))
     }
 
@@ -241,13 +267,14 @@ pub(crate) fn run_connected(
     g: &Graph,
     alg: Algorithm,
     ranker: Ranker,
+    tuning: TraversalTuning,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     match alg {
         Algorithm::Sequential => Ok(sequential_impl(g)),
-        Algorithm::TvSmp => tv_smp_impl(pool, g, ranker, rec),
-        Algorithm::TvOpt => tv_opt_impl(pool, g, rec),
-        Algorithm::TvFilter => tv_filter_impl(pool, g, rec),
+        Algorithm::TvSmp => tv_smp_impl(pool, g, ranker, tuning, rec),
+        Algorithm::TvOpt => tv_opt_impl(pool, g, tuning, rec),
+        Algorithm::TvFilter => tv_filter_impl(pool, g, tuning, rec),
     }
 }
 
@@ -330,6 +357,7 @@ fn tv_smp_impl(
     pool: &Pool,
     g: &Graph,
     ranker: Ranker,
+    tuning: TraversalTuning,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     let start = Instant::now();
@@ -340,7 +368,7 @@ fn tv_smp_impl(
 
     // Step 1: Spanning-tree (Shiloach–Vishkin on the edge list).
     let sv = rec.step(Step::SpanningTree, || {
-        connected_components(pool, n, g.edges())
+        connected_components_with(pool, n, g.edges(), tuning.sv)
     });
     if sv.num_components != 1 {
         return Err(BccError::Disconnected);
@@ -366,7 +394,7 @@ fn tv_smp_impl(
     let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
 
     // Steps 4–6.
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, rec);
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, rec);
     let stats = PipelineStats {
         input_edges: g.m(),
         effective_edges: g.m(),
@@ -384,7 +412,12 @@ fn tv_smp_impl(
     ))
 }
 
-fn tv_opt_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<BccResult, BccError> {
+fn tv_opt_impl(
+    pool: &Pool,
+    g: &Graph,
+    tuning: TraversalTuning,
+    rec: &mut PhaseRecorder,
+) -> Result<BccResult, BccError> {
     let start = Instant::now();
     let n = g.n();
     if let Some(r) = trivial_result(g, start, rec.phases()) {
@@ -418,7 +451,7 @@ fn tv_opt_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<BccRes
     // Step 3: tree computations by prefix sums over the tour.
     let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
 
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, rec);
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, rec);
     let stats = PipelineStats {
         input_edges: g.m(),
         effective_edges: g.m(),
@@ -435,7 +468,12 @@ fn tv_opt_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<BccRes
     ))
 }
 
-fn tv_filter_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<BccResult, BccError> {
+fn tv_filter_impl(
+    pool: &Pool,
+    g: &Graph,
+    tuning: TraversalTuning,
+    rec: &mut PhaseRecorder,
+) -> Result<BccResult, BccError> {
     let start = Instant::now();
     let n = g.n();
     let m = g.m();
@@ -443,57 +481,66 @@ fn tv_filter_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<Bcc
         return Ok(r);
     }
 
+    // Adjacency conversion is input preparation shared by every BFS
+    // strategy: keep it out of the Spanning-tree step so the ablation
+    // columns compare traversals, not CSR construction (it still counts
+    // toward `total`).
+    let csr = Csr::build_par(pool, g);
+
     // Step 1: BFS spanning tree T (Lemma 1 requires a BFS tree).
     let root = 0u32;
-    let bfs = rec.step(Step::SpanningTree, || {
-        let csr = Csr::build_par(pool, g);
-        bfs_tree_par(pool, &csr, root)
-    });
+    let bfs = rec.step(Step::SpanningTree, || bfs_tree(pool, &csr, root, &tuning));
     if bfs.reached != n {
         return Err(BccError::Disconnected);
     }
 
     // Step 2 (Filtering): spanning forest F of G − T, then assemble the
     // reduced graph T ∪ F (≤ 2(n−1) edges).
-    let (reduced_edges, reduced_is_tree, reduced_of_orig) = rec.step(Step::Filtering, || {
-        let mut in_tree = vec![false; m];
-        for v in 0..n {
-            let eid = bfs.parent_eid[v as usize];
-            if eid != NIL {
-                in_tree[eid as usize] = true;
+    let (reduced_edges, reduced_is_tree, reduced_of_orig, forest_rounds) =
+        rec.step(Step::Filtering, || {
+            let mut in_tree = vec![false; m];
+            for v in 0..n {
+                let eid = bfs.parent_eid[v as usize];
+                if eid != NIL {
+                    in_tree[eid as usize] = true;
+                }
             }
-        }
-        // Nontree candidates with their original ids.
-        let mut cand_edges: Vec<Edge> = Vec::with_capacity(m - (n as usize - 1));
-        let mut cand_orig: Vec<u32> = Vec::with_capacity(cand_edges.capacity());
-        for (i, &e) in g.edges().iter().enumerate() {
-            if !in_tree[i] {
-                cand_edges.push(e);
-                cand_orig.push(i as u32);
+            // Nontree candidates with their original ids.
+            let mut cand_edges: Vec<Edge> = Vec::with_capacity(m - (n as usize - 1));
+            let mut cand_orig: Vec<u32> = Vec::with_capacity(cand_edges.capacity());
+            for (i, &e) in g.edges().iter().enumerate() {
+                if !in_tree[i] {
+                    cand_edges.push(e);
+                    cand_orig.push(i as u32);
+                }
             }
-        }
-        let forest = connected_components(pool, n, &cand_edges);
+            let forest = connected_components_with(pool, n, &cand_edges, tuning.sv);
 
-        // Reduced edge list: T first, then F.
-        let mut reduced_edges: Vec<Edge> = Vec::with_capacity(2 * n as usize);
-        let mut reduced_is_tree: Vec<bool> = Vec::with_capacity(2 * n as usize);
-        let mut reduced_of_orig = vec![NIL; m];
-        for v in 0..n {
-            let eid = bfs.parent_eid[v as usize];
-            if eid != NIL {
-                reduced_of_orig[eid as usize] = reduced_edges.len() as u32;
-                reduced_edges.push(g.edges()[eid as usize]);
-                reduced_is_tree.push(true);
+            // Reduced edge list: T first, then F.
+            let mut reduced_edges: Vec<Edge> = Vec::with_capacity(2 * n as usize);
+            let mut reduced_is_tree: Vec<bool> = Vec::with_capacity(2 * n as usize);
+            let mut reduced_of_orig = vec![NIL; m];
+            for v in 0..n {
+                let eid = bfs.parent_eid[v as usize];
+                if eid != NIL {
+                    reduced_of_orig[eid as usize] = reduced_edges.len() as u32;
+                    reduced_edges.push(g.edges()[eid as usize]);
+                    reduced_is_tree.push(true);
+                }
             }
-        }
-        for &ci in &forest.tree_edges {
-            let orig = cand_orig[ci as usize];
-            reduced_of_orig[orig as usize] = reduced_edges.len() as u32;
-            reduced_edges.push(g.edges()[orig as usize]);
-            reduced_is_tree.push(false);
-        }
-        (reduced_edges, reduced_is_tree, reduced_of_orig)
-    });
+            for &ci in &forest.tree_edges {
+                let orig = cand_orig[ci as usize];
+                reduced_of_orig[orig as usize] = reduced_edges.len() as u32;
+                reduced_edges.push(g.edges()[orig as usize]);
+                reduced_is_tree.push(false);
+            }
+            (
+                reduced_edges,
+                reduced_is_tree,
+                reduced_of_orig,
+                forest.rounds,
+            )
+        });
 
     // Steps 2'–3': Euler tour + tree computations on T.
     let tree_edges: Vec<Edge> = reduced_edges[..n as usize - 1].to_vec();
@@ -503,7 +550,15 @@ fn tv_filter_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<Bcc
     let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
 
     // Steps 4–6 on the reduced graph.
-    let tail = tv_tail(pool, n, &reduced_edges, &reduced_is_tree, &info, rec);
+    let tail = tv_tail(
+        pool,
+        n,
+        &reduced_edges,
+        &reduced_is_tree,
+        &info,
+        tuning,
+        rec,
+    );
 
     // Step 4 of Alg. 2: place each filtered edge (u, v) into the
     // component of the tree edge (x, p(x)) of its larger-preorder
@@ -540,9 +595,19 @@ fn tv_filter_impl(pool: &Pool, g: &Graph, rec: &mut PhaseRecorder) -> Result<Bcc
         filtered_edges: m - reduced_edges.len(),
         aux_vertices: tail.aux_vertices,
         aux_edges: tail.aux_edges,
+        sv_rounds_spanning: forest_rounds,
         sv_rounds_cc: tail.sv_rounds_cc,
         bfs_levels: bfs.levels,
-        ..PipelineStats::default()
+        bfs_bottom_up_levels: bfs.bottom_up_levels(),
+        bfs_directions: bfs
+            .directions
+            .iter()
+            .map(|d| match d {
+                BfsDirection::TopDown => 'T',
+                BfsDirection::BottomUp => 'B',
+            })
+            .collect(),
+        bfs_frontier_sizes: bfs.frontier_sizes,
     };
     Ok(finalize(comp, rec.phases().clone(), stats, start))
 }
@@ -570,6 +635,7 @@ fn tv_tail(
     edges: &[Edge],
     is_tree_edge: &[bool],
     info: &TreeInfo,
+    tuning: TraversalTuning,
     rec: &mut PhaseRecorder,
 ) -> TailOutput {
     let m = edges.len();
@@ -589,7 +655,7 @@ fn tv_tail(
     let aux_vertices = aux.num_vertices;
     let aux_edges = aux.edges.len();
     rec.step(Step::ConnectedComponents, || {
-        let cc = connected_components(pool, aux.num_vertices, &aux.edges);
+        let cc = connected_components_with(pool, aux.num_vertices, &aux.edges, tuning.sv);
         let mut edge_labels = vec![0u32; m];
         {
             let out = SharedSlice::new(&mut edge_labels);

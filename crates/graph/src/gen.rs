@@ -313,6 +313,106 @@ pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
     Graph::new(n, edges)
 }
 
+/// A spatial ("geo") network: `n` points uniform in the unit square,
+/// joined when within the radius that yields `target_degree` expected
+/// neighbors, plus `chords` unique long-range edges — the highways and
+/// interties of real spatial networks, which give the family its low
+/// *effective* diameter even though the underlying disk graph is
+/// mesh-like. Residual disconnection (isolated pockets near the
+/// connectivity threshold) is stitched by linking component
+/// representatives, so the output is always connected. Deterministic
+/// per seed.
+///
+/// ```
+/// use bcc_graph::{gen, validate};
+///
+/// let g = gen::geometric(500, 12.0, 30, 7);
+/// assert!(validate::is_connected(&g));
+/// ```
+pub fn geometric(n: u32, target_degree: f64, chords: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(target_degree > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let r = (target_degree / (n as f64 * std::f64::consts::PI))
+        .sqrt()
+        .min(1.0);
+
+    // Bucket points into an r-sized grid; only 3×3 neighborhoods can
+    // hold pairs within range.
+    let cells = ((1.0 / r).ceil() as usize).max(1);
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        cy * cells + cx
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (v, &p) in pts.iter().enumerate() {
+        buckets[cell_of(p)].push(v as u32);
+    }
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut edges = Vec::new();
+    let r2 = r * r;
+    for cy in 0..cells {
+        for cx in 0..cells {
+            for &u in &buckets[cy * cells + cx] {
+                let (ux, uy) = pts[u as usize];
+                for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+                    for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                        for &v in &buckets[dy * cells + dx] {
+                            if v <= u {
+                                continue;
+                            }
+                            let (vx, vy) = pts[v as usize];
+                            let (ddx, ddy) = (ux - vx, uy - vy);
+                            if ddx * ddx + ddy * ddy <= r2 && seen.insert(Edge::new(u, v).key()) {
+                                edges.push(Edge::new(u, v));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sample_unique_edges(
+        &mut rng,
+        n,
+        chords.min(max_edges(n).saturating_sub(edges.len())),
+        &mut seen,
+        &mut edges,
+    );
+
+    // Stitch residual components (union-find over the edges so far).
+    let mut parent: Vec<u32> = (0..n).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut x = v;
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in &edges {
+        let (a, b) = (find(&mut parent, e.u), find(&mut parent, e.v));
+        if a != b {
+            parent[a.max(b) as usize] = a.min(b);
+        }
+    }
+    let mut prev_rep: Option<u32> = None;
+    for v in 0..n {
+        if find(&mut parent, v) == v {
+            if let Some(p) = prev_rep {
+                edges.push(Edge::new(p, v));
+                parent[v as usize] = find(&mut parent, p);
+            }
+            prev_rep = Some(v);
+        }
+    }
+    Graph::new(n, edges)
+}
+
 /// Maximum number of edges of a simple graph on `n` vertices.
 pub fn max_edges(n: u32) -> usize {
     (n as usize * (n as usize).saturating_sub(1)) / 2
@@ -443,6 +543,22 @@ mod tests {
         // Deterministic per seed.
         let h = rmat(10, 4000, 0.57, 0.19, 0.19, 7);
         assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn geometric_is_connected_simple_and_deterministic() {
+        let g = geometric(800, 10.0, 40, 3);
+        validate::assert_simple(&g);
+        assert!(validate::is_connected(&g));
+        // Expected degree within a loose band of the target.
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!((5.0..20.0).contains(&avg), "avg degree {avg}");
+        let h = geometric(800, 10.0, 40, 3);
+        assert_eq!(g.edges(), h.edges());
+        assert_ne!(g.edges(), geometric(800, 10.0, 40, 4).edges());
+        // Degenerate sizes still work.
+        assert!(validate::is_connected(&geometric(1, 4.0, 0, 0)));
+        assert!(validate::is_connected(&geometric(2, 4.0, 0, 0)));
     }
 
     #[test]

@@ -27,10 +27,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// });
 /// assert_eq!(done.load(Ordering::Relaxed), 10_000);
 /// ```
+///
+/// For index spaces with skewed per-index cost (a frontier whose
+/// vertices have wildly different degrees), [`ChunkCounter::weighted`]
+/// sizes chunks by a *work budget* instead of an index count, so one
+/// hub vertex does not serialize an entire fat chunk behind one thread.
 pub struct ChunkCounter {
     next: AtomicUsize,
     n: usize,
     chunk: usize,
+    /// Weighted mode: precomputed chunk boundaries (`bounds[i]..bounds[i+1]`
+    /// is chunk `i`); `next` then counts chunks, not indices.
+    bounds: Option<Vec<usize>>,
 }
 
 impl ChunkCounter {
@@ -41,12 +49,62 @@ impl ChunkCounter {
             next: AtomicUsize::new(0),
             n,
             chunk,
+            bounds: None,
+        }
+    }
+
+    /// Chunked iteration over `0..n` where chunk `i` ends as soon as
+    /// `weight(start) + … + weight(end - 1)` reaches `budget` — degree-
+    /// aware scheduling: pass each vertex's degree as its weight and an
+    /// edge budget, and every chunk costs roughly `budget` edge
+    /// traversals regardless of skew. An index whose own weight exceeds
+    /// the budget gets a chunk to itself.
+    ///
+    /// Boundaries are computed once (O(n)); [`reset`](Self::reset) makes
+    /// the counter reusable across rounds of the same index space (BFS
+    /// re-sweeps `0..n` every bottom-up level).
+    ///
+    /// ```
+    /// use bcc_smp::ChunkCounter;
+    ///
+    /// // A star: vertex 0 has degree 99, the rest degree 1.
+    /// let deg = |v: usize| if v == 0 { 99 } else { 1 };
+    /// let work = ChunkCounter::weighted(100, 32, deg);
+    /// assert_eq!(work.next_chunk(), Some(0..1)); // the hub, alone
+    /// assert_eq!(work.next_chunk(), Some(1..33)); // 32 spokes
+    /// ```
+    pub fn weighted(n: usize, budget: usize, weight: impl Fn(usize) -> usize) -> Self {
+        assert!(budget >= 1, "chunk budget must be at least 1");
+        let mut bounds = vec![0];
+        let mut acc = 0usize;
+        for i in 0..n {
+            acc = acc.saturating_add(weight(i).max(1));
+            if acc >= budget {
+                bounds.push(i + 1);
+                acc = 0;
+            }
+        }
+        if *bounds.last().unwrap() != n {
+            bounds.push(n);
+        }
+        ChunkCounter {
+            next: AtomicUsize::new(0),
+            n,
+            chunk: 1,
+            bounds: Some(bounds),
         }
     }
 
     /// Grabs the next unprocessed chunk, or `None` when work is drained.
     #[inline]
     pub fn next_chunk(&self) -> Option<Range<usize>> {
+        if let Some(bounds) = &self.bounds {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i + 1 >= bounds.len() {
+                return None;
+            }
+            return Some(bounds[i]..bounds[i + 1]);
+        }
         let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
         if start >= self.n {
             return None;
@@ -117,5 +175,63 @@ mod tests {
     #[should_panic]
     fn zero_chunk_rejected() {
         let _ = ChunkCounter::new(10, 0);
+    }
+
+    /// Star graph: center has degree n-1, spokes degree 1. Edge-budget
+    /// chunking must isolate the hub and still tile `0..n` exactly.
+    #[test]
+    fn weighted_chunks_isolate_star_hub_and_tile_exactly() {
+        let n = 1000;
+        let deg = |v: usize| if v == 0 { n - 1 } else { 1 };
+        let counter = ChunkCounter::weighted(n, 64, deg);
+        let mut chunks = vec![];
+        while let Some(r) = counter.next_chunk() {
+            chunks.push(r);
+        }
+        // The hub sits alone in the first chunk.
+        assert_eq!(chunks[0], 0..1);
+        // Chunks tile 0..n contiguously.
+        let mut prev_end = 0;
+        for r in &chunks {
+            assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+        }
+        assert_eq!(prev_end, n);
+        // No chunk (except a single oversized index) exceeds ~budget
+        // work: every multi-index chunk here is exactly 64 spokes wide,
+        // modulo the ragged tail.
+        for r in &chunks[1..] {
+            assert!(r.len() <= 64, "chunk {r:?} too fat");
+        }
+    }
+
+    #[test]
+    fn weighted_chunks_parallel_coverage_and_reset() {
+        let pool = Pool::new(4);
+        let n = 4099;
+        let counter = ChunkCounter::weighted(n, 50, |v| v % 17);
+        for _ in 0..2 {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(|_| {
+                while let Some(r) = counter.next_chunk() {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            counter.reset();
+        }
+    }
+
+    #[test]
+    fn weighted_empty_and_uniform_weights() {
+        let counter = ChunkCounter::weighted(0, 8, |_| 1);
+        assert!(counter.next_chunk().is_none());
+        // Uniform weight w and budget k*w behaves like uniform chunks
+        // of size k.
+        let counter = ChunkCounter::weighted(10, 4, |_| 2);
+        assert_eq!(counter.next_chunk(), Some(0..2));
+        assert_eq!(counter.next_chunk(), Some(2..4));
     }
 }

@@ -16,7 +16,10 @@
 //! * [`atomic`] — reinterpreting `&mut [u32]` as `&[AtomicU32]` for
 //!   CAS-based phases (grafting, BFS claiming).
 //! * [`dynamic`] — a shared chunk counter for dynamically scheduled
-//!   loops (load balancing irregular frontiers).
+//!   loops (load balancing irregular frontiers), with degree-aware
+//!   weighted chunking for skewed index spaces.
+//! * [`bitmap`] — cache-line-aligned atomic bitmaps (bottom-up BFS
+//!   frontiers).
 //! * [`telemetry`] — opt-in per-thread counters (barrier wait, busy
 //!   time, phase counts) for attributing parallel overhead.
 //!
@@ -40,12 +43,14 @@
 
 pub mod atomic;
 pub mod barrier;
+pub mod bitmap;
 pub mod dynamic;
 pub mod pool;
 pub mod shared;
 pub mod telemetry;
 
 pub use barrier::Barrier;
+pub use bitmap::Bitmap;
 pub use dynamic::ChunkCounter;
 pub use pool::{Ctx, Pool, PoolBuilder};
 pub use shared::SharedSlice;

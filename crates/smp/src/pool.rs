@@ -277,6 +277,50 @@ impl Pool {
         }
         all
     }
+
+    /// [`par_map`](Pool::par_map) for items of skewed cost: `weight`
+    /// estimates each item's work (a vertex's degree, a query's expected
+    /// fan-out) and items are handed out in dynamically scheduled chunks
+    /// of roughly `budget` total weight, so one heavy item cannot strand
+    /// the rest of a static block behind a single thread. Results are in
+    /// input order, identical to a sequential map.
+    pub fn par_map_weighted<T, R, F, W>(
+        &self,
+        items: &[T],
+        budget: usize,
+        weight: W,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        W: Fn(usize, &T) -> usize,
+    {
+        let work = crate::dynamic::ChunkCounter::weighted(items.len(), budget.max(1), |i| {
+            weight(i, &items[i])
+        });
+        let parts = self.run_map(|_ctx| {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            while let Some(r) = work.next_chunk() {
+                for i in r {
+                    local.push((i, f(i, &items[i])));
+                }
+            }
+            local
+        });
+        // Reassemble in input order: each index was produced exactly once.
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        for part in parts {
+            for (i, v) in part {
+                debug_assert!(out[i].is_none());
+                out[i] = Some(v);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("weighted chunks must cover every index"))
+            .collect()
+    }
 }
 
 /// Blocks until all workers finish the current phase, then clears the
@@ -599,6 +643,37 @@ mod tests {
         let pool = Pool::new(6);
         assert_eq!(pool.par_map(&[] as &[u32], |_, &x| x), Vec::<u32>::new());
         assert_eq!(pool.par_map(&[9u32, 4], |_, &x| x + 1), vec![10, 5]);
+    }
+
+    #[test]
+    fn par_map_weighted_matches_sequential_map_under_skew() {
+        for p in [1, 4] {
+            let pool = Pool::new(p);
+            // Star-like skew: item 0 carries almost all the weight.
+            let items: Vec<u64> = (0..997).collect();
+            let got = pool.par_map_weighted(
+                &items,
+                64,
+                |i, _| if i == 0 { 10_000 } else { 1 },
+                |i, &x| {
+                    assert_eq!(i as u64, x);
+                    x * 7 + 2
+                },
+            );
+            let want: Vec<u64> = items.iter().map(|&x| x * 7 + 2).collect();
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn par_map_weighted_empty_and_non_copy_results() {
+        let pool = Pool::new(3);
+        assert_eq!(
+            pool.par_map_weighted(&[] as &[u32], 8, |_, _| 1, |_, &x| x),
+            Vec::<u32>::new()
+        );
+        let got = pool.par_map_weighted(&[1u32, 2, 3], 1, |_, &x| x as usize, |_, &x| vec![x; 2]);
+        assert_eq!(got, vec![vec![1, 1], vec![2, 2], vec![3, 3]]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn main() {
         "p", "TV-SMP", "TV-opt", "TV-filter"
     );
     let mut p = 1;
+    let mut traversal_note = String::new();
     while p <= max_p {
         let pool = Pool::new(p);
         let mut cells = Vec::new();
@@ -43,10 +44,24 @@ fn main() {
             assert_eq!(r.edge_comp, seq.edge_comp, "{} must agree", alg.name());
             let speedup = seq.phases.total.as_secs_f64() / r.phases.total.as_secs_f64();
             cells.push(format!("{:>8.0?}({speedup:4.2})", r.phases.total));
+            if alg == Algorithm::TvFilter {
+                // Largest thread count wins (the loop ascends).
+                traversal_note = format!(
+                    "TV-filter traversal work at p = {p}: BFS ran {} levels \
+                     ({} bottom-up, schedule {}); spanning-forest SV took {} \
+                     round(s), step-6 SV {} round(s).",
+                    r.stats.bfs_levels,
+                    r.stats.bfs_bottom_up_levels,
+                    r.stats.bfs_directions,
+                    r.stats.sv_rounds_spanning,
+                    r.stats.sv_rounds_cc,
+                );
+            }
         }
         println!("{:>4} {} {} {}", p, cells[0], cells[1], cells[2]);
         p *= 2;
     }
+    println!("\n{traversal_note}");
 
     println!(
         "\nNote: on a machine with few physical cores the speedup curves are\n\
