@@ -3,7 +3,7 @@
 //! ```text
 //! bcc-bench [--smoke] [--n <vertices>] [--p <max threads>]
 //!           [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>]
-//!           [--out <path>]
+//!           [--workspace on|off|both] [--out <path>]
 //! bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]
 //! ```
 //!
@@ -13,7 +13,11 @@
 //! the grid to CI size. `--tuning` takes a comma-separated list of
 //! traversal ablation points (each a `+`-joined spec, e.g.
 //! `--tuning topdown,hybrid` or `--tuning topdown+classic-sv,hybrid`);
-//! the parallel algorithms run once per point. `compare` exits non-zero
+//! the parallel algorithms run once per point. `--workspace` selects
+//! the allocation-ablation axis: `on` (default) shares one scratch
+//! arena per cell across trials so warm trials run in the
+//! zero-allocation steady state, `off` allocates fresh per run, `both`
+//! emits the two as separate series. `compare` exits non-zero
 //! when the candidate document is more than `--threshold` percent
 //! slower than the baseline on any matching cell.
 
@@ -33,7 +37,7 @@ fn main() -> ExitCode {
 
 fn bad_usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--out <path>]");
+    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--out <path>]");
     eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]");
     ExitCode::from(2)
 }
@@ -48,9 +52,11 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
         if key == "--smoke" {
             let threads = cfg.threads.clone();
             let tunings = cfg.tunings.clone();
+            let workspace = cfg.workspace;
             cfg = GridConfig::smoke(machine);
             cfg.threads = threads;
             cfg.tunings = tunings;
+            cfg.workspace = workspace;
             i += 1;
             continue;
         }
@@ -75,6 +81,13 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
                 }
                 Err(e) => return bad_usage(&format!("bad value for --tuning: {e}")),
             },
+            "--workspace" => match val.parse() {
+                Ok(mode) => {
+                    cfg.workspace = mode;
+                    true
+                }
+                Err(e) => return bad_usage(&format!("bad value for --workspace: {e}")),
+            },
             "--out" => {
                 out = val.clone();
                 true
@@ -89,12 +102,13 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
 
     let specs: Vec<String> = cfg.tunings.iter().map(TraversalTuning::spec).collect();
     eprintln!(
-        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?}{}",
+        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?} workspace={}{}",
         cfg.n,
         cfg.threads,
         cfg.trials,
         cfg.seed,
         specs,
+        cfg.workspace.name(),
         if cfg.smoke { " (smoke)" } else { "" }
     );
     let doc = grid::run_grid(&cfg, |line| eprintln!("  {line}"));

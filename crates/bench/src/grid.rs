@@ -8,7 +8,7 @@
 
 use crate::json::Json;
 use bcc_connectivity::bfs::bfs_tree_seq;
-use bcc_core::{Algorithm, BccConfig, PhaseReport, TraversalTuning};
+use bcc_core::{Algorithm, BccConfig, BccWorkspace, PhaseReport, TraversalTuning};
 use bcc_graph::{gen, Csr, Graph};
 use bcc_smp::{Pool, Telemetry};
 use std::sync::Arc;
@@ -20,7 +20,10 @@ use std::time::Duration;
 ///
 /// v2 adds the `geo` family, the per-entry `tuning` spec and traversal
 /// work counters (`sv_rounds_*`, `bfs_*`), and the per-family shape
-/// summary (`families[].effective_diameter_90`).
+/// summary (`families[].effective_diameter_90`). The workspace ablation
+/// fields (`workspace`, `alloc_bytes`, `arena_hit_rate`, and the
+/// `/ws-off` key suffix) are additive within v2: documents without them
+/// stay comparable on the shared cells.
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Schema versions [`compare`] can still read (v1 documents predate the
@@ -77,6 +80,55 @@ impl Family {
     }
 }
 
+/// The allocation-ablation axis: which workspace regimes each parallel
+/// cell runs under.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WorkspaceMode {
+    /// One arena per cell, shared across every trial: from the second
+    /// trial on, the pipeline runs in its zero-allocation steady state.
+    /// This is the regime long-lived callers see and the default.
+    On,
+    /// A fresh transient arena per run: every trial pays the cold-start
+    /// allocation cost.
+    Off,
+    /// Both regimes, as separate ablation series (`off` cells carry a
+    /// `/ws-off` key suffix so `on` cells stay comparable with
+    /// documents that predate the ablation).
+    Both,
+}
+
+impl WorkspaceMode {
+    /// The ablation points this mode expands to (`true` = shared arena).
+    pub fn points(self) -> Vec<bool> {
+        match self {
+            WorkspaceMode::On => vec![true],
+            WorkspaceMode::Off => vec![false],
+            WorkspaceMode::Both => vec![true, false],
+        }
+    }
+
+    /// Name used in the JSON document and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkspaceMode::On => "on",
+            WorkspaceMode::Off => "off",
+            WorkspaceMode::Both => "both",
+        }
+    }
+}
+
+impl std::str::FromStr for WorkspaceMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "on" => Ok(WorkspaceMode::On),
+            "off" => Ok(WorkspaceMode::Off),
+            "both" => Ok(WorkspaceMode::Both),
+            other => Err(format!("unknown workspace mode {other:?} (on|off|both)")),
+        }
+    }
+}
+
 /// Grid parameters (what the `bcc-bench` CLI parses into).
 #[derive(Clone, Debug)]
 pub struct GridConfig {
@@ -93,6 +145,9 @@ pub struct GridConfig {
     /// Traversal ablation points: the parallel algorithms run once per
     /// tuning (the Sequential baseline ignores tunings and runs once).
     pub tunings: Vec<TraversalTuning>,
+    /// Allocation-ablation axis: whether parallel cells share one arena
+    /// across trials, allocate fresh per run, or run both series.
+    pub workspace: WorkspaceMode,
 }
 
 impl GridConfig {
@@ -108,6 +163,7 @@ impl GridConfig {
             seed: 42,
             smoke: false,
             tunings: vec![TraversalTuning::fast()],
+            workspace: WorkspaceMode::On,
         }
     }
 
@@ -120,6 +176,7 @@ impl GridConfig {
             seed: 42,
             smoke: true,
             tunings: vec![TraversalTuning::fast()],
+            workspace: WorkspaceMode::On,
         }
     }
 }
@@ -154,6 +211,7 @@ fn cell_json(
     reports: &[PhaseReport],
     seq_baseline: f64,
     tuning: Option<&TraversalTuning>,
+    workspace: Option<bool>,
 ) -> Json {
     let med = |f: &dyn Fn(&PhaseReport) -> f64| median_f64(reports.iter().map(f).collect());
     let seconds = med(&|r| r.total.as_secs_f64());
@@ -220,7 +278,15 @@ fn cell_json(
             Json::num(med(&|r| r.barrier_wait.as_secs_f64())),
         ),
         ("imbalance", Json::num(med(&|r| r.imbalance))),
+        // Allocation telemetry: bytes the run's arena had to freshly
+        // allocate (0 once warm) and the arena's hit rate. Medians, so
+        // a shared-arena cell with ≥2 trials reports its steady state.
+        ("alloc_bytes", Json::num(med(&|r| r.alloc_bytes as f64))),
+        ("arena_hit_rate", Json::num(med(&|r| r.arena_hit_rate))),
     ];
+    if let Some(on) = workspace {
+        fields.push(("workspace", Json::str(if on { "on" } else { "off" })));
+    }
     if let Some(t) = tuning {
         // Work counters are deterministic per (graph, tuning) except SV
         // rounds under races; take the last trial (all trials agree in
@@ -304,6 +370,12 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
         pool: usize,
         alg: Algorithm,
         tuning: Option<TraversalTuning>,
+        /// `Some(arena)` for shared-arena ablation cells (the arena
+        /// persists across this cell's trial rounds, so trials past the
+        /// first run in the zero-allocation steady state), `Some(None)`
+        /// → `workspace: "off"` cells, `None` for Sequential (no
+        /// ablation axis, like tunings).
+        workspace: Option<Option<Arc<BccWorkspace>>>,
     }
     let mut cells: Vec<Cell> = vec![];
     for fam in 0..graphs.len() {
@@ -314,13 +386,21 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
                 } else {
                     cfg.tunings.iter().copied().map(Some).collect()
                 };
+                let ws_points: Vec<Option<bool>> = if alg == Algorithm::Sequential {
+                    vec![None]
+                } else {
+                    cfg.workspace.points().into_iter().map(Some).collect()
+                };
                 for tuning in cell_tunings {
-                    cells.push(Cell {
-                        fam,
-                        pool,
-                        alg,
-                        tuning,
-                    });
+                    for ws in &ws_points {
+                        cells.push(Cell {
+                            fam,
+                            pool,
+                            alg,
+                            tuning,
+                            workspace: ws.map(|on| on.then(|| Arc::new(BccWorkspace::new()))),
+                        });
+                    }
                 }
             }
         }
@@ -335,6 +415,9 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
             let mut config = BccConfig::new(cell.alg);
             if let Some(t) = cell.tuning {
                 config = config.tuning(t);
+            }
+            if let Some(Some(ws)) = &cell.workspace {
+                config = config.workspace(Arc::clone(ws));
             }
             let run = config
                 .run(&pools[cell.pool], g)
@@ -362,6 +445,7 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
         if cell.alg == Algorithm::Sequential && p == 1 {
             seq_baseline = seconds;
         }
+        let ws_on = cell.workspace.as_ref().map(Option::is_some);
         entries.push(cell_json(
             *family,
             g,
@@ -369,14 +453,19 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
             reports,
             seq_baseline,
             cell.tuning.as_ref(),
+            ws_on,
         ));
         progress(&format!(
-            "{:>13} {:>10} p={p}{}: {:>9.3?} ({} trials)",
+            "{:>13} {:>10} p={p}{}{}: {:>9.3?} ({} trials)",
             family.name(),
             cell.alg.name(),
             cell.tuning
                 .map(|t| format!(" [{}]", t.spec()))
                 .unwrap_or_default(),
+            match ws_on {
+                Some(false) => " [ws-off]",
+                _ => "",
+            },
             Duration::from_secs_f64(seconds),
             trials,
         ));
@@ -396,6 +485,7 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
             "tunings",
             Json::Arr(cfg.tunings.iter().map(|t| Json::str(t.spec())).collect()),
         ),
+        ("workspace", Json::str(cfg.workspace.name())),
         ("families", Json::Arr(families)),
         ("entries", Json::Arr(entries)),
     ])
@@ -455,6 +545,12 @@ fn entry_key(e: &Json) -> Option<String> {
     if let Some(t) = e.get("tuning").and_then(Json::as_str) {
         key.push('/');
         key.push_str(t);
+    }
+    // The allocation ablation suffixes only its *off* cells, so default
+    // (`on`) cells keep the keys older documents used and stay
+    // comparable against them.
+    if e.get("workspace").and_then(Json::as_str) == Some("off") {
+        key.push_str("/ws-off");
     }
     Some(key)
 }
@@ -580,13 +676,22 @@ mod tests {
     }
 
     fn tiny_grid_with(tunings: Vec<TraversalTuning>) -> Json {
+        tiny_grid_full(tunings, WorkspaceMode::On, 1)
+    }
+
+    fn tiny_grid_full(
+        tunings: Vec<TraversalTuning>,
+        workspace: WorkspaceMode,
+        trials: usize,
+    ) -> Json {
         let cfg = GridConfig {
             n: 80,
             threads: vec![1, 2],
-            trials: 1,
+            trials,
             seed: 7,
             smoke: true,
             tunings,
+            workspace,
         };
         run_grid(&cfg, |_| {})
     }
@@ -625,6 +730,8 @@ mod tests {
                 "barrier_episodes",
                 "barrier_wait_seconds",
                 "imbalance",
+                "alloc_bytes",
+                "arena_hit_rate",
             ] {
                 assert!(
                     e.get(field).and_then(Json::as_f64).is_some(),
@@ -633,10 +740,15 @@ mod tests {
             }
             assert!(e.get("phases").and_then(Json::as_arr).is_some());
             assert!(e.get("imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
-            // Tuning + work counters on parallel cells only.
+            // Tuning + work counters + workspace axis on parallel
+            // cells only.
             let seq = e.get("algorithm").and_then(Json::as_str) == Some("Sequential");
             assert_eq!(e.get("tuning").is_none(), seq);
             assert_eq!(e.get("sv_rounds_cc").is_none(), seq);
+            assert_eq!(e.get("workspace").is_none(), seq);
+            if !seq {
+                assert_eq!(e.get("workspace").and_then(Json::as_str), Some("on"));
+            }
             if !seq {
                 assert_eq!(
                     e.get("tuning").and_then(Json::as_str),
@@ -691,6 +803,34 @@ mod tests {
             fast.iter().zip(&classic).any(|(f, c)| f < c),
             "fast {fast:?} vs classic {classic:?}"
         );
+    }
+
+    #[test]
+    fn workspace_ablation_emits_on_and_off_series() {
+        let doc = tiny_grid_full(vec![TraversalTuning::fast()], WorkspaceMode::Both, 2);
+        assert_eq!(doc.get("workspace").and_then(Json::as_str), Some("both"));
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        // Sequential once, 3 parallel algorithms × 2 workspace points.
+        assert_eq!(entries.len(), 4 * 2 * (1 + 3 * 2));
+        // Keys stay unique; exactly the off-cells carry the suffix.
+        let keys: Vec<String> = entries.iter().map(|e| entry_key(e).unwrap()).collect();
+        assert_eq!(
+            keys.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            entries.len()
+        );
+        for (e, key) in entries.iter().zip(&keys) {
+            let ws = e.get("workspace").and_then(Json::as_str);
+            assert_eq!(ws == Some("off"), key.ends_with("/ws-off"), "{key}");
+            let alloc = e.get("alloc_bytes").and_then(Json::as_f64).unwrap();
+            match ws {
+                // Shared arena + 2 trials: the warm trial's 0 is the
+                // reported median.
+                Some("on") => assert_eq!(alloc, 0.0, "{key}"),
+                // Fresh arena per run: every trial pays cold-start.
+                Some("off") => assert!(alloc > 0.0, "{key}"),
+                _ => {}
+            }
+        }
     }
 
     #[test]

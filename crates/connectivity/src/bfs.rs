@@ -34,7 +34,8 @@
 use crate::tuning::{BfsStrategy, TraversalTuning};
 use bcc_graph::Csr;
 use bcc_smp::atomic::as_atomic_u32;
-use bcc_smp::{Bitmap, ChunkCounter, Pool, NIL};
+use bcc_smp::workspace::{alloc_cap, alloc_filled, alloc_iota, give_opt};
+use bcc_smp::{BccWorkspace, Bitmap, ChunkCounter, Pool, NIL};
 use std::sync::atomic::Ordering;
 
 /// How one BFS level was discovered (recorded per level for telemetry
@@ -72,6 +73,15 @@ pub struct BfsTree {
 }
 
 impl BfsTree {
+    /// Returns the tree's large per-vertex arrays to `ws` for reuse.
+    /// `frontier_sizes` and `directions` are dropped plainly — they are
+    /// tiny (one slot per level) and routinely escape into telemetry.
+    pub fn recycle(self, ws: &BccWorkspace) {
+        ws.give(self.parent);
+        ws.give(self.parent_eid);
+        ws.give(self.level);
+    }
+
     /// Indices of the tree edges (one per reached non-root vertex).
     pub fn tree_edge_ids(&self) -> Vec<u32> {
         let mut ids = Vec::with_capacity(self.reached.saturating_sub(1) as usize);
@@ -105,10 +115,14 @@ impl BfsTree {
 
 /// Sequential BFS tree from `root`.
 pub fn bfs_tree_seq(csr: &Csr, root: u32) -> BfsTree {
+    bfs_tree_seq_impl(csr, root, None)
+}
+
+fn bfs_tree_seq_impl(csr: &Csr, root: u32, ws: Option<&BccWorkspace>) -> BfsTree {
     let n = csr.n() as usize;
-    let mut parent = vec![NIL; n];
-    let mut parent_eid = vec![NIL; n];
-    let mut level = vec![u32::MAX; n];
+    let mut parent = alloc_filled(ws, n, NIL);
+    let mut parent_eid = alloc_filled(ws, n, NIL);
+    let mut level = alloc_filled(ws, n, u32::MAX);
     if n == 0 {
         return BfsTree {
             parent,
@@ -122,8 +136,9 @@ pub fn bfs_tree_seq(csr: &Csr, root: u32) -> BfsTree {
     }
     parent[root as usize] = root;
     level[root as usize] = 0;
-    let mut frontier = vec![root];
-    let mut next = Vec::new();
+    let mut frontier: Vec<u32> = alloc_cap(ws, n);
+    frontier.push(root);
+    let mut next: Vec<u32> = alloc_cap(ws, n);
     let mut reached = 1u32;
     let mut depth = 0u32;
     let mut frontier_sizes = vec![1u32];
@@ -146,6 +161,8 @@ pub fn bfs_tree_seq(csr: &Csr, root: u32) -> BfsTree {
         std::mem::swap(&mut frontier, &mut next);
         next.clear();
     }
+    give_opt(ws, frontier);
+    give_opt(ws, next);
     let directions = vec![BfsDirection::TopDown; frontier_sizes.len()];
     BfsTree {
         parent,
@@ -176,17 +193,41 @@ const EDGE_BUDGET: usize = 2048;
 /// falls back to [`bfs_tree_seq`]; the hybrid always runs its own loop
 /// so the direction optimization applies at every thread count.
 pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> BfsTree {
+    bfs_tree_impl(pool, csr, root, tuning, None)
+}
+
+/// [`bfs_tree`] with the tree's per-vertex arrays, the frontier, the
+/// bottom-up bitmap, and the unvisited-domain scratch taken from `ws`;
+/// return the tree's buffers with [`BfsTree::recycle`]. (Per-thread
+/// frontier chunks inside a level remain ordinary allocations.)
+pub fn bfs_tree_ws(
+    pool: &Pool,
+    csr: &Csr,
+    root: u32,
+    tuning: &TraversalTuning,
+    ws: &BccWorkspace,
+) -> BfsTree {
+    bfs_tree_impl(pool, csr, root, tuning, Some(ws))
+}
+
+fn bfs_tree_impl(
+    pool: &Pool,
+    csr: &Csr,
+    root: u32,
+    tuning: &TraversalTuning,
+    ws: Option<&BccWorkspace>,
+) -> BfsTree {
     let n = csr.n() as usize;
     let hybrid = tuning.bfs == BfsStrategy::Hybrid;
     if n == 0 || (!hybrid && (pool.threads() == 1 || n < 1 << 12)) {
-        return bfs_tree_seq(csr, root);
+        return bfs_tree_seq_impl(csr, root, ws);
     }
     let alpha = tuning.alpha.max(1) as usize;
     let beta = tuning.beta.max(1) as usize;
 
-    let mut parent = vec![NIL; n];
-    let mut parent_eid = vec![NIL; n];
-    let mut level = vec![u32::MAX; n];
+    let mut parent = alloc_filled(ws, n, NIL);
+    let mut parent_eid = alloc_filled(ws, n, NIL);
+    let mut level = alloc_filled(ws, n, u32::MAX);
     parent[root as usize] = root;
     level[root as usize] = 0;
 
@@ -194,7 +235,8 @@ pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> 
     let eid_a = as_atomic_u32(&mut parent_eid);
     let level_a = as_atomic_u32(&mut level);
 
-    let mut frontier = vec![root];
+    let mut frontier: Vec<u32> = alloc_cap(ws, n);
+    frontier.push(root);
     let mut frontier_arcs = csr.degree(root);
     let mut remaining_arcs = 2 * csr.m() - frontier_arcs;
     let mut reached = 1u32;
@@ -230,7 +272,10 @@ pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> 
         depth += 1;
 
         let (next, next_arcs) = if bottom_up {
-            let bm = frontier_bm.get_or_insert_with(|| Bitmap::new(n));
+            let bm = frontier_bm.get_or_insert_with(|| match ws {
+                Some(ws) => Bitmap::new_in(n, ws),
+                None => Bitmap::new(n),
+            });
             bm.clear();
             for &v in &frontier {
                 // Single-threaded fill phase: no other thread touches the
@@ -239,7 +284,7 @@ pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> 
             }
             // Sweep domain: every vertex on the first bottom-up level,
             // then only the survivors of the previous sweep.
-            let domain: Vec<u32> = unvisited.take().unwrap_or_else(|| (0..n as u32).collect());
+            let domain: Vec<u32> = unvisited.take().unwrap_or_else(|| alloc_iota(ws, n));
             let work = ChunkCounter::weighted(domain.len(), EDGE_BUDGET, |i| csr.degree(domain[i]));
             let domain_ro: &[u32] = &domain;
             let parts = pool.run_map(|_ctx| {
@@ -275,14 +320,15 @@ pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> 
                 }
                 (local, local_arcs, local_miss)
             });
-            let mut next = Vec::new();
+            let mut next: Vec<u32> = alloc_cap(ws, parts.iter().map(|(b, _, _)| b.len()).sum());
             let mut arcs = 0usize;
-            let mut miss = Vec::new();
+            let mut miss: Vec<u32> = alloc_cap(ws, parts.iter().map(|(_, _, u)| u.len()).sum());
             for (mut b, a, mut u) in parts {
                 next.append(&mut b);
                 arcs += a;
                 miss.append(&mut u);
             }
+            give_opt(ws, domain);
             unvisited = Some(miss);
             (next, arcs)
         } else {
@@ -311,7 +357,7 @@ pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> 
                 }
                 (local, local_arcs)
             });
-            concat_parts(parts)
+            concat_parts(parts, ws)
         };
 
         reached += next.len() as u32;
@@ -325,7 +371,15 @@ pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> 
                 BfsDirection::TopDown
             });
         }
-        frontier = next;
+        give_opt(ws, std::mem::replace(&mut frontier, next));
+    }
+
+    give_opt(ws, frontier);
+    if let Some(u) = unvisited.take() {
+        give_opt(ws, u);
+    }
+    if let (Some(bm), Some(ws)) = (frontier_bm.take(), ws) {
+        bm.recycle(ws);
     }
 
     BfsTree {
@@ -340,8 +394,8 @@ pub fn bfs_tree(pool: &Pool, csr: &Csr, root: u32, tuning: &TraversalTuning) -> 
 }
 
 /// Concatenates per-thread `(vertices, arc_count)` buffers.
-fn concat_parts(parts: Vec<(Vec<u32>, usize)>) -> (Vec<u32>, usize) {
-    let mut next = Vec::with_capacity(parts.iter().map(|(b, _)| b.len()).sum());
+fn concat_parts(parts: Vec<(Vec<u32>, usize)>, ws: Option<&BccWorkspace>) -> (Vec<u32>, usize) {
+    let mut next: Vec<u32> = alloc_cap(ws, parts.iter().map(|(b, _)| b.len()).sum());
     let mut arcs = 0usize;
     for (mut b, a) in parts {
         next.append(&mut b);
@@ -490,6 +544,27 @@ mod tests {
         assert_eq!(t.effective_diameter(0.05), 1);
         assert_eq!(t.effective_diameter(0.9), 2);
         assert_eq!(t.effective_diameter(1.0), 3);
+    }
+
+    #[test]
+    fn ws_variant_matches_and_reaches_zero_miss_steady_state() {
+        let ws = BccWorkspace::new();
+        let g = gen::random_connected(2000, 30_000, 5);
+        let csr = Csr::build(&g);
+        let pool = Pool::new(4);
+        for tuning in [TraversalTuning::classic(), TraversalTuning::fast()] {
+            let plain = bfs_tree(&pool, &csr, 0, &tuning);
+            let warm = bfs_tree_ws(&pool, &csr, 0, &tuning, &ws);
+            assert_eq!(warm.level, plain.level);
+            warm.recycle(&ws);
+            let before = ws.stats();
+            let again = bfs_tree_ws(&pool, &csr, 0, &tuning, &ws);
+            assert_eq!(again.level, plain.level);
+            assert_eq!(again.frontier_sizes, plain.frontier_sizes);
+            again.recycle(&ws);
+            let delta = ws.stats().delta_since(&before);
+            assert_eq!(delta.misses, 0, "steady-state rerun must not miss");
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@
 use crate::tuning::SvVariant;
 use bcc_graph::Edge;
 use bcc_smp::atomic::as_atomic_u32;
-use bcc_smp::{Pool, SharedSlice, NIL};
+use bcc_smp::workspace::{alloc_cap, alloc_filled, alloc_iota, give_opt};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Output of [`connected_components`].
@@ -46,6 +47,16 @@ pub struct SvResult {
     /// O(log n) rounds plus a verification round; FastSV resolves every
     /// edge in its single sweep, so this is 1 whenever edges exist.
     pub rounds: u32,
+}
+
+impl SvResult {
+    /// Returns the result's owned arrays to `ws` for reuse. Call this
+    /// instead of dropping when the result came from a `_ws`
+    /// constructor.
+    pub fn recycle(self, ws: &BccWorkspace) {
+        ws.give(self.label);
+        ws.give(self.tree_edges);
+    }
 }
 
 /// Connected components over `edges` on vertex set `0..n` with the
@@ -74,20 +85,42 @@ pub fn connected_components_with(
     edges: &[Edge],
     variant: SvVariant,
 ) -> SvResult {
+    connected_components_impl(pool, n, edges, variant, None)
+}
+
+/// [`connected_components_with`] with the result's arrays and all
+/// scratch taken from `ws`; return them with [`SvResult::recycle`].
+pub fn connected_components_with_ws(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    variant: SvVariant,
+    ws: &BccWorkspace,
+) -> SvResult {
+    connected_components_impl(pool, n, edges, variant, Some(ws))
+}
+
+fn connected_components_impl(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    variant: SvVariant,
+    ws: Option<&BccWorkspace>,
+) -> SvResult {
     match variant {
-        SvVariant::Classic => classic_sv(pool, n, edges),
-        SvVariant::FastSv => fast_sv(pool, n, edges),
+        SvVariant::Classic => classic_sv(pool, n, edges, ws),
+        SvVariant::FastSv => fast_sv(pool, n, edges, ws),
     }
 }
 
 /// The classic synchronous graft-and-shortcut rounds (paper §3.2).
-fn classic_sv(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
+fn classic_sv(pool: &Pool, n: u32, edges: &[Edge], ws: Option<&BccWorkspace>) -> SvResult {
     let n_us = n as usize;
     let m = edges.len();
-    let mut label: Vec<u32> = (0..n).collect();
+    let mut label: Vec<u32> = alloc_iota(ws, n_us);
     // graft_edge[r] = index of the edge that grafted root r (NIL if r
     // was never grafted). Each slot is CAS-claimed at most once.
-    let mut graft_edge: Vec<u32> = vec![NIL; n_us];
+    let mut graft_edge: Vec<u32> = alloc_filled(ws, n_us, NIL);
     let mut rounds = 0u32;
 
     if n > 0 && m > 0 {
@@ -169,16 +202,16 @@ fn classic_sv(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
         rounds = round_ctr.load(Ordering::Relaxed);
     }
 
-    finish(n, label, graft_edge, rounds)
+    finish(n, label, graft_edge, rounds, ws)
 }
 
 /// FastSV-style asynchronous hooking: one sweep over the edges with
 /// in-place CAS retry and path compaction, then one flattening pass.
-fn fast_sv(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
+fn fast_sv(pool: &Pool, n: u32, edges: &[Edge], ws: Option<&BccWorkspace>) -> SvResult {
     let n_us = n as usize;
     let m = edges.len();
-    let mut label: Vec<u32> = (0..n).collect();
-    let mut graft_edge: Vec<u32> = vec![NIL; n_us];
+    let mut label: Vec<u32> = alloc_iota(ws, n_us);
+    let mut graft_edge: Vec<u32> = alloc_filled(ws, n_us, NIL);
     let mut rounds = 0u32;
 
     if n > 0 && m > 0 {
@@ -225,12 +258,20 @@ fn fast_sv(pool: &Pool, n: u32, edges: &[Edge]) -> SvResult {
         rounds = 1;
     }
 
-    finish(n, label, graft_edge, rounds)
+    finish(n, label, graft_edge, rounds, ws)
 }
 
 /// Collects tree edges and counts components.
-fn finish(n: u32, label: Vec<u32>, graft_edge: Vec<u32>, rounds: u32) -> SvResult {
-    let tree_edges: Vec<u32> = graft_edge.iter().copied().filter(|&e| e != NIL).collect();
+fn finish(
+    n: u32,
+    label: Vec<u32>,
+    graft_edge: Vec<u32>,
+    rounds: u32,
+    ws: Option<&BccWorkspace>,
+) -> SvResult {
+    let mut tree_edges: Vec<u32> = alloc_cap(ws, graft_edge.len());
+    tree_edges.extend(graft_edge.iter().copied().filter(|&e| e != NIL));
+    give_opt(ws, graft_edge);
     let num_components = n - tree_edges.len() as u32;
     SvResult {
         label,
@@ -280,12 +321,21 @@ fn find_root_compact(label: &[AtomicU32], v: u32) -> u32 {
 /// Relabels `label` so components are numbered `0..k` in order of their
 /// smallest vertex, in parallel. Returns `k`.
 pub fn normalize_labels(pool: &Pool, label: &mut [u32]) -> u32 {
+    normalize_labels_impl(pool, label, None)
+}
+
+/// [`normalize_labels`] with scratch taken from (and returned to) `ws`.
+pub fn normalize_labels_ws(pool: &Pool, label: &mut [u32], ws: &BccWorkspace) -> u32 {
+    normalize_labels_impl(pool, label, Some(ws))
+}
+
+fn normalize_labels_impl(pool: &Pool, label: &mut [u32], ws: Option<&BccWorkspace>) -> u32 {
     let n = label.len();
     if n == 0 {
         return 0;
     }
     // A vertex is a representative iff label[v] == v.
-    let mut index = vec![0u32; n];
+    let mut index = alloc_filled(ws, n, 0u32);
     {
         let idx_s = SharedSlice::new(&mut index);
         let label_ro: &[u32] = label;
@@ -295,7 +345,10 @@ pub fn normalize_labels(pool: &Pool, label: &mut [u32]) -> u32 {
             }
         });
     }
-    let k = bcc_primitives::scan::exclusive_scan_par(pool, &mut index);
+    let k = match ws {
+        Some(ws) => bcc_primitives::scan::exclusive_scan_par_ws(pool, &mut index, ws),
+        None => bcc_primitives::scan::exclusive_scan_par(pool, &mut index),
+    };
     {
         let label_s = SharedSlice::new(label);
         let index_ro: &[u32] = &index;
@@ -306,6 +359,7 @@ pub fn normalize_labels(pool: &Pool, label: &mut [u32]) -> u32 {
             }
         });
     }
+    give_opt(ws, index);
     k
 }
 
@@ -498,6 +552,30 @@ mod tests {
         }
         for v in 0..g.n() {
             assert_eq!(r.label[v as usize], min_of[&oracle.label[v as usize]]);
+        }
+    }
+
+    #[test]
+    fn ws_variants_match_plain_and_reach_zero_miss_steady_state() {
+        let ws = BccWorkspace::new();
+        let pool = Pool::new(4);
+        let g = gen::random_gnm(300, 500, 11);
+        for variant in VARIANTS {
+            let plain = connected_components_with(&pool, g.n(), g.edges(), variant);
+            // Warm-up run populates the shelves; the rerun must be all hits.
+            let mut warm = connected_components_with_ws(&pool, g.n(), g.edges(), variant, &ws);
+            assert_eq!(warm.num_components, plain.num_components);
+            normalize_labels_ws(&pool, &mut warm.label, &ws);
+            warm.recycle(&ws);
+            let before = ws.stats();
+            let mut again = connected_components_with_ws(&pool, g.n(), g.edges(), variant, &ws);
+            assert_eq!(again.num_components, plain.num_components);
+            assert_eq!(again.tree_edges.len(), plain.tree_edges.len());
+            let k = normalize_labels_ws(&pool, &mut again.label, &ws);
+            assert_eq!(k, again.num_components);
+            again.recycle(&ws);
+            let delta = ws.stats().delta_since(&before);
+            assert_eq!(delta.misses, 0, "steady-state rerun must not miss");
         }
     }
 

@@ -11,16 +11,31 @@
 //!    leaving u's subtree above or around w
 //!    (`low(u) < pre(w)` or `high(u) ≥ pre(w) + size(w)`) → `{u, w}`.
 //!
-//! Discovered edges land in a 3m-slot scratch array (one region per
-//! condition, exactly as the paper allocates `L′`) and are compacted by
-//! prefix sums — no concurrent writes, EREW-style.
+//! Two constructions are provided:
+//!
+//! * [`build_aux_graph`] — the literal paper realization: discovered
+//!   edges land in a 3m-slot scratch array (one region per condition,
+//!   exactly as the paper allocates `L′`) and are compacted by prefix
+//!   sums — no concurrent writes, EREW-style. Kept as the equivalence
+//!   reference.
+//! * [`build_aux_graph_fused`] — what the pipelines run: a count pass
+//!   evaluates conditions 1–3 per edge into **per-thread counters**, an
+//!   O(P) serial exclusive scan assigns each thread its output ranges,
+//!   and an emit pass re-evaluates the conditions writing the
+//!   nontree numbering and an exactly-sized edge list directly. The 3m
+//!   scratch, its EMPTY-fill sweep, and the two compaction sweeps all
+//!   disappear (scratch drops from 3m slots to m + O(P)); both passes
+//!   walk the same contiguous block partition, so the nontree
+//!   numbering is bit-identical to the prefix-sum numbering for every
+//!   thread count.
 
 use crate::low_high::LowHigh;
 use bcc_euler::TreeInfo;
 use bcc_graph::Edge;
 use bcc_primitives::compact::compact_with;
 use bcc_primitives::scan::exclusive_scan_par;
-use bcc_smp::{Pool, SharedSlice, NIL};
+use bcc_smp::workspace::{alloc_cap, alloc_filled, give_opt};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
 
 /// The auxiliary graph G′ plus the nontree-edge numbering needed to map
 /// component labels back to input edges.
@@ -35,7 +50,17 @@ pub struct AuxGraph {
     pub nontree_index: Vec<u32>,
 }
 
-/// Builds the auxiliary graph (paper Alg. 1).
+impl AuxGraph {
+    /// Returns the graph's owned arrays to `ws` for reuse.
+    pub fn recycle(self, ws: &BccWorkspace) {
+        ws.give(self.edges);
+        ws.give(self.nontree_index);
+    }
+}
+
+/// Builds the auxiliary graph (paper Alg. 1), literal 3-region
+/// realization. Reference implementation — the pipelines run
+/// [`build_aux_graph_fused`].
 pub fn build_aux_graph(
     pool: &Pool,
     n: u32,
@@ -117,6 +142,169 @@ pub fn build_aux_graph(
 
     // Compact L′ into the aux edge list by prefix sums.
     let aux_edges = compact_with(pool, &scratch, |_, e| e.u != NIL);
+
+    AuxGraph {
+        num_vertices: n + num_nontree,
+        edges: aux_edges,
+        nontree_index,
+    }
+}
+
+/// Condition 2: the nontree edge's endpoints are unrelated in the tree.
+#[inline]
+fn cond2_holds(e: Edge, info: &TreeInfo) -> bool {
+    !info.is_ancestor(e.u, e.v) && !info.is_ancestor(e.v, e.u)
+}
+
+/// Condition 3: for tree edge `e = (c, w = p(c))` with `w ≠ root`,
+/// returns `Some((c, w))` when a nontree edge escapes `c`'s subtree
+/// past `w`.
+#[inline]
+fn cond3_emit(e: Edge, info: &TreeInfo, lh: &LowHigh) -> Option<(u32, u32)> {
+    let c = if info.parent[e.v as usize] == e.u {
+        e.v
+    } else {
+        e.u
+    };
+    let w = info.parent[c as usize];
+    if w == info.root {
+        return None;
+    }
+    let pw = info.preorder[w as usize];
+    let escapes = lh.low[c as usize] < pw || lh.high[c as usize] >= pw + info.size[w as usize];
+    escapes.then_some((c, w))
+}
+
+/// Builds the auxiliary graph in two fused passes: per-thread
+/// count → O(P) scan → direct emit. Produces the same nontree
+/// numbering as [`build_aux_graph`] and the same edge *multiset* up to
+/// emission order (downstream connected components are
+/// order-insensitive).
+pub fn build_aux_graph_fused(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    lh: &LowHigh,
+) -> AuxGraph {
+    build_aux_graph_fused_impl(pool, n, edges, is_tree_edge, info, lh, None)
+}
+
+/// [`build_aux_graph_fused`] with the result and scratch taken from
+/// `ws`; return the result's arrays with [`AuxGraph::recycle`].
+pub fn build_aux_graph_fused_ws(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    lh: &LowHigh,
+    ws: &BccWorkspace,
+) -> AuxGraph {
+    build_aux_graph_fused_impl(pool, n, edges, is_tree_edge, info, lh, Some(ws))
+}
+
+fn build_aux_graph_fused_impl(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    lh: &LowHigh,
+    ws: Option<&BccWorkspace>,
+) -> AuxGraph {
+    let m = edges.len();
+    let p = pool.threads();
+    const EMPTY: Edge = Edge { u: NIL, v: NIL };
+
+    // Count pass: per-thread (nontree, emitted) totals over the same
+    // contiguous block partition the emit pass will walk.
+    let mut nontree_counts = alloc_filled(ws, p + 1, 0u32);
+    let mut emit_counts = alloc_filled(ws, p + 1, 0u32);
+    {
+        let nc = SharedSlice::new(&mut nontree_counts);
+        let ec = SharedSlice::new(&mut emit_counts);
+        pool.run(|ctx| {
+            let mut nontree = 0u32;
+            let mut emit = 0u32;
+            for i in ctx.block_range(m) {
+                let e = edges[i];
+                if !is_tree_edge[i] {
+                    nontree += 1;
+                    emit += 1; // condition 1 always emits
+                    emit += u32::from(cond2_holds(e, info));
+                } else {
+                    emit += u32::from(cond3_emit(e, info, lh).is_some());
+                }
+            }
+            // SAFETY: slot tid+1 is written by this thread only.
+            unsafe {
+                nc.write(ctx.tid() + 1, nontree);
+                ec.write(ctx.tid() + 1, emit);
+            }
+        });
+    }
+    // Serial exclusive scans over P+1 counters.
+    for t in 0..p {
+        nontree_counts[t + 1] += nontree_counts[t];
+        emit_counts[t + 1] += emit_counts[t];
+    }
+    let num_nontree = nontree_counts[p];
+    let total_emit = emit_counts[p] as usize;
+
+    // Emit pass: every thread owns the output ranges its counts claimed.
+    let mut nontree_index = alloc_filled(ws, m, 0u32);
+    // Capacity is the *bound* (every nontree edge emits once for
+    // condition 1 and at most once for condition 2, every tree edge at
+    // most once for condition 3), not `total_emit`: the bound depends
+    // only on the edge list and the tree-edge *count*, so a rerun over
+    // a different (racily chosen) spanning tree of the same graph
+    // requests the same arena class — `total_emit` varies with the
+    // tree and would flake the zero-miss steady state across runs.
+    let mut aux_edges: Vec<Edge> = alloc_cap(ws, m + num_nontree as usize);
+    aux_edges.resize(total_emit, EMPTY);
+    {
+        let ni = SharedSlice::new(&mut nontree_index);
+        let out = SharedSlice::new(&mut aux_edges);
+        let nontree_base: &[u32] = &nontree_counts;
+        let emit_base: &[u32] = &emit_counts;
+        pool.run(|ctx| {
+            let mut j = nontree_base[ctx.tid()];
+            let mut k = emit_base[ctx.tid()] as usize;
+            for i in ctx.block_range(m) {
+                let e = edges[i];
+                if !is_tree_edge[i] {
+                    let (pu, pv) = (info.preorder[e.u as usize], info.preorder[e.v as usize]);
+                    let x = if pu > pv { e.u } else { e.v };
+                    // SAFETY: i is in this thread's block; k stays within
+                    // the [emit_base[tid], emit_base[tid+1]) range the
+                    // count pass reserved (both passes evaluate the same
+                    // conditions on the same blocks).
+                    unsafe {
+                        ni.write(i, j);
+                        out.write(k, Edge::new(x, n + j));
+                    }
+                    k += 1;
+                    j += 1;
+                    if cond2_holds(e, info) {
+                        unsafe { out.write(k, e) };
+                        k += 1;
+                    }
+                } else {
+                    unsafe { ni.write(i, NIL) };
+                    if let Some((c, w)) = cond3_emit(e, info, lh) {
+                        unsafe { out.write(k, Edge::new(c, w)) };
+                        k += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(j, nontree_base[ctx.tid() + 1]);
+            debug_assert_eq!(k, emit_base[ctx.tid() + 1] as usize);
+        });
+    }
+    give_opt(ws, nontree_counts);
+    give_opt(ws, emit_counts);
 
     AuxGraph {
         num_vertices: n + num_nontree,
@@ -221,6 +409,54 @@ mod tests {
         reps.sort_unstable();
         reps.dedup();
         assert_eq!(reps.len(), 1);
+    }
+
+    #[test]
+    fn fused_matches_three_region_build_as_multiset() {
+        for seed in 0..5u64 {
+            let g = gen::random_connected(80, 220, seed);
+            for p in [1, 3, 4] {
+                let pool = Pool::new(p);
+                let csr = Csr::build(&g);
+                let bfs = bfs_tree_seq(&csr, 0);
+                let mut is_tree = vec![false; g.m()];
+                for &e in &bfs.tree_edge_ids() {
+                    is_tree[e as usize] = true;
+                }
+                let tree_edges: Vec<Edge> = bfs
+                    .tree_edge_ids()
+                    .iter()
+                    .map(|&i| g.edges()[i as usize])
+                    .collect();
+                let tour = dfs_euler_tour(&pool, g.n(), tree_edges, &bfs.parent, 0);
+                let info = tree_computations(&pool, &tour, 0);
+                let lh = compute_low_high(&pool, g.edges(), &is_tree, &info);
+                let a = build_aux_graph(&pool, g.n(), g.edges(), &is_tree, &info, &lh);
+                let b = build_aux_graph_fused(&pool, g.n(), g.edges(), &is_tree, &info, &lh);
+                assert_eq!(a.num_vertices, b.num_vertices, "seed={seed} p={p}");
+                assert_eq!(a.nontree_index, b.nontree_index, "seed={seed} p={p}");
+                let key = |e: &Edge| (e.u.min(e.v), e.u.max(e.v));
+                let mut ae: Vec<_> = a.edges.iter().map(key).collect();
+                let mut be: Vec<_> = b.edges.iter().map(key).collect();
+                ae.sort_unstable();
+                be.sort_unstable();
+                assert_eq!(ae, be, "edge multiset seed={seed} p={p}");
+
+                // ws rerun is all hits.
+                let ws = bcc_smp::BccWorkspace::new();
+                let warm =
+                    build_aux_graph_fused_ws(&pool, g.n(), g.edges(), &is_tree, &info, &lh, &ws);
+                warm.recycle(&ws);
+                let before = ws.stats();
+                let again =
+                    build_aux_graph_fused_ws(&pool, g.n(), g.edges(), &is_tree, &info, &lh, &ws);
+                assert_eq!(again.nontree_index, a.nontree_index);
+                assert_eq!(again.edges.len(), b.edges.len());
+                again.recycle(&ws);
+                let delta = ws.stats().delta_since(&before);
+                assert_eq!(delta.misses, 0, "steady-state rerun must not miss");
+            }
+        }
     }
 
     #[test]

@@ -44,13 +44,22 @@ pub mod schmidt;
 pub mod tarjan;
 pub mod verify;
 
+pub use aux_graph::{build_aux_graph, build_aux_graph_fused, build_aux_graph_fused_ws, AuxGraph};
 pub use block_cut::{two_edge_connected_components, BlockCutTree};
 pub use counting::double_bfs_upper_bound;
-pub use low_high::{compute_low_high, compute_low_high_with, LowHigh, LowHighMethod};
+pub use low_high::{
+    compute_low_high, compute_low_high_two_pass, compute_low_high_with, compute_low_high_with_ws,
+    compute_low_high_ws, LowHigh, LowHighMethod,
+};
 pub use phase::{PhaseRecorder, PhaseReport, PhaseTimes, PipelineStats, Step, StepReport};
 pub use pipeline::{Algorithm, BccConfig, BccError, BccResult, BccRun};
 pub use schmidt::{chain_decomposition, ChainDecomposition};
 pub use tarjan::tarjan_bcc;
+
+/// Reusable scratch-buffer arena, re-exported from [`bcc_smp`] so
+/// [`BccConfig::workspace`] is usable without a second crate
+/// dependency.
+pub use bcc_smp::{BccWorkspace, WorkspaceStats};
 
 /// List-ranking selector for the classic Euler tour (re-exported from
 /// [`bcc_euler`] so [`BccConfig::ranker`] is usable without a second

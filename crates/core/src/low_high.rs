@@ -10,12 +10,21 @@
 //! into preorder order with atomic min/max, then subtree aggregation as
 //! an O(1)-query range-min/range-max over the preorder-contiguous
 //! subtree intervals (sparse table, O(n log n) parallel build).
+//!
+//! Low and high are computed in **one fused sweep**: the
+//! [`RangeMinMaxTable`] builds each doubling level's min and max arrays
+//! in a single parallel pass (half the barriers and half the passes
+//! over the input of two separate tables), and one query loop fills
+//! `low` and `high` together. The unfused construction is kept as
+//! [`compute_low_high_two_pass`] — the equivalence reference the
+//! proptests check against.
 
 use bcc_euler::TreeInfo;
 use bcc_graph::Edge;
-use bcc_primitives::{Extremum, RangeTable};
+use bcc_primitives::{Extremum, RangeMinMaxTable, RangeTable};
 use bcc_smp::atomic::{as_atomic_u32, fetch_max_u32, fetch_min_u32};
-use bcc_smp::{Pool, SharedSlice};
+use bcc_smp::workspace::{alloc_cap, alloc_filled, alloc_iota, give_opt};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice};
 
 /// Per-vertex low/high values, in preorder numbers.
 #[derive(Clone, Debug)]
@@ -24,6 +33,14 @@ pub struct LowHigh {
     pub low: Vec<u32>,
     /// `high[v]`, a preorder number.
     pub high: Vec<u32>,
+}
+
+impl LowHigh {
+    /// Returns both arrays to `ws` for reuse.
+    pub fn recycle(self, ws: &BccWorkspace) {
+        ws.give(self.low);
+        ws.give(self.high);
+    }
 }
 
 /// Strategy for the subtree aggregation of the Low-high step.
@@ -42,7 +59,7 @@ pub enum LowHighMethod {
     Auto,
 }
 
-/// Computes low/high for all vertices.
+/// Computes low/high for all vertices in one fused sweep.
 ///
 /// `is_tree_edge[i]` flags the spanning-tree edges within `edges`;
 /// `info` is the rooted-tree data for that spanning tree.
@@ -52,10 +69,97 @@ pub fn compute_low_high(
     is_tree_edge: &[bool],
     info: &TreeInfo,
 ) -> LowHigh {
+    compute_low_high_impl(pool, edges, is_tree_edge, info, None)
+}
+
+/// [`compute_low_high`] with the result and all scratch taken from
+/// `ws`; return the result's arrays with [`LowHigh::recycle`].
+pub fn compute_low_high_ws(
+    pool: &Pool,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    ws: &BccWorkspace,
+) -> LowHigh {
+    compute_low_high_impl(pool, edges, is_tree_edge, info, Some(ws))
+}
+
+fn compute_low_high_impl(
+    pool: &Pool,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    ws: Option<&BccWorkspace>,
+) -> LowHigh {
     let n = info.preorder.len();
     let m = edges.len();
 
     // Keys indexed by preorder number.
+    let mut key_min: Vec<u32> = alloc_iota(ws, n);
+    let mut key_max: Vec<u32> = alloc_iota(ws, n);
+    {
+        let kmin = as_atomic_u32(&mut key_min);
+        let kmax = as_atomic_u32(&mut key_max);
+        let pre = &info.preorder;
+        pool.run(|ctx| {
+            for i in ctx.block_range(m) {
+                if is_tree_edge[i] {
+                    continue;
+                }
+                let e = edges[i];
+                let pu = pre[e.u as usize];
+                let pv = pre[e.v as usize];
+                fetch_min_u32(&kmin[pu as usize], pv);
+                fetch_min_u32(&kmin[pv as usize], pu);
+                fetch_max_u32(&kmax[pu as usize], pv);
+                fetch_max_u32(&kmax[pv as usize], pu);
+            }
+        });
+    }
+
+    // One fused table: each doubling level's min AND max are produced
+    // by the same parallel pass.
+    let table = match ws {
+        Some(ws) => RangeMinMaxTable::build_ws(pool, &key_min, &key_max, ws),
+        None => RangeMinMaxTable::build(pool, &key_min, &key_max),
+    };
+    give_opt(ws, key_min);
+    give_opt(ws, key_max);
+
+    let mut low = alloc_filled(ws, n, 0u32);
+    let mut high = alloc_filled(ws, n, 0u32);
+    {
+        let low_s = SharedSlice::new(&mut low);
+        let high_s = SharedSlice::new(&mut high);
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                let r = info.subtree_interval(v as u32);
+                unsafe {
+                    low_s.write(v, table.query_min(r.start, r.end));
+                    high_s.write(v, table.query_max(r.start, r.end));
+                }
+            }
+        });
+    }
+    if let Some(ws) = ws {
+        table.recycle(ws);
+    }
+    LowHigh { low, high }
+}
+
+/// The unfused reference construction: two separate [`RangeTable`]s
+/// (one pass over the keys each) and the same query loop. Kept for the
+/// equivalence proptests; the pipelines use the fused
+/// [`compute_low_high`].
+pub fn compute_low_high_two_pass(
+    pool: &Pool,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+) -> LowHigh {
+    let n = info.preorder.len();
+    let m = edges.len();
+
     let mut key_min: Vec<u32> = (0..n as u32).collect();
     let mut key_max: Vec<u32> = (0..n as u32).collect();
     {
@@ -107,17 +211,41 @@ pub fn compute_low_high_with(
     info: &TreeInfo,
     method: LowHighMethod,
 ) -> LowHigh {
+    compute_low_high_with_impl(pool, edges, is_tree_edge, info, method, None)
+}
+
+/// [`compute_low_high_with`] with the result and all scratch taken
+/// from `ws`; return the result's arrays with [`LowHigh::recycle`].
+pub fn compute_low_high_with_ws(
+    pool: &Pool,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    method: LowHighMethod,
+    ws: &BccWorkspace,
+) -> LowHigh {
+    compute_low_high_with_impl(pool, edges, is_tree_edge, info, method, Some(ws))
+}
+
+fn compute_low_high_with_impl(
+    pool: &Pool,
+    edges: &[Edge],
+    is_tree_edge: &[bool],
+    info: &TreeInfo,
+    method: LowHighMethod,
+    ws: Option<&BccWorkspace>,
+) -> LowHigh {
     match method {
-        LowHighMethod::RangeTable => compute_low_high(pool, edges, is_tree_edge, info),
-        LowHighMethod::LevelSweep => low_high_level_sweep(pool, edges, is_tree_edge, info),
+        LowHighMethod::RangeTable => compute_low_high_impl(pool, edges, is_tree_edge, info, ws),
+        LowHighMethod::LevelSweep => low_high_level_sweep(pool, edges, is_tree_edge, info, ws),
         LowHighMethod::Auto => {
             let n = info.preorder.len() as u32;
             let depth = info.depth.iter().copied().max().unwrap_or(0);
             let budget = 4 * (32 - n.max(2).leading_zeros()) + 32;
             if depth <= budget {
-                low_high_level_sweep(pool, edges, is_tree_edge, info)
+                low_high_level_sweep(pool, edges, is_tree_edge, info, ws)
             } else {
-                compute_low_high(pool, edges, is_tree_edge, info)
+                compute_low_high_impl(pool, edges, is_tree_edge, info, ws)
             }
         }
     }
@@ -131,13 +259,14 @@ fn low_high_level_sweep(
     edges: &[Edge],
     is_tree_edge: &[bool],
     info: &TreeInfo,
+    ws: Option<&BccWorkspace>,
 ) -> LowHigh {
     let n = info.preorder.len();
     let m = edges.len();
 
     // Per-VERTEX keys this time (no preorder indirection needed).
-    let mut low: Vec<u32> = vec![0; n];
-    let mut high: Vec<u32> = vec![0; n];
+    let mut low: Vec<u32> = alloc_filled(ws, n, 0);
+    let mut high: Vec<u32> = alloc_filled(ws, n, 0);
     {
         let low_s = SharedSlice::new(&mut low);
         let high_s = SharedSlice::new(&mut high);
@@ -174,21 +303,23 @@ fn low_high_level_sweep(
 
     // Bucket vertices by depth (counting sort).
     let max_depth = info.depth.iter().copied().max().unwrap_or(0) as usize;
-    let mut bucket_of = vec![0u32; max_depth + 2];
+    let mut bucket_of = alloc_filled(ws, max_depth + 2, 0u32);
     for &d in &info.depth {
         bucket_of[d as usize + 1] += 1;
     }
     for d in 0..=max_depth {
         bucket_of[d + 1] += bucket_of[d];
     }
-    let mut by_level = vec![0u32; n];
+    let mut by_level = alloc_filled(ws, n, 0u32);
     {
-        let mut cursor = bucket_of.clone();
+        let mut cursor: Vec<u32> = alloc_cap(ws, bucket_of.len());
+        cursor.extend_from_slice(&bucket_of);
         for v in 0..n as u32 {
             let d = info.depth[v as usize] as usize;
             by_level[cursor[d] as usize] = v;
             cursor[d] += 1;
         }
+        give_opt(ws, cursor);
     }
 
     // Sweep levels deepest-first; one parallel round per level.
@@ -207,6 +338,9 @@ fn low_high_level_sweep(
             });
         }
     }
+
+    give_opt(ws, bucket_of);
+    give_opt(ws, by_level);
 
     LowHigh { low, high }
 }
@@ -308,6 +442,32 @@ mod tests {
         let b = compute_low_high_with(&pool, &edges, &is_tree, &info, LowHighMethod::LevelSweep);
         assert_eq!(a.low, b.low);
         assert_eq!(a.high, b.high);
+    }
+
+    #[test]
+    fn fused_matches_two_pass_and_ws_rerun_is_all_hits() {
+        for seed in 0..4u64 {
+            let g = gen::random_connected(150, 450, seed);
+            let pool = Pool::new(4);
+            let (edges, is_tree, info) = setup(&g, 0, &pool);
+            let a = compute_low_high(&pool, &edges, &is_tree, &info);
+            let b = compute_low_high_two_pass(&pool, &edges, &is_tree, &info);
+            assert_eq!(a.low, b.low, "seed={seed}");
+            assert_eq!(a.high, b.high, "seed={seed}");
+
+            let ws = BccWorkspace::new();
+            for method in [LowHighMethod::RangeTable, LowHighMethod::LevelSweep] {
+                let warm = compute_low_high_with_ws(&pool, &edges, &is_tree, &info, method, &ws);
+                warm.recycle(&ws);
+                let before = ws.stats();
+                let again = compute_low_high_with_ws(&pool, &edges, &is_tree, &info, method, &ws);
+                assert_eq!(again.low, b.low, "{method:?} seed={seed}");
+                assert_eq!(again.high, b.high, "{method:?} seed={seed}");
+                again.recycle(&ws);
+                let delta = ws.stats().delta_since(&before);
+                assert_eq!(delta.misses, 0, "{method:?} rerun must not miss");
+            }
+        }
     }
 
     #[test]

@@ -11,11 +11,11 @@
 use crate::phase::PhaseRecorder;
 use crate::pipeline::{run_connected, Algorithm, BccError, BccResult};
 use crate::verify::canonicalize_edge_labels;
-use bcc_connectivity::sv::{connected_components_with, normalize_labels};
+use bcc_connectivity::sv::{connected_components_with_ws, normalize_labels_ws};
 use bcc_connectivity::tuning::TraversalTuning;
 use bcc_euler::Ranker;
 use bcc_graph::{Edge, Graph};
-use bcc_smp::Pool;
+use bcc_smp::{BccWorkspace, Pool};
 use std::time::Instant;
 
 /// Biconnected components of an arbitrary simple graph: per connected
@@ -29,31 +29,36 @@ pub(crate) fn run_per_component(
     alg: Algorithm,
     ranker: Ranker,
     tuning: TraversalTuning,
+    ws: &BccWorkspace,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     if alg == Algorithm::Sequential {
-        return run_connected(pool, g, alg, ranker, tuning, rec);
+        return run_connected(pool, g, alg, ranker, tuning, ws, rec);
     }
     let start = Instant::now();
-    let cc = connected_components_with(pool, g.n(), g.edges(), tuning.sv);
+    let cc = connected_components_with_ws(pool, g.n(), g.edges(), tuning.sv, ws);
     if cc.num_components <= 1 {
         // Connected (or empty): run directly.
-        return run_connected(pool, g, alg, ranker, tuning, rec);
+        cc.recycle(ws);
+        return run_connected(pool, g, alg, ranker, tuning, ws, rec);
     }
     let mut comp_of = cc.label;
-    let k = normalize_labels(pool, &mut comp_of) as usize;
+    ws.give(cc.tree_edges);
+    let k = normalize_labels_ws(pool, &mut comp_of, ws) as usize;
 
     // Local vertex ids: position of each vertex within its component.
     let n = g.n() as usize;
-    let mut counts = vec![0u32; k];
-    let mut local = vec![0u32; n];
+    let mut counts = ws.take_filled(k, 0u32);
+    let mut local = ws.take_filled(n, 0u32);
     for v in 0..n {
         let c = comp_of[v] as usize;
         local[v] = counts[c];
         counts[c] += 1;
     }
 
-    // Partition edges by component.
+    // Partition edges by component. The nested per-subgraph vectors
+    // stay plain: their count and sizes vary by input and the subgraph
+    // edge lists are consumed by `Graph::new` below.
     let mut sub_edges: Vec<Vec<Edge>> = vec![Vec::new(); k];
     let mut sub_orig: Vec<Vec<u32>> = vec![Vec::new(); k];
     for (i, e) in g.edges().iter().enumerate() {
@@ -76,7 +81,7 @@ pub(crate) fn run_per_component(
             continue;
         }
         let sub = Graph::new(counts[c], std::mem::take(&mut sub_edges[c]));
-        let r = run_connected(pool, &sub, alg, ranker, tuning, rec)?;
+        let r = run_connected(pool, &sub, alg, ranker, tuning, ws, rec)?;
         for (j, &orig) in sub_orig[c].iter().enumerate() {
             edge_comp[orig as usize] = base + r.edge_comp[j];
         }
@@ -95,6 +100,9 @@ pub(crate) fn run_per_component(
             stats.bfs_directions = r.stats.bfs_directions.clone();
         }
     }
+    ws.give(comp_of);
+    ws.give(counts);
+    ws.give(local);
     let num_components = canonicalize_edge_labels(&mut edge_comp);
     debug_assert_eq!(num_components, base);
     let mut phases = rec.phases().clone();

@@ -12,6 +12,8 @@
 //!   them (n, m, effective/filtered edge counts).
 
 use bcc_smp::telemetry::{Telemetry, TelemetrySnapshot};
+use bcc_smp::{BccWorkspace, WorkspaceStats};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Identifies one pipeline step (the rows of the paper's Fig. 4).
@@ -184,6 +186,10 @@ pub struct StepReport {
     pub imbalance: f64,
     /// Per-thread busy time during the step (empty without telemetry).
     pub busy: Vec<Duration>,
+    /// Bytes freshly heap-allocated through the run's [`BccWorkspace`]
+    /// during the step (arena misses; 0 without a workspace-aware
+    /// recorder, and 0 in the steady state when every take hits).
+    pub alloc_bytes: u64,
 }
 
 impl StepReport {
@@ -221,6 +227,12 @@ pub struct PhaseReport {
     pub barrier_wait: Duration,
     /// Whole-run load-imbalance ratio (`1.0` without telemetry).
     pub imbalance: f64,
+    /// Bytes freshly heap-allocated through the run's [`BccWorkspace`]
+    /// (arena misses; 0 without a workspace-aware recorder).
+    pub alloc_bytes: u64,
+    /// Fraction of workspace takes served from the arena shelf
+    /// (`1.0` when every take hit, or when no workspace was observed).
+    pub arena_hit_rate: f64,
     /// The run's machine-independent work counters.
     pub stats: PipelineStats,
 }
@@ -248,12 +260,16 @@ pub struct PhaseRecorder<'a> {
     telem: Option<&'a Telemetry>,
     first: Option<TelemetrySnapshot>,
     prev: Option<TelemetrySnapshot>,
+    ws: Option<Arc<BccWorkspace>>,
+    ws_first: WorkspaceStats,
+    ws_prev: WorkspaceStats,
 }
 
 struct StepAccum {
     duration: Duration,
     barrier_wait: Duration,
     busy: Vec<Duration>,
+    alloc_bytes: u64,
 }
 
 fn step_index(step: Step) -> usize {
@@ -264,7 +280,16 @@ impl<'a> PhaseRecorder<'a> {
     /// A recorder reading telemetry deltas from `telem` (pass the
     /// pool's sink, or `None` for timing-only reports).
     pub fn new(telem: Option<&'a Telemetry>) -> Self {
+        Self::with_workspace(telem, None)
+    }
+
+    /// Like [`new`](PhaseRecorder::new), additionally observing `ws`:
+    /// each step's arena-miss bytes land in
+    /// [`StepReport::alloc_bytes`], and the whole-run delta fills
+    /// [`PhaseReport::alloc_bytes`] / [`PhaseReport::arena_hit_rate`].
+    pub fn with_workspace(telem: Option<&'a Telemetry>, ws: Option<Arc<BccWorkspace>>) -> Self {
         let first = telem.map(|t| t.snapshot());
+        let ws_first = ws.as_ref().map(|w| w.stats()).unwrap_or_default();
         PhaseRecorder {
             phases: PhaseTimes::default(),
             order: Vec::new(),
@@ -272,6 +297,9 @@ impl<'a> PhaseRecorder<'a> {
             telem,
             first: first.clone(),
             prev: first,
+            ws,
+            ws_first,
+            ws_prev: ws_first,
         }
     }
 
@@ -298,6 +326,16 @@ impl<'a> PhaseRecorder<'a> {
             }
         };
 
+        let alloc_bytes = match &self.ws {
+            None => 0,
+            Some(w) => {
+                let now = w.stats();
+                let delta = now.delta_since(&self.ws_prev);
+                self.ws_prev = now;
+                delta.bytes_allocated
+            }
+        };
+
         let slot = &mut self.accum[step_index(step)];
         match slot {
             None => {
@@ -306,11 +344,13 @@ impl<'a> PhaseRecorder<'a> {
                     duration,
                     barrier_wait,
                     busy,
+                    alloc_bytes,
                 });
             }
             Some(acc) => {
                 acc.duration += duration;
                 acc.barrier_wait += barrier_wait;
+                acc.alloc_bytes += alloc_bytes;
                 if acc.busy.len() < busy.len() {
                     acc.busy.resize(busy.len(), Duration::ZERO);
                 }
@@ -344,6 +384,7 @@ impl<'a> PhaseRecorder<'a> {
                     barrier_wait: acc.barrier_wait,
                     imbalance: imbalance_of(&acc.busy),
                     busy: acc.busy,
+                    alloc_bytes: acc.alloc_bytes,
                 }
             })
             .collect();
@@ -361,6 +402,14 @@ impl<'a> PhaseRecorder<'a> {
             }
         };
 
+        let (alloc_bytes, arena_hit_rate) = match &self.ws {
+            None => (0, 1.0),
+            Some(w) => {
+                let delta = w.stats().delta_since(&self.ws_first);
+                (delta.bytes_allocated, delta.hit_rate())
+            }
+        };
+
         PhaseReport {
             algorithm,
             threads,
@@ -374,6 +423,8 @@ impl<'a> PhaseRecorder<'a> {
             barrier_episodes,
             barrier_wait,
             imbalance,
+            alloc_bytes,
+            arena_hit_rate,
             stats,
         }
     }

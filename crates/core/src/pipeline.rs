@@ -25,20 +25,20 @@
 //! assert!(run.report.step_sum() <= run.report.total);
 //! ```
 
-use crate::aux_graph::build_aux_graph;
-use crate::low_high::{compute_low_high_with, LowHighMethod};
+use crate::aux_graph::build_aux_graph_fused_ws;
+use crate::low_high::{compute_low_high_with_ws, LowHighMethod};
 use crate::phase::{PhaseRecorder, PhaseReport, PhaseTimes, PipelineStats, Step};
 use crate::tarjan::tarjan_bcc;
 use crate::verify::canonicalize_edge_labels;
-use bcc_connectivity::bfs::bfs_tree;
-use bcc_connectivity::sv::connected_components_with;
+use bcc_connectivity::bfs::bfs_tree_ws;
+use bcc_connectivity::sv::connected_components_with_ws;
 use bcc_connectivity::traversal::work_stealing_tree;
 use bcc_connectivity::tuning::TraversalTuning;
 use bcc_connectivity::BfsDirection;
-use bcc_euler::{dfs_euler_tour, euler_tour_classic, tree_computations, Ranker, TreeInfo};
+use bcc_euler::{dfs_euler_tour_ws, euler_tour_classic_ws, tree_computations_ws, Ranker, TreeInfo};
 use bcc_graph::{Csr, Edge, Graph};
 use bcc_smp::telemetry::Telemetry;
-use bcc_smp::{Pool, SharedSlice, NIL};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -146,6 +146,7 @@ pub struct BccConfig {
     ranker: Ranker,
     tuning: TraversalTuning,
     telemetry: Option<Arc<Telemetry>>,
+    workspace: Option<Arc<BccWorkspace>>,
 }
 
 impl BccConfig {
@@ -158,6 +159,7 @@ impl BccConfig {
             ranker: Ranker::HelmanJaja,
             tuning: TraversalTuning::default(),
             telemetry: None,
+            workspace: None,
         }
     }
 
@@ -193,6 +195,19 @@ impl BccConfig {
         self
     }
 
+    /// Draws every scratch buffer of the run from `ws` and returns the
+    /// buffers there afterwards. Sharing one workspace across runs puts
+    /// the pipeline in its zero-allocation steady state: a second run of
+    /// the same (or a smaller) graph serves all scratch from the arena
+    /// shelf instead of the system allocator. Arena movement lands in
+    /// [`PhaseReport::alloc_bytes`] / [`PhaseReport::arena_hit_rate`].
+    /// Without this, each run uses a private transient workspace (same
+    /// results, no cross-run reuse).
+    pub fn workspace(mut self, ws: Arc<BccWorkspace>) -> Self {
+        self.workspace = Some(ws);
+        self
+    }
+
     /// The configured algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.alg
@@ -203,8 +218,9 @@ impl BccConfig {
     /// [`run_any`](BccConfig::run_any) for general graphs.
     pub fn run(&self, pool: &Pool, g: &Graph) -> Result<BccRun, BccError> {
         let start = Instant::now();
-        let mut rec = PhaseRecorder::new(self.sink(pool));
-        let result = run_connected(pool, g, self.alg, self.ranker, self.tuning, &mut rec)?;
+        let ws = self.resolve_workspace();
+        let mut rec = PhaseRecorder::with_workspace(self.sink(pool), Some(Arc::clone(&ws)));
+        let result = run_connected(pool, g, self.alg, self.ranker, self.tuning, &ws, &mut rec)?;
         Ok(self.package(pool, g, rec, result, start))
     }
 
@@ -213,16 +229,24 @@ impl BccConfig {
     /// with labels stitched canonically over the whole edge list.
     pub fn run_any(&self, pool: &Pool, g: &Graph) -> Result<BccRun, BccError> {
         let start = Instant::now();
-        let mut rec = PhaseRecorder::new(self.sink(pool));
+        let ws = self.resolve_workspace();
+        let mut rec = PhaseRecorder::with_workspace(self.sink(pool), Some(Arc::clone(&ws)));
         let result = crate::per_component::run_per_component(
             pool,
             g,
             self.alg,
             self.ranker,
             self.tuning,
+            &ws,
             &mut rec,
         )?;
         Ok(self.package(pool, g, rec, result, start))
+    }
+
+    fn resolve_workspace(&self) -> Arc<BccWorkspace> {
+        self.workspace
+            .clone()
+            .unwrap_or_else(|| Arc::new(BccWorkspace::new()))
     }
 
     fn sink<'a>(&'a self, pool: &'a Pool) -> Option<&'a Telemetry> {
@@ -268,13 +292,14 @@ pub(crate) fn run_connected(
     alg: Algorithm,
     ranker: Ranker,
     tuning: TraversalTuning,
+    ws: &BccWorkspace,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     match alg {
         Algorithm::Sequential => Ok(sequential_impl(g)),
-        Algorithm::TvSmp => tv_smp_impl(pool, g, ranker, tuning, rec),
-        Algorithm::TvOpt => tv_opt_impl(pool, g, tuning, rec),
-        Algorithm::TvFilter => tv_filter_impl(pool, g, tuning, rec),
+        Algorithm::TvSmp => tv_smp_impl(pool, g, ranker, tuning, ws, rec),
+        Algorithm::TvOpt => tv_opt_impl(pool, g, tuning, ws, rec),
+        Algorithm::TvFilter => tv_filter_impl(pool, g, tuning, ws, rec),
     }
 }
 
@@ -358,6 +383,7 @@ fn tv_smp_impl(
     g: &Graph,
     ranker: Ranker,
     tuning: TraversalTuning,
+    ws: &BccWorkspace,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     let start = Instant::now();
@@ -368,39 +394,45 @@ fn tv_smp_impl(
 
     // Step 1: Spanning-tree (Shiloach–Vishkin on the edge list).
     let sv = rec.step(Step::SpanningTree, || {
-        connected_components_with(pool, n, g.edges(), tuning.sv)
+        connected_components_with_ws(pool, n, g.edges(), tuning.sv, ws)
     });
     if sv.num_components != 1 {
+        sv.recycle(ws);
         return Err(BccError::Disconnected);
     }
-    let mut is_tree = vec![false; g.m()];
+    let mut is_tree = ws.take_filled(g.m(), false);
     for &i in &sv.tree_edges {
         is_tree[i as usize] = true;
     }
-    let tree_edges: Vec<Edge> = sv
-        .tree_edges
-        .iter()
-        .map(|&i| g.edges()[i as usize])
-        .collect();
+    let mut tree_edges: Vec<Edge> = ws.take(n as usize);
+    tree_edges.extend(sv.tree_edges.iter().map(|&i| g.edges()[i as usize]));
+    let sv_rounds = sv.rounds;
+    sv.recycle(ws);
 
     // Step 2: Euler-tour (circular adjacency by sorting + cross
     // pointers + list ranking).
     let root = 0u32;
     let tour = rec.step(Step::EulerTour, || {
-        euler_tour_classic(pool, n, tree_edges, root, ranker)
+        euler_tour_classic_ws(pool, n, tree_edges, root, ranker, ws)
     });
 
     // Step 3: Root-tree / tree computations.
-    let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
+    let info = rec.step(Step::RootTree, || {
+        tree_computations_ws(pool, &tour, root, ws)
+    });
 
     // Steps 4–6.
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, rec);
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, ws, rec);
+    tour.recycle(ws);
+    info.recycle(ws);
+    ws.give(is_tree);
+    ws.give(tail.aux_vertex_labels);
     let stats = PipelineStats {
         input_edges: g.m(),
         effective_edges: g.m(),
         aux_vertices: tail.aux_vertices,
         aux_edges: tail.aux_edges,
-        sv_rounds_spanning: sv.rounds,
+        sv_rounds_spanning: sv_rounds,
         sv_rounds_cc: tail.sv_rounds_cc,
         ..PipelineStats::default()
     };
@@ -416,6 +448,7 @@ fn tv_opt_impl(
     pool: &Pool,
     g: &Graph,
     tuning: TraversalTuning,
+    ws: &BccWorkspace,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     let start = Instant::now();
@@ -425,6 +458,8 @@ fn tv_opt_impl(
     }
 
     // Step 1 (merged with rooting): adjacency conversion + traversal.
+    // CSR and the work-stealing traversal manage their own storage
+    // (per-thread deques, atomics) and are not arena-threaded.
     let root = 0u32;
     let st = rec.step(Step::SpanningTree, || {
         let csr = Csr::build_par(pool, g);
@@ -433,8 +468,8 @@ fn tv_opt_impl(
     if st.reached != n {
         return Err(BccError::Disconnected);
     }
-    let mut is_tree = vec![false; g.m()];
-    let mut tree_edges = Vec::with_capacity(n as usize - 1);
+    let mut is_tree = ws.take_filled(g.m(), false);
+    let mut tree_edges: Vec<Edge> = ws.take(n as usize);
     for v in 0..n {
         let eid = st.parent_eid[v as usize];
         if eid != NIL {
@@ -445,13 +480,19 @@ fn tv_opt_impl(
 
     // Step 2: cache-friendly DFS-order Euler tour.
     let tour = rec.step(Step::EulerTour, || {
-        dfs_euler_tour(pool, n, tree_edges, &st.parent, root)
+        dfs_euler_tour_ws(pool, n, tree_edges, &st.parent, root, ws)
     });
 
     // Step 3: tree computations by prefix sums over the tour.
-    let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
+    let info = rec.step(Step::RootTree, || {
+        tree_computations_ws(pool, &tour, root, ws)
+    });
 
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, rec);
+    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, ws, rec);
+    tour.recycle(ws);
+    info.recycle(ws);
+    ws.give(is_tree);
+    ws.give(tail.aux_vertex_labels);
     let stats = PipelineStats {
         input_edges: g.m(),
         effective_edges: g.m(),
@@ -472,6 +513,7 @@ fn tv_filter_impl(
     pool: &Pool,
     g: &Graph,
     tuning: TraversalTuning,
+    ws: &BccWorkspace,
     rec: &mut PhaseRecorder,
 ) -> Result<BccResult, BccError> {
     let start = Instant::now();
@@ -489,8 +531,11 @@ fn tv_filter_impl(
 
     // Step 1: BFS spanning tree T (Lemma 1 requires a BFS tree).
     let root = 0u32;
-    let bfs = rec.step(Step::SpanningTree, || bfs_tree(pool, &csr, root, &tuning));
+    let mut bfs = rec.step(Step::SpanningTree, || {
+        bfs_tree_ws(pool, &csr, root, &tuning, ws)
+    });
     if bfs.reached != n {
+        bfs.recycle(ws);
         return Err(BccError::Disconnected);
     }
 
@@ -498,7 +543,7 @@ fn tv_filter_impl(
     // reduced graph T ∪ F (≤ 2(n−1) edges).
     let (reduced_edges, reduced_is_tree, reduced_of_orig, forest_rounds) =
         rec.step(Step::Filtering, || {
-            let mut in_tree = vec![false; m];
+            let mut in_tree = ws.take_filled(m, false);
             for v in 0..n {
                 let eid = bfs.parent_eid[v as usize];
                 if eid != NIL {
@@ -506,20 +551,20 @@ fn tv_filter_impl(
                 }
             }
             // Nontree candidates with their original ids.
-            let mut cand_edges: Vec<Edge> = Vec::with_capacity(m - (n as usize - 1));
-            let mut cand_orig: Vec<u32> = Vec::with_capacity(cand_edges.capacity());
+            let mut cand_edges: Vec<Edge> = ws.take(m);
+            let mut cand_orig: Vec<u32> = ws.take(m);
             for (i, &e) in g.edges().iter().enumerate() {
                 if !in_tree[i] {
                     cand_edges.push(e);
                     cand_orig.push(i as u32);
                 }
             }
-            let forest = connected_components_with(pool, n, &cand_edges, tuning.sv);
+            let forest = connected_components_with_ws(pool, n, &cand_edges, tuning.sv, ws);
 
             // Reduced edge list: T first, then F.
-            let mut reduced_edges: Vec<Edge> = Vec::with_capacity(2 * n as usize);
-            let mut reduced_is_tree: Vec<bool> = Vec::with_capacity(2 * n as usize);
-            let mut reduced_of_orig = vec![NIL; m];
+            let mut reduced_edges: Vec<Edge> = ws.take(2 * n as usize);
+            let mut reduced_is_tree: Vec<bool> = ws.take(2 * n as usize);
+            let mut reduced_of_orig = ws.take_filled(m, NIL);
             for v in 0..n {
                 let eid = bfs.parent_eid[v as usize];
                 if eid != NIL {
@@ -534,20 +579,28 @@ fn tv_filter_impl(
                 reduced_edges.push(g.edges()[orig as usize]);
                 reduced_is_tree.push(false);
             }
+            let forest_rounds = forest.rounds;
+            forest.recycle(ws);
+            ws.give(in_tree);
+            ws.give(cand_edges);
+            ws.give(cand_orig);
             (
                 reduced_edges,
                 reduced_is_tree,
                 reduced_of_orig,
-                forest.rounds,
+                forest_rounds,
             )
         });
 
     // Steps 2'–3': Euler tour + tree computations on T.
-    let tree_edges: Vec<Edge> = reduced_edges[..n as usize - 1].to_vec();
+    let mut tree_edges: Vec<Edge> = ws.take(n as usize);
+    tree_edges.extend_from_slice(&reduced_edges[..n as usize - 1]);
     let tour = rec.step(Step::EulerTour, || {
-        dfs_euler_tour(pool, n, tree_edges, &bfs.parent, root)
+        dfs_euler_tour_ws(pool, n, tree_edges, &bfs.parent, root, ws)
     });
-    let info = rec.step(Step::RootTree, || tree_computations(pool, &tour, root));
+    let info = rec.step(Step::RootTree, || {
+        tree_computations_ws(pool, &tour, root, ws)
+    });
 
     // Steps 4–6 on the reduced graph.
     let tail = tv_tail(
@@ -557,12 +610,15 @@ fn tv_filter_impl(
         &reduced_is_tree,
         &info,
         tuning,
+        ws,
         rec,
     );
 
     // Step 4 of Alg. 2: place each filtered edge (u, v) into the
     // component of the tree edge (x, p(x)) of its larger-preorder
     // endpoint x (condition 1 holds for any rooted spanning tree).
+    // `comp` escapes as the result's `edge_comp`, so it is allocated
+    // plain rather than from the workspace.
     let mut comp = vec![0u32; m];
     rec.step(Step::Filtering, || {
         let comp_s = SharedSlice::new(&mut comp);
@@ -607,8 +663,19 @@ fn tv_filter_impl(
                 BfsDirection::BottomUp => 'B',
             })
             .collect(),
-        bfs_frontier_sizes: bfs.frontier_sizes,
+        bfs_frontier_sizes: std::mem::take(&mut bfs.frontier_sizes),
     };
+    tour.recycle(ws);
+    info.recycle(ws);
+    bfs.recycle(ws);
+    ws.give(reduced_edges);
+    ws.give(reduced_is_tree);
+    ws.give(reduced_of_orig);
+    // `tail.edge_labels` is a plain allocation (it is the *result* for
+    // TV-SMP/TV-opt); dropping it here keeps the shelf from growing by
+    // one foreign buffer per run.
+    drop(tail.edge_labels);
+    ws.give(tail.aux_vertex_labels);
     Ok(finalize(comp, rec.phases().clone(), stats, start))
 }
 
@@ -628,7 +695,14 @@ struct TailOutput {
     sv_rounds_cc: u32,
 }
 
-/// Steps 4–6: Low-high, Label-edge (Alg. 1), Connected-components.
+/// Steps 4–6: Low-high (fused min/max sweep), Label-edge (fused
+/// count→scan→emit realization of Alg. 1), Connected-components.
+///
+/// All scratch is drawn from `ws`; only `edge_labels` (which becomes
+/// the result for TV-SMP/TV-opt) and `aux_vertex_labels` (returned for
+/// TV-filter's placement pass) survive — callers give them back once
+/// done.
+#[allow(clippy::too_many_arguments)]
 fn tv_tail(
     pool: &Pool,
     n: u32,
@@ -636,26 +710,28 @@ fn tv_tail(
     is_tree_edge: &[bool],
     info: &TreeInfo,
     tuning: TraversalTuning,
+    ws: &BccWorkspace,
     rec: &mut PhaseRecorder,
 ) -> TailOutput {
     let m = edges.len();
 
     // Step 4: Low-high.
     let lh = rec.step(Step::LowHigh, || {
-        compute_low_high_with(pool, edges, is_tree_edge, info, LowHighMethod::Auto)
+        compute_low_high_with_ws(pool, edges, is_tree_edge, info, LowHighMethod::Auto, ws)
     });
 
     // Step 5: Label-edge.
     let aux = rec.step(Step::LabelEdge, || {
-        build_aux_graph(pool, n, edges, is_tree_edge, info, &lh)
+        build_aux_graph_fused_ws(pool, n, edges, is_tree_edge, info, &lh, ws)
     });
+    lh.recycle(ws);
 
     // Step 6: Connected-components of the auxiliary graph, written back
     // to the input edges.
     let aux_vertices = aux.num_vertices;
     let aux_edges = aux.edges.len();
-    rec.step(Step::ConnectedComponents, || {
-        let cc = connected_components_with(pool, aux.num_vertices, &aux.edges, tuning.sv);
+    let out = rec.step(Step::ConnectedComponents, || {
+        let cc = connected_components_with_ws(pool, aux.num_vertices, &aux.edges, tuning.sv, ws);
         let mut edge_labels = vec![0u32; m];
         {
             let out = SharedSlice::new(&mut edge_labels);
@@ -679,6 +755,7 @@ fn tv_tail(
                 }
             });
         }
+        ws.give(cc.tree_edges);
         TailOutput {
             edge_labels,
             aux_vertex_labels: cc.label,
@@ -686,7 +763,9 @@ fn tv_tail(
             aux_edges,
             sv_rounds_cc: cc.rounds,
         }
-    })
+    });
+    aux.recycle(ws);
+    out
 }
 
 /// Canonicalizes labels and stamps the total time.

@@ -1,0 +1,116 @@
+//! Property tests for the fused middle of the pipeline (satellite of
+//! the workspace-arena PR): the single-sweep Low-high and the
+//! count→scan→emit Label-edge must agree with their literal-paper
+//! reference implementations on every input, including edge lists with
+//! self-loops, duplicate edges, and nontree candidates that leave most
+//! of the tree untouched (disconnected candidate clusters).
+//!
+//! Both pairs share the inputs exactly, so equivalence is well-defined
+//! even on degenerate edges: whatever the reference computes, the fused
+//! kernel must compute too. A final end-to-end property drives the
+//! fused kernels through `run_any` on frequently *disconnected* random
+//! graphs against the sequential oracle.
+
+use bcc_connectivity::bfs::bfs_tree_seq;
+use bcc_core::{
+    build_aux_graph, build_aux_graph_fused, compute_low_high, compute_low_high_two_pass, Algorithm,
+    BccConfig,
+};
+use bcc_euler::{dfs_euler_tour, tree_computations, TreeInfo};
+use bcc_graph::{gen, Csr, Edge, Graph};
+use bcc_smp::Pool;
+use proptest::prelude::*;
+
+/// Strategy: a connected base graph plus extra raw pairs (possibly
+/// self-loops or duplicates of existing edges) appended as nontree
+/// candidates.
+fn graph_with_messy_extras() -> impl Strategy<Value = (Graph, Vec<Edge>)> {
+    (8u32..60, 0usize..200, any::<u64>()).prop_flat_map(|(n, extra, seed)| {
+        let m = ((n as usize - 1) + extra / 2).min(gen::max_edges(n));
+        let g = gen::random_connected(n, m, seed);
+        let pairs = proptest::collection::vec((0..n, 0..n), 0..48);
+        (Just(g), pairs).prop_map(|(g, pairs)| {
+            let extras = pairs.into_iter().map(|(u, v)| Edge::new(u, v)).collect();
+            (g, extras)
+        })
+    })
+}
+
+/// Rooted-tree inputs the tail kernels consume: the extended edge list
+/// (base edges + extras, all extras nontree), the tree flags, and the
+/// tree computations of a deterministic BFS spanning tree of the base.
+fn tail_inputs(pool: &Pool, g: &Graph, extras: &[Edge]) -> (Vec<Edge>, Vec<bool>, TreeInfo) {
+    let csr = Csr::build(g);
+    let bfs = bfs_tree_seq(&csr, 0);
+    let mut edges = g.edges().to_vec();
+    edges.extend_from_slice(extras);
+    let mut is_tree = vec![false; edges.len()];
+    for &e in &bfs.tree_edge_ids() {
+        is_tree[e as usize] = true;
+    }
+    let tree_edges: Vec<Edge> = bfs
+        .tree_edge_ids()
+        .iter()
+        .map(|&i| g.edges()[i as usize])
+        .collect();
+    let tour = dfs_euler_tour(pool, g.n(), tree_edges, &bfs.parent, 0);
+    let info = tree_computations(pool, &tour, 0);
+    (edges, is_tree, info)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fused_low_high_matches_two_pass_reference((g, extras) in graph_with_messy_extras()) {
+        for p in [1usize, 3] {
+            let pool = Pool::new(p);
+            let (edges, is_tree, info) = tail_inputs(&pool, &g, &extras);
+            let fused = compute_low_high(&pool, &edges, &is_tree, &info);
+            let two_pass = compute_low_high_two_pass(&pool, &edges, &is_tree, &info);
+            prop_assert_eq!(&fused.low, &two_pass.low, "low differs (p={})", p);
+            prop_assert_eq!(&fused.high, &two_pass.high, "high differs (p={})", p);
+        }
+    }
+
+    #[test]
+    fn fused_label_edge_matches_three_region_reference((g, extras) in graph_with_messy_extras()) {
+        for p in [1usize, 2, 4] {
+            let pool = Pool::new(p);
+            let (edges, is_tree, info) = tail_inputs(&pool, &g, &extras);
+            let lh = compute_low_high(&pool, &edges, &is_tree, &info);
+            let reference = build_aux_graph(&pool, g.n(), &edges, &is_tree, &info, &lh);
+            let fused = build_aux_graph_fused(&pool, g.n(), &edges, &is_tree, &info, &lh);
+            prop_assert_eq!(reference.num_vertices, fused.num_vertices, "p={}", p);
+            prop_assert_eq!(&reference.nontree_index, &fused.nontree_index, "p={}", p);
+            // Emission order differs; the sorted edge multiset must not.
+            let key = |e: &Edge| (e.u.min(e.v), e.u.max(e.v));
+            let mut a: Vec<_> = reference.edges.iter().map(key).collect();
+            let mut b: Vec<_> = fused.edges.iter().map(key).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "edge multiset differs (p={})", p);
+        }
+    }
+
+    #[test]
+    fn fused_pipeline_matches_sequential_on_disconnected_graphs(
+        n in 6u32..70,
+        m in 0usize..180,
+        seed in any::<u64>(),
+    ) {
+        // random_gnm is frequently disconnected at these densities, so
+        // the fused kernels run once per component inside run_any.
+        let g = gen::random_gnm(n, m.min(gen::max_edges(n)), seed);
+        let pool = Pool::new(2);
+        let base = BccConfig::new(Algorithm::Sequential)
+            .run_any(&pool, &g)
+            .unwrap()
+            .result;
+        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+            let r = BccConfig::new(alg).run_any(&pool, &g).unwrap().result;
+            prop_assert_eq!(&r.edge_comp, &base.edge_comp, "{}", alg.name());
+            prop_assert_eq!(r.num_components, base.num_components);
+        }
+    }
+}

@@ -27,11 +27,11 @@ pub mod rooted_tour;
 pub mod tour;
 pub mod tree_compute;
 
-pub use dfs_tour::dfs_euler_tour;
+pub use dfs_tour::{dfs_euler_tour, dfs_euler_tour_ws};
 pub use lca::LcaIndex;
-pub use rooted_tour::rooted_euler_tour;
-pub use tour::{euler_tour_classic, EulerTour, Ranker};
-pub use tree_compute::{tree_computations, TreeInfo};
+pub use rooted_tour::{rooted_euler_tour, rooted_euler_tour_ws};
+pub use tour::{euler_tour_classic, euler_tour_classic_ws, EulerTour, Ranker};
+pub use tree_compute::{tree_computations, tree_computations_ws, TreeInfo};
 
 /// Twin (reverse) arc of `a`.
 #[inline]

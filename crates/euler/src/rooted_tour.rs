@@ -19,9 +19,13 @@ use crate::tour::EulerTour;
 use crate::tour::Ranker;
 use crate::twin;
 use bcc_graph::Edge;
-use bcc_primitives::{list_rank_hj, list_rank_seq, list_rank_wyllie};
+use bcc_primitives::{
+    list_rank_hj, list_rank_hj_ws, list_rank_seq, list_rank_seq_ws, list_rank_wyllie,
+    list_rank_wyllie_ws,
+};
 use bcc_smp::atomic::as_atomic_u32;
-use bcc_smp::{Pool, SharedSlice, NIL};
+use bcc_smp::workspace::{alloc_filled, give_opt};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
 use std::sync::atomic::Ordering;
 
 /// Builds the Euler tour of the rooted tree `edges`/`parent` without
@@ -34,6 +38,32 @@ pub fn rooted_euler_tour(
     parent: &[u32],
     root: u32,
     ranker: Ranker,
+) -> EulerTour {
+    rooted_euler_tour_impl(pool, n, edges, parent, root, ranker, None)
+}
+
+/// [`rooted_euler_tour`] with all scratch and the tour's arrays taken
+/// from `ws`; return the tour's buffers with [`EulerTour::recycle`].
+pub fn rooted_euler_tour_ws(
+    pool: &Pool,
+    n: u32,
+    edges: Vec<Edge>,
+    parent: &[u32],
+    root: u32,
+    ranker: Ranker,
+    ws: &BccWorkspace,
+) -> EulerTour {
+    rooted_euler_tour_impl(pool, n, edges, parent, root, ranker, Some(ws))
+}
+
+fn rooted_euler_tour_impl(
+    pool: &Pool,
+    n: u32,
+    edges: Vec<Edge>,
+    parent: &[u32],
+    root: u32,
+    ranker: Ranker,
+    ws: Option<&BccWorkspace>,
 ) -> EulerTour {
     let n_us = n as usize;
     assert_eq!(parent.len(), n_us);
@@ -53,7 +83,7 @@ pub fn rooted_euler_tour(
 
     // Children CSR (parallel counting sort by parent), remembering each
     // child's slot so "next sibling" is a constant-time lookup.
-    let mut child_count = vec![0u32; n_us];
+    let mut child_count = alloc_filled(ws, n_us, 0u32);
     {
         let cc = as_atomic_u32(&mut child_count);
         let edges_ro: &[Edge] = &edges;
@@ -64,14 +94,17 @@ pub fn rooted_euler_tour(
             }
         });
     }
-    let mut offsets = vec![0u32; n_us + 1];
+    let mut offsets = alloc_filled(ws, n_us + 1, 0u32);
     offsets[1..].copy_from_slice(&child_count);
-    bcc_primitives::scan::inclusive_scan_par(pool, &mut offsets[1..]);
+    match ws {
+        Some(ws) => bcc_primitives::scan::inclusive_scan_par_ws(pool, &mut offsets[1..], ws),
+        None => bcc_primitives::scan::inclusive_scan_par(pool, &mut offsets[1..]),
+    }
 
-    let mut cursor = vec![0u32; n_us];
-    let mut child_arc = vec![NIL; t]; // advance arcs, grouped by parent
-    let mut slot_of = vec![NIL; n_us]; // child vertex -> its slot
-    let mut adv_arc = vec![NIL; n_us]; // child vertex -> its advance arc
+    let mut cursor = alloc_filled(ws, n_us, 0u32);
+    let mut child_arc = alloc_filled(ws, t, NIL); // advance arcs, grouped by parent
+    let mut slot_of = alloc_filled(ws, n_us, NIL); // child vertex -> its slot
+    let mut adv_arc = alloc_filled(ws, n_us, NIL); // child vertex -> its advance arc
     {
         let cur = as_atomic_u32(&mut cursor);
         let ca = SharedSlice::new(&mut child_arc);
@@ -102,7 +135,7 @@ pub fn rooted_euler_tour(
     }
 
     // Tour successors, one O(1) rule per arc.
-    let mut succ = vec![NIL; num_arcs];
+    let mut succ = alloc_filled(ws, num_arcs, NIL);
     {
         let succ_s = SharedSlice::new(&mut succ);
         let child_arc_ro: &[u32] = &child_arc;
@@ -144,12 +177,15 @@ pub fn rooted_euler_tour(
     }
 
     let start = child_arc[offsets[root as usize] as usize];
-    let pos = match ranker {
-        Ranker::Sequential => list_rank_seq(&succ, start),
-        Ranker::Wyllie => list_rank_wyllie(pool, &succ, start),
-        Ranker::HelmanJaja => list_rank_hj(pool, &succ, start),
+    let pos = match (ranker, ws) {
+        (Ranker::Sequential, None) => list_rank_seq(&succ, start),
+        (Ranker::Sequential, Some(ws)) => list_rank_seq_ws(&succ, start, ws),
+        (Ranker::Wyllie, None) => list_rank_wyllie(pool, &succ, start),
+        (Ranker::Wyllie, Some(ws)) => list_rank_wyllie_ws(pool, &succ, start, ws),
+        (Ranker::HelmanJaja, None) => list_rank_hj(pool, &succ, start),
+        (Ranker::HelmanJaja, Some(ws)) => list_rank_hj_ws(pool, &succ, start, ws),
     };
-    let mut order = vec![NIL; num_arcs];
+    let mut order = alloc_filled(ws, num_arcs, NIL);
     {
         let order_s = SharedSlice::new(&mut order);
         let pos_ro: &[u32] = &pos;
@@ -159,6 +195,14 @@ pub fn rooted_euler_tour(
             }
         });
     }
+
+    give_opt(ws, child_count);
+    give_opt(ws, offsets);
+    give_opt(ws, cursor);
+    give_opt(ws, child_arc);
+    give_opt(ws, slot_of);
+    give_opt(ws, adv_arc);
+    give_opt(ws, succ);
 
     EulerTour {
         n,

@@ -15,8 +15,12 @@
 
 use crate::twin;
 use bcc_graph::Edge;
-use bcc_primitives::{list_rank_hj, list_rank_seq, list_rank_wyllie, par_sample_sort_by_key};
-use bcc_smp::{Pool, SharedSlice, NIL};
+use bcc_primitives::{
+    list_rank_hj, list_rank_hj_ws, list_rank_seq, list_rank_seq_ws, list_rank_wyllie,
+    list_rank_wyllie_ws, par_radix_sort_u64, par_radix_sort_u64_ws, par_sample_sort_by_key,
+};
+use bcc_smp::workspace::{alloc_filled, give_opt};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
 
 /// Which list-ranking algorithm positions the tour.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -65,6 +69,14 @@ impl EulerTour {
     pub fn arc_dst(&self, a: u32) -> u32 {
         self.arc_src(twin(a))
     }
+
+    /// Returns the tour's buffers (edges, pos, order) to `ws` for
+    /// reuse once the tour is no longer needed.
+    pub fn recycle(self, ws: &BccWorkspace) {
+        ws.give(self.edges);
+        ws.give(self.pos);
+        ws.give(self.order);
+    }
 }
 
 /// Builds the Euler tour of the tree `edges` on vertices `0..n`, started
@@ -78,6 +90,31 @@ pub fn euler_tour_classic(
     edges: Vec<Edge>,
     root: u32,
     ranker: Ranker,
+) -> EulerTour {
+    euler_tour_classic_impl(pool, n, edges, root, ranker, None)
+}
+
+/// [`euler_tour_classic`] with every internal buffer (and the tour's
+/// own arrays) drawn from `ws`; return the tour's buffers with
+/// [`EulerTour::recycle`].
+pub fn euler_tour_classic_ws(
+    pool: &Pool,
+    n: u32,
+    edges: Vec<Edge>,
+    root: u32,
+    ranker: Ranker,
+    ws: &BccWorkspace,
+) -> EulerTour {
+    euler_tour_classic_impl(pool, n, edges, root, ranker, Some(ws))
+}
+
+fn euler_tour_classic_impl(
+    pool: &Pool,
+    n: u32,
+    edges: Vec<Edge>,
+    root: u32,
+    ranker: Ranker,
+    ws: Option<&BccWorkspace>,
 ) -> EulerTour {
     assert!(n >= 1);
     assert!(root < n);
@@ -97,7 +134,54 @@ pub fn euler_tour_classic(
         };
     }
 
-    // Arc source lookup without indirection.
+    // Sort arcs by source to form the circular adjacency list, as
+    // packed `(source << 32) | arc` keys. The fast path is the LSD
+    // radix sort — arc ids fit the low key half whenever `num_arcs`
+    // fits `u32`, which holds for every representable input; the
+    // original sample sort on `(source, dest)` pairs is kept as the
+    // fallback past that packing range. Any within-source circular
+    // order yields a valid Euler tour, so the two key layouts are
+    // interchangeable downstream.
+    let keys: Vec<u64> = if num_arcs <= u32::MAX as usize {
+        pack_adjacency_radix(pool, &edges, ws)
+    } else {
+        pack_adjacency_sample(pool, &edges)
+    };
+
+    tour_from_keys(pool, n, edges, root, ranker, keys, ws)
+}
+
+/// Builds the sorted circular-adjacency keys `(src << 32) | arc` with
+/// the parallel radix sort (the fast path).
+fn pack_adjacency_radix(pool: &Pool, edges: &[Edge], ws: Option<&BccWorkspace>) -> Vec<u64> {
+    let num_arcs = 2 * edges.len();
+    let mut keys: Vec<u64> = alloc_filled(ws, num_arcs, 0);
+    {
+        let keys_s = SharedSlice::new(&mut keys);
+        pool.run(|ctx| {
+            for i in ctx.block_range(edges.len()) {
+                let e = edges[i];
+                let a = 2 * i as u64;
+                unsafe {
+                    keys_s.write(2 * i, ((e.u as u64) << 32) | a);
+                    keys_s.write(2 * i + 1, ((e.v as u64) << 32) | (a + 1));
+                }
+            }
+        });
+    }
+    match ws {
+        Some(ws) => par_radix_sort_u64_ws(pool, &mut keys, ws),
+        None => par_radix_sort_u64(pool, &mut keys),
+    }
+    keys
+}
+
+/// Builds the sorted circular-adjacency keys via the sample sort on
+/// `(source, dest)` pairs carrying the arc id — the fallback when arc
+/// ids cannot be packed into the low key half (and the construction
+/// the TV-SMP ablation used before the radix path).
+fn pack_adjacency_sample(pool: &Pool, edges: &[Edge]) -> Vec<u64> {
+    let num_arcs = 2 * edges.len();
     let arc_src = |a: u32| -> u32 {
         let e = edges[(a / 2) as usize];
         if a & 1 == 0 {
@@ -107,43 +191,57 @@ pub fn euler_tour_classic(
         }
     };
     let arc_dst = |a: u32| arc_src(twin(a));
-
-    // Sort arcs by (source, dest) to form the circular adjacency list:
-    // (packed key, arc id) pairs through the parallel sample sort.
     let mut arcs: Vec<(u64, u32)> = (0..num_arcs as u32)
         .map(|a| (((arc_src(a) as u64) << 32) | arc_dst(a) as u64, a))
         .collect();
     par_sample_sort_by_key(pool, &mut arcs, |&(k, _)| k);
-    let sorted_arcs: Vec<u32> = arcs.iter().map(|&(_, a)| a).collect();
+    // Re-pack into the uniform (src << 32) | arc layout.
+    arcs.iter()
+        .map(|&(k, a)| (k & 0xFFFF_FFFF_0000_0000) | a as u64)
+        .collect()
+}
+
+/// Everything after the adjacency sort: circular next-pointers, tour
+/// successors, circuit break at `root`, list ranking, inverse
+/// permutation. `keys[j] = (src << 32) | arc` sorted ascending.
+fn tour_from_keys(
+    pool: &Pool,
+    n: u32,
+    edges: Vec<Edge>,
+    root: u32,
+    ranker: Ranker,
+    keys: Vec<u64>,
+    ws: Option<&BccWorkspace>,
+) -> EulerTour {
+    let num_arcs = keys.len();
 
     // next_around: successor within the source's circular arc list.
     // Position j links to j+1 unless j+1 starts a new source group, in
     // which case it wraps to its own group's start.
-    let mut next_around = vec![NIL; num_arcs];
+    let mut next_around = alloc_filled(ws, num_arcs, NIL);
     {
         // group_start[j] = index of the first position of j's group —
         // computable per position by binary search on the packed key's
         // source half, so the loop parallelizes without a stitch.
         let na = SharedSlice::new(&mut next_around);
-        let arcs_ro: &[(u64, u32)] = &arcs;
-        let sorted_ro: &[u32] = &sorted_arcs;
+        let keys_ro: &[u64] = &keys;
         pool.run(|ctx| {
             for j in ctx.block_range(num_arcs) {
-                let src = arcs_ro[j].0 >> 32;
-                let next = if j + 1 < num_arcs && (arcs_ro[j + 1].0 >> 32) == src {
-                    sorted_ro[j + 1]
+                let src = keys_ro[j] >> 32;
+                let next = if j + 1 < num_arcs && (keys_ro[j + 1] >> 32) == src {
+                    keys_ro[j + 1] as u32
                 } else {
                     // Wrap to the first arc of this source group.
-                    let g = arcs_ro.partition_point(|&(k, _)| (k >> 32) < src);
-                    sorted_ro[g]
+                    let g = keys_ro.partition_point(|&k| (k >> 32) < src);
+                    keys_ro[g] as u32
                 };
-                unsafe { na.write(sorted_ro[j] as usize, next) };
+                unsafe { na.write(keys_ro[j] as u32 as usize, next) };
             }
         });
     }
 
     // Tour successor: succ[a] = next arc around dst(a) after twin(a).
-    let mut succ = vec![NIL; num_arcs];
+    let mut succ = alloc_filled(ws, num_arcs, NIL);
     {
         let succ_s = SharedSlice::new(&mut succ);
         let na: &[u32] = &next_around;
@@ -157,12 +255,12 @@ pub fn euler_tour_classic(
     // Break the circuit at the first arc out of `root` in sorted order.
     let start = {
         // Binary search the sorted keys for the first arc with src=root.
-        let lo = arcs.partition_point(|&(k, _)| (k >> 32) < root as u64);
+        let lo = keys.partition_point(|&k| (k >> 32) < root as u64);
         assert!(
-            lo < num_arcs && (arcs[lo].0 >> 32) == root as u64,
+            lo < num_arcs && (keys[lo] >> 32) == root as u64,
             "root {root} has no incident tree edge"
         );
-        sorted_arcs[lo]
+        keys[lo] as u32
     };
     // The arc whose successor is `start`: its twin is the arc circularly
     // before `start` in root's adjacency group — equivalently the unique
@@ -177,14 +275,17 @@ pub fn euler_tour_classic(
     }
 
     // Rank the successor list.
-    let pos = match ranker {
-        Ranker::Sequential => list_rank_seq(&succ, start),
-        Ranker::Wyllie => list_rank_wyllie(pool, &succ, start),
-        Ranker::HelmanJaja => list_rank_hj(pool, &succ, start),
+    let pos = match (ranker, ws) {
+        (Ranker::Sequential, None) => list_rank_seq(&succ, start),
+        (Ranker::Sequential, Some(ws)) => list_rank_seq_ws(&succ, start, ws),
+        (Ranker::Wyllie, None) => list_rank_wyllie(pool, &succ, start),
+        (Ranker::Wyllie, Some(ws)) => list_rank_wyllie_ws(pool, &succ, start, ws),
+        (Ranker::HelmanJaja, None) => list_rank_hj(pool, &succ, start),
+        (Ranker::HelmanJaja, Some(ws)) => list_rank_hj_ws(pool, &succ, start, ws),
     };
 
     // Inverse permutation.
-    let mut order = vec![NIL; num_arcs];
+    let mut order = alloc_filled(ws, num_arcs, NIL);
     {
         let order_s = SharedSlice::new(&mut order);
         let pos_ro: &[u32] = &pos;
@@ -194,6 +295,10 @@ pub fn euler_tour_classic(
             }
         });
     }
+
+    give_opt(ws, keys);
+    give_opt(ws, next_around);
+    give_opt(ws, succ);
 
     EulerTour {
         n,
@@ -308,6 +413,52 @@ mod tests {
         // The tour structure (succ list) is identical, so positions are too.
         assert_eq!(seq.pos, wy.pos);
         assert_eq!(seq.pos, hj.pos);
+    }
+
+    #[test]
+    fn sample_sort_fallback_produces_valid_tours() {
+        // Drive the fallback key construction directly (it is only
+        // reachable organically past the u32 arc-packing range).
+        for seed in 0..3u64 {
+            let g = gen::random_tree(500, seed);
+            for p in [1, 4] {
+                let pool = Pool::new(p);
+                let keys = pack_adjacency_sample(&pool, g.edges());
+                let tour = tour_from_keys(
+                    &pool,
+                    g.n(),
+                    tree_edges(&g),
+                    3,
+                    Ranker::HelmanJaja,
+                    keys,
+                    None,
+                );
+                assert_valid_tour(&tour, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn ws_construction_matches_plain_and_hits_on_rerun() {
+        let g = gen::random_tree(800, 11);
+        let pool = Pool::new(4);
+        let ws = bcc_smp::BccWorkspace::new();
+        let plain = euler_tour_classic(&pool, g.n(), tree_edges(&g), 0, Ranker::HelmanJaja);
+        for _ in 0..2 {
+            let tour =
+                euler_tour_classic_ws(&pool, g.n(), tree_edges(&g), 0, Ranker::HelmanJaja, &ws);
+            assert_valid_tour(&tour, 0);
+            assert_eq!(tour.pos, plain.pos, "ws must not change the tour");
+            tour.recycle(&ws);
+        }
+        let s0 = ws.stats();
+        let tour = euler_tour_classic_ws(&pool, g.n(), tree_edges(&g), 0, Ranker::HelmanJaja, &ws);
+        tour.recycle(&ws);
+        assert_eq!(
+            ws.stats().delta_since(&s0).misses,
+            0,
+            "steady-state tour construction must not allocate"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 
 use crate::tour::EulerTour;
 use crate::twin;
-use bcc_smp::{Pool, SharedSlice, NIL};
+use bcc_smp::workspace::{alloc_filled, give_opt};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
 
 /// Rooted-tree data derived from an Euler tour.
 #[derive(Clone, Debug)]
@@ -52,10 +53,40 @@ impl TreeInfo {
         let pd = self.preorder[d as usize];
         pd >= pa && pd < pa + self.size[a as usize]
     }
+
+    /// Returns every array to `ws` for reuse.
+    pub fn recycle(self, ws: &BccWorkspace) {
+        ws.give(self.parent);
+        ws.give(self.parent_edge);
+        ws.give(self.preorder);
+        ws.give(self.vertex_at_preorder);
+        ws.give(self.size);
+        ws.give(self.depth);
+    }
 }
 
 /// Derives rooting, preorder, subtree sizes, and depths from `tour`.
 pub fn tree_computations(pool: &Pool, tour: &EulerTour, root: u32) -> TreeInfo {
+    tree_computations_impl(pool, tour, root, None)
+}
+
+/// [`tree_computations`] with all scratch and the result arrays taken
+/// from `ws`; return the result's arrays with [`TreeInfo::recycle`].
+pub fn tree_computations_ws(
+    pool: &Pool,
+    tour: &EulerTour,
+    root: u32,
+    ws: &BccWorkspace,
+) -> TreeInfo {
+    tree_computations_impl(pool, tour, root, Some(ws))
+}
+
+fn tree_computations_impl(
+    pool: &Pool,
+    tour: &EulerTour,
+    root: u32,
+    ws: Option<&BccWorkspace>,
+) -> TreeInfo {
     let n = tour.n as usize;
     let num_arcs = tour.num_arcs();
     let t = num_arcs / 2;
@@ -73,9 +104,9 @@ pub fn tree_computations(pool: &Pool, tour: &EulerTour, root: u32) -> TreeInfo {
     }
 
     // Rooting: the earlier arc of each twin pair points parent → child.
-    let mut parent = vec![NIL; n];
-    let mut parent_edge = vec![NIL; n];
-    let mut adv_arc = vec![NIL; n]; // v's advance arc
+    let mut parent = alloc_filled(ws, n, NIL);
+    let mut parent_edge = alloc_filled(ws, n, NIL);
+    let mut adv_arc = alloc_filled(ws, n, NIL); // v's advance arc
     {
         let par_s = SharedSlice::new(&mut parent);
         let pe_s = SharedSlice::new(&mut parent_edge);
@@ -105,8 +136,8 @@ pub fn tree_computations(pool: &Pool, tour: &EulerTour, root: u32) -> TreeInfo {
 
     // Advance flags in tour order, scanned inclusively: S[j] = number of
     // advance arcs at positions <= j.
-    let mut adv_scan = vec![0u32; num_arcs];
-    let mut depth_scan = vec![0i32; num_arcs];
+    let mut adv_scan = alloc_filled(ws, num_arcs, 0u32);
+    let mut depth_scan = alloc_filled(ws, num_arcs, 0i32);
     {
         let as_s = SharedSlice::new(&mut adv_scan);
         let ds_s = SharedSlice::new(&mut depth_scan);
@@ -121,13 +152,21 @@ pub fn tree_computations(pool: &Pool, tour: &EulerTour, root: u32) -> TreeInfo {
             }
         });
     }
-    bcc_primitives::scan::inclusive_scan_par(pool, &mut adv_scan);
-    bcc_primitives::scan::inclusive_scan_par(pool, &mut depth_scan);
+    match ws {
+        Some(ws) => {
+            bcc_primitives::scan::inclusive_scan_par_ws(pool, &mut adv_scan, ws);
+            bcc_primitives::scan::inclusive_scan_par_ws(pool, &mut depth_scan, ws);
+        }
+        None => {
+            bcc_primitives::scan::inclusive_scan_par(pool, &mut adv_scan);
+            bcc_primitives::scan::inclusive_scan_par(pool, &mut depth_scan);
+        }
+    }
 
     // Per-vertex quantities.
-    let mut preorder = vec![0u32; n];
-    let mut size = vec![0u32; n];
-    let mut depth = vec![0u32; n];
+    let mut preorder = alloc_filled(ws, n, 0u32);
+    let mut size = alloc_filled(ws, n, 0u32);
+    let mut depth = alloc_filled(ws, n, 0u32);
     {
         let pre_s = SharedSlice::new(&mut preorder);
         let size_s = SharedSlice::new(&mut size);
@@ -159,7 +198,7 @@ pub fn tree_computations(pool: &Pool, tour: &EulerTour, root: u32) -> TreeInfo {
     }
 
     // Inverse preorder permutation.
-    let mut vertex_at_preorder = vec![0u32; n];
+    let mut vertex_at_preorder = alloc_filled(ws, n, 0u32);
     {
         let inv_s = SharedSlice::new(&mut vertex_at_preorder);
         let pre_ro: &[u32] = &preorder;
@@ -169,6 +208,10 @@ pub fn tree_computations(pool: &Pool, tour: &EulerTour, root: u32) -> TreeInfo {
             }
         });
     }
+
+    give_opt(ws, adv_arc);
+    give_opt(ws, adv_scan);
+    give_opt(ws, depth_scan);
 
     TreeInfo {
         root,

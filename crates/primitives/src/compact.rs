@@ -5,8 +5,8 @@
 //! that step: keep the elements satisfying a predicate, preserving order,
 //! with work split across the pool.
 
-use crate::scan::exclusive_scan_par;
-use bcc_smp::{Pool, SharedSlice};
+use crate::scan::{exclusive_scan_par, exclusive_scan_par_ws};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice};
 
 /// Returns the elements `a[i]` for which `keep(i, a[i])` is true, in
 /// order, using a parallel flag → scan → scatter pipeline.
@@ -57,6 +57,50 @@ where
     out
 }
 
+/// [`compact_with`] with every buffer drawn from `ws`: the flag/scan
+/// scratch is returned to the arena before this function returns, and
+/// the *output* vector is also taken from `ws` — the caller owns it and
+/// decides when (whether) to give it back.
+pub fn compact_with_ws<T, F>(pool: &Pool, a: &[T], keep: F, ws: &BccWorkspace) -> Vec<T>
+where
+    T: Copy + Send + Sync + 'static,
+    F: Fn(usize, &T) -> bool + Sync,
+{
+    let n = a.len();
+    if n == 0 {
+        return ws.take(0);
+    }
+    let mut pos: Vec<u32> = ws.take_filled(n, 0);
+    {
+        let pos_s = SharedSlice::new(&mut pos);
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                unsafe { pos_s.write(i, u32::from(keep(i, &a[i]))) };
+            }
+        });
+    }
+    let total = exclusive_scan_par_ws(pool, &mut pos, ws) as usize;
+    let mut out: Vec<T> = ws.take(total);
+    if total == 0 {
+        ws.give(pos);
+        return out;
+    }
+    out.resize(total, a[0]);
+    {
+        let out_s = SharedSlice::new(&mut out);
+        let pos_ro: &[u32] = &pos;
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                if keep(i, &a[i]) {
+                    unsafe { out_s.write(pos_ro[i] as usize, a[i]) };
+                }
+            }
+        });
+    }
+    ws.give(pos);
+    out
+}
+
 /// Returns the *indices* `i` with `flag(i)` true, in ascending order.
 pub fn compact_indices<F>(pool: &Pool, n: usize, flag: F) -> Vec<u32>
 where
@@ -84,6 +128,38 @@ where
             }
         });
     }
+    out
+}
+
+/// [`compact_indices`] with scratch and output drawn from `ws` (the
+/// caller owns the returned vector).
+pub fn compact_indices_ws<F>(pool: &Pool, n: usize, flag: F, ws: &BccWorkspace) -> Vec<u32>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let mut pos: Vec<u32> = ws.take_filled(n, 0);
+    {
+        let pos_s = SharedSlice::new(&mut pos);
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                unsafe { pos_s.write(i, u32::from(flag(i))) };
+            }
+        });
+    }
+    let total = exclusive_scan_par_ws(pool, &mut pos, ws) as usize;
+    let mut out: Vec<u32> = ws.take_filled(total, 0);
+    {
+        let out_s = SharedSlice::new(&mut out);
+        let pos_ro: &[u32] = &pos;
+        pool.run(|ctx| {
+            for i in ctx.block_range(n) {
+                if flag(i) {
+                    unsafe { out_s.write(pos_ro[i] as usize, i as u32) };
+                }
+            }
+        });
+    }
+    ws.give(pos);
     out
 }
 
@@ -128,6 +204,27 @@ mod tests {
                 .map(|i| i as u32)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn ws_variants_match_plain() {
+        let pool = Pool::new(4);
+        let ws = bcc_smp::BccWorkspace::new();
+        let a: Vec<u32> = (0..2000).map(|i| i * 7 % 613).collect();
+        for _ in 0..2 {
+            let got = compact_with_ws(&pool, &a, |_, &x| x % 3 == 0, &ws);
+            assert_eq!(got, compact_with(&pool, &a, |_, &x| x % 3 == 0));
+            ws.give(got);
+            let idx = compact_indices_ws(&pool, a.len(), |i| a[i].is_multiple_of(5), &ws);
+            assert_eq!(
+                idx,
+                compact_indices(&pool, a.len(), |i| a[i].is_multiple_of(5))
+            );
+            ws.give(idx);
+        }
+        let s = ws.stats();
+        assert_eq!(s.misses + s.hits, 12, "3 takes per ws call");
+        assert!(s.misses <= 3, "second round must be all hits, got {s:?}");
     }
 
     proptest! {

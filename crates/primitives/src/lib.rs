@@ -25,9 +25,18 @@ pub mod rmq;
 pub mod scan;
 pub mod sort;
 
-pub use compact::{compact_indices, compact_with};
-pub use list_rank::{list_rank_hj, list_rank_seq, list_rank_wyllie};
+pub use compact::{compact_indices, compact_indices_ws, compact_with, compact_with_ws};
+pub use list_rank::{
+    list_rank_hj, list_rank_hj_ws, list_rank_seq, list_rank_seq_ws, list_rank_wyllie,
+    list_rank_wyllie_ws,
+};
 pub use reduce::{par_max, par_min, par_sum_u64};
-pub use rmq::{Extremum, RangeTable};
-pub use scan::{exclusive_scan_par, exclusive_scan_seq, inclusive_scan_par, inclusive_scan_seq};
-pub use sort::{par_radix_sort_u64, par_sample_sort, par_sample_sort_by_key};
+pub use rmq::{Extremum, RangeMinMaxTable, RangeTable};
+pub use scan::{
+    exclusive_scan_par, exclusive_scan_par_ws, exclusive_scan_seq, inclusive_scan_par,
+    inclusive_scan_par_ws, inclusive_scan_seq,
+};
+pub use sort::{
+    par_radix_sort_u64, par_radix_sort_u64_ws, par_sample_sort, par_sample_sort_by_key,
+    par_sample_sort_by_key_ws,
+};

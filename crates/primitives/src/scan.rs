@@ -6,7 +6,7 @@
 //! p) time per thread — the building block the paper uses to replace list
 //! ranking wherever the data is already in traversal order.
 
-use bcc_smp::{Ctx, Pool, SharedSlice};
+use bcc_smp::{BccWorkspace, Ctx, Pool, SharedSlice};
 
 /// Trait for scannable element types (associative op with identity).
 pub trait ScanElem: Copy + Send + Sync {
@@ -71,22 +71,70 @@ pub fn exclusive_scan_par<T: ScanElem>(pool: &Pool, a: &mut [T]) -> T {
     scan_par_impl(pool, a, false)
 }
 
+/// [`inclusive_scan_par`] with the O(p) block-totals scratch taken from
+/// (and returned to) `ws`.
+pub fn inclusive_scan_par_ws<T: ScanElem + 'static>(pool: &Pool, a: &mut [T], ws: &BccWorkspace) {
+    scan_par_ws_impl(pool, a, true, ws);
+}
+
+/// [`exclusive_scan_par`] with the O(p) block-totals scratch taken from
+/// (and returned to) `ws`; returns the total.
+pub fn exclusive_scan_par_ws<T: ScanElem + 'static>(
+    pool: &Pool,
+    a: &mut [T],
+    ws: &BccWorkspace,
+) -> T {
+    scan_par_ws_impl(pool, a, false, ws)
+}
+
+fn scan_seq_impl<T: ScanElem>(a: &mut [T], inclusive: bool) -> T {
+    if inclusive {
+        let total = a.iter().fold(T::ZERO, |acc, &x| acc.combine(x));
+        inclusive_scan_seq(a);
+        total
+    } else {
+        exclusive_scan_seq(a)
+    }
+}
+
 fn scan_par_impl<T: ScanElem>(pool: &Pool, a: &mut [T], inclusive: bool) -> T {
     let n = a.len();
     let p = pool.threads();
     if p == 1 || n < 2 * p {
-        return if inclusive {
-            let total = a.iter().fold(T::ZERO, |acc, &x| acc.combine(x));
-            inclusive_scan_seq(a);
-            total
-        } else {
-            exclusive_scan_seq(a)
-        };
+        return scan_seq_impl(a, inclusive);
     }
-
     let mut block_totals = vec![T::ZERO; p + 1];
+    scan_par_body(pool, a, inclusive, &mut block_totals)
+}
+
+fn scan_par_ws_impl<T: ScanElem + 'static>(
+    pool: &Pool,
+    a: &mut [T],
+    inclusive: bool,
+    ws: &BccWorkspace,
+) -> T {
+    let n = a.len();
+    let p = pool.threads();
+    if p == 1 || n < 2 * p {
+        return scan_seq_impl(a, inclusive);
+    }
+    let mut block_totals = ws.take_filled(p + 1, T::ZERO);
+    let total = scan_par_body(pool, a, inclusive, &mut block_totals);
+    ws.give(block_totals);
+    total
+}
+
+fn scan_par_body<T: ScanElem>(
+    pool: &Pool,
+    a: &mut [T],
+    inclusive: bool,
+    block_totals: &mut [T],
+) -> T {
+    let n = a.len();
+    let p = pool.threads();
+    debug_assert_eq!(block_totals.len(), p + 1);
     let a_s = SharedSlice::new(a);
-    let totals_s = SharedSlice::new(&mut block_totals);
+    let totals_s = SharedSlice::new(block_totals);
 
     pool.run(|ctx: &Ctx| {
         let r = ctx.block_range(n);
@@ -158,6 +206,27 @@ mod tests {
         let total = exclusive_scan_seq(&mut a);
         assert_eq!(a, vec![0, 1, 3, 6]);
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn ws_variants_match_plain_and_reuse_scratch() {
+        let pool = Pool::new(4);
+        let ws = BccWorkspace::new();
+        for round in 0..3 {
+            let mut a: Vec<u64> = (0..1000).map(|i| i * 3 + round).collect();
+            let mut b = a.clone();
+            inclusive_scan_par(&pool, &mut a);
+            inclusive_scan_par_ws(&pool, &mut b, &ws);
+            assert_eq!(a, b);
+            let mut c: Vec<u64> = (0..1000).map(|i| i + round).collect();
+            let mut d = c.clone();
+            let t0 = exclusive_scan_par(&pool, &mut c);
+            let t1 = exclusive_scan_par_ws(&pool, &mut d, &ws);
+            assert_eq!((c, t0), (d, t1));
+        }
+        let s = ws.stats();
+        assert_eq!(s.misses, 1, "one scratch buffer, reused thereafter");
+        assert_eq!(s.hits, 5);
     }
 
     #[test]

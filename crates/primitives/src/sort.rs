@@ -6,7 +6,7 @@
 //! plus an LSD radix sort on packed `u64` keys, which the bench crate
 //! compares as an ablation.
 
-use bcc_smp::{Ctx, Pool, SharedSlice};
+use bcc_smp::{BccWorkspace, Ctx, Pool, SharedSlice};
 
 /// Oversampling factor for splitter selection.
 const OVERSAMPLE: usize = 32;
@@ -21,7 +21,7 @@ const OVERSAMPLE: usize = 32;
 /// par_sample_sort(&Pool::new(2), &mut a);
 /// assert_eq!(a, vec![1, 2, 5, 9]);
 /// ```
-pub fn par_sample_sort<T: Copy + Ord + Send + Sync>(pool: &Pool, a: &mut [T]) {
+pub fn par_sample_sort<T: Copy + Ord + Send + Sync + 'static>(pool: &Pool, a: &mut [T]) {
     par_sample_sort_by_key(pool, a, |x| *x)
 }
 
@@ -29,7 +29,27 @@ pub fn par_sample_sort<T: Copy + Ord + Send + Sync>(pool: &Pool, a: &mut [T]) {
 /// equal keys is *not* guaranteed).
 pub fn par_sample_sort_by_key<T, K, F>(pool: &Pool, a: &mut [T], key: F)
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
+    K: Ord + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    par_sample_sort_by_key_impl(pool, a, key, None)
+}
+
+/// [`par_sample_sort_by_key`] with the O(n) double-buffer taken from
+/// (and returned to) `ws`.
+pub fn par_sample_sort_by_key_ws<T, K, F>(pool: &Pool, a: &mut [T], key: F, ws: &BccWorkspace)
+where
+    T: Copy + Send + Sync + 'static,
+    K: Ord + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    par_sample_sort_by_key_impl(pool, a, key, Some(ws))
+}
+
+fn par_sample_sort_by_key_impl<T, K, F>(pool: &Pool, a: &mut [T], key: F, ws: Option<&BccWorkspace>)
+where
+    T: Copy + Send + Sync + 'static,
     K: Ord + Copy + Send + Sync,
     F: Fn(&T) -> K + Sync,
 {
@@ -82,7 +102,11 @@ where
     // search, then copies and sorts.
     // Filled with copies of a[0] (n > 0 past the early return) so the
     // buffer is initialized — every slot is overwritten by the scatter.
-    let mut out: Vec<T> = vec![a[0]; n];
+    let mut out: Vec<T> = match ws {
+        Some(ws) => ws.take(n),
+        None => Vec::with_capacity(n),
+    };
+    out.resize(n, a[0]);
     let mut bucket_sizes = vec![0usize; p + 1];
     {
         let a_ro: &[T] = a;
@@ -147,6 +171,9 @@ where
             dst.copy_from_slice(&out_ro[r]);
         });
     }
+    if let Some(ws) = ws {
+        ws.give(out);
+    }
 }
 
 /// Parallel LSD radix sort of `u64` keys (8 passes of 8 bits), stable.
@@ -155,6 +182,16 @@ where
 /// a (256 × p) exclusive scan by thread 0 in bin-major order (stability),
 /// then a scatter with per-thread cursors.
 pub fn par_radix_sort_u64(pool: &Pool, a: &mut [u64]) {
+    par_radix_sort_u64_impl(pool, a, None)
+}
+
+/// [`par_radix_sort_u64`] with the O(n) double-buffer and O(256·p)
+/// histogram taken from (and returned to) `ws`.
+pub fn par_radix_sort_u64_ws(pool: &Pool, a: &mut [u64], ws: &BccWorkspace) {
+    par_radix_sort_u64_impl(pool, a, Some(ws))
+}
+
+fn par_radix_sort_u64_impl(pool: &Pool, a: &mut [u64], ws: Option<&BccWorkspace>) {
     let n = a.len();
     let p = pool.threads();
     if p == 1 || n < 1 << 14 {
@@ -162,8 +199,10 @@ pub fn par_radix_sort_u64(pool: &Pool, a: &mut [u64]) {
         return;
     }
     const BINS: usize = 256;
-    let mut buf = vec![0u64; n];
-    let mut hist = vec![0usize; BINS * p];
+    let (mut buf, mut hist): (Vec<u64>, Vec<usize>) = match ws {
+        Some(ws) => (ws.take_filled(n, 0), ws.take_filled(BINS * p, 0)),
+        None => (vec![0u64; n], vec![0usize; BINS * p]),
+    };
 
     // Skip passes whose byte is constant across the array (common when
     // keys are packed (u,v) pairs with small vertex counts).
@@ -226,6 +265,10 @@ pub fn par_radix_sort_u64(pool: &Pool, a: &mut [u64]) {
     }
     if !src_is_a {
         a.copy_from_slice(&buf);
+    }
+    if let Some(ws) = ws {
+        ws.give(buf);
+        ws.give(hist);
     }
 }
 

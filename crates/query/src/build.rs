@@ -12,8 +12,9 @@ use bcc_core::{Algorithm, BccConfig, BccError, BccResult, BlockCutTree};
 use bcc_euler::LcaIndex;
 use bcc_graph::Graph;
 use bcc_smp::atomic::as_atomic_u32;
-use bcc_smp::{Pool, NIL};
+use bcc_smp::{BccWorkspace, Pool, NIL};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 impl BiconnectivityIndex {
     /// Builds the index from a graph, its (canonical) BCC labeling, and
@@ -142,6 +143,18 @@ impl BiconnectivityIndex {
     /// is ready for fallible pipelines.
     pub fn from_graph(pool: &Pool, g: &Graph) -> Result<Self, BccError> {
         let run = BccConfig::new(Algorithm::TvFilter).run_any(pool, g)?;
+        let t = BlockCutTree::build(g, &run.result);
+        Ok(Self::build(pool, g, &run.result, &t))
+    }
+
+    /// [`from_graph`](Self::from_graph) drawing the pipeline's scratch
+    /// from `ws`. Long-lived callers that rebuild repeatedly (the
+    /// epoch store) pass one workspace across rebuilds so steady-state
+    /// reconstruction performs near-zero heap allocation.
+    pub fn from_graph_ws(pool: &Pool, g: &Graph, ws: &Arc<BccWorkspace>) -> Result<Self, BccError> {
+        let run = BccConfig::new(Algorithm::TvFilter)
+            .workspace(Arc::clone(ws))
+            .run_any(pool, g)?;
         let t = BlockCutTree::build(g, &run.result);
         Ok(Self::build(pool, g, &run.result, &t))
     }

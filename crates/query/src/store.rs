@@ -19,7 +19,7 @@
 use crate::index::BiconnectivityIndex;
 use bcc_core::BccError;
 use bcc_graph::{Edge, Graph};
-use bcc_smp::Pool;
+use bcc_smp::{BccWorkspace, Pool};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One journal entry: an edge appears or disappears.
@@ -51,13 +51,19 @@ pub struct IndexStore {
     /// Serializes commits so concurrent writers cannot lose each
     /// other's updates; readers never take this.
     commit_lock: Mutex<()>,
+    /// One pipeline scratch arena shared across every rebuild: after
+    /// the first commit, reconstruction runs in its zero-allocation
+    /// steady state (commits are serialized by `commit_lock`, so the
+    /// arena never sees two rebuilds at once).
+    workspace: Arc<BccWorkspace>,
 }
 
 impl IndexStore {
     /// Builds epoch 0 from `g` and takes ownership of the pool used
     /// for every rebuild. Fails if the initial index build does.
     pub fn new(pool: Pool, g: Graph) -> Result<Self, BccError> {
-        let index = BiconnectivityIndex::from_graph(&pool, &g)?;
+        let workspace = Arc::new(BccWorkspace::new());
+        let index = BiconnectivityIndex::from_graph_ws(&pool, &g, &workspace)?;
         Ok(IndexStore {
             pool,
             current: RwLock::new(Arc::new(Snapshot {
@@ -67,7 +73,14 @@ impl IndexStore {
             })),
             journal: Mutex::new(Vec::new()),
             commit_lock: Mutex::new(()),
+            workspace,
         })
+    }
+
+    /// Cumulative hit/miss counters of the rebuild arena (for tests
+    /// and telemetry).
+    pub fn workspace_stats(&self) -> bcc_smp::WorkspaceStats {
+        self.workspace.stats()
     }
 
     /// The current snapshot. Cheap (one `Arc` clone under a read
@@ -99,7 +112,7 @@ impl IndexStore {
         }
         let prev = self.load();
         let graph = apply_updates(&prev.graph, &updates);
-        let index = match BiconnectivityIndex::from_graph(&self.pool, &graph) {
+        let index = match BiconnectivityIndex::from_graph_ws(&self.pool, &graph, &self.workspace) {
             Ok(index) => index,
             Err(e) => {
                 // Put the drained updates back in front of anything

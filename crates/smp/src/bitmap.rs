@@ -49,6 +49,20 @@ impl Bitmap {
         Bitmap { lines, len }
     }
 
+    /// An all-zero bitmap of `len` bits whose line storage is taken
+    /// from (and can be [`recycle`](Self::recycle)d back to) `ws`.
+    pub fn new_in(len: usize, ws: &crate::workspace::BccWorkspace) -> Self {
+        let words = len.div_ceil(64);
+        let mut lines: Vec<Line> = ws.take(words.div_ceil(WORDS_PER_LINE));
+        lines.resize_with(words.div_ceil(WORDS_PER_LINE), Line::default);
+        Bitmap { lines, len }
+    }
+
+    /// Returns the line storage to `ws` for reuse.
+    pub fn recycle(self, ws: &crate::workspace::BccWorkspace) {
+        ws.give(self.lines);
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {

@@ -22,6 +22,8 @@
 //!   frontiers).
 //! * [`telemetry`] — opt-in per-thread counters (barrier wait, busy
 //!   time, phase counts) for attributing parallel overhead.
+//! * [`workspace`] — a typed reusable-buffer arena so steady-state
+//!   repeated runs perform near-zero heap allocation.
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@ pub mod dynamic;
 pub mod pool;
 pub mod shared;
 pub mod telemetry;
+pub mod workspace;
 
 pub use barrier::Barrier;
 pub use bitmap::Bitmap;
@@ -55,6 +58,7 @@ pub use dynamic::ChunkCounter;
 pub use pool::{Ctx, Pool, PoolBuilder};
 pub use shared::SharedSlice;
 pub use telemetry::{Telemetry, TelemetrySnapshot};
+pub use workspace::{BccWorkspace, CountingAlloc, WorkspaceStats};
 
 /// Sentinel used throughout the workspace for "no vertex / no index".
 pub const NIL: u32 = u32::MAX;
