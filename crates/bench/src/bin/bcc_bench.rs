@@ -3,7 +3,7 @@
 //! ```text
 //! bcc-bench [--smoke] [--n <vertices>] [--p <max threads>]
 //!           [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>]
-//!           [--workspace on|off|both] [--out <path>]
+//!           [--workspace on|off|both] [--store on|off] [--out <path>]
 //! bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]
 //! ```
 //!
@@ -17,9 +17,11 @@
 //! the allocation-ablation axis: `on` (default) shares one scratch
 //! arena per cell across trials so warm trials run in the
 //! zero-allocation steady state, `off` allocates fresh per run, `both`
-//! emits the two as separate series. `compare` exits non-zero
-//! when the candidate document is more than `--threshold` percent
-//! slower than the baseline on any matching cell.
+//! emits the two as separate series. `--store off` skips the
+//! `store-multi` commit-latency cells (incremental vs from-scratch
+//! `IndexStore` commits across batch sizes; on by default).
+//! `compare` exits non-zero when the candidate document is more than
+//! `--threshold` percent slower than the baseline on any matching cell.
 
 use bcc_bench::grid::{self, GridConfig};
 use bcc_bench::json;
@@ -37,7 +39,7 @@ fn main() -> ExitCode {
 
 fn bad_usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--out <path>]");
+    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--store on|off] [--out <path>]");
     eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]");
     ExitCode::from(2)
 }
@@ -53,10 +55,12 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
             let threads = cfg.threads.clone();
             let tunings = cfg.tunings.clone();
             let workspace = cfg.workspace;
+            let store = cfg.store;
             cfg = GridConfig::smoke(machine);
             cfg.threads = threads;
             cfg.tunings = tunings;
             cfg.workspace = workspace;
+            cfg.store = store;
             i += 1;
             continue;
         }
@@ -88,6 +92,17 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
                 }
                 Err(e) => return bad_usage(&format!("bad value for --workspace: {e}")),
             },
+            "--store" => match val.as_str() {
+                "on" => {
+                    cfg.store = true;
+                    true
+                }
+                "off" => {
+                    cfg.store = false;
+                    true
+                }
+                _ => false,
+            },
             "--out" => {
                 out = val.clone();
                 true
@@ -102,13 +117,14 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
 
     let specs: Vec<String> = cfg.tunings.iter().map(TraversalTuning::spec).collect();
     eprintln!(
-        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?} workspace={}{}",
+        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?} workspace={} store={}{}",
         cfg.n,
         cfg.threads,
         cfg.trials,
         cfg.seed,
         specs,
         cfg.workspace.name(),
+        if cfg.store { "on" } else { "off" },
         if cfg.smoke { " (smoke)" } else { "" }
     );
     let doc = grid::run_grid(&cfg, |line| eprintln!("  {line}"));

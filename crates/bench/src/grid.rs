@@ -9,10 +9,11 @@
 use crate::json::Json;
 use bcc_connectivity::bfs::bfs_tree_seq;
 use bcc_core::{Algorithm, BccConfig, BccWorkspace, PhaseReport, TraversalTuning};
-use bcc_graph::{gen, Csr, Graph};
+use bcc_graph::{gen, Csr, Edge, Graph};
+use bcc_query::{CommitStats, IndexStore};
 use bcc_smp::{Pool, Telemetry};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Version stamp for the `BENCH_bcc.json` layout; bump on breaking
 /// schema changes. `compare` reads any version listed in
@@ -23,7 +24,9 @@ use std::time::Duration;
 /// summary (`families[].effective_diameter_90`). The workspace ablation
 /// fields (`workspace`, `alloc_bytes`, `arena_hit_rate`, and the
 /// `/ws-off` key suffix) are additive within v2: documents without them
-/// stay comparable on the shared cells.
+/// stay comparable on the shared cells. The `store-multi` commit-latency
+/// cells (`batch`, `batch_effective`, the [`CommitStats`] medians, and
+/// the `/batch<k>` key suffix) are additive within v2 the same way.
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Schema versions [`compare`] can still read (v1 documents predate the
@@ -148,6 +151,11 @@ pub struct GridConfig {
     /// Allocation-ablation axis: whether parallel cells share one arena
     /// across trials, allocate fresh per run, or run both series.
     pub workspace: WorkspaceMode,
+    /// Whether to run the `store-multi` commit-latency cells: an
+    /// [`IndexStore`] over a many-component instance, timing
+    /// incremental (`Txn::commit`) against from-scratch
+    /// (`Txn::commit_full`) commits across batch sizes.
+    pub store: bool,
 }
 
 impl GridConfig {
@@ -164,6 +172,7 @@ impl GridConfig {
             smoke: false,
             tunings: vec![TraversalTuning::fast()],
             workspace: WorkspaceMode::On,
+            store: true,
         }
     }
 
@@ -177,6 +186,7 @@ impl GridConfig {
             smoke: true,
             tunings: vec![TraversalTuning::fast()],
             workspace: WorkspaceMode::On,
+            store: true,
         }
     }
 }
@@ -322,6 +332,206 @@ fn family_json(family: Family, g: &Graph) -> Json {
             Json::num(tree.effective_diameter(0.9)),
         ),
     ])
+}
+
+/// Connected components in the store-commit benchmark instance. With
+/// batches confined to one of them, an incremental commit's rebuild
+/// region is `1/STORE_PARTS` of the graph — the locality the
+/// component-scoped commit is supposed to monetize.
+pub const STORE_PARTS: u32 = 16;
+
+/// Batch sizes the store-commit cells sweep: a point update, a burst,
+/// and a bulk load.
+pub const STORE_BATCHES: [usize; 3] = [1, 64, 4096];
+
+/// Splitmix-flavored LCG for shaping deterministic update batches.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// The store-commit instance: [`STORE_PARTS`] disjoint random connected
+/// components of ~`n / STORE_PARTS` vertices each, laid out on
+/// contiguous vertex ranges. Kept sparse enough (half the complete
+/// graph at tiny sizes) that the first component always has absent
+/// chords left to insert.
+fn store_family_graph(n: u32, seed: u64) -> Graph {
+    let part_n = (n / STORE_PARTS).max(8);
+    let part_m = (3 * part_n as usize)
+        .min(gen::max_edges(part_n) / 2)
+        .max(part_n as usize);
+    let mut edges = Vec::with_capacity(STORE_PARTS as usize * part_m);
+    for p in 0..STORE_PARTS {
+        let off = p * part_n;
+        let sub = gen::random_connected(part_n, part_m, seed.wrapping_add(p as u64));
+        edges.extend(sub.edges().iter().map(|e| Edge::new(e.u + off, e.v + off)));
+    }
+    Graph::new(part_n * STORE_PARTS, edges)
+}
+
+/// Picks up to `want` distinct vertex pairs inside the first component
+/// (ids `< part_n`) that are *not* edges of `g`. Returns fewer when the
+/// component runs out of absent chords (tiny smoke instances under the
+/// 4096 batch).
+fn absent_chords(g: &Graph, part_n: u32, want: usize, state: &mut u64) -> Vec<(u32, u32)> {
+    let mut present: std::collections::BTreeSet<u64> = g.edges().iter().map(|e| e.key()).collect();
+    let mut out = Vec::with_capacity(want.min(1024));
+    let mut attempts = 0usize;
+    let cap = want * 20 + 1000;
+    while out.len() < want && attempts < cap {
+        attempts += 1;
+        let u = (lcg(state) % u64::from(part_n)) as u32;
+        let v = (lcg(state) % u64::from(part_n)) as u32;
+        if u != v && present.insert(Edge::new(u, v).key()) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+/// Runs the `store-multi` commit-latency cells: one [`IndexStore`] per
+/// (threads × batch × mode) cell over the same many-component instance.
+/// Each trial inserts a batch of absent chords confined to the first
+/// component, times the commit (incremental or full), and reverts
+/// untimed so every round commits against the same steady-state graph.
+/// Returns the family summary and the entry list.
+fn run_store_cells(
+    cfg: &GridConfig,
+    pools: &[Pool],
+    progress: &mut impl FnMut(&str),
+) -> (Json, Vec<Json>) {
+    let trials = cfg.trials.max(1);
+    let g = store_family_graph(cfg.n, cfg.seed);
+    let part_n = (cfg.n / STORE_PARTS).max(8);
+
+    struct StoreCell {
+        pool: usize,
+        batch: usize,
+        full: bool,
+        store: IndexStore,
+        state: u64,
+        secs: Vec<f64>,
+        effective: Vec<usize>,
+        stats: Vec<CommitStats>,
+    }
+    let mut cells: Vec<StoreCell> = vec![];
+    for (pool, pool_ref) in pools.iter().enumerate() {
+        for &batch in &STORE_BATCHES {
+            for full in [false, true] {
+                cells.push(StoreCell {
+                    pool,
+                    batch,
+                    full,
+                    store: IndexStore::new(pool_ref.clone(), g.clone())
+                        .expect("store family instance indexes"),
+                    state: cfg.seed ^ (((pool as u64) << 32) | ((batch as u64) << 1) | full as u64),
+                    secs: Vec::with_capacity(trials),
+                    effective: Vec::with_capacity(trials),
+                    stats: Vec::with_capacity(trials),
+                });
+            }
+        }
+    }
+
+    // Trial-major for the same reason as the main grid: spread each
+    // cell's samples past any single host-scheduler burst.
+    for round in 0..trials {
+        for cell in &mut cells {
+            let before = cell.store.load();
+            let chords = absent_chords(&before.graph, part_n, cell.batch, &mut cell.state);
+            let mut txn = cell.store.begin();
+            for &(u, v) in &chords {
+                txn.insert(u, v);
+            }
+            let t = Instant::now();
+            let snap = if cell.full {
+                txn.commit_full()
+            } else {
+                txn.commit()
+            }
+            .expect("store commit");
+            cell.secs.push(t.elapsed().as_secs_f64());
+            cell.effective.push(chords.len());
+            cell.stats.push(snap.stats);
+            let mut txn = cell.store.begin();
+            for &(u, v) in &chords {
+                txn.remove(u, v);
+            }
+            txn.commit().expect("store revert");
+        }
+        progress(&format!(
+            "store trial round {}/{trials} complete",
+            round + 1
+        ));
+    }
+
+    let mut entries = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let p = cfg.threads[cell.pool];
+        let algorithm = if cell.full {
+            "commit-full"
+        } else {
+            "commit-incremental"
+        };
+        let seconds = median_f64(cell.secs.clone());
+        let med = |f: &dyn Fn(&CommitStats) -> f64| median_f64(cell.stats.iter().map(f).collect());
+        entries.push(Json::obj(vec![
+            ("family", Json::str("store-multi")),
+            ("algorithm", Json::str(algorithm)),
+            ("n", Json::num(g.n())),
+            ("m", Json::num(g.m() as f64)),
+            ("threads", Json::num(p as f64)),
+            // Nominal batch size (the entry-key axis) and the median
+            // batch actually committed (smaller only when a tiny smoke
+            // component runs out of absent chords).
+            ("batch", Json::num(cell.batch as f64)),
+            (
+                "batch_effective",
+                Json::num(median_f64(
+                    cell.effective.iter().map(|&b| b as f64).collect(),
+                )),
+            ),
+            ("seconds", Json::num(seconds)),
+            (
+                "seconds_min",
+                Json::num(cell.secs.iter().copied().fold(f64::INFINITY, f64::min)),
+            ),
+            // CommitStats medians: how much of the index each commit
+            // actually rebuilt.
+            (
+                "components_rebuilt",
+                Json::num(med(&|s| f64::from(s.components_rebuilt))),
+            ),
+            (
+                "components_reused",
+                Json::num(med(&|s| f64::from(s.components_reused))),
+            ),
+            (
+                "vertices_rebuilt",
+                Json::num(med(&|s| f64::from(s.vertices_rebuilt))),
+            ),
+            ("edges_rebuilt", Json::num(med(&|s| s.edges_rebuilt as f64))),
+            ("reused_fraction", Json::num(med(&|s| s.reused_fraction))),
+        ]));
+        progress(&format!(
+            "{:>13} {:>10} p={p} batch={}: {:>9.3?} ({} trials)",
+            "store-multi",
+            algorithm,
+            cell.batch,
+            Duration::from_secs_f64(seconds),
+            trials,
+        ));
+    }
+
+    let family = Json::obj(vec![
+        ("family", Json::str("store-multi")),
+        ("n", Json::num(g.n())),
+        ("m", Json::num(g.m() as f64)),
+        ("components", Json::num(f64::from(STORE_PARTS))),
+    ]);
+    (family, entries)
 }
 
 /// Runs the full grid and returns the `BENCH_bcc.json` document.
@@ -470,6 +680,11 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
             trials,
         ));
     }
+    if cfg.store {
+        let (fam, mut store_entries) = run_store_cells(cfg, &pools, &mut progress);
+        families.push(fam);
+        entries.append(&mut store_entries);
+    }
     Json::obj(vec![
         ("schema_version", Json::num(SCHEMA_VERSION as f64)),
         ("experiment", Json::str("bcc-grid")),
@@ -486,6 +701,7 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
             Json::Arr(cfg.tunings.iter().map(|t| Json::str(t.spec())).collect()),
         ),
         ("workspace", Json::str(cfg.workspace.name())),
+        ("store", Json::Bool(cfg.store)),
         ("families", Json::Arr(families)),
         ("entries", Json::Arr(entries)),
     ])
@@ -551,6 +767,10 @@ fn entry_key(e: &Json) -> Option<String> {
     // comparable against them.
     if e.get("workspace").and_then(Json::as_str) == Some("off") {
         key.push_str("/ws-off");
+    }
+    // Store-commit cells are one series per batch size.
+    if let Some(b) = e.get("batch").and_then(Json::as_u64) {
+        key.push_str(&format!("/batch{b}"));
     }
     Some(key)
 }
@@ -692,8 +912,89 @@ mod tests {
             smoke: true,
             tunings,
             workspace,
+            // The entry-count and rescale-by-index assertions below
+            // predate the store cells; they run on the plain grid.
+            store: false,
         };
         run_grid(&cfg, |_| {})
+    }
+
+    #[test]
+    fn store_commit_cells_emit_incremental_and_full_series() {
+        let cfg = GridConfig {
+            n: 320,
+            threads: vec![1, 2],
+            trials: 2,
+            seed: 7,
+            smoke: true,
+            tunings: vec![TraversalTuning::fast()],
+            workspace: WorkspaceMode::On,
+            store: true,
+        };
+        let doc = run_grid(&cfg, |_| {});
+        assert_eq!(doc.get("store"), Some(&Json::Bool(true)));
+        // The family summary rides along with the per-algorithm ones.
+        let fams = doc.get("families").and_then(Json::as_arr).unwrap();
+        let store_fam = fams
+            .iter()
+            .find(|f| f.get("family").and_then(Json::as_str) == Some("store-multi"))
+            .expect("store-multi family summary");
+        assert_eq!(
+            store_fam.get("components").and_then(Json::as_u64),
+            Some(u64::from(STORE_PARTS))
+        );
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        let store_cells: Vec<&Json> = entries
+            .iter()
+            .filter(|e| e.get("family").and_then(Json::as_str) == Some("store-multi"))
+            .collect();
+        // threads × batch sizes × {incremental, full}.
+        assert_eq!(store_cells.len(), 2 * STORE_BATCHES.len() * 2);
+        // Keys stay unique: the batch suffix disambiguates the series.
+        let keys: std::collections::BTreeSet<String> =
+            store_cells.iter().map(|e| entry_key(e).unwrap()).collect();
+        assert_eq!(keys.len(), store_cells.len());
+        for e in &store_cells {
+            let alg = e.get("algorithm").and_then(Json::as_str).unwrap();
+            let batch = e.get("batch").and_then(Json::as_u64).unwrap();
+            assert!(STORE_BATCHES.contains(&(batch as usize)));
+            let key = entry_key(e).unwrap();
+            assert!(key.ends_with(&format!("/batch{batch}")), "{key}");
+            for field in [
+                "seconds",
+                "seconds_min",
+                "batch_effective",
+                "reused_fraction",
+            ] {
+                assert!(
+                    e.get(field).and_then(Json::as_f64).is_some(),
+                    "missing {field} in {key}"
+                );
+            }
+            let effective = e.get("batch_effective").and_then(Json::as_f64).unwrap();
+            assert!(effective >= 1.0, "{key}: no chords committed");
+            let rebuilt = e.get("components_rebuilt").and_then(Json::as_u64).unwrap();
+            let reused = e.get("components_reused").and_then(Json::as_u64).unwrap();
+            match alg {
+                // The batch is confined to the first component: the
+                // incremental commit rebuilds exactly it and carries
+                // the other 15 over by Arc.
+                "commit-incremental" => {
+                    assert_eq!(rebuilt, 1, "{key}");
+                    assert_eq!(reused, u64::from(STORE_PARTS) - 1, "{key}");
+                    assert!(
+                        e.get("reused_fraction").and_then(Json::as_f64).unwrap() > 0.9,
+                        "{key}"
+                    );
+                }
+                // The escape hatch rebuilds everything.
+                "commit-full" => {
+                    assert_eq!(rebuilt, u64::from(STORE_PARTS), "{key}");
+                    assert_eq!(reused, 0, "{key}");
+                }
+                other => panic!("unexpected store algorithm {other}"),
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use low_high::{
     compute_low_high, compute_low_high_two_pass, compute_low_high_with, compute_low_high_with_ws,
     compute_low_high_ws, LowHigh, LowHighMethod,
 };
+pub use per_component::component_pipeline;
 pub use phase::{PhaseRecorder, PhaseReport, PhaseTimes, PipelineStats, Step, StepReport};
 pub use pipeline::{Algorithm, BccConfig, BccError, BccResult, BccRun};
 pub use schmidt::{chain_decomposition, ChainDecomposition};
@@ -69,12 +70,3 @@ pub use bcc_euler::Ranker;
 /// Traversal ablation knobs, re-exported from [`bcc_connectivity`] so
 /// [`BccConfig::tuning`] is usable without a second crate dependency.
 pub use bcc_connectivity::{BfsStrategy, SvVariant, TraversalTuning};
-
-// The pre-`BccConfig` free-function entry points, kept as deprecated
-// wrappers for one release cycle.
-#[allow(deprecated)]
-pub use per_component::biconnected_components_per_component;
-#[allow(deprecated)]
-pub use pipeline::{
-    biconnected_components, sequential, tv_filter, tv_opt, tv_smp, tv_smp_with_ranker,
-};

@@ -115,13 +115,25 @@ pub(crate) fn run_per_component(
     })
 }
 
-/// Biconnected components of an arbitrary simple graph. Never fails.
-#[deprecated(note = "use BccConfig::new(alg).run_any(pool, g) and read .result")]
-pub fn biconnected_components_per_component(pool: &Pool, g: &Graph, alg: Algorithm) -> BccResult {
-    crate::pipeline::BccConfig::new(alg)
-        .run_any(pool, g)
-        .expect("per-component subgraphs are connected")
-        .result
+/// The single-component pipeline unit: runs `config` on a graph the
+/// caller knows is **connected** — typically one part of
+/// [`Graph::split_by_labels`](bcc_graph::Graph::split_by_labels) — and
+/// derives its block-cut tree in one go.
+///
+/// This is the rebuild granule of component-scoped incremental commits
+/// (bcc-query's `IndexStore`): a commit extracts each touched component
+/// as a relabeled subgraph and pushes it through here, sharing the
+/// config's workspace so a k-component rebuild stays in the arena's
+/// zero-allocation steady state. Fails with [`BccError::Disconnected`]
+/// if the connectivity precondition is violated.
+pub fn component_pipeline(
+    pool: &Pool,
+    g: &Graph,
+    config: &crate::pipeline::BccConfig,
+) -> Result<(crate::pipeline::BccRun, crate::block_cut::BlockCutTree), BccError> {
+    let run = config.run(pool, g)?;
+    let tree = crate::block_cut::BlockCutTree::build(g, &run.result);
+    Ok((run, tree))
 }
 
 #[cfg(test)]
@@ -189,15 +201,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_still_answers() {
-        let g = gen::random_gnm(60, 40, 9);
+    fn component_pipeline_runs_one_connected_part() {
+        // Two 5-cycles joined by a bridge: 3 blocks, 2 cut vertices.
+        let g = gen::cycle_chain(2, 5, 0);
         let pool = Pool::new(2);
-        let a = biconnected_components_per_component(&pool, &g, Algorithm::TvOpt);
-        let b = BccConfig::new(Algorithm::TvOpt)
-            .run_any(&pool, &g)
-            .unwrap()
-            .result;
-        assert_eq!(a.edge_comp, b.edge_comp);
+        let config = BccConfig::new(Algorithm::TvFilter);
+        let (run, tree) = component_pipeline(&pool, &g, &config).unwrap();
+        assert_eq!(run.result.num_components, 3);
+        assert_eq!(tree.num_blocks, 3);
+        assert_eq!(tree.articulation, run.result.articulation_points(&g));
+
+        // The connectivity precondition is enforced, not assumed.
+        let split = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        assert_eq!(
+            component_pipeline(&pool, &split, &config).unwrap_err(),
+            BccError::Disconnected
+        );
     }
 }

@@ -79,8 +79,7 @@ impl Algorithm {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BccError {
     /// The parallel TV pipelines require a connected input graph; use
-    /// [`crate::per_component::biconnected_components_per_component`]
-    /// for general graphs.
+    /// [`BccConfig::run_any`] for general graphs.
     Disconnected,
 }
 
@@ -301,60 +300,6 @@ pub(crate) fn run_connected(
         Algorithm::TvOpt => tv_opt_impl(pool, g, tuning, ws, rec),
         Algorithm::TvFilter => tv_filter_impl(pool, g, tuning, ws, rec),
     }
-}
-
-/// Runs the selected algorithm on a connected graph.
-#[deprecated(note = "use BccConfig::new(alg).run(pool, g) and read .result")]
-pub fn biconnected_components(
-    pool: &Pool,
-    g: &Graph,
-    alg: Algorithm,
-) -> Result<BccResult, BccError> {
-    BccConfig::new(alg).run(pool, g).map(|run| run.result)
-}
-
-/// The sequential baseline (handles disconnected inputs too).
-#[deprecated(note = "use BccConfig::new(Algorithm::Sequential).run(pool, g)")]
-pub fn sequential(g: &Graph) -> BccResult {
-    sequential_impl(g)
-}
-
-/// TV-SMP: SV spanning tree → classic Euler tour (sort + list ranking)
-/// → tree computations → shared tail.
-#[deprecated(note = "use BccConfig::new(Algorithm::TvSmp).run(pool, g)")]
-pub fn tv_smp(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
-    BccConfig::new(Algorithm::TvSmp)
-        .run(pool, g)
-        .map(|run| run.result)
-}
-
-/// [`tv_smp`] with an explicit list-ranking algorithm (ablation hook).
-#[deprecated(note = "use BccConfig::new(Algorithm::TvSmp).ranker(r).run(pool, g)")]
-pub fn tv_smp_with_ranker(pool: &Pool, g: &Graph, ranker: Ranker) -> Result<BccResult, BccError> {
-    BccConfig::new(Algorithm::TvSmp)
-        .ranker(ranker)
-        .run(pool, g)
-        .map(|run| run.result)
-}
-
-/// TV-opt: work-stealing rooted spanning tree (merged Spanning-tree +
-/// Root-tree) → DFS-order Euler tour → prefix-sum tree computations →
-/// shared tail.
-#[deprecated(note = "use BccConfig::new(Algorithm::TvOpt).run(pool, g)")]
-pub fn tv_opt(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
-    BccConfig::new(Algorithm::TvOpt)
-        .run(pool, g)
-        .map(|run| run.result)
-}
-
-/// TV-filter (paper Alg. 2): BFS tree `T`, spanning forest `F` of
-/// `G − T`, TV(-opt) on `T ∪ F`, then condition-1 placement of the
-/// filtered edges.
-#[deprecated(note = "use BccConfig::new(Algorithm::TvFilter).run(pool, g)")]
-pub fn tv_filter(pool: &Pool, g: &Graph) -> Result<BccResult, BccError> {
-    BccConfig::new(Algorithm::TvFilter)
-        .run(pool, g)
-        .map(|run| run.result)
 }
 
 pub(crate) fn sequential_impl(g: &Graph) -> BccResult {
@@ -1030,18 +975,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_answer() {
+    fn former_free_function_surface_is_covered_by_the_builder() {
+        // The deprecated free functions (biconnected_components,
+        // sequential, tv_smp, tv_smp_with_ranker, tv_opt, tv_filter)
+        // are gone; this pins their ported call patterns.
         let g = gen::torus(4, 5);
         let pool = Pool::new(2);
-        let base = sequential(&g);
-        let a = biconnected_components(&pool, &g, Algorithm::TvFilter).unwrap();
-        let b = tv_smp(&pool, &g).unwrap();
-        let c = tv_opt(&pool, &g).unwrap();
-        let d = tv_filter(&pool, &g).unwrap();
-        let e = tv_smp_with_ranker(&pool, &g, Ranker::Sequential).unwrap();
-        for r in [&a, &b, &c, &d, &e] {
-            assert_eq!(r.edge_comp, base.edge_comp);
+        let base = BccConfig::new(Algorithm::Sequential)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
+        for run in [
+            BccConfig::new(Algorithm::TvFilter).run(&pool, &g),
+            BccConfig::new(Algorithm::TvSmp).run(&pool, &g),
+            BccConfig::new(Algorithm::TvOpt).run(&pool, &g),
+            BccConfig::new(Algorithm::TvSmp)
+                .ranker(Ranker::Sequential)
+                .run(&pool, &g),
+        ] {
+            assert_eq!(run.unwrap().result.edge_comp, base.edge_comp);
         }
     }
 }

@@ -14,7 +14,9 @@ pub mod csr;
 pub mod edge;
 pub mod gen;
 pub mod io;
+pub mod subgraph;
 pub mod validate;
 
 pub use csr::Csr;
 pub use edge::{Edge, Graph};
+pub use subgraph::{ComponentSplit, SplitPart};

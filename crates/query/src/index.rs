@@ -2,30 +2,43 @@
 //!
 //! # Layout
 //!
-//! Every graph vertex maps to one node of the block-cut forest
+//! Biconnectivity is local to a connected component: no block, bridge,
+//! or articulation relationship ever crosses a component boundary. The
+//! index exploits that by being a *composite* — one immutable
+//! [`ComponentIndex`] per connected component, plus two per-vertex
+//! routing arrays (`slot`, the component handle; `local`, the vertex's
+//! compact id inside it). Cross-component queries short out on the
+//! routing layer; everything else is answered by exactly one component
+//! index. The payoff is incremental rebuilds: `IndexStore` commits swap
+//! only the touched components' indices and share the rest by `Arc`
+//! (see [`crate::IndexStore`]).
+//!
+//! Inside a component, the layout is the classic one. Every vertex maps
+//! to one node of the component's block-cut tree
 //! ([`bcc_core::BlockCutTree`]): articulation vertices map to their cut
 //! node, every other vertex to its unique *home block* (the block all
-//! of its edges belong to), and isolated vertices to no node at all.
-//! Over the forest nodes the index stores a rooting (parent, depth,
-//! preorder, subtree size) plus a binary-lifting ancestor table, so
-//! tree distances and lowest common ancestors — the primitives behind
-//! every query below — cost O(log n). A sorted table of bridge-edge
-//! keys answers "is this edge a bridge" by binary search.
+//! of its edges belong to). Over the tree nodes the index stores a
+//! rooting (parent, depth, preorder, subtree size) plus a
+//! binary-lifting ancestor table, so tree distances and lowest common
+//! ancestors — the primitives behind every query below — cost
+//! O(log n). A sorted table of bridge-edge keys answers "is this edge a
+//! bridge" by binary search.
 //!
 //! The crucial structural facts (classic block-cut-tree theory):
 //!
-//! * two vertices lie in a common block iff the forest distance
-//!   between their nodes equals the number of endpoints that are cut
-//!   vertices (0, 1 or 2);
+//! * two vertices lie in a common block iff the tree distance between
+//!   their nodes equals the number of endpoints that are cut vertices
+//!   (0, 1 or 2);
 //! * the articulation points whose failure separates `u` from `v` are
-//!   exactly the cut nodes strictly inside the forest path between
-//!   their nodes;
+//!   exactly the cut nodes strictly inside the tree path between their
+//!   nodes;
 //! * a bridge separates `u` from `v` iff its (single-edge) block node
 //!   lies on that path — or is the home of `u` or `v`, which makes
 //!   that endpoint a leaf hanging off the bridge itself.
 
 use bcc_euler::LcaIndex;
 use bcc_smp::NIL;
+use std::sync::Arc;
 
 /// A single failure to test connectivity against.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -36,38 +49,119 @@ pub enum Failure {
     Edge(u32, u32),
 }
 
+/// The biconnectivity index of **one connected component**: the
+/// block-cut tree of the component's induced subgraph, rooted, with a
+/// lifting table and a bridge table. All vertex arrays are in the
+/// component's compact local ids; [`vertices`](Self::vertices) maps
+/// them back to graph ids. Immutable — incremental commits share
+/// untouched components across epochs by cloning the `Arc` that wraps
+/// this.
+pub struct ComponentIndex {
+    /// Local → graph vertex id, strictly ascending.
+    pub(crate) verts: Vec<u32>,
+    /// Number of blocks (tree nodes `0..num_blocks` are blocks).
+    pub(crate) num_blocks: u32,
+    /// Articulation vertices in local ids, ascending.
+    pub(crate) articulation: Vec<u32>,
+    /// Per local vertex: index into `articulation`, or `NIL`.
+    pub(crate) cut_index: Vec<u32>,
+    /// Per local vertex: its block-cut-tree node (never `NIL` — a
+    /// component of two or more vertices has no isolated vertex, and
+    /// single-vertex components get no `ComponentIndex` at all).
+    pub(crate) node: Vec<u32>,
+    /// Binary-lifting table over tree nodes (`up[0]` = parent).
+    pub(crate) lca: LcaIndex,
+    /// DFS preorder number of each tree node, for O(1) ancestor tests.
+    pub(crate) pre: Vec<u32>,
+    /// Subtree size of each tree node.
+    pub(crate) size: Vec<u32>,
+    /// Normalized keys of bridge edges in **graph** ids, sorted
+    /// ascending (graph keys so lookups skip a per-endpoint
+    /// translation).
+    pub(crate) bridge_keys: Vec<u64>,
+    /// Block node of each bridge, parallel to `bridge_keys`.
+    pub(crate) bridge_block: Vec<u32>,
+}
+
+impl ComponentIndex {
+    /// Number of vertices in this component.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.verts.len() as u32
+    }
+
+    /// The component's vertices in graph ids, ascending (`verts[l]` is
+    /// the graph vertex with local id `l`).
+    #[inline]
+    pub fn vertices(&self) -> &[u32] {
+        &self.verts
+    }
+
+    /// Number of blocks in this component.
+    #[inline]
+    pub fn num_blocks(&self) -> u32 {
+        self.num_blocks
+    }
+
+    /// Number of bridge edges in this component.
+    #[inline]
+    pub fn num_bridges(&self) -> usize {
+        self.bridge_keys.len()
+    }
+
+    /// The graph vertex a tree node stands for, if it is a cut node.
+    #[inline]
+    fn cut_vertex_of_node(&self, x: u32) -> Option<u32> {
+        x.checked_sub(self.num_blocks)
+            .map(|i| self.verts[self.articulation[i as usize] as usize])
+    }
+
+    /// O(1) ancestor test over tree nodes via preorder intervals.
+    #[inline]
+    fn is_ancestor(&self, a: u32, d: u32) -> bool {
+        let pa = self.pre[a as usize];
+        let pd = self.pre[d as usize];
+        pd >= pa && pd - pa < self.size[a as usize]
+    }
+
+    /// True if tree node `c` lies on the path from `a` to `b`. One LCA
+    /// = O(log n).
+    fn on_path(&self, c: u32, a: u32, b: u32) -> bool {
+        let l = self.lca.lca(a, b);
+        (self.is_ancestor(c, a) || self.is_ancestor(c, b)) && self.is_ancestor(l, c)
+    }
+}
+
 /// A build-once, query-millions biconnectivity index. Immutable and
 /// `Sync`: share it behind an `Arc` and query from any number of
-/// threads (see [`crate::IndexStore`] for updates).
+/// threads (see [`crate::IndexStore`] for updates). `Clone` is cheap
+/// relative to a rebuild — the per-component structures are shared by
+/// `Arc`, only the per-vertex routing arrays are copied.
 ///
 /// Vertex arguments must be `< n` for the indexed graph; like the
 /// rest of the workspace, out-of-range ids panic with a bounds error
 /// rather than returning a wrong answer.
+#[derive(Clone)]
 pub struct BiconnectivityIndex {
     /// Number of graph vertices.
     pub(crate) n: u32,
-    /// Number of blocks (block-cut nodes `0..num_blocks` are blocks).
-    pub(crate) num_blocks: u32,
-    /// Connected-component label per graph vertex (normalized).
-    pub(crate) cc: Vec<u32>,
-    /// Articulation vertices, ascending (as in the block-cut tree).
+    /// Per vertex: index into `comps` (equal slots ⇔ same connected
+    /// component).
+    pub(crate) slot: Vec<u32>,
+    /// Per vertex: its local id within `comps[slot[v]]`.
+    pub(crate) local: Vec<u32>,
+    /// Per slot: the component's index, or `None` for a single
+    /// (isolated) vertex. Slots freed by component merges stay as
+    /// unreferenced `None`s until the next full rebuild.
+    pub(crate) comps: Vec<Option<Arc<ComponentIndex>>>,
+    /// All articulation vertices in graph ids, ascending.
     pub(crate) articulation: Vec<u32>,
-    /// Per graph vertex: index into `articulation`, or `NIL`.
-    pub(crate) cut_index: Vec<u32>,
-    /// Per graph vertex: its block-cut-forest node, or `NIL` if
-    /// isolated.
-    pub(crate) node: Vec<u32>,
-    /// Binary-lifting table over forest nodes (`up[0]` = parent).
-    pub(crate) lca: LcaIndex,
-    /// DFS preorder number of each forest node (per tree, disjoint
-    /// globally), for O(1) ancestor tests.
-    pub(crate) pre: Vec<u32>,
-    /// Subtree size of each forest node.
-    pub(crate) size: Vec<u32>,
-    /// Normalized keys of bridge edges, sorted ascending.
-    pub(crate) bridge_keys: Vec<u64>,
-    /// Block node of each bridge, parallel to `bridge_keys`.
-    pub(crate) bridge_block: Vec<u32>,
+    /// Total number of blocks across components.
+    pub(crate) num_blocks: u32,
+    /// Total number of bridges across components.
+    pub(crate) num_bridges: usize,
+    /// Number of connected components (isolated vertices included).
+    pub(crate) num_components: u32,
 }
 
 impl BiconnectivityIndex {
@@ -83,6 +177,12 @@ impl BiconnectivityIndex {
         self.num_blocks
     }
 
+    /// Number of connected components, isolated vertices included.
+    #[inline]
+    pub fn num_components(&self) -> u32 {
+        self.num_components
+    }
+
     /// The articulation points, ascending.
     #[inline]
     pub fn articulation_points(&self) -> &[u32] {
@@ -92,19 +192,43 @@ impl BiconnectivityIndex {
     /// Number of bridge edges.
     #[inline]
     pub fn num_bridges(&self) -> usize {
-        self.bridge_keys.len()
+        self.num_bridges
+    }
+
+    /// The shared per-component index `v` belongs to, or `None` if `v`
+    /// is isolated. Incremental commits keep untouched components'
+    /// handles pointer-identical across epochs — `Arc::ptr_eq` on two
+    /// snapshots tells whether a commit rebuilt `v`'s component.
+    #[inline]
+    pub fn component_handle(&self, v: u32) -> Option<&Arc<ComponentIndex>> {
+        self.comps[self.slot[v as usize] as usize].as_ref()
+    }
+
+    /// The component index serving `v`, if `v` is not isolated.
+    #[inline]
+    fn comp(&self, v: u32) -> Option<&ComponentIndex> {
+        self.comps[self.slot[v as usize] as usize].as_deref()
+    }
+
+    /// `v`'s block-cut-tree node within its component `c`.
+    #[inline]
+    fn node_of(&self, c: &ComponentIndex, v: u32) -> u32 {
+        c.node[self.local[v as usize] as usize]
     }
 
     /// True if `v` is an articulation (cut) vertex. O(1).
     #[inline]
     pub fn is_articulation(&self, v: u32) -> bool {
-        self.cut_index[v as usize] != NIL
+        match self.comp(v) {
+            Some(c) => c.cut_index[self.local[v as usize] as usize] != NIL,
+            None => false,
+        }
     }
 
     /// True if `u` and `v` are in the same connected component. O(1).
     #[inline]
     pub fn connected(&self, u: u32, v: u32) -> bool {
-        self.cc[u as usize] == self.cc[v as usize]
+        self.slot[u as usize] == self.slot[v as usize]
     }
 
     /// True if the edge `{u, v}` exists and is a bridge (its removal
@@ -123,20 +247,20 @@ impl BiconnectivityIndex {
         if !self.connected(u, v) {
             return false;
         }
-        let (a, b) = (self.node[u as usize], self.node[v as usize]);
-        if a == NIL || b == NIL {
+        let Some(c) = self.comp(u) else {
             return false; // isolated vertices share no block
-        }
-        // Forest distance 0/1/2 matches exactly the cut-endpoint count:
+        };
+        let (a, b) = (self.node_of(c, u), self.node_of(c, v));
+        // Tree distance 0/1/2 matches exactly the cut-endpoint count:
         // block+block share iff the nodes coincide (dist 0), cut+block
         // iff adjacent (dist 1), cut+cut iff both adjacent to a common
         // block (dist 2). Any larger distance means separate blocks.
         let cuts = u32::from(self.is_articulation(u)) + u32::from(self.is_articulation(v));
-        self.lca.path_length(a, b) == cuts
+        c.lca.path_length(a, b) == cuts
     }
 
     /// The articulation points whose individual failure separates `u`
-    /// from `v` — the cut vertices strictly inside the block-cut-forest
+    /// from `v` — the cut vertices strictly inside the block-cut-tree
     /// path between them (`u` and `v` themselves are never reported).
     /// Empty when `u == v`, when they share a block, or when they are
     /// already disconnected. Sorted ascending. O(log n + answer · path
@@ -146,27 +270,27 @@ impl BiconnectivityIndex {
         if u == v || !self.connected(u, v) {
             return cuts;
         }
-        let (a, b) = (self.node[u as usize], self.node[v as usize]);
-        if a == NIL || b == NIL {
+        let Some(c) = self.comp(u) else {
             return cuts;
-        }
-        let l = self.lca.lca(a, b);
+        };
+        let (a, b) = (self.node_of(c, u), self.node_of(c, v));
+        let l = c.lca.lca(a, b);
         let mut collect = |x: u32| {
-            if let Some(c) = self.cut_vertex_of_node(x) {
-                if c != u && c != v {
-                    cuts.push(c);
+            if let Some(cut) = c.cut_vertex_of_node(x) {
+                if cut != u && cut != v {
+                    cuts.push(cut);
                 }
             }
         };
         let mut walk = a;
         while walk != l {
             collect(walk);
-            walk = self.lca.ancestor(walk, 1);
+            walk = c.lca.ancestor(walk, 1);
         }
         let mut walk = b;
         while walk != l {
             collect(walk);
-            walk = self.lca.ancestor(walk, 1);
+            walk = c.lca.ancestor(walk, 1);
         }
         collect(l);
         cuts.sort_unstable();
@@ -197,62 +321,45 @@ impl BiconnectivityIndex {
                 if !self.is_articulation(x) || !self.connected(x, u) {
                     return true; // can't separate anything relevant
                 }
-                let c = self.node[x as usize]; // x's cut node
-                let (a, b) = (self.node[u as usize], self.node[v as usize]);
-                // c != a and c != b here: a cut node is the image of
-                // its articulation vertex only, and x is neither u nor
-                // v — so "on path" is exactly "strictly between".
-                !self.on_path(c, a, b)
+                let c = self.comp(u).expect("articulation ⇒ component has edges");
+                let cut = self.node_of(c, x); // x's cut node
+                let (a, b) = (self.node_of(c, u), self.node_of(c, v));
+                // cut != a and cut != b here: a cut node is the image
+                // of its articulation vertex only, and x is neither u
+                // nor v — so "on path" is exactly "strictly between".
+                !c.on_path(cut, a, b)
             }
             Failure::Edge(x, y) => {
-                let Some(bridge) = self.bridge_lookup(x, y) else {
+                let Some((bc, bridge)) = self.bridge_lookup(x, y) else {
                     return true; // non-bridge (or absent) edges never cut
                 };
                 if !self.connected(x, u) {
                     return true;
                 }
-                let (a, b) = (self.node[u as usize], self.node[v as usize]);
+                let (a, b) = (self.node_of(bc, u), self.node_of(bc, v));
                 if a == bridge || b == bridge {
                     // The endpoint's home *is* the bridge block: it is
                     // a leaf whose only edge is the failed one.
                     return false;
                 }
-                !self.on_path(bridge, a, b)
+                !bc.on_path(bridge, a, b)
             }
         }
     }
 
-    /// The bridge table slot for edge `{u, v}`, if it is a bridge.
+    /// The component and bridge-table node for edge `{u, v}`, if it is
+    /// a bridge.
     #[inline]
-    fn bridge_lookup(&self, u: u32, v: u32) -> Option<u32> {
+    fn bridge_lookup(&self, u: u32, v: u32) -> Option<(&ComponentIndex, u32)> {
+        if !self.connected(u, v) {
+            return None; // an edge never crosses components
+        }
+        let c = self.comp(u)?;
         let key = bcc_graph::Edge::new(u, v).key();
-        self.bridge_keys
+        c.bridge_keys
             .binary_search(&key)
             .ok()
-            .map(|i| self.bridge_block[i])
-    }
-
-    /// The articulation vertex a forest node stands for, if it is a
-    /// cut node.
-    #[inline]
-    fn cut_vertex_of_node(&self, x: u32) -> Option<u32> {
-        x.checked_sub(self.num_blocks)
-            .map(|i| self.articulation[i as usize])
-    }
-
-    /// O(1) ancestor test over forest nodes via preorder intervals.
-    #[inline]
-    fn is_ancestor(&self, a: u32, d: u32) -> bool {
-        let pa = self.pre[a as usize];
-        let pd = self.pre[d as usize];
-        pd >= pa && pd - pa < self.size[a as usize]
-    }
-
-    /// True if forest node `c` lies on the tree path from `a` to `b`
-    /// (all three must be in the same tree). One LCA = O(log n).
-    fn on_path(&self, c: u32, a: u32, b: u32) -> bool {
-        let l = self.lca.lca(a, b);
-        (self.is_ancestor(c, a) || self.is_ancestor(c, b)) && self.is_ancestor(l, c)
+            .map(|i| (c, c.bridge_block[i]))
     }
 }
 
@@ -272,6 +379,7 @@ mod tests {
         let g = gen::two_cliques_sharing_vertex(4);
         let i = idx(&g);
         assert_eq!(i.num_blocks(), 2);
+        assert_eq!(i.num_components(), 1);
         assert_eq!(i.articulation_points(), &[3]);
         assert_eq!(i.num_bridges(), 0);
         assert!(i.is_articulation(3) && !i.is_articulation(0));
@@ -342,6 +450,7 @@ mod tests {
         // Triangle {0,1,2}, edge {3,4}, isolated 5.
         let g = bcc_graph::Graph::from_tuples(6, [(0, 1), (1, 2), (2, 0), (3, 4)]);
         let i = idx(&g);
+        assert_eq!(i.num_components(), 3);
         assert!(i.connected(0, 2) && !i.connected(0, 3) && !i.connected(5, 0));
         assert!(!i.same_block(0, 3));
         assert!(i.same_block(5, 5)); // convention: reflexive
@@ -351,6 +460,16 @@ mod tests {
         assert!(i.survives_failure(5, 5, Failure::Edge(0, 1)));
         assert!(!i.survives_failure(5, 5, Failure::Vertex(5)));
         assert!(i.is_bridge(3, 4));
+        // The composite layout: isolated 5 has no component handle,
+        // the triangle and the edge have distinct ones.
+        assert!(i.component_handle(5).is_none());
+        let tri = i.component_handle(0).unwrap();
+        assert_eq!(tri.vertices(), &[0, 1, 2]);
+        assert_eq!(tri.num_blocks(), 1);
+        let pair = i.component_handle(4).unwrap();
+        assert_eq!(pair.vertices(), &[3, 4]);
+        assert_eq!(pair.num_bridges(), 1);
+        assert!(!Arc::ptr_eq(tri, pair));
     }
 
     #[test]

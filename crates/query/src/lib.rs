@@ -20,9 +20,11 @@
 //!   across a [`Pool`](bcc_smp::Pool) with block partitioning; answers
 //!   are bit-identical to the point-query path.
 //! * [`IndexStore`] — an epoch-based snapshot store: readers grab an
-//!   `Arc` snapshot and are never blocked; writers journal edge
-//!   updates and republish a freshly rebuilt index (via the cheapest
-//!   pipeline, TV-filter).
+//!   `Arc` snapshot and are never blocked; writers stage edge updates
+//!   on a [`Txn`] and commit them as one new epoch, rebuilding only
+//!   the connected components the batch touches (untouched components
+//!   ride over by `Arc`; each snapshot's [`CommitStats`] says how much
+//!   was reused).
 //! * [`naive`] — BFS reference implementations the property tests
 //!   check every query against.
 //!
@@ -48,5 +50,5 @@ pub mod naive;
 pub mod store;
 
 pub use batch::{run_batch, Answer, Query, QueryBatch};
-pub use index::{BiconnectivityIndex, Failure};
-pub use store::{EdgeUpdate, IndexStore, Snapshot};
+pub use index::{BiconnectivityIndex, ComponentIndex, Failure};
+pub use store::{CommitStats, EdgeUpdate, IndexStore, Snapshot, Txn};

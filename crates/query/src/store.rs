@@ -1,28 +1,40 @@
-//! Epoch-based snapshot store: serve queries while rebuilding.
+//! Epoch-based snapshot store with component-scoped incremental
+//! commits: serve queries while rebuilding only what changed.
 //!
 //! The store keeps the current [`Snapshot`] behind an `Arc`. Readers
 //! call [`IndexStore::load`] and query the snapshot they got — they
 //! hold it for as long as they like and are never blocked, even while
 //! a writer rebuilds (the classic read-copy-update discipline: old
 //! epochs stay alive until the last reader drops its `Arc`). Writers
-//! journal edge updates with [`IndexStore::enqueue`] and publish a new
-//! epoch with [`IndexStore::commit`]: the graph is edited, the index
-//! rebuilt from scratch through the cheapest pipeline (TV-filter, per
-//! component), and the snapshot pointer swapped at the very end — one
-//! short write-lock acquisition, independent of graph size.
+//! open a transaction with [`IndexStore::begin`], stage edge updates
+//! on the [`Txn`], and publish a new epoch with [`Txn::commit`].
 //!
-//! Rebuild-from-scratch is the right trade here: the paper's pipelines
-//! make construction cheap (millions of edges per second), while
-//! dynamic biconnectivity structures with comparable query times are
-//! far more complex than this whole workspace.
+//! # Component-scoped commits
+//!
+//! Biconnectivity is local to connected components, so a commit only
+//! rebuilds the components its batch touches. The batch is folded to
+//! its net per-edge effect, the touched components (including merges
+//! from cross-component inserts and splits from removals) are
+//! collected into a *region*, the region is extracted as a relabeled
+//! subgraph ([`Graph::split_by_labels`]) and pushed through the same
+//! per-component pipeline unit a full build uses
+//! ([`bcc_core::component_pipeline`], sharing the store's
+//! [`BccWorkspace`] arena) — and every untouched component's
+//! [`ComponentIndex`](crate::ComponentIndex) is carried into the new
+//! snapshot's composite index by `Arc`, verbatim. The cost of a commit
+//! is proportional to the affected region, not the graph; each
+//! snapshot's [`CommitStats`] records exactly how much was rebuilt
+//! versus reused. [`Txn::commit_full`] forces the old
+//! whole-graph rebuild (the benchmark baseline, and an escape hatch).
 
 use crate::index::BiconnectivityIndex;
-use bcc_core::BccError;
+use bcc_core::{Algorithm, BccConfig, BccError};
 use bcc_graph::{Edge, Graph};
-use bcc_smp::{BccWorkspace, Pool};
+use bcc_smp::{BccWorkspace, Pool, NIL};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
 
-/// One journal entry: an edge appears or disappears.
+/// One staged update: an edge appears or disappears.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum EdgeUpdate {
     /// Add the edge `{u, v}` (grows the vertex set if needed; self
@@ -32,8 +44,35 @@ pub enum EdgeUpdate {
     Remove(u32, u32),
 }
 
-/// An immutable published epoch: the graph as of the last commit and
-/// the index serving it.
+/// What one commit did: how much of the index was rebuilt and how much
+/// rode over from the previous epoch untouched. Recorded on every
+/// [`Snapshot`]; the `store_commit` benchmark cells aggregate these.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CommitStats {
+    /// Updates in the committed batch (before net folding).
+    pub batch: usize,
+    /// Edges actually added (absent before, present after).
+    pub inserts: usize,
+    /// Edges actually removed (present before, absent after).
+    pub removes: usize,
+    /// Connected components rebuilt through the pipeline (isolated
+    /// vertices included).
+    pub components_rebuilt: u32,
+    /// Components whose index was reused by pointer from the previous
+    /// epoch.
+    pub components_reused: u32,
+    /// Vertices inside the rebuilt region.
+    pub vertices_rebuilt: u32,
+    /// Edges inside the rebuilt region.
+    pub edges_rebuilt: usize,
+    /// Fraction of vertices *not* rebuilt: `1 − vertices_rebuilt / n`.
+    pub reused_fraction: f64,
+    /// True for whole-graph rebuilds (epoch 0, [`Txn::commit_full`]).
+    pub full_rebuild: bool,
+}
+
+/// An immutable published epoch: the graph as of the last commit, the
+/// index serving it, and what that commit cost.
 pub struct Snapshot {
     /// Monotonic epoch counter, 0 for the initial build.
     pub epoch: u64,
@@ -41,12 +80,88 @@ pub struct Snapshot {
     pub graph: Graph,
     /// The query index over `graph`.
     pub index: BiconnectivityIndex,
+    /// What the commit that published this epoch rebuilt.
+    pub stats: CommitStats,
+}
+
+/// A write transaction: stage updates, then [`commit`](Txn::commit)
+/// them as one atomic epoch. Obtained from [`IndexStore::begin`];
+/// dropping a transaction without committing discards its updates.
+/// Transactions stage independently — only `commit` serializes against
+/// other writers.
+#[must_use = "a transaction does nothing until committed"]
+pub struct Txn<'a> {
+    store: &'a IndexStore,
+    updates: Vec<EdgeUpdate>,
+}
+
+impl Txn<'_> {
+    /// Stages an edge insertion (grows the vertex set if needed; self
+    /// loops and duplicates are ignored at commit).
+    pub fn insert(&mut self, u: u32, v: u32) -> &mut Self {
+        self.updates.push(EdgeUpdate::Insert(u, v));
+        self
+    }
+
+    /// Stages an edge removal (a no-op at commit if the edge is
+    /// absent; vertices remain).
+    pub fn remove(&mut self, u: u32, v: u32) -> &mut Self {
+        self.updates.push(EdgeUpdate::Remove(u, v));
+        self
+    }
+
+    /// Stages one prebuilt update.
+    pub fn push(&mut self, update: EdgeUpdate) -> &mut Self {
+        self.updates.push(update);
+        self
+    }
+
+    /// Stages a whole batch of prebuilt updates.
+    pub fn extend(&mut self, updates: impl IntoIterator<Item = EdgeUpdate>) -> &mut Self {
+        self.updates.extend(updates);
+        self
+    }
+
+    /// Number of staged updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The staged updates, in order.
+    pub fn updates(&self) -> &[EdgeUpdate] {
+        &self.updates
+    }
+
+    /// Applies the staged updates and publishes the next epoch,
+    /// rebuilding only the touched components; returns the new
+    /// snapshot. An empty transaction is a no-op returning the current
+    /// snapshot. On a rebuild error the previous epoch stays published
+    /// and nothing is lost — the failed batch was owned by this
+    /// (consumed) transaction.
+    pub fn commit(self) -> Result<Arc<Snapshot>, BccError> {
+        self.store.commit_updates(&self.updates, false)
+    }
+
+    /// Like [`commit`](Txn::commit) but rebuilds the whole index from
+    /// scratch regardless of what the batch touches. The benchmark
+    /// baseline, and an escape hatch if incremental state is ever in
+    /// doubt.
+    pub fn commit_full(self) -> Result<Arc<Snapshot>, BccError> {
+        self.store.commit_updates(&self.updates, true)
+    }
 }
 
 /// A long-lived store publishing [`Snapshot`]s of a mutating graph.
 pub struct IndexStore {
     pool: Pool,
     current: RwLock<Arc<Snapshot>>,
+    /// Backing for the deprecated `enqueue`/`commit` shims only; the
+    /// transactional path never touches it.
     journal: Mutex<Vec<EdgeUpdate>>,
     /// Serializes commits so concurrent writers cannot lose each
     /// other's updates; readers never take this.
@@ -64,12 +179,24 @@ impl IndexStore {
     pub fn new(pool: Pool, g: Graph) -> Result<Self, BccError> {
         let workspace = Arc::new(BccWorkspace::new());
         let index = BiconnectivityIndex::from_graph_ws(&pool, &g, &workspace)?;
+        let stats = CommitStats {
+            batch: 0,
+            inserts: 0,
+            removes: 0,
+            components_rebuilt: index.num_components(),
+            components_reused: 0,
+            vertices_rebuilt: g.n(),
+            edges_rebuilt: g.m(),
+            reused_fraction: 0.0,
+            full_rebuild: true,
+        };
         Ok(IndexStore {
             pool,
             current: RwLock::new(Arc::new(Snapshot {
                 epoch: 0,
                 graph: g,
                 index,
+                stats,
             })),
             journal: Mutex::new(Vec::new()),
             commit_lock: Mutex::new(()),
@@ -77,10 +204,13 @@ impl IndexStore {
         })
     }
 
-    /// Cumulative hit/miss counters of the rebuild arena (for tests
-    /// and telemetry).
-    pub fn workspace_stats(&self) -> bcc_smp::WorkspaceStats {
-        self.workspace.stats()
+    /// Opens a write transaction. Stage updates on it, then
+    /// [`Txn::commit`].
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            store: self,
+            updates: Vec::new(),
+        }
     }
 
     /// The current snapshot. Cheap (one `Arc` clone under a read
@@ -89,85 +219,273 @@ impl IndexStore {
         Arc::clone(&self.current.read().unwrap())
     }
 
-    /// Appends an update to the journal without rebuilding.
+    /// Cumulative hit/miss counters of the rebuild arena (for tests
+    /// and telemetry).
+    pub fn workspace_stats(&self) -> bcc_smp::WorkspaceStats {
+        self.workspace.stats()
+    }
+
+    /// Caps the rebuild arena's shelved capacity at `max_bytes`,
+    /// dropping the largest idle buffers first. Useful after a burst
+    /// of large commits when the store is expected to go quiet.
+    pub fn trim_workspace(&self, max_bytes: usize) {
+        self.workspace.trim(max_bytes);
+    }
+
+    /// Appends an update to the legacy journal without rebuilding.
+    #[deprecated(note = "use store.begin() and Txn::insert/Txn::remove")]
     pub fn enqueue(&self, update: EdgeUpdate) {
         self.journal.lock().unwrap().push(update);
     }
 
     /// Number of journaled updates not yet committed.
+    #[deprecated(note = "use Txn::len on an open transaction")]
     pub fn pending(&self) -> usize {
         self.journal.lock().unwrap().len()
     }
 
-    /// Drains the journal, applies it to the current graph, rebuilds,
-    /// and publishes the next epoch; returns the new snapshot. With an
-    /// empty journal this is a no-op returning the current snapshot.
-    /// On a rebuild error the previous epoch stays published and the
-    /// journal is restored, so a failed commit loses nothing.
+    /// Drains the legacy journal and commits it; on error the journal
+    /// is restored in front of anything enqueued meanwhile.
+    #[deprecated(note = "use store.begin() … Txn::commit")]
     pub fn commit(&self) -> Result<Arc<Snapshot>, BccError> {
         let _serial = self.commit_lock.lock().unwrap();
         let updates: Vec<EdgeUpdate> = std::mem::take(&mut *self.journal.lock().unwrap());
+        match self.commit_locked(&updates, false) {
+            Ok(snap) => Ok(snap),
+            Err(e) => {
+                let mut journal = self.journal.lock().unwrap();
+                let newer = std::mem::replace(&mut *journal, updates);
+                journal.extend(newer);
+                Err(e)
+            }
+        }
+    }
+
+    /// Commits a whole batch in one call.
+    #[deprecated(note = "use store.begin(), Txn::extend, Txn::commit")]
+    pub fn apply(&self, updates: &[EdgeUpdate]) -> Result<Arc<Snapshot>, BccError> {
+        self.commit_updates(updates, false)
+    }
+
+    fn commit_updates(
+        &self,
+        updates: &[EdgeUpdate],
+        full: bool,
+    ) -> Result<Arc<Snapshot>, BccError> {
+        let _serial = self.commit_lock.lock().unwrap();
+        self.commit_locked(updates, full)
+    }
+
+    /// The commit body; caller holds `commit_lock`.
+    fn commit_locked(&self, updates: &[EdgeUpdate], full: bool) -> Result<Arc<Snapshot>, BccError> {
         if updates.is_empty() {
             return Ok(self.load());
         }
         let prev = self.load();
-        let graph = apply_updates(&prev.graph, &updates);
-        let index = match BiconnectivityIndex::from_graph_ws(&self.pool, &graph, &self.workspace) {
-            Ok(index) => index,
-            Err(e) => {
-                // Put the drained updates back in front of anything
-                // enqueued while we were rebuilding.
-                let mut journal = self.journal.lock().unwrap();
-                let newer = std::mem::replace(&mut *journal, updates);
-                journal.extend(newer);
-                return Err(e);
+        let old_n = prev.graph.n();
+
+        // Fold the batch to its net per-edge effect (last op wins) and
+        // the resulting vertex-set growth. Growth sticks even if the
+        // insert that caused it is later cancelled: mentioning a vertex
+        // id brings it into existence.
+        let mut ops: BTreeMap<u64, bool> = BTreeMap::new();
+        let mut new_n = old_n;
+        for &u in updates {
+            match u {
+                EdgeUpdate::Insert(a, b) => {
+                    if a != b {
+                        new_n = new_n.max(a.max(b) + 1);
+                        ops.insert(Edge::new(a, b).key(), true);
+                    }
+                }
+                EdgeUpdate::Remove(a, b) => {
+                    if a != b {
+                        ops.insert(Edge::new(a, b).key(), false);
+                    }
+                }
             }
+        }
+
+        // Classify against the previous edge set, marking the touched
+        // components: a real removal touches its edge's component, a
+        // real insertion touches both endpoints' (merging them if they
+        // differ). Duplicate inserts and absent removes touch nothing.
+        let mut touched = vec![false; prev.index.comps.len()];
+        let mut edges: Vec<Edge> = Vec::with_capacity(prev.graph.m() + ops.len());
+        let mut removes = 0usize;
+        for &e in prev.graph.edges() {
+            match ops.remove(&e.key()) {
+                Some(false) => {
+                    removes += 1;
+                    touched[prev.index.slot[e.u as usize] as usize] = true;
+                }
+                _ => edges.push(e), // kept (possibly a duplicate insert)
+            }
+        }
+        let mut inserts = 0usize;
+        for (&key, &is_insert) in &ops {
+            if !is_insert {
+                continue; // removing an absent edge: no-op
+            }
+            let e = Edge::new((key >> 32) as u32, key as u32);
+            inserts += 1;
+            for v in [e.u, e.v] {
+                if v < old_n {
+                    touched[prev.index.slot[v as usize] as usize] = true;
+                }
+            }
+            edges.push(e);
+        }
+        let graph = Graph::new(new_n, edges);
+
+        if full {
+            let index = BiconnectivityIndex::from_graph_ws(&self.pool, &graph, &self.workspace)?;
+            let stats = CommitStats {
+                batch: updates.len(),
+                inserts,
+                removes,
+                components_rebuilt: index.num_components(),
+                components_reused: 0,
+                vertices_rebuilt: new_n,
+                edges_rebuilt: graph.m(),
+                reused_fraction: 0.0,
+                full_rebuild: true,
+            };
+            return Ok(self.publish(&prev, graph, index, stats));
+        }
+
+        // The rebuild region: every vertex of a touched component plus
+        // every newly created vertex.
+        let mut region_verts: Vec<u32> = Vec::new();
+        let mut region_local = vec![NIL; new_n as usize];
+        for v in 0..old_n {
+            if touched[prev.index.slot[v as usize] as usize] {
+                region_local[v as usize] = region_verts.len() as u32;
+                region_verts.push(v);
+            }
+        }
+        for v in old_n..new_n {
+            region_local[v as usize] = region_verts.len() as u32;
+            region_verts.push(v);
+        }
+
+        if region_verts.is_empty() {
+            // Every update folded to a no-op: bump the epoch, reuse the
+            // whole index.
+            let stats = CommitStats {
+                batch: updates.len(),
+                inserts,
+                removes,
+                components_rebuilt: 0,
+                components_reused: prev.index.num_components(),
+                vertices_rebuilt: 0,
+                edges_rebuilt: 0,
+                reused_fraction: 1.0,
+                full_rebuild: false,
+            };
+            let index = prev.index.clone();
+            return Ok(self.publish(&prev, graph, index, stats));
+        }
+
+        // Extract the region as a relabeled subgraph. A kept edge lies
+        // entirely inside or entirely outside the region (its endpoints
+        // share a component); an inserted edge is always inside.
+        let rn = region_verts.len() as u32;
+        let mut region_edges: Vec<Edge> = Vec::new();
+        for &e in graph.edges() {
+            let lu = region_local[e.u as usize];
+            if lu != NIL {
+                debug_assert_ne!(region_local[e.v as usize], NIL);
+                region_edges.push(Edge::new(lu, region_local[e.v as usize]));
+            }
+        }
+        let edges_rebuilt = region_edges.len();
+
+        // Re-derive the region's connectivity (this is where merges
+        // and splits resolve) and split it into connected parts.
+        let ws = &self.workspace;
+        let cc = bcc_connectivity::sv::connected_components_with_ws(
+            &self.pool,
+            rn,
+            &region_edges,
+            bcc_connectivity::SvVariant::FastSv,
+            ws,
+        );
+        let mut labels = cc.label;
+        ws.give(cc.tree_edges);
+        let k = bcc_connectivity::sv::normalize_labels_ws(&self.pool, &mut labels, ws);
+        let region_graph = Graph::new(rn, region_edges);
+        let split = region_graph.split_by_labels(&labels, k);
+        ws.give(labels);
+
+        // Stitch: untouched components ride over by `Arc`; each region
+        // part takes a freed slot (or a fresh one) and is rebuilt
+        // through the per-component pipeline. Freed slots beyond the
+        // part count (merges) stay as unreferenced `None`s.
+        let mut comps = prev.index.comps.clone();
+        let mut slot = prev.index.slot.clone();
+        let mut local = prev.index.local.clone();
+        slot.resize(new_n as usize, 0);
+        local.resize(new_n as usize, 0);
+        let freed: Vec<usize> = (0..touched.len()).filter(|&s| touched[s]).collect();
+        let reused = prev.index.num_components() - freed.len() as u32;
+        for &s in &freed {
+            comps[s] = None;
+        }
+        let mut free_slots = freed.into_iter();
+        let config = BccConfig::new(Algorithm::TvFilter).workspace(Arc::clone(ws));
+        let mut rebuilt = 0u32;
+        for part in &split.parts {
+            let s = free_slots.next().unwrap_or_else(|| {
+                comps.push(None);
+                comps.len() - 1
+            });
+            let verts_global: Vec<u32> = part
+                .verts
+                .iter()
+                .map(|&rl| region_verts[rl as usize])
+                .collect();
+            for (l, &gv) in verts_global.iter().enumerate() {
+                slot[gv as usize] = s as u32;
+                local[gv as usize] = l as u32;
+            }
+            comps[s] =
+                BiconnectivityIndex::build_component(&self.pool, part, &verts_global, &config)?;
+            rebuilt += 1;
+        }
+        let index = BiconnectivityIndex::assemble(new_n, slot, local, comps);
+        let stats = CommitStats {
+            batch: updates.len(),
+            inserts,
+            removes,
+            components_rebuilt: rebuilt,
+            components_reused: reused,
+            vertices_rebuilt: rn,
+            edges_rebuilt,
+            reused_fraction: 1.0 - rn as f64 / new_n as f64,
+            full_rebuild: false,
         };
+        Ok(self.publish(&prev, graph, index, stats))
+    }
+
+    /// Swaps in the next epoch — one short write-lock acquisition,
+    /// independent of graph size.
+    fn publish(
+        &self,
+        prev: &Snapshot,
+        graph: Graph,
+        index: BiconnectivityIndex,
+        stats: CommitStats,
+    ) -> Arc<Snapshot> {
         let next = Arc::new(Snapshot {
             epoch: prev.epoch + 1,
             graph,
             index,
+            stats,
         });
         *self.current.write().unwrap() = Arc::clone(&next);
-        Ok(next)
+        next
     }
-
-    /// Convenience: enqueue a whole journal and commit it.
-    pub fn apply(&self, updates: &[EdgeUpdate]) -> Result<Arc<Snapshot>, BccError> {
-        {
-            let mut journal = self.journal.lock().unwrap();
-            journal.extend_from_slice(updates);
-        }
-        self.commit()
-    }
-}
-
-/// The edited graph: the old edge set as normalized keys, plus inserts,
-/// minus removals. Insertions may grow the vertex set; removals never
-/// shrink it (orphaned vertices become isolated, which the index
-/// handles).
-fn apply_updates(g: &Graph, updates: &[EdgeUpdate]) -> Graph {
-    let mut keys: std::collections::BTreeSet<u64> = g.edges().iter().map(|e| e.key()).collect();
-    let mut n = g.n();
-    for &u in updates {
-        match u {
-            EdgeUpdate::Insert(a, b) => {
-                if a != b {
-                    n = n.max(a.max(b) + 1);
-                    keys.insert(Edge::new(a, b).key());
-                }
-            }
-            EdgeUpdate::Remove(a, b) => {
-                keys.remove(&Edge::new(a, b).key());
-            }
-        }
-    }
-    Graph::new(
-        n,
-        keys.into_iter()
-            .map(|k| Edge::new((k >> 32) as u32, k as u32))
-            .collect(),
-    )
 }
 
 #[cfg(test)]
@@ -181,16 +499,19 @@ mod tests {
         let store = IndexStore::new(Pool::new(2), gen::cycle(6)).unwrap();
         let before = store.load();
         assert_eq!(before.epoch, 0);
+        assert!(before.stats.full_rebuild);
         assert!(before.index.articulation_points().is_empty());
 
         // Cut the cycle open: edge (0,1) gone, the rest becomes a path.
-        store.enqueue(EdgeUpdate::Remove(0, 1));
-        assert_eq!(store.pending(), 1);
-        let after = store.commit().unwrap();
+        let mut txn = store.begin();
+        txn.remove(0, 1);
+        assert_eq!(txn.len(), 1);
+        let after = txn.commit().unwrap();
         assert_eq!(after.epoch, 1);
-        assert_eq!(store.pending(), 0);
         assert_eq!(after.index.articulation_points(), &[2, 3, 4, 5]);
         assert!(after.index.is_bridge(1, 2));
+        assert_eq!(after.stats.removes, 1);
+        assert!(!after.stats.full_rebuild);
 
         // The pre-update snapshot still answers from its own epoch. On
         // the new path 1-2-3-4-5-0, vertex 1 is a leaf (harmless) but
@@ -204,7 +525,7 @@ mod tests {
     #[test]
     fn empty_commit_is_a_no_op() {
         let store = IndexStore::new(Pool::new(1), gen::cycle(4)).unwrap();
-        let a = store.commit().unwrap();
+        let a = store.begin().commit().unwrap();
         assert_eq!(a.epoch, 0);
         assert!(Arc::ptr_eq(&a, &store.load()));
     }
@@ -213,32 +534,130 @@ mod tests {
     fn inserts_grow_the_vertex_set_and_heal_cuts() {
         let store = IndexStore::new(Pool::new(2), gen::path(4)).unwrap();
         // Close the path into a cycle, and hang a brand-new vertex 4.
-        let snap = store
-            .apply(&[
-                EdgeUpdate::Insert(3, 0),
-                EdgeUpdate::Insert(0, 4),
-                EdgeUpdate::Insert(0, 0), // self loop: ignored
-                EdgeUpdate::Insert(0, 1), // duplicate: ignored
-            ])
-            .unwrap();
+        let mut txn = store.begin();
+        txn.insert(3, 0)
+            .insert(0, 4)
+            .insert(0, 0) // self loop: ignored
+            .insert(0, 1); // duplicate: ignored
+        let snap = txn.commit().unwrap();
         assert_eq!(snap.epoch, 1);
         assert_eq!(snap.graph.n(), 5);
         assert_eq!(snap.graph.m(), 5); // 4 path/cycle edges + pendant
         assert_eq!(snap.index.articulation_points(), &[0]);
         assert!(snap.index.same_block(1, 3)); // now on a cycle
         assert!(snap.index.survives_failure(1, 3, Failure::Vertex(2)));
+        assert_eq!(snap.stats.batch, 4);
+        assert_eq!(snap.stats.inserts, 2); // net of the loop + duplicate
+        assert_eq!(snap.stats.components_rebuilt, 1);
     }
 
     #[test]
     fn removal_can_disconnect() {
         let store = IndexStore::new(Pool::new(2), gen::cycle_chain(2, 4, 0)).unwrap();
-        let snap = store.apply(&[EdgeUpdate::Remove(3, 4)]).unwrap(); // the bridge
+        let mut txn = store.begin();
+        txn.remove(3, 4); // the bridge
+        let snap = txn.commit().unwrap();
         assert!(!snap.index.connected(0, 5));
         assert!(!snap.index.survives_failure(0, 5, Failure::Vertex(2)));
-        // Removing an absent edge is a no-op but still bumps the epoch.
-        let snap2 = store.apply(&[EdgeUpdate::Remove(0, 5)]).unwrap();
+        assert_eq!(snap.stats.components_rebuilt, 2); // the split halves
+                                                      // Removing an absent edge is a no-op but still bumps the epoch.
+        let mut txn = store.begin();
+        txn.remove(0, 5);
+        let snap2 = txn.commit().unwrap();
         assert_eq!(snap2.epoch, 2);
         assert_eq!(snap2.graph.m(), snap.graph.m());
+        assert_eq!(snap2.stats.components_rebuilt, 0);
+        assert_eq!(snap2.stats.reused_fraction, 1.0);
+    }
+
+    #[test]
+    fn untouched_components_are_reused_by_pointer() {
+        // Three disjoint 5-cycles; edit only the middle one.
+        let g = Graph::from_tuples(
+            15,
+            (0..3).flat_map(|c| (0..5).map(move |i| (c * 5 + i, c * 5 + (i + 1) % 5))),
+        );
+        let store = IndexStore::new(Pool::new(2), g).unwrap();
+        let before = store.load();
+        assert_eq!(before.index.num_components(), 3);
+
+        let mut txn = store.begin();
+        txn.remove(5, 6);
+        let after = txn.commit().unwrap();
+        assert_eq!(after.stats.components_rebuilt, 1);
+        assert_eq!(after.stats.components_reused, 2);
+        assert_eq!(after.stats.vertices_rebuilt, 5);
+        assert!((after.stats.reused_fraction - 2.0 / 3.0).abs() < 1e-9);
+
+        // Untouched components: the *same* Arc, not an equal rebuild.
+        for v in [0, 4, 10, 14] {
+            assert!(Arc::ptr_eq(
+                before.index.component_handle(v).unwrap(),
+                after.index.component_handle(v).unwrap()
+            ));
+        }
+        // The touched one was rebuilt.
+        assert!(!Arc::ptr_eq(
+            before.index.component_handle(5).unwrap(),
+            after.index.component_handle(7).unwrap()
+        ));
+        assert!(after.index.is_bridge(6, 7));
+
+        // A cross-component insert merges exactly the two endpoints'
+        // components and leaves the third alone.
+        let mut txn = store.begin();
+        txn.insert(0, 10);
+        let merged = txn.commit().unwrap();
+        assert_eq!(merged.stats.components_rebuilt, 1);
+        assert_eq!(merged.index.num_components(), 2); // merged pair + middle
+        assert!(merged.index.connected(0, 10));
+        assert!(Arc::ptr_eq(
+            after.index.component_handle(7).unwrap(),
+            merged.index.component_handle(7).unwrap()
+        ));
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild() {
+        let store = IndexStore::new(Pool::new(2), gen::cycle_chain(3, 4, 1)).unwrap();
+        let mut txn = store.begin();
+        txn.extend([
+            EdgeUpdate::Remove(3, 4),
+            EdgeUpdate::Insert(0, 9),
+            EdgeUpdate::Insert(13, 14), // new vertex
+        ]);
+        let inc = txn.commit().unwrap();
+
+        let pool = Pool::new(2);
+        let full = BiconnectivityIndex::from_graph(&pool, &inc.graph).unwrap();
+        assert_eq!(inc.index.articulation_points(), full.articulation_points());
+        assert_eq!(inc.index.num_blocks(), full.num_blocks());
+        assert_eq!(inc.index.num_bridges(), full.num_bridges());
+        assert_eq!(inc.index.num_components(), full.num_components());
+        let n = inc.graph.n();
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(inc.index.connected(u, v), full.connected(u, v));
+                assert_eq!(inc.index.same_block(u, v), full.same_block(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_journal_shims_still_work() {
+        #[allow(deprecated)]
+        {
+            let store = IndexStore::new(Pool::new(1), gen::path(4)).unwrap();
+            store.enqueue(EdgeUpdate::Insert(3, 0));
+            assert_eq!(store.pending(), 1);
+            let snap = store.commit().unwrap();
+            assert_eq!(snap.epoch, 1);
+            assert_eq!(store.pending(), 0);
+            assert!(snap.index.articulation_points().is_empty()); // a cycle now
+            let snap2 = store.apply(&[EdgeUpdate::Remove(1, 2)]).unwrap();
+            assert_eq!(snap2.epoch, 2);
+            assert!(snap2.index.is_bridge(0, 1));
+        }
     }
 
     #[test]
@@ -261,15 +680,13 @@ mod tests {
             });
             let writer = s.spawn(|| {
                 for round in 0..20 {
+                    let mut txn = store.begin();
                     if round % 2 == 0 {
-                        store
-                            .apply(&[EdgeUpdate::Remove(0, 1), EdgeUpdate::Remove(4, 5)])
-                            .unwrap();
+                        txn.remove(0, 1).remove(4, 5);
                     } else {
-                        store
-                            .apply(&[EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(4, 5)])
-                            .unwrap();
+                        txn.insert(0, 1).insert(4, 5);
                     }
+                    txn.commit().unwrap();
                 }
             });
             assert_eq!(reader.join().unwrap(), 200);

@@ -1,0 +1,151 @@
+//! Property tests (satellite of the incremental-commit PR): random
+//! update batches — inserts, removals, merges, splits, self loops,
+//! duplicates, brand-new vertices — pushed through `Txn::commit` must
+//! publish snapshots whose query answers are *identical* to an index
+//! rebuilt from scratch over the same graph. This is the oracle that
+//! keeps the component-scoped commit honest: any stale slot, wrong
+//! region, or missed merge shows up as a divergent answer.
+
+use bcc_query::{BiconnectivityIndex, EdgeUpdate, Failure, IndexStore};
+use bcc_smp::Pool;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random stream for shaping update batches.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// One random update against the current graph: biased toward
+/// structure-changing operations (removing *present* edges splits
+/// components; inserting across components merges them), with self
+/// loops, duplicates, absent removals, and new vertices mixed in.
+fn random_update(g: &bcc_graph::Graph, state: &mut u64) -> EdgeUpdate {
+    let n = g.n();
+    let roll = lcg(state) % 10;
+    if roll < 4 && g.m() > 0 {
+        // Remove an edge that actually exists.
+        let e = g.edges()[lcg(state) as usize % g.m()];
+        EdgeUpdate::Remove(e.u, e.v)
+    } else {
+        // Endpoints may coincide (self loop), repeat an existing edge
+        // (duplicate), or run past n (vertex growth).
+        let a = (lcg(state) % (n as u64 + 3)) as u32;
+        let b = (lcg(state) % (n as u64 + 3)) as u32;
+        if roll < 8 {
+            EdgeUpdate::Insert(a, b)
+        } else {
+            EdgeUpdate::Remove(a, b)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The incremental store against the from-scratch oracle, over a
+    // whole trajectory of commits.
+    #[test]
+    fn incremental_commits_match_from_scratch_rebuild(
+        (n, m, seed) in (6u32..28, 0usize..40, any::<u64>())
+    ) {
+        let g = bcc_graph::gen::random_gnm(n, m.min(bcc_graph::gen::max_edges(n)), seed);
+        let pool = Pool::new(2);
+        let store = IndexStore::new(Pool::new(2), g).unwrap();
+        let mut state = seed ^ 0x9e3779b97f4a7c15;
+
+        for batch_no in 0..3u64 {
+            let prev = store.load();
+            let batch_len = 1 + (lcg(&mut state) % 8) as usize;
+            let mut txn = store.begin();
+            for _ in 0..batch_len {
+                txn.push(random_update(&prev.graph, &mut state));
+            }
+            let snap = txn.commit().unwrap();
+            prop_assert_eq!(snap.epoch, batch_no + 1);
+
+            // Oracle: the same graph, indexed from scratch.
+            let full = BiconnectivityIndex::from_graph(&pool, &snap.graph).unwrap();
+            let inc = &snap.index;
+            prop_assert_eq!(inc.articulation_points(), full.articulation_points());
+            prop_assert_eq!(inc.num_blocks(), full.num_blocks());
+            prop_assert_eq!(inc.num_bridges(), full.num_bridges());
+            prop_assert_eq!(inc.num_components(), full.num_components());
+
+            let nn = snap.graph.n();
+            for u in 0..nn {
+                prop_assert_eq!(inc.is_articulation(u), full.is_articulation(u));
+                for v in 0..nn {
+                    prop_assert_eq!(inc.connected(u, v), full.connected(u, v));
+                    prop_assert_eq!(inc.same_block(u, v), full.same_block(u, v));
+                }
+            }
+            // Sampled deep queries (all-pairs × all-failures is cubic).
+            for _ in 0..16 {
+                let u = (lcg(&mut state) % nn as u64) as u32;
+                let v = (lcg(&mut state) % nn as u64) as u32;
+                let x = (lcg(&mut state) % nn as u64) as u32;
+                prop_assert_eq!(inc.vertex_cut_between(u, v), full.vertex_cut_between(u, v));
+                prop_assert_eq!(inc.is_bridge(u, v), full.is_bridge(u, v));
+                prop_assert_eq!(
+                    inc.survives_failure(u, v, Failure::Vertex(x)),
+                    full.survives_failure(u, v, Failure::Vertex(x))
+                );
+                prop_assert_eq!(
+                    inc.survives_failure(u, v, Failure::Edge(u, x)),
+                    full.survives_failure(u, v, Failure::Edge(u, x))
+                );
+            }
+
+            // Stats bookkeeping must be internally consistent.
+            let s = &snap.stats;
+            prop_assert!(!s.full_rebuild);
+            prop_assert_eq!(s.batch, batch_len);
+            prop_assert_eq!(
+                s.components_rebuilt + s.components_reused,
+                inc.num_components()
+            );
+            prop_assert!(s.vertices_rebuilt <= nn);
+            prop_assert!((0.0..=1.0).contains(&s.reused_fraction));
+        }
+    }
+
+    // `commit_full` and `commit` publish equivalent answers for the
+    // same batch.
+    #[test]
+    fn full_and_incremental_commits_agree(
+        (n, m, seed) in (6u32..24, 0usize..30, any::<u64>())
+    ) {
+        let g = bcc_graph::gen::random_gnm(n, m.min(bcc_graph::gen::max_edges(n)), seed);
+        let store_inc = IndexStore::new(Pool::new(2), g.clone()).unwrap();
+        let store_full = IndexStore::new(Pool::new(2), g.clone()).unwrap();
+        let mut state = seed ^ 0xd1b54a32d192ed03;
+        let batch: Vec<EdgeUpdate> = (0..6).map(|_| random_update(&g, &mut state)).collect();
+
+        let mut txn = store_inc.begin();
+        txn.extend(batch.iter().copied());
+        let inc = txn.commit().unwrap();
+
+        let mut txn = store_full.begin();
+        txn.extend(batch.iter().copied());
+        let full = txn.commit_full().unwrap();
+
+        prop_assert!(full.stats.full_rebuild && !inc.stats.full_rebuild);
+        prop_assert_eq!(inc.stats.inserts, full.stats.inserts);
+        prop_assert_eq!(inc.stats.removes, full.stats.removes);
+        prop_assert_eq!(inc.graph.n(), full.graph.n());
+        prop_assert_eq!(inc.graph.m(), full.graph.m());
+        prop_assert_eq!(
+            inc.index.articulation_points(),
+            full.index.articulation_points()
+        );
+        prop_assert_eq!(inc.index.num_blocks(), full.index.num_blocks());
+        for u in 0..inc.graph.n() {
+            for v in 0..inc.graph.n() {
+                prop_assert_eq!(inc.index.same_block(u, v), full.index.same_block(u, v));
+            }
+        }
+    }
+}

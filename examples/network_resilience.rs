@@ -20,7 +20,7 @@
 //! ```
 
 use rand::prelude::*;
-use smp_bcc::query::{EdgeUpdate, Failure, IndexStore, Query, QueryBatch};
+use smp_bcc::query::{Failure, IndexStore, Query, QueryBatch};
 use smp_bcc::{Edge, Graph, Pool};
 
 fn build_network(backbone: u32, sites: u32, hosts_per_site: u32, seed: u64) -> Graph {
@@ -178,15 +178,23 @@ fn main() {
         .find(|e| e.u.max(e.v) == site0)
         .copied()
         .expect("site 0 has an uplink");
-    store.enqueue(EdgeUpdate::Remove(uplink.u, uplink.v));
+    let mut txn = store.begin();
+    txn.remove(uplink.u, uplink.v);
     let t2 = std::time::Instant::now();
-    let after = store.commit().expect("rebuild");
+    let after = txn.commit().expect("rebuild");
     println!(
         "injected failure of uplink ({}, {}): rebuilt epoch {} in {:?}",
         uplink.u,
         uplink.v,
         after.epoch,
         t2.elapsed()
+    );
+    println!(
+        "  commit rebuilt {} of {} components ({} vertices, {:.0}% of the index reused)",
+        after.stats.components_rebuilt,
+        after.stats.components_rebuilt + after.stats.components_reused,
+        after.stats.vertices_rebuilt,
+        100.0 * after.stats.reused_fraction
     );
     println!(
         "  host {host_a} reaches the core now?   {}",

@@ -71,13 +71,6 @@ pub use bcc_graph::{Csr, Edge, Graph};
 pub use bcc_query::{BiconnectivityIndex, IndexStore};
 pub use bcc_smp::{Pool, Telemetry, TelemetrySnapshot};
 
-// Deprecated pre-`BccConfig` entry points, re-exported for one release
-// cycle so downstream code keeps compiling (with a warning).
-#[allow(deprecated)]
-pub use bcc_core::per_component::biconnected_components_per_component;
-#[allow(deprecated)]
-pub use bcc_core::{biconnected_components, sequential};
-
 /// One-call convenience API: runs `alg` on `g` with a machine-sized
 /// pool, handling disconnected inputs transparently.
 pub fn bcc(g: &Graph, alg: Algorithm) -> BccResult {
