@@ -3,7 +3,8 @@
 //! ```text
 //! bcc-bench [--smoke] [--n <vertices>] [--p <max threads>]
 //!           [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>]
-//!           [--workspace on|off|both] [--store on|off] [--out <path>]
+//!           [--workspace on|off|both] [--store on|off]
+//!           [--serve on|off|only] [--out <path>]
 //! bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]
 //! ```
 //!
@@ -20,6 +21,11 @@
 //! emits the two as separate series. `--store off` skips the
 //! `store-multi` commit-latency cells (incremental vs from-scratch
 //! `IndexStore` commits across batch sizes; on by default).
+//! `--serve` controls the `serve` SLO cells (the `bcc-serve` daemon
+//! under closed- and open-loop workload profiles, reporting queries/s
+//! and latency/snapshot-lag quantiles): `on` (default) runs them after
+//! the grid, `off` skips them, `only` runs nothing else — the CI
+//! serve-smoke mode.
 //! `compare` exits non-zero when the candidate document is more than
 //! `--threshold` percent slower than the baseline on any matching cell.
 
@@ -39,7 +45,7 @@ fn main() -> ExitCode {
 
 fn bad_usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--store on|off] [--out <path>]");
+    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--store on|off] [--serve on|off|only] [--out <path>]");
     eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]");
     ExitCode::from(2)
 }
@@ -56,11 +62,13 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
             let tunings = cfg.tunings.clone();
             let workspace = cfg.workspace;
             let store = cfg.store;
+            let serve = cfg.serve;
             cfg = GridConfig::smoke(machine);
             cfg.threads = threads;
             cfg.tunings = tunings;
             cfg.workspace = workspace;
             cfg.store = store;
+            cfg.serve = serve;
             i += 1;
             continue;
         }
@@ -103,6 +111,13 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
                 }
                 _ => false,
             },
+            "--serve" => match val.parse() {
+                Ok(mode) => {
+                    cfg.serve = mode;
+                    true
+                }
+                Err(e) => return bad_usage(&format!("bad value for --serve: {e}")),
+            },
             "--out" => {
                 out = val.clone();
                 true
@@ -117,7 +132,7 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
 
     let specs: Vec<String> = cfg.tunings.iter().map(TraversalTuning::spec).collect();
     eprintln!(
-        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?} workspace={} store={}{}",
+        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?} workspace={} store={} serve={}{}",
         cfg.n,
         cfg.threads,
         cfg.trials,
@@ -125,6 +140,7 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
         specs,
         cfg.workspace.name(),
         if cfg.store { "on" } else { "off" },
+        cfg.serve.name(),
         if cfg.smoke { " (smoke)" } else { "" }
     );
     let doc = grid::run_grid(&cfg, |line| eprintln!("  {line}"));

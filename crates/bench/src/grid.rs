@@ -11,6 +11,10 @@ use bcc_connectivity::bfs::bfs_tree_seq;
 use bcc_core::{Algorithm, BccConfig, BccWorkspace, PhaseReport, TraversalTuning};
 use bcc_graph::{gen, Csr, Edge, Graph};
 use bcc_query::{CommitStats, IndexStore};
+use bcc_serve::{
+    component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
+    WorkloadReport,
+};
 use bcc_smp::{Pool, Telemetry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,6 +31,10 @@ use std::time::{Duration, Instant};
 /// stay comparable on the shared cells. The `store-multi` commit-latency
 /// cells (`batch`, `batch_effective`, the [`CommitStats`] medians, and
 /// the `/batch<k>` key suffix) are additive within v2 the same way.
+/// So are the `serve` SLO cells (queries/s, latency/lag quantiles, the
+/// `mode` field and its `/closed` / `/open` key suffix): their
+/// `seconds` is the p99 query latency, the tail statement a serving
+/// SLO is written against.
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Schema versions [`compare`] can still read (v1 documents predate the
@@ -132,6 +140,43 @@ impl std::str::FromStr for WorkspaceMode {
     }
 }
 
+/// Whether the grid runs the `serve` SLO cells — the `bcc-serve` daemon
+/// driven closed- and open-loop over its workload profiles, reduced to
+/// latency/lag quantile entries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Skip the serve cells.
+    Off,
+    /// Run them after the algorithm grid (the default).
+    On,
+    /// Run *only* the serve cells — what the CI serve-smoke job uses,
+    /// so its wall time is the daemon runs and nothing else.
+    Only,
+}
+
+impl ServeMode {
+    /// Name used in the JSON document and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeMode::Off => "off",
+            ServeMode::On => "on",
+            ServeMode::Only => "only",
+        }
+    }
+}
+
+impl std::str::FromStr for ServeMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(ServeMode::Off),
+            "on" => Ok(ServeMode::On),
+            "only" => Ok(ServeMode::Only),
+            other => Err(format!("unknown serve mode {other:?} (on|off|only)")),
+        }
+    }
+}
+
 /// Grid parameters (what the `bcc-bench` CLI parses into).
 #[derive(Clone, Debug)]
 pub struct GridConfig {
@@ -156,6 +201,9 @@ pub struct GridConfig {
     /// incremental (`Txn::commit`) against from-scratch
     /// (`Txn::commit_full`) commits across batch sizes.
     pub store: bool,
+    /// Whether (and how) to run the `serve` SLO cells: the `bcc-serve`
+    /// daemon under its workload profiles, swept over reader counts.
+    pub serve: ServeMode,
 }
 
 impl GridConfig {
@@ -173,6 +221,7 @@ impl GridConfig {
             tunings: vec![TraversalTuning::fast()],
             workspace: WorkspaceMode::On,
             store: true,
+            serve: ServeMode::On,
         }
     }
 
@@ -187,6 +236,7 @@ impl GridConfig {
             tunings: vec![TraversalTuning::fast()],
             workspace: WorkspaceMode::On,
             store: true,
+            serve: ServeMode::On,
         }
     }
 }
@@ -534,6 +584,198 @@ fn run_store_cells(
     (family, entries)
 }
 
+/// Components in the serve-cell instance (each a contiguous ring plus
+/// random chords; see [`component_grid`]).
+pub const SERVE_PARTS: u32 = 8;
+
+/// Shards the serve cells split the store across.
+pub const SERVE_SHARDS: usize = 4;
+
+/// The scenarios each reader count runs: the read-heavy profile under
+/// both drive modes, then the churn-heavy and adversarial hot-component
+/// profiles open-loop — the mode where queueing behind commits shows up
+/// as tail latency instead of silently reducing the offered load.
+fn serve_scenarios(rate: f64) -> [(Profile, Mode); 4] {
+    [
+        (Profile::ReadHeavy, Mode::Closed),
+        (Profile::ReadHeavy, Mode::Open { rate }),
+        (Profile::ChurnHeavy, Mode::Open { rate }),
+        (Profile::HotComponent, Mode::Open { rate }),
+    ]
+}
+
+/// Runs the `serve` SLO cells: one [`ShardedStore`] per (readers ×
+/// scenario) cell — reused across trials, so churn runs against a warm,
+/// steady-state store — each trial spawning a fresh [`Daemon`] and
+/// driving it with [`run_workload`]. The gate metric (`seconds`) is the
+/// p99 query latency; throughput and snapshot-lag quantiles ride along.
+fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, Vec<Json>) {
+    let trials = cfg.trials.max(1);
+    // Arrival rate and measurement window, sized so the smoke grid
+    // stays CI-friendly while the full grid queues for real.
+    let (rate, duration) = if cfg.smoke {
+        (20_000.0, Duration::from_millis(120))
+    } else {
+        (100_000.0, Duration::from_millis(400))
+    };
+    let n = cfg.n.max(3 * SERVE_PARTS);
+    let g = component_grid(n, SERVE_PARTS, cfg.seed);
+
+    struct ServeCell {
+        pool: usize,
+        profile: Profile,
+        mode: Mode,
+        store: Arc<ShardedStore>,
+        reports: Vec<WorkloadReport>,
+    }
+    let mut cells: Vec<ServeCell> = vec![];
+    for pool in 0..cfg.threads.len() {
+        let p = cfg.threads[pool];
+        for (profile, mode) in serve_scenarios(rate) {
+            cells.push(ServeCell {
+                pool,
+                profile,
+                mode,
+                store: Arc::new(
+                    ShardedStore::new(&Pool::new(p), &g, SERVE_SHARDS)
+                        .expect("serve instance shards"),
+                ),
+                reports: Vec::with_capacity(trials),
+            });
+        }
+    }
+
+    // Trial-major, like the rest of the grid: spread each cell's
+    // samples past any single host-scheduler burst.
+    for round in 0..trials {
+        for cell in &mut cells {
+            let daemon = Daemon::spawn(
+                Arc::clone(&cell.store),
+                ServeConfig {
+                    readers: cfg.threads[cell.pool],
+                    flush_interval: Duration::from_millis(1),
+                    ..ServeConfig::default()
+                },
+            );
+            let report = run_workload(
+                daemon,
+                &WorkloadConfig {
+                    profile: cell.profile,
+                    mode: cell.mode,
+                    duration,
+                    parts: SERVE_PARTS,
+                    seed: cfg.seed,
+                },
+            );
+            if let Some(e) = &report.serve.writer_error {
+                panic!(
+                    "serve writer failed ({} / {} p={}): {e}",
+                    cell.profile.name(),
+                    cell.mode.name(),
+                    cfg.threads[cell.pool]
+                );
+            }
+            cell.reports.push(report);
+        }
+        progress(&format!(
+            "serve trial round {}/{trials} complete",
+            round + 1
+        ));
+    }
+
+    const NS: f64 = 1e-9;
+    let mut entries = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let p = cfg.threads[cell.pool];
+        let med =
+            |f: &dyn Fn(&WorkloadReport) -> f64| median_f64(cell.reports.iter().map(f).collect());
+        let p99s: Vec<f64> = cell
+            .reports
+            .iter()
+            .map(|r| r.serve.latency.quantile(0.99) as f64 * NS)
+            .collect();
+        let seconds = median_f64(p99s.clone());
+        entries.push(Json::obj(vec![
+            ("family", Json::str("serve")),
+            ("algorithm", Json::str(cell.profile.name())),
+            ("n", Json::num(g.n())),
+            ("m", Json::num(g.m() as f64)),
+            ("threads", Json::num(p as f64)),
+            ("mode", Json::str(cell.mode.name())),
+            (
+                "rate",
+                Json::num(match cell.mode {
+                    Mode::Open { rate } => rate,
+                    Mode::Closed => 0.0,
+                }),
+            ),
+            // The gate metric: p99 query latency, median over trials
+            // (and its min, which the comparator prefers).
+            ("seconds", Json::num(seconds)),
+            (
+                "seconds_min",
+                Json::num(p99s.iter().copied().fold(f64::INFINITY, f64::min)),
+            ),
+            ("queries_per_sec", Json::num(med(&|r| r.queries_per_sec()))),
+            ("answered", Json::num(med(&|r| r.serve.answered as f64))),
+            (
+                "latency_p50_seconds",
+                Json::num(med(&|r| r.serve.latency.quantile(0.50) as f64 * NS)),
+            ),
+            (
+                "latency_p999_seconds",
+                Json::num(med(&|r| r.serve.latency.quantile(0.999) as f64 * NS)),
+            ),
+            (
+                "latency_max_seconds",
+                Json::num(med(&|r| r.serve.latency.max() as f64 * NS)),
+            ),
+            (
+                "lag_commits_p50",
+                Json::num(med(&|r| r.serve.lag_commits.quantile(0.50) as f64)),
+            ),
+            (
+                "lag_commits_p99",
+                Json::num(med(&|r| r.serve.lag_commits.quantile(0.99) as f64)),
+            ),
+            (
+                "lag_commits_max",
+                Json::num(med(&|r| r.serve.lag_commits.max() as f64)),
+            ),
+            (
+                "lag_wall_p99_seconds",
+                Json::num(med(&|r| r.serve.lag_wall.quantile(0.99) as f64 * NS)),
+            ),
+            (
+                "updates_applied",
+                Json::num(med(&|r| r.serve.updates_applied as f64)),
+            ),
+            ("commits", Json::num(med(&|r| r.serve.commits as f64))),
+            ("migrations", Json::num(med(&|r| r.serve.migrations as f64))),
+        ]));
+        progress(&format!(
+            "{:>13} {:>13} p={p} [{}]: p99 {:>9.3?}, {:.0} q/s ({} trials)",
+            "serve",
+            cell.profile.name(),
+            cell.mode.name(),
+            Duration::from_secs_f64(seconds),
+            med(&|r| r.queries_per_sec()),
+            trials,
+        ));
+    }
+
+    let family = Json::obj(vec![
+        ("family", Json::str("serve")),
+        ("n", Json::num(g.n())),
+        ("m", Json::num(g.m() as f64)),
+        ("components", Json::num(f64::from(SERVE_PARTS))),
+        ("shards", Json::num(SERVE_SHARDS as f64)),
+        ("duration_seconds", Json::num(duration.as_secs_f64())),
+        ("open_rate", Json::num(rate)),
+    ]);
+    (family, entries)
+}
+
 /// Runs the full grid and returns the `BENCH_bcc.json` document.
 /// `progress` receives one line per trial round and per finished cell
 /// (pass `|_| {}` to silence it).
@@ -547,6 +789,48 @@ fn run_store_cells(
 pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
     assert!(cfg.threads.contains(&1), "thread sweep must include 1");
     assert!(!cfg.tunings.is_empty(), "at least one tuning is required");
+    let mut families: Vec<Json> = vec![];
+    let mut entries: Vec<Json> = vec![];
+    if cfg.serve != ServeMode::Only {
+        let (f, e) = run_algorithm_cells(cfg, &mut progress);
+        families.extend(f);
+        entries.extend(e);
+    }
+    if cfg.serve != ServeMode::Off {
+        let (fam, mut serve_entries) = run_serve_cells(cfg, &mut progress);
+        families.push(fam);
+        entries.append(&mut serve_entries);
+    }
+    Json::obj(vec![
+        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+        ("experiment", Json::str("bcc-grid")),
+        ("smoke", Json::Bool(cfg.smoke)),
+        ("n", Json::num(cfg.n)),
+        (
+            "threads",
+            Json::Arr(cfg.threads.iter().map(|&p| Json::num(p as f64)).collect()),
+        ),
+        ("trials", Json::num(cfg.trials.max(1) as f64)),
+        ("seed", Json::num(cfg.seed as f64)),
+        (
+            "tunings",
+            Json::Arr(cfg.tunings.iter().map(|t| Json::str(t.spec())).collect()),
+        ),
+        ("workspace", Json::str(cfg.workspace.name())),
+        ("store", Json::Bool(cfg.store)),
+        ("serve", Json::str(cfg.serve.name())),
+        ("families", Json::Arr(families)),
+        ("entries", Json::Arr(entries)),
+    ])
+}
+
+/// The algorithm grid proper (families × algorithms × threads ×
+/// ablation points) plus the `store-multi` cells, as (family summaries,
+/// entries).
+fn run_algorithm_cells(
+    cfg: &GridConfig,
+    progress: &mut impl FnMut(&str),
+) -> (Vec<Json>, Vec<Json>) {
     let trials = cfg.trials.max(1);
 
     // Instances and pools are built once; every trial round reuses
@@ -681,30 +965,11 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
         ));
     }
     if cfg.store {
-        let (fam, mut store_entries) = run_store_cells(cfg, &pools, &mut progress);
+        let (fam, mut store_entries) = run_store_cells(cfg, &pools, progress);
         families.push(fam);
         entries.append(&mut store_entries);
     }
-    Json::obj(vec![
-        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
-        ("experiment", Json::str("bcc-grid")),
-        ("smoke", Json::Bool(cfg.smoke)),
-        ("n", Json::num(cfg.n)),
-        (
-            "threads",
-            Json::Arr(cfg.threads.iter().map(|&p| Json::num(p as f64)).collect()),
-        ),
-        ("trials", Json::num(cfg.trials.max(1) as f64)),
-        ("seed", Json::num(cfg.seed as f64)),
-        (
-            "tunings",
-            Json::Arr(cfg.tunings.iter().map(|t| Json::str(t.spec())).collect()),
-        ),
-        ("workspace", Json::str(cfg.workspace.name())),
-        ("store", Json::Bool(cfg.store)),
-        ("families", Json::Arr(families)),
-        ("entries", Json::Arr(entries)),
-    ])
+    (families, entries)
 }
 
 /// One regression found by [`compare`].
@@ -771,6 +1036,11 @@ fn entry_key(e: &Json) -> Option<String> {
     // Store-commit cells are one series per batch size.
     if let Some(b) = e.get("batch").and_then(Json::as_u64) {
         key.push_str(&format!("/batch{b}"));
+    }
+    // Serve cells are one series per drive mode (closed vs open).
+    if let Some(m) = e.get("mode").and_then(Json::as_str) {
+        key.push('/');
+        key.push_str(m);
     }
     Some(key)
 }
@@ -913,8 +1183,10 @@ mod tests {
             tunings,
             workspace,
             // The entry-count and rescale-by-index assertions below
-            // predate the store cells; they run on the plain grid.
+            // predate the store and serve cells; they run on the plain
+            // grid.
             store: false,
+            serve: ServeMode::Off,
         };
         run_grid(&cfg, |_| {})
     }
@@ -930,6 +1202,7 @@ mod tests {
             tunings: vec![TraversalTuning::fast()],
             workspace: WorkspaceMode::On,
             store: true,
+            serve: ServeMode::Off,
         };
         let doc = run_grid(&cfg, |_| {});
         assert_eq!(doc.get("store"), Some(&Json::Bool(true)));
@@ -993,6 +1266,87 @@ mod tests {
                     assert_eq!(reused, 0, "{key}");
                 }
                 other => panic!("unexpected store algorithm {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serve_cells_emit_slo_series() {
+        let cfg = GridConfig {
+            n: 320,
+            threads: vec![1, 2],
+            trials: 2,
+            seed: 7,
+            smoke: true,
+            tunings: vec![TraversalTuning::fast()],
+            workspace: WorkspaceMode::On,
+            store: false,
+            serve: ServeMode::Only,
+        };
+        let doc = run_grid(&cfg, |_| {});
+        assert_eq!(doc.get("serve").and_then(Json::as_str), Some("only"));
+        // `only` skips the algorithm grid: the serve family summary is
+        // the whole families array.
+        let fams = doc.get("families").and_then(Json::as_arr).unwrap();
+        assert_eq!(fams.len(), 1);
+        assert_eq!(
+            fams[0].get("shards").and_then(Json::as_u64),
+            Some(SERVE_SHARDS as u64)
+        );
+        let text = doc.pretty();
+        let parsed = crate::json::parse(&text).expect("serve BENCH json must parse");
+        let entries = parsed.get("entries").and_then(Json::as_arr).unwrap();
+        // threads × scenarios.
+        assert_eq!(entries.len(), 2 * serve_scenarios(1.0).len());
+        let keys: std::collections::BTreeSet<String> =
+            entries.iter().map(|e| entry_key(e).unwrap()).collect();
+        assert_eq!(keys.len(), entries.len());
+        for e in entries {
+            let key = entry_key(e).unwrap();
+            let mode = e.get("mode").and_then(Json::as_str).unwrap();
+            assert!(key.ends_with(&format!("/{mode}")), "{key}");
+            assert!(matches!(mode, "closed" | "open"), "{key}");
+            // Closed-loop cells drive as fast as backpressure allows;
+            // open-loop cells carry their arrival rate.
+            let rate = e.get("rate").and_then(Json::as_f64).unwrap();
+            assert_eq!(mode == "closed", rate == 0.0, "{key}");
+            for field in [
+                "seconds",
+                "seconds_min",
+                "queries_per_sec",
+                "answered",
+                "latency_p50_seconds",
+                "latency_p999_seconds",
+                "lag_commits_p50",
+                "lag_commits_p99",
+                "lag_commits_max",
+                "lag_wall_p99_seconds",
+                "updates_applied",
+                "commits",
+            ] {
+                assert!(
+                    e.get(field).and_then(Json::as_f64).is_some(),
+                    "missing {field} in {key}"
+                );
+            }
+            assert!(
+                e.get("answered").and_then(Json::as_f64).unwrap() > 0.0,
+                "{key}: no queries answered"
+            );
+            // Quantiles are ordered: p50 ≤ p99 (= seconds) ≤ p999.
+            let p50 = e.get("latency_p50_seconds").and_then(Json::as_f64).unwrap();
+            let p99 = e.get("seconds").and_then(Json::as_f64).unwrap();
+            let p999 = e
+                .get("latency_p999_seconds")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(p50 <= p99 && p99 <= p999, "{key}: {p50} / {p99} / {p999}");
+            // Churn profiles commit; read-heavy ones may too (1% mix).
+            if e.get("algorithm").and_then(Json::as_str) == Some("churn-heavy") {
+                assert!(
+                    e.get("commits").and_then(Json::as_f64).unwrap() > 0.0,
+                    "{key}: churn profile never committed"
+                );
             }
         }
     }

@@ -233,6 +233,19 @@ pub struct PhaseReport {
     /// Fraction of workspace takes served from the arena shelf
     /// (`1.0` when every take hit, or when no workspace was observed).
     pub arena_hit_rate: f64,
+    /// Snapshot-lag observations recorded through the telemetry sink
+    /// during the run (0 without telemetry, or when nothing was
+    /// answered from an epoch snapshot — classic batch pipelines).
+    pub snapshot_lag_samples: u64,
+    /// Mean observed snapshot lag, in commits behind the latest epoch.
+    pub snapshot_lag_commits_mean: f64,
+    /// Worst observed snapshot lag, in commits (high-water mark of the
+    /// sink — see `TelemetrySnapshot::delta_since`).
+    pub snapshot_lag_commits_max: u64,
+    /// Mean observed snapshot age (wall time since publication).
+    pub snapshot_lag_wall_mean: Duration,
+    /// Worst observed snapshot age (high-water mark of the sink).
+    pub snapshot_lag_wall_max: Duration,
     /// The run's machine-independent work counters.
     pub stats: PipelineStats,
 }
@@ -389,18 +402,29 @@ impl<'a> PhaseRecorder<'a> {
             })
             .collect();
 
-        let (phase_runs, barrier_episodes, barrier_wait, imbalance) = match self.telem {
+        let whole_run = self
+            .telem
+            .map(|t| t.snapshot().delta_since(self.first.as_ref().unwrap()));
+        let (phase_runs, barrier_episodes, barrier_wait, imbalance) = match &whole_run {
             None => (0, 0, Duration::ZERO, 1.0),
-            Some(t) => {
-                let delta = t.snapshot().delta_since(self.first.as_ref().unwrap());
-                (
-                    delta.phase_runs,
-                    delta.barrier_episodes,
-                    delta.total_barrier_wait(),
-                    delta.imbalance(),
-                )
-            }
+            Some(delta) => (
+                delta.phase_runs,
+                delta.barrier_episodes,
+                delta.total_barrier_wait(),
+                delta.imbalance(),
+            ),
         };
+        let (lag_samples, lag_commits_mean, lag_commits_max, lag_wall_mean, lag_wall_max) =
+            match &whole_run {
+                None => (0, 0.0, 0, Duration::ZERO, Duration::ZERO),
+                Some(delta) => (
+                    delta.snapshot_lag_samples,
+                    delta.snapshot_lag_mean_commits(),
+                    delta.snapshot_lag_commits_max,
+                    delta.snapshot_lag_mean_wall(),
+                    delta.snapshot_lag_wall_max,
+                ),
+            };
 
         let (alloc_bytes, arena_hit_rate) = match &self.ws {
             None => (0, 1.0),
@@ -425,6 +449,11 @@ impl<'a> PhaseRecorder<'a> {
             imbalance,
             alloc_bytes,
             arena_hit_rate,
+            snapshot_lag_samples: lag_samples,
+            snapshot_lag_commits_mean: lag_commits_mean,
+            snapshot_lag_commits_max: lag_commits_max,
+            snapshot_lag_wall_mean: lag_wall_mean,
+            snapshot_lag_wall_max: lag_wall_max,
             stats,
         }
     }
@@ -518,6 +547,40 @@ mod tests {
         assert_eq!(et.imbalance, 1.0);
         assert_eq!(report.phase_runs, 1);
         assert_eq!(report.barrier_episodes, 1);
+    }
+
+    #[test]
+    fn recorder_routes_snapshot_lag_from_the_sink() {
+        let sink = Telemetry::new(1);
+        let rec = PhaseRecorder::new(Some(&sink));
+        // A serving reader elsewhere reports two answers' staleness.
+        sink.record_snapshot_lag(2, Duration::from_micros(50));
+        sink.record_snapshot_lag(4, Duration::from_micros(150));
+        let report = rec.finish(
+            "TV-filter",
+            1,
+            1,
+            1,
+            PipelineStats::default(),
+            Duration::ZERO,
+        );
+        assert_eq!(report.snapshot_lag_samples, 2);
+        assert!((report.snapshot_lag_commits_mean - 3.0).abs() < 1e-9);
+        assert_eq!(report.snapshot_lag_commits_max, 4);
+        assert_eq!(report.snapshot_lag_wall_mean, Duration::from_micros(100));
+        assert_eq!(report.snapshot_lag_wall_max, Duration::from_micros(150));
+
+        // Without a sink the fields are inert zeros.
+        let report = PhaseRecorder::new(None).finish(
+            "TV-opt",
+            1,
+            1,
+            1,
+            PipelineStats::default(),
+            Duration::ZERO,
+        );
+        assert_eq!(report.snapshot_lag_samples, 0);
+        assert_eq!(report.snapshot_lag_wall_max, Duration::ZERO);
     }
 
     #[test]

@@ -9,6 +9,23 @@
 //! open a transaction with [`IndexStore::begin`], stage edge updates
 //! on the [`Txn`], and publish a new epoch with [`Txn::commit`].
 //!
+//! # Reader hand-off
+//!
+//! Publication goes through a small ring of slots rather than one
+//! `RwLock`'d cell: the writer installs the next epoch into the slot
+//! *after* the current head, then advances the head index with a
+//! release store. A reader picks the head slot and clones the `Arc`
+//! inside — the only mutual exclusion is a per-slot mutex whose
+//! critical section is a single pointer clone, and reader and writer
+//! only meet on the same slot if the writer laps the entire ring
+//! between the reader's head load and its clone (and even then the
+//! reader just gets a *newer* snapshot). `load` is therefore
+//! wait-free in practice: no reader ever waits for a rebuild, and
+//! concurrent readers never serialize behind one another on a shared
+//! writer lock. [`IndexStore::latest_epoch`] reads the freshest
+//! published epoch number without touching the ring at all, which is
+//! what the serving layer uses to measure snapshot lag.
+//!
 //! # Component-scoped commits
 //!
 //! Biconnectivity is local to connected components, so a commit only
@@ -32,7 +49,9 @@ use bcc_core::{Algorithm, BccConfig, BccError};
 use bcc_graph::{Edge, Graph};
 use bcc_smp::{BccWorkspace, Pool, NIL};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One staged update: an edge appears or disappears.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -82,6 +101,68 @@ pub struct Snapshot {
     pub index: BiconnectivityIndex,
     /// What the commit that published this epoch rebuilt.
     pub stats: CommitStats,
+    /// When this epoch was published.
+    created: Instant,
+}
+
+impl Snapshot {
+    /// Monotonic epoch counter, 0 for the initial build (accessor form
+    /// of the public field, for callers generic over snapshot-like
+    /// types).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The instant this epoch was published.
+    pub fn created_at(&self) -> Instant {
+        self.created
+    }
+
+    /// Wall-clock age of this snapshot: how long ago it was published.
+    /// Together with [`IndexStore::latest_epoch`] this is the
+    /// snapshot-lag a serving reader reports per answer.
+    pub fn age(&self) -> Duration {
+        self.created.elapsed()
+    }
+}
+
+/// Number of slots in the publication ring. Any value ≥ 2 is correct
+/// (see the module docs); 8 keeps a writer from lapping readers even
+/// under pathological commit rates.
+const PUBLISH_SLOTS: usize = 8;
+
+/// The publication side of the store: a ring of recent snapshots plus
+/// the freshest epoch number, written only under the commit lock.
+struct PublishRing {
+    slots: Box<[Mutex<Arc<Snapshot>>]>,
+    head: AtomicUsize,
+    latest_epoch: AtomicU64,
+}
+
+impl PublishRing {
+    fn new(initial: Arc<Snapshot>) -> Self {
+        let epoch = initial.epoch;
+        PublishRing {
+            slots: (0..PUBLISH_SLOTS)
+                .map(|_| Mutex::new(Arc::clone(&initial)))
+                .collect(),
+            head: AtomicUsize::new(0),
+            latest_epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    fn load(&self) -> Arc<Snapshot> {
+        let head = self.head.load(Ordering::Acquire);
+        Arc::clone(&self.slots[head % PUBLISH_SLOTS].lock().unwrap())
+    }
+
+    /// Caller holds the store's commit lock (single writer).
+    fn publish(&self, next: &Arc<Snapshot>) {
+        let head = self.head.load(Ordering::Relaxed) + 1;
+        *self.slots[head % PUBLISH_SLOTS].lock().unwrap() = Arc::clone(next);
+        self.head.store(head, Ordering::Release);
+        self.latest_epoch.store(next.epoch, Ordering::Release);
+    }
 }
 
 /// A write transaction: stage updates, then [`commit`](Txn::commit)
@@ -159,7 +240,7 @@ impl Txn<'_> {
 /// A long-lived store publishing [`Snapshot`]s of a mutating graph.
 pub struct IndexStore {
     pool: Pool,
-    current: RwLock<Arc<Snapshot>>,
+    current: PublishRing,
     /// Backing for the deprecated `enqueue`/`commit` shims only; the
     /// transactional path never touches it.
     journal: Mutex<Vec<EdgeUpdate>>,
@@ -192,11 +273,12 @@ impl IndexStore {
         };
         Ok(IndexStore {
             pool,
-            current: RwLock::new(Arc::new(Snapshot {
+            current: PublishRing::new(Arc::new(Snapshot {
                 epoch: 0,
                 graph: g,
                 index,
                 stats,
+                created: Instant::now(),
             })),
             journal: Mutex::new(Vec::new()),
             commit_lock: Mutex::new(()),
@@ -213,10 +295,25 @@ impl IndexStore {
         }
     }
 
-    /// The current snapshot. Cheap (one `Arc` clone under a read
-    /// lock); hold the result as long as needed.
+    /// The current snapshot. Cheap (one `Arc` clone from the
+    /// publication ring — readers never wait on a rebuild; see the
+    /// module docs); hold the result as long as needed.
     pub fn load(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current.read().unwrap())
+        self.current.load()
+    }
+
+    /// The freshest published epoch number — one atomic load, no ring
+    /// traffic. `latest_epoch() - snap.epoch` is a snapshot's lag in
+    /// commits; see [`lag_of`](IndexStore::lag_of).
+    pub fn latest_epoch(&self) -> u64 {
+        self.current.latest_epoch.load(Ordering::Acquire)
+    }
+
+    /// How many commits behind the latest published epoch `snap` is
+    /// (saturating: a snapshot loaded *after* the epoch counter was
+    /// read can only make the lag smaller, never negative).
+    pub fn lag_of(&self, snap: &Snapshot) -> u64 {
+        self.latest_epoch().saturating_sub(snap.epoch)
     }
 
     /// Cumulative hit/miss counters of the rebuild arena (for tests
@@ -284,17 +381,18 @@ impl IndexStore {
         let prev = self.load();
         let old_n = prev.graph.n();
 
-        // Fold the batch to its net per-edge effect (last op wins) and
-        // the resulting vertex-set growth. Growth sticks even if the
-        // insert that caused it is later cancelled: mentioning a vertex
-        // id brings it into existence.
+        // Fold the batch to its net per-edge effect (last op wins).
+        // Opposing insert/remove pairs of the same edge cancel *before*
+        // anything downstream sees them, so a churny stream that undoes
+        // itself within one transaction costs no component rebuild —
+        // and the vertex set grows only from edges whose net effect is
+        // an insert: a cancelled insert naming a brand-new vertex
+        // leaves no phantom vertex behind.
         let mut ops: BTreeMap<u64, bool> = BTreeMap::new();
-        let mut new_n = old_n;
         for &u in updates {
             match u {
                 EdgeUpdate::Insert(a, b) => {
                     if a != b {
-                        new_n = new_n.max(a.max(b) + 1);
                         ops.insert(Edge::new(a, b).key(), true);
                     }
                 }
@@ -303,6 +401,12 @@ impl IndexStore {
                         ops.insert(Edge::new(a, b).key(), false);
                     }
                 }
+            }
+        }
+        let mut new_n = old_n;
+        for (&key, &is_insert) in &ops {
+            if is_insert {
+                new_n = new_n.max(((key >> 32) as u32).max(key as u32) + 1);
             }
         }
 
@@ -468,8 +572,8 @@ impl IndexStore {
         Ok(self.publish(&prev, graph, index, stats))
     }
 
-    /// Swaps in the next epoch — one short write-lock acquisition,
-    /// independent of graph size.
+    /// Installs the next epoch into the publication ring — one slot
+    /// store plus two atomic releases, independent of graph size.
     fn publish(
         &self,
         prev: &Snapshot,
@@ -482,8 +586,9 @@ impl IndexStore {
             graph,
             index,
             stats,
+            created: Instant::now(),
         });
-        *self.current.write().unwrap() = Arc::clone(&next);
+        self.current.publish(&next);
         next
     }
 }
@@ -549,6 +654,76 @@ mod tests {
         assert_eq!(snap.stats.batch, 4);
         assert_eq!(snap.stats.inserts, 2); // net of the loop + duplicate
         assert_eq!(snap.stats.components_rebuilt, 1);
+    }
+
+    #[test]
+    fn cancelled_opposing_updates_fold_to_a_no_op() {
+        let store = IndexStore::new(Pool::new(1), gen::cycle(5)).unwrap();
+        let before = store.load();
+
+        // Insert edges naming brand-new vertices, then cancel every
+        // one of them inside the same transaction; sprinkle in the
+        // other no-op shapes (absent remove, duplicate insert).
+        let mut txn = store.begin();
+        txn.insert(0, 9)
+            .insert(9, 42)
+            .remove(0, 9)
+            .remove(9, 42)
+            .remove(1, 77) // remove of an absent edge
+            .insert(2, 3); // duplicate of an existing edge
+        let snap = txn.commit().unwrap();
+
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.graph.n(), 5, "cancelled inserts must not grow n");
+        assert_eq!(snap.graph.m(), 5);
+        assert_eq!(snap.stats.inserts, 0);
+        assert_eq!(snap.stats.removes, 0);
+        assert_eq!(snap.stats.components_rebuilt, 0, "no-op batch rebuilt");
+        assert_eq!(snap.stats.reused_fraction, 1.0);
+        // The single component rides over by pointer, untouched.
+        assert!(Arc::ptr_eq(
+            before.index.component_handle(0).unwrap(),
+            snap.index.component_handle(0).unwrap()
+        ));
+
+        // Remove-then-reinsert of a present edge also cancels.
+        let mut txn = store.begin();
+        txn.remove(0, 1).insert(0, 1);
+        let snap2 = txn.commit().unwrap();
+        assert_eq!(snap2.epoch, 2);
+        assert_eq!(snap2.stats.components_rebuilt, 0);
+        assert_eq!(snap2.graph.m(), 5);
+
+        // Last op still wins when the pair does NOT cancel: insert
+        // then remove of a *present* edge is a real removal.
+        let mut txn = store.begin();
+        txn.insert(0, 1).remove(0, 1);
+        let snap3 = txn.commit().unwrap();
+        assert_eq!(snap3.stats.removes, 1);
+        assert_eq!(snap3.graph.m(), 4);
+        assert!(snap3.index.is_bridge(1, 2));
+    }
+
+    #[test]
+    fn epoch_accessors_and_lag() {
+        let store = IndexStore::new(Pool::new(1), gen::cycle(4)).unwrap();
+        let old = store.load();
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(store.latest_epoch(), 0);
+        assert_eq!(store.lag_of(&old), 0);
+        let t0 = old.created_at();
+
+        std::thread::sleep(Duration::from_millis(2));
+        let mut txn = store.begin();
+        txn.remove(0, 1);
+        let new = txn.commit().unwrap();
+
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(store.latest_epoch(), 1);
+        assert_eq!(store.lag_of(&old), 1, "held snapshot is one commit behind");
+        assert_eq!(store.lag_of(&new), 0);
+        assert!(new.created_at() > t0);
+        assert!(old.age() >= new.age());
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! `bcc-serve` — run the sharded biconnectivity daemon under a
+//! configurable workload and print its SLO numbers.
+//!
+//! ```text
+//! bcc-serve [--n 50000] [--parts 16] [--shards 4] [--readers 2]
+//!           [--profile read-heavy|churn-heavy|hot-component]
+//!           [--mode closed|open] [--rate 50000] [--secs 2]
+//!           [--batch 64] [--flush-ms 2] [--seed 42]
+//! ```
+
+use bcc_serve::{
+    component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
+};
+use bcc_smp::Pool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "bcc-serve: sharded biconnectivity query daemon\n\
+             --n N          vertices (default 50000)\n\
+             --parts K      components in the instance (default 16)\n\
+             --shards S     store shards (default 4)\n\
+             --readers R    reader threads (default 2)\n\
+             --profile P    read-heavy | churn-heavy | hot-component\n\
+             --mode M       closed | open (default open)\n\
+             --rate Q       open-loop arrivals/sec (default 50000)\n\
+             --secs T       drive duration in seconds (default 2)\n\
+             --batch B      writer group-commit size (default 64)\n\
+             --flush-ms F   writer flush interval (default 2)\n\
+             --seed X       instance + workload seed (default 42)"
+        );
+        return;
+    }
+    let n: u32 = parse(&args, "--n", 50_000);
+    let parts: u32 = parse(&args, "--parts", 16);
+    let shards: usize = parse(&args, "--shards", 4);
+    let readers: usize = parse(&args, "--readers", 2);
+    let profile = match parse(&args, "--profile", "read-heavy".to_string()).as_str() {
+        "churn-heavy" => Profile::ChurnHeavy,
+        "hot-component" => Profile::HotComponent,
+        _ => Profile::ReadHeavy,
+    };
+    let mode = match parse(&args, "--mode", "open".to_string()).as_str() {
+        "closed" => Mode::Closed,
+        _ => Mode::Open {
+            rate: parse(&args, "--rate", 50_000.0),
+        },
+    };
+    let secs: f64 = parse(&args, "--secs", 2.0);
+    let batch_max: usize = parse(&args, "--batch", 64);
+    let flush_ms: u64 = parse(&args, "--flush-ms", 2);
+    let seed: u64 = parse(&args, "--seed", 42);
+
+    println!(
+        "instance: n = {n}, {parts} components, {shards} shards; \
+         {readers} readers, profile {}, mode {}",
+        profile.name(),
+        mode.name()
+    );
+    let pool = Pool::new(readers.max(2));
+    let g = component_grid(n, parts, seed);
+    let store = Arc::new(ShardedStore::new(&pool, &g, shards).expect("seed build"));
+    let daemon = Daemon::spawn(
+        Arc::clone(&store),
+        ServeConfig {
+            readers,
+            batch_max,
+            flush_interval: Duration::from_millis(flush_ms),
+            ..ServeConfig::default()
+        },
+    );
+    let report = run_workload(
+        daemon,
+        &WorkloadConfig {
+            profile,
+            mode,
+            duration: Duration::from_secs_f64(secs),
+            parts,
+            seed,
+        },
+    );
+
+    if let Some(e) = &report.serve.writer_error {
+        eprintln!("writer error: {e}");
+        std::process::exit(1);
+    }
+    let s = &report.serve;
+    println!(
+        "drove {} queries + {} updates in {:?} ({:.0} answered queries/s)",
+        report.offered_queries,
+        report.offered_updates,
+        report.wall,
+        report.queries_per_sec()
+    );
+    println!(
+        "latency    p50 {:?}  p99 {:?}  p999 {:?}  max {:?}",
+        s.latency.quantile_duration(0.50),
+        s.latency.quantile_duration(0.99),
+        s.latency.quantile_duration(0.999),
+        Duration::from_nanos(s.latency.max()),
+    );
+    println!(
+        "snapshot lag  p50 {} / p99 {} commits behind; age p99 {:?}",
+        s.lag_commits.quantile(0.50),
+        s.lag_commits.quantile(0.99),
+        s.lag_wall.quantile_duration(0.99),
+    );
+    println!(
+        "writer: {} updates in {} commits ({} migrations), commit p99 {:?}",
+        s.updates_applied,
+        s.commits,
+        s.migrations,
+        s.commit_latency.quantile_duration(0.99),
+    );
+}

@@ -1,0 +1,356 @@
+//! The serving daemon: reader threads over an MPMC query queue, one
+//! batching writer over the update stream.
+//!
+//! ```text
+//!                    ┌────────────┐   answer from routed shard's
+//!  submit_query ──▶  │ query MPMC │ ──▶ reader 0..R  ── snapshot
+//!  (closed/open      └────────────┘       │  per-answer latency +
+//!   drivers)                              ▼  snapshot-lag histograms
+//!                    ┌────────────┐
+//!  submit_update ──▶ │ update MPMC│ ──▶ writer (single) ──▶ staged
+//!                    └────────────┘   batch ─commit─▶ touched shard
+//! ```
+//!
+//! * **Readers** pull [`QueryJob`]s and answer each against the
+//!   current snapshot of the shard the query routes to — never
+//!   blocking on commits (the store's publication ring guarantees
+//!   that). Each reader owns its latency/lag histograms; they merge
+//!   into one [`ServeReport`] at shutdown.
+//! * **The writer** drains [`EdgeUpdate`]s into a staged batch and
+//!   commits when the batch reaches [`ServeConfig::batch_max`] *or*
+//!   the oldest staged update has waited
+//!   [`ServeConfig::flush_interval`] — the classic group-commit
+//!   policy: batching amortizes rebuild cost, the interval bounds
+//!   staleness.
+//! * **Shutdown** closes the query queue first (readers drain and
+//!   exit), then the update queue (the writer flushes its last batch),
+//!   so nothing submitted before [`Daemon::shutdown`] is lost.
+
+use crate::hist::LatencyHistogram;
+use crate::shard::{ApplySummary, ServeError, ShardedStore};
+use bcc_query::{Answer, EdgeUpdate, Query};
+use bcc_smp::{MpmcQueue, PopResult, Telemetry};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`Daemon`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Reader threads pulling from the query queue.
+    pub readers: usize,
+    /// Query-queue capacity: the closed-loop outstanding-request bound.
+    pub queue_capacity: usize,
+    /// Update-queue capacity.
+    pub update_capacity: usize,
+    /// The writer commits as soon as this many updates are staged.
+    pub batch_max: usize,
+    /// …or as soon as the oldest staged update is this old.
+    pub flush_interval: Duration,
+    /// Optional sink receiving per-answer snapshot-lag observations
+    /// (the same channel `PhaseReport` reads), so a daemon run and a
+    /// pipeline run report staleness uniformly.
+    pub telemetry: Option<Arc<Telemetry>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            readers: 1,
+            queue_capacity: 1024,
+            update_capacity: 1024,
+            batch_max: 64,
+            flush_interval: Duration::from_millis(2),
+            telemetry: None,
+        }
+    }
+}
+
+/// One queued query: what to ask and when it (nominally) arrived.
+/// Open-loop drivers stamp the *scheduled* arrival time, so queueing
+/// delay counts against latency (no coordinated omission).
+#[derive(Clone, Debug)]
+pub struct QueryJob {
+    /// The query to answer.
+    pub query: Query,
+    /// Arrival instant that latency is measured from.
+    pub issued: Instant,
+}
+
+/// What one reader accumulated.
+struct ReaderReport {
+    answered: u64,
+    errors: u64,
+    /// Answers that came back `true`/non-empty — a cheap checksum so
+    /// the benchmark work cannot be optimized away and profiles can
+    /// sanity-check their query mix.
+    positive: u64,
+    latency: LatencyHistogram,
+    lag_commits: LatencyHistogram,
+    lag_wall: LatencyHistogram,
+}
+
+/// What the writer accumulated.
+struct WriterReport {
+    updates_applied: u64,
+    commits: u64,
+    migrations: u64,
+    commit_latency: LatencyHistogram,
+    error: Option<ServeError>,
+}
+
+/// Merged end-of-run statistics for one daemon lifetime.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Queries answered across all readers.
+    pub answered: u64,
+    /// Queries rejected (out-of-range vertices).
+    pub query_errors: u64,
+    /// Answers that were `true` / non-empty (see `ReaderReport`).
+    pub positive: u64,
+    /// Per-answer latency (ns), from `QueryJob::issued` to answered.
+    pub latency: LatencyHistogram,
+    /// Per-answer snapshot lag in commits behind the shard's latest
+    /// epoch (histogram over answers; values are commit counts).
+    pub lag_commits: LatencyHistogram,
+    /// Per-answer snapshot age in nanoseconds.
+    pub lag_wall: LatencyHistogram,
+    /// Updates the writer applied.
+    pub updates_applied: u64,
+    /// Shard commits the writer issued.
+    pub commits: u64,
+    /// Cross-shard migrations performed.
+    pub migrations: u64,
+    /// Per-commit-batch apply latency (ns).
+    pub commit_latency: LatencyHistogram,
+    /// First writer error, if any (the writer stops on one).
+    pub writer_error: Option<ServeError>,
+}
+
+/// A running serving instance (see the [module docs](self)).
+pub struct Daemon {
+    store: Arc<ShardedStore>,
+    queries: Arc<MpmcQueue<QueryJob>>,
+    updates: Arc<MpmcQueue<EdgeUpdate>>,
+    readers: Vec<JoinHandle<ReaderReport>>,
+    writer: Option<JoinHandle<WriterReport>>,
+}
+
+impl Daemon {
+    /// Spawns the reader pool and the writer thread over `store`.
+    pub fn spawn(store: Arc<ShardedStore>, config: ServeConfig) -> Daemon {
+        assert!(config.readers >= 1, "need at least one reader");
+        assert!(config.batch_max >= 1, "writer batches need at least 1");
+        let queries = Arc::new(MpmcQueue::new(config.queue_capacity));
+        let updates = Arc::new(MpmcQueue::new(config.update_capacity));
+
+        let readers = (0..config.readers)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let queries = Arc::clone(&queries);
+                let telemetry = config.telemetry.clone();
+                std::thread::spawn(move || reader_loop(&store, &queries, telemetry.as_deref()))
+            })
+            .collect();
+
+        let writer = {
+            let store = Arc::clone(&store);
+            let updates = Arc::clone(&updates);
+            let batch_max = config.batch_max;
+            let flush_interval = config.flush_interval;
+            std::thread::spawn(move || writer_loop(&store, &updates, batch_max, flush_interval))
+        };
+
+        Daemon {
+            store,
+            queries,
+            updates,
+            readers,
+            writer: Some(writer),
+        }
+    }
+
+    /// The store this daemon serves.
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// Enqueues a query arriving *now*; blocks while the query queue
+    /// is full (closed-loop backpressure). `Err` after shutdown began.
+    pub fn submit_query(&self, query: Query) -> Result<(), Query> {
+        self.submit_query_at(query, Instant::now())
+    }
+
+    /// Enqueues a query with an explicit arrival stamp (open-loop
+    /// drivers pass the *scheduled* arrival, so time spent waiting for
+    /// queue room is charged to latency).
+    pub fn submit_query_at(&self, query: Query, issued: Instant) -> Result<(), Query> {
+        self.queries
+            .push(QueryJob { query, issued })
+            .map_err(|job| job.query)
+    }
+
+    /// Enqueues an edge update for the writer; blocks while the update
+    /// queue is full. `Err` after shutdown began.
+    pub fn submit_update(&self, update: EdgeUpdate) -> Result<(), EdgeUpdate> {
+        self.updates.push(update)
+    }
+
+    /// Queries waiting in the queue right now.
+    pub fn queued_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Drains both queues, stops every thread, and merges their
+    /// statistics. Everything submitted before this call is answered
+    /// or applied.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.queries.close();
+        let mut report = ServeReport {
+            answered: 0,
+            query_errors: 0,
+            positive: 0,
+            latency: LatencyHistogram::new(),
+            lag_commits: LatencyHistogram::new(),
+            lag_wall: LatencyHistogram::new(),
+            updates_applied: 0,
+            commits: 0,
+            migrations: 0,
+            commit_latency: LatencyHistogram::new(),
+            writer_error: None,
+        };
+        for r in self.readers.drain(..) {
+            let rr = r.join().expect("reader thread panicked");
+            report.answered += rr.answered;
+            report.query_errors += rr.errors;
+            report.positive += rr.positive;
+            report.latency.merge(&rr.latency);
+            report.lag_commits.merge(&rr.lag_commits);
+            report.lag_wall.merge(&rr.lag_wall);
+        }
+        self.updates.close();
+        if let Some(w) = self.writer.take() {
+            let wr = w.join().expect("writer thread panicked");
+            report.updates_applied = wr.updates_applied;
+            report.commits = wr.commits;
+            report.migrations = wr.migrations;
+            report.commit_latency = wr.commit_latency;
+            report.writer_error = wr.error;
+        }
+        report
+    }
+}
+
+fn reader_loop(
+    store: &ShardedStore,
+    queries: &MpmcQueue<QueryJob>,
+    telemetry: Option<&Telemetry>,
+) -> ReaderReport {
+    let mut rr = ReaderReport {
+        answered: 0,
+        errors: 0,
+        positive: 0,
+        latency: LatencyHistogram::new(),
+        lag_commits: LatencyHistogram::new(),
+        lag_wall: LatencyHistogram::new(),
+    };
+    while let Some(job) = queries.pop() {
+        match store.answer_with_lag(&job.query) {
+            Err(_) => rr.errors += 1,
+            Ok(lagged) => {
+                rr.latency.record_duration(job.issued.elapsed());
+                rr.lag_commits.record(lagged.lag_commits);
+                rr.lag_wall.record_duration(lagged.lag_wall);
+                if let Some(t) = telemetry {
+                    t.record_snapshot_lag(lagged.lag_commits, lagged.lag_wall);
+                }
+                rr.answered += 1;
+                rr.positive += match &lagged.answer {
+                    Answer::Bool(b) => *b as u64,
+                    Answer::Vertices(v) => (!v.is_empty()) as u64,
+                };
+            }
+        }
+    }
+    rr
+}
+
+fn writer_loop(
+    store: &ShardedStore,
+    updates: &MpmcQueue<EdgeUpdate>,
+    batch_max: usize,
+    flush_interval: Duration,
+) -> WriterReport {
+    let mut wr = WriterReport {
+        updates_applied: 0,
+        commits: 0,
+        migrations: 0,
+        commit_latency: LatencyHistogram::new(),
+        error: None,
+    };
+    let mut staged: Vec<EdgeUpdate> = Vec::with_capacity(batch_max);
+    let mut deadline: Option<Instant> = None;
+
+    let flush = |staged: &mut Vec<EdgeUpdate>, wr: &mut WriterReport| -> bool {
+        if staged.is_empty() {
+            return true;
+        }
+        let t0 = Instant::now();
+        match store.apply(staged) {
+            Ok(ApplySummary {
+                commits,
+                migrations,
+                ..
+            }) => {
+                wr.commit_latency.record_duration(t0.elapsed());
+                wr.updates_applied += staged.len() as u64;
+                wr.commits += commits as u64;
+                wr.migrations += migrations as u64;
+                staged.clear();
+                true
+            }
+            Err(e) => {
+                wr.error = Some(e);
+                false
+            }
+        }
+    };
+
+    loop {
+        let wait = match deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => Duration::from_millis(50),
+        };
+        match updates.pop_timeout(wait) {
+            PopResult::Item(u) => {
+                if staged.is_empty() {
+                    deadline = Some(Instant::now() + flush_interval);
+                }
+                staged.push(u);
+                if staged.len() >= batch_max {
+                    if !flush(&mut staged, &mut wr) {
+                        // Fail fast: close the intake so producers
+                        // get an error instead of a full-queue stall.
+                        updates.close();
+                        break;
+                    }
+                    deadline = None;
+                }
+            }
+            PopResult::TimedOut => {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    if !flush(&mut staged, &mut wr) {
+                        updates.close();
+                        break;
+                    }
+                    deadline = None;
+                }
+            }
+            PopResult::Closed => {
+                flush(&mut staged, &mut wr);
+                break;
+            }
+        }
+    }
+    wr
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests for the bcc-serve daemon: full spawn → submit →
+//! shutdown lifecycles over every profile/mode pair, plus the
+//! telemetry-sink and migration paths the unit tests exercise only in
+//! isolation.
+
+use bcc_query::{EdgeUpdate, Query};
+use bcc_serve::{
+    component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
+};
+use bcc_smp::{Pool, Telemetry};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_store(n: u32, parts: u32, shards: usize) -> Arc<ShardedStore> {
+    let pool = Pool::new(2);
+    let g = component_grid(n, parts, 11);
+    Arc::new(ShardedStore::new(&pool, &g, shards).unwrap())
+}
+
+#[test]
+fn known_queries_are_counted_and_classified() {
+    let store = small_store(60, 3, 2);
+    let daemon = Daemon::spawn(Arc::clone(&store), ServeConfig::default());
+    // Component 0 owns 0..20, component 1 owns 20..40: three queries
+    // answer true, two answer false.
+    for q in [
+        Query::Connected(0, 5),
+        Query::Connected(1, 10),
+        Query::SameBlock(0, 0),
+        Query::Connected(0, 25), // cross component: false
+        Query::SameBlock(5, 35), // cross component: false
+    ] {
+        daemon.submit_query(q).unwrap();
+    }
+    let report = daemon.shutdown();
+    assert_eq!(report.answered, 5);
+    assert_eq!(report.query_errors, 0);
+    assert_eq!(report.positive, 3);
+    assert_eq!(report.latency.count(), 5);
+    assert_eq!(report.lag_commits.count(), 5);
+    // Quiet store: every answer came from the latest epoch.
+    assert_eq!(report.lag_commits.max(), 0);
+}
+
+#[test]
+fn submissions_after_shutdown_are_refused() {
+    let store = small_store(60, 3, 2);
+    let daemon = Daemon::spawn(Arc::clone(&store), ServeConfig::default());
+    daemon.submit_query(Query::Connected(0, 1)).unwrap();
+    let report = daemon.shutdown();
+    assert_eq!(report.answered, 1);
+    // A fresh daemon on the same store works; the dead one's queues
+    // are gone (shutdown consumed it), so this is about store reuse.
+    let daemon = Daemon::spawn(store, ServeConfig::default());
+    daemon.submit_update(EdgeUpdate::Insert(0, 1)).unwrap();
+    let report = daemon.shutdown();
+    assert_eq!(report.updates_applied, 1);
+}
+
+#[test]
+fn every_profile_and_mode_runs_clean() {
+    for profile in Profile::ALL {
+        for mode in [Mode::Closed, Mode::Open { rate: 3_000.0 }] {
+            let store = small_store(120, 4, 2);
+            let daemon = Daemon::spawn(
+                Arc::clone(&store),
+                ServeConfig {
+                    readers: 2,
+                    batch_max: 16,
+                    flush_interval: Duration::from_millis(1),
+                    ..ServeConfig::default()
+                },
+            );
+            let report = run_workload(
+                daemon,
+                &WorkloadConfig {
+                    profile,
+                    mode,
+                    duration: Duration::from_millis(60),
+                    parts: 4,
+                    seed: 5,
+                },
+            );
+            assert!(
+                report.serve.writer_error.is_none(),
+                "{} / {} writer failed",
+                profile.name(),
+                mode.name()
+            );
+            assert_eq!(report.serve.answered, report.offered_queries);
+            assert_eq!(report.serve.updates_applied, report.offered_updates);
+            assert!(
+                report.serve.answered > 0,
+                "{} answered none",
+                profile.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_sink_sees_every_answer_lag() {
+    let sink = Arc::new(Telemetry::new(1));
+    let store = small_store(120, 4, 2);
+    let daemon = Daemon::spawn(
+        Arc::clone(&store),
+        ServeConfig {
+            readers: 2,
+            telemetry: Some(Arc::clone(&sink)),
+            batch_max: 4,
+            flush_interval: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    );
+    let report = run_workload(
+        daemon,
+        &WorkloadConfig {
+            profile: Profile::ChurnHeavy,
+            mode: Mode::Closed,
+            duration: Duration::from_millis(80),
+            parts: 4,
+            seed: 17,
+        },
+    );
+    let snap = sink.snapshot();
+    assert_eq!(snap.snapshot_lag_samples, report.serve.answered);
+    // Sink and report describe the same distribution.
+    assert_eq!(
+        snap.snapshot_lag_commits_max,
+        report.serve.lag_commits.max()
+    );
+    assert!(snap.snapshot_lag_mean_wall() > Duration::ZERO);
+}
+
+#[test]
+fn cross_shard_churn_migrates_and_stays_correct() {
+    // Two components, one per shard; the writer repeatedly links and
+    // unlinks them through the daemon while readers hammer queries.
+    let pool = Pool::new(2);
+    let g = component_grid(40, 2, 3);
+    let store = Arc::new(ShardedStore::new(&pool, &g, 2).unwrap());
+    assert_ne!(store.shard_of(0), store.shard_of(20));
+    let daemon = Daemon::spawn(
+        Arc::clone(&store),
+        ServeConfig {
+            readers: 2,
+            batch_max: 1, // every update commits immediately
+            ..ServeConfig::default()
+        },
+    );
+    for round in 0..10 {
+        daemon
+            .submit_update(if round % 2 == 0 {
+                EdgeUpdate::Insert(0, 20)
+            } else {
+                EdgeUpdate::Remove(0, 20)
+            })
+            .unwrap();
+        for _ in 0..20 {
+            daemon.submit_query(Query::Connected(0, 25)).unwrap();
+            daemon.submit_query(Query::SameBlock(3, 8)).unwrap();
+        }
+    }
+    let report = daemon.shutdown();
+    assert!(report.writer_error.is_none());
+    assert_eq!(report.answered, 400);
+    assert!(report.migrations >= 1, "no migration happened");
+    // Settled state (last update was a removal): disconnected again,
+    // and both components live in the once-receiving shard.
+    assert!(!store.answer(&Query::Connected(0, 25)).unwrap().as_bool());
+    assert_eq!(store.shard_of(0), store.shard_of(20));
+}

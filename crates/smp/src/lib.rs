@@ -20,8 +20,12 @@
 //!   weighted chunking for skewed index spaces.
 //! * [`bitmap`] — cache-line-aligned atomic bitmaps (bottom-up BFS
 //!   frontiers).
+//! * [`queue`] — a bounded MPMC work queue with a shutdown signal, the
+//!   hand-off channel between the serving layer's free-running reader
+//!   and writer threads (which are *not* SPMD phases).
 //! * [`telemetry`] — opt-in per-thread counters (barrier wait, busy
-//!   time, phase counts) for attributing parallel overhead.
+//!   time, phase counts, snapshot lag) for attributing parallel
+//!   overhead and serving staleness.
 //! * [`workspace`] — a typed reusable-buffer arena so steady-state
 //!   repeated runs perform near-zero heap allocation.
 //!
@@ -48,6 +52,7 @@ pub mod barrier;
 pub mod bitmap;
 pub mod dynamic;
 pub mod pool;
+pub mod queue;
 pub mod shared;
 pub mod telemetry;
 pub mod workspace;
@@ -56,6 +61,7 @@ pub use barrier::Barrier;
 pub use bitmap::Bitmap;
 pub use dynamic::ChunkCounter;
 pub use pool::{Ctx, Pool, PoolBuilder};
+pub use queue::{MpmcQueue, PopResult};
 pub use shared::SharedSlice;
 pub use telemetry::{Telemetry, TelemetrySnapshot};
 pub use workspace::{BccWorkspace, CountingAlloc, WorkspaceStats};

@@ -21,6 +21,14 @@
 //! enabled — and exactly one `Option` test per phase when disabled.
 //! Pools built without a sink ([`Pool::new`](crate::Pool::new)) skip
 //! even that: telemetry is strictly opt-in.
+//!
+//! The sink also carries *snapshot-lag* counters for the serving path:
+//! whenever a reader answers a query from an epoch snapshot, it may
+//! call [`Telemetry::record_snapshot_lag`] with how far behind the
+//! latest published epoch that snapshot was — in commits and in wall
+//! time. Both `bcc-serve` and the examples report lag through this one
+//! channel, so a `PhaseReport` and a daemon run describe staleness in
+//! the same units.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -41,6 +49,11 @@ pub struct Telemetry {
     phase_runs: AtomicU64,
     barrier_episodes: AtomicU64,
     per_thread: Box<[PerThread]>,
+    lag_samples: AtomicU64,
+    lag_commits_sum: AtomicU64,
+    lag_commits_max: AtomicU64,
+    lag_wall_ns_sum: AtomicU64,
+    lag_wall_ns_max: AtomicU64,
 }
 
 impl Telemetry {
@@ -52,7 +65,25 @@ impl Telemetry {
             phase_runs: AtomicU64::new(0),
             barrier_episodes: AtomicU64::new(0),
             per_thread: (0..threads).map(|_| PerThread::default()).collect(),
+            lag_samples: AtomicU64::new(0),
+            lag_commits_sum: AtomicU64::new(0),
+            lag_commits_max: AtomicU64::new(0),
+            lag_wall_ns_sum: AtomicU64::new(0),
+            lag_wall_ns_max: AtomicU64::new(0),
         }
+    }
+
+    /// Records one snapshot-lag observation: a query was answered from
+    /// a snapshot `commits` epochs behind the latest published one,
+    /// created `wall` ago. Callable from any thread (these counters
+    /// are global to the sink, not per-SPMD-thread).
+    pub fn record_snapshot_lag(&self, commits: u64, wall: Duration) {
+        self.lag_samples.fetch_add(1, Ordering::Relaxed);
+        self.lag_commits_sum.fetch_add(commits, Ordering::Relaxed);
+        self.lag_commits_max.fetch_max(commits, Ordering::Relaxed);
+        let ns = wall.as_nanos().min(u64::MAX as u128) as u64;
+        self.lag_wall_ns_sum.fetch_add(ns, Ordering::Relaxed);
+        self.lag_wall_ns_max.fetch_max(ns, Ordering::Relaxed);
     }
 
     /// Thread count this sink was sized for.
@@ -95,6 +126,13 @@ impl Telemetry {
                 .iter()
                 .map(|t| Duration::from_nanos(t.wait_ns.load(Ordering::Relaxed)))
                 .collect(),
+            snapshot_lag_samples: self.lag_samples.load(Ordering::Relaxed),
+            snapshot_lag_commits: self.lag_commits_sum.load(Ordering::Relaxed),
+            snapshot_lag_commits_max: self.lag_commits_max.load(Ordering::Relaxed),
+            snapshot_lag_wall: Duration::from_nanos(self.lag_wall_ns_sum.load(Ordering::Relaxed)),
+            snapshot_lag_wall_max: Duration::from_nanos(
+                self.lag_wall_ns_max.load(Ordering::Relaxed),
+            ),
         }
     }
 
@@ -106,6 +144,11 @@ impl Telemetry {
             t.busy_ns.store(0, Ordering::Relaxed);
             t.wait_ns.store(0, Ordering::Relaxed);
         }
+        self.lag_samples.store(0, Ordering::Relaxed);
+        self.lag_commits_sum.store(0, Ordering::Relaxed);
+        self.lag_commits_max.store(0, Ordering::Relaxed);
+        self.lag_wall_ns_sum.store(0, Ordering::Relaxed);
+        self.lag_wall_ns_max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -132,9 +175,41 @@ pub struct TelemetrySnapshot {
     /// Per-thread time blocked on barriers (including the end-of-phase
     /// join on thread 0).
     pub barrier_wait: Vec<Duration>,
+    /// Snapshot-lag observations recorded so far.
+    pub snapshot_lag_samples: u64,
+    /// Sum over all observations of how many commits behind the latest
+    /// epoch the answering snapshot was.
+    pub snapshot_lag_commits: u64,
+    /// Worst single observation, in commits (a high-water mark since
+    /// the last [`Telemetry::reset`], *not* an interval value — see
+    /// [`delta_since`](TelemetrySnapshot::delta_since)).
+    pub snapshot_lag_commits_max: u64,
+    /// Sum over all observations of the answering snapshot's age.
+    pub snapshot_lag_wall: Duration,
+    /// Worst single observation of snapshot age (high-water mark since
+    /// reset, like `snapshot_lag_commits_max`).
+    pub snapshot_lag_wall_max: Duration,
 }
 
 impl TelemetrySnapshot {
+    /// Mean snapshot lag in commits (`0.0` with no samples).
+    pub fn snapshot_lag_mean_commits(&self) -> f64 {
+        if self.snapshot_lag_samples == 0 {
+            return 0.0;
+        }
+        self.snapshot_lag_commits as f64 / self.snapshot_lag_samples as f64
+    }
+
+    /// Mean snapshot age (zero with no samples).
+    pub fn snapshot_lag_mean_wall(&self) -> Duration {
+        if self.snapshot_lag_samples == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(
+            self.snapshot_lag_wall.as_secs_f64() / self.snapshot_lag_samples as f64,
+        )
+    }
+
     /// Load-imbalance ratio: max per-thread busy time over mean busy
     /// time. `1.0` is perfect balance; `p` is one thread doing all the
     /// work. Returns `1.0` when no busy time was recorded.
@@ -165,7 +240,9 @@ impl TelemetrySnapshot {
 
     /// Counter movement between `earlier` and `self` (saturating, so a
     /// `reset` between the two snapshots yields zeros rather than a
-    /// panic).
+    /// panic). The `*_max` high-water marks cannot be subtracted, so
+    /// the delta carries `self`'s values — an upper bound for the
+    /// interval, exact when `earlier` was taken right after a reset.
     pub fn delta_since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
         let sub = |a: &[Duration], b: &[Duration]| -> Vec<Duration> {
             a.iter()
@@ -180,6 +257,17 @@ impl TelemetrySnapshot {
                 .saturating_sub(earlier.barrier_episodes),
             busy: sub(&self.busy, &earlier.busy),
             barrier_wait: sub(&self.barrier_wait, &earlier.barrier_wait),
+            snapshot_lag_samples: self
+                .snapshot_lag_samples
+                .saturating_sub(earlier.snapshot_lag_samples),
+            snapshot_lag_commits: self
+                .snapshot_lag_commits
+                .saturating_sub(earlier.snapshot_lag_commits),
+            snapshot_lag_commits_max: self.snapshot_lag_commits_max,
+            snapshot_lag_wall: self
+                .snapshot_lag_wall
+                .saturating_sub(earlier.snapshot_lag_wall),
+            snapshot_lag_wall_max: self.snapshot_lag_wall_max,
         }
     }
 }
@@ -239,6 +327,38 @@ mod tests {
         assert_eq!(delta.barrier_episodes, 1);
         assert_eq!(delta.busy[0], Duration::from_nanos(250));
         assert_eq!(delta.barrier_wait[0], Duration::from_nanos(40));
+    }
+
+    #[test]
+    fn snapshot_lag_sums_means_and_maxes() {
+        let t = Telemetry::new(1);
+        let s = t.snapshot();
+        assert_eq!(s.snapshot_lag_samples, 0);
+        assert_eq!(s.snapshot_lag_mean_commits(), 0.0);
+        assert_eq!(s.snapshot_lag_mean_wall(), Duration::ZERO);
+
+        t.record_snapshot_lag(0, Duration::from_micros(10));
+        t.record_snapshot_lag(4, Duration::from_micros(30));
+        let s = t.snapshot();
+        assert_eq!(s.snapshot_lag_samples, 2);
+        assert_eq!(s.snapshot_lag_commits, 4);
+        assert_eq!(s.snapshot_lag_commits_max, 4);
+        assert_eq!(s.snapshot_lag_wall, Duration::from_micros(40));
+        assert_eq!(s.snapshot_lag_wall_max, Duration::from_micros(30));
+        assert!((s.snapshot_lag_mean_commits() - 2.0).abs() < 1e-9);
+        assert_eq!(s.snapshot_lag_mean_wall(), Duration::from_micros(20));
+
+        let d = t.snapshot().delta_since(&s);
+        assert_eq!(d.snapshot_lag_samples, 0);
+        assert_eq!(d.snapshot_lag_commits, 0);
+        // Maxes are high-water marks, carried rather than subtracted.
+        assert_eq!(d.snapshot_lag_commits_max, 4);
+
+        t.reset();
+        let s = t.snapshot();
+        assert_eq!(s.snapshot_lag_samples, 0);
+        assert_eq!(s.snapshot_lag_commits_max, 0);
+        assert_eq!(s.snapshot_lag_wall_max, Duration::ZERO);
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! ```
 
 use smp_bcc::graph::gen;
-use smp_bcc::{Algorithm, BccConfig, Pool};
+use smp_bcc::serve::{
+    component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
+};
+use smp_bcc::{Algorithm, BccConfig, Pool, Telemetry};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -68,4 +73,55 @@ fn main() {
          flat; the *relative ordering* (TV-SMP slowest, TV-filter fastest on\n\
          non-sparse inputs) is the paper's reproducible shape."
     );
+
+    // ---- Snapshot lag under churn --------------------------------------
+    // The serving layer reports staleness through the same `Telemetry`
+    // sink the pipelines use, so a batch run and a daemon run read
+    // uniformly. Sweep reader counts over a churn-heavy workload and
+    // print the lag stats straight from the shared sink.
+    let serve_n = (n / 10).clamp(1_200, 100_000);
+    println!("\nsnapshot lag under churn (90/10 read/update, closed loop, n = {serve_n}):");
+    let g = component_grid(serve_n, 8, 42);
+    println!(
+        "{:>4} {:>12} {:>16} {:>14} {:>12}",
+        "p", "queries/s", "lag mean(commits)", "lag max", "age mean"
+    );
+    let mut p = 1;
+    while p <= max_p {
+        let sink = Arc::new(Telemetry::new(p));
+        let store = Arc::new(ShardedStore::new(&Pool::new(p), &g, 4).unwrap());
+        let daemon = Daemon::spawn(
+            store,
+            ServeConfig {
+                readers: p,
+                telemetry: Some(Arc::clone(&sink)),
+                flush_interval: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let report = run_workload(
+            daemon,
+            &WorkloadConfig {
+                profile: Profile::ChurnHeavy,
+                mode: Mode::Closed,
+                duration: Duration::from_millis(400),
+                parts: 8,
+                seed: 42,
+            },
+        );
+        if let Some(e) = &report.serve.writer_error {
+            panic!("writer failed at p = {p}: {e}");
+        }
+        let lag = sink.snapshot();
+        assert_eq!(lag.snapshot_lag_samples, report.serve.answered);
+        println!(
+            "{:>4} {:>12.0} {:>17.3} {:>14} {:>12.1?}",
+            p,
+            report.queries_per_sec(),
+            lag.snapshot_lag_mean_commits(),
+            lag.snapshot_lag_commits_max,
+            lag.snapshot_lag_mean_wall(),
+        );
+        p *= 2;
+    }
 }

@@ -54,6 +54,12 @@
 //! assert!(idx.same_block(0, 3) && !idx.same_block(0, 5));
 //! assert!(!idx.survives_failure(0, 5, Failure::Vertex(3)));
 //! ```
+//!
+//! To keep answering while the graph changes, the [`serve`] layer runs
+//! that index as a daemon: sharded stores, a pool of reader threads
+//! over an MPMC queue, and a single batching writer, with per-answer
+//! latency and snapshot-lag histograms (see `examples/live_queries.rs`
+//! and `docs/ALGORITHMS.md` §12).
 
 pub use bcc_connectivity as connectivity;
 pub use bcc_core as algorithms;
@@ -61,6 +67,7 @@ pub use bcc_euler as euler;
 pub use bcc_graph as graph;
 pub use bcc_primitives as primitives;
 pub use bcc_query as query;
+pub use bcc_serve as serve;
 pub use bcc_smp as smp;
 
 pub use bcc_core::{
