@@ -9,13 +9,14 @@
 use crate::json::Json;
 use bcc_connectivity::bfs::bfs_tree_seq;
 use bcc_core::{Algorithm, BccConfig, BccWorkspace, PhaseReport, TraversalTuning};
-use bcc_graph::{gen, Csr, Edge, Graph};
+use bcc_graph::{gen, Csr, Edge, Graph, GraphBuilder};
 use bcc_query::{CommitStats, IndexStore};
 use bcc_serve::{
     component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
     WorkloadReport,
 };
 use bcc_smp::{Pool, Telemetry};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,7 +35,12 @@ use std::time::{Duration, Instant};
 /// So are the `serve` SLO cells (queries/s, latency/lag quantiles, the
 /// `mode` field and its `/closed` / `/open` key suffix): their
 /// `seconds` is the p99 query latency, the tail statement a serving
-/// SLO is written against.
+/// SLO is written against. The out-of-core ingestion fields are
+/// additive within v2 the same way: algorithm cells gain
+/// `peak_rss_bytes` (per-trial peak resident set, max over trials,
+/// Linux only — omitted where the kernel does not expose it), and a
+/// `--input` run replaces the generated families with a single `file`
+/// family loaded from disk (text edge list or mapped `.bccsr`).
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Schema versions [`compare`] can still read (v1 documents predate the
@@ -56,6 +62,10 @@ pub enum Family {
     Torus,
     /// `cycle_chain(n/8, 8)` — many small blocks joined by bridges.
     CycleChain,
+    /// A graph loaded from disk via [`bcc_graph::io::load`] (`--input`):
+    /// a real dataset instead of the generated families. Not part of
+    /// [`Family::ALL`]; it cannot be generated.
+    File,
 }
 
 impl Family {
@@ -74,6 +84,7 @@ impl Family {
             Family::Geo => "geo",
             Family::Torus => "torus",
             Family::CycleChain => "cycle-chain",
+            Family::File => "file",
         }
     }
 
@@ -87,6 +98,7 @@ impl Family {
                 gen::torus(k, k)
             }
             Family::CycleChain => gen::cycle_chain((n / 8).max(2), 8, seed),
+            Family::File => unreachable!("the file family is loaded from --input, not generated"),
         }
     }
 }
@@ -204,6 +216,11 @@ pub struct GridConfig {
     /// Whether (and how) to run the `serve` SLO cells: the `bcc-serve`
     /// daemon under its workload profiles, swept over reader counts.
     pub serve: ServeMode,
+    /// When set, the algorithm grid runs on this one on-disk graph
+    /// (text edge list or `.bccsr`, sniffed by [`bcc_graph::io::load`])
+    /// as the single `file` family instead of the generated families.
+    /// The store/serve cells still use their generated instances.
+    pub input: Option<PathBuf>,
 }
 
 impl GridConfig {
@@ -222,6 +239,7 @@ impl GridConfig {
             workspace: WorkspaceMode::On,
             store: true,
             serve: ServeMode::On,
+            input: None,
         }
     }
 
@@ -237,6 +255,7 @@ impl GridConfig {
             workspace: WorkspaceMode::On,
             store: true,
             serve: ServeMode::On,
+            input: None,
         }
     }
 }
@@ -264,6 +283,7 @@ fn median_f64(mut xs: Vec<f64>) -> f64 {
 
 /// Field-wise medians over one cell's trial reports, flattened to the
 /// JSON entry layout.
+#[allow(clippy::too_many_arguments)]
 fn cell_json(
     family: Family,
     g: &Graph,
@@ -272,6 +292,7 @@ fn cell_json(
     seq_baseline: f64,
     tuning: Option<&TraversalTuning>,
     workspace: Option<bool>,
+    peak_rss: Option<u64>,
 ) -> Json {
     let med = |f: &dyn Fn(&PhaseReport) -> f64| median_f64(reports.iter().map(f).collect());
     let seconds = med(&|r| r.total.as_secs_f64());
@@ -347,6 +368,13 @@ fn cell_json(
     if let Some(on) = workspace {
         fields.push(("workspace", Json::str(if on { "on" } else { "off" })));
     }
+    // Space telemetry for the out-of-core ingestion work: the run's
+    // peak resident set (max over trials — a high-water metric), from
+    // the kernel watermark reset before each trial. Omitted where the
+    // platform does not expose it.
+    if let Some(peak) = peak_rss {
+        fields.push(("peak_rss_bytes", Json::num(peak as f64)));
+    }
     if let Some(t) = tuning {
         // Work counters are deterministic per (graph, tuning) except SV
         // rounds under races; take the last trial (all trials agree in
@@ -418,7 +446,10 @@ fn store_family_graph(n: u32, seed: u64) -> Graph {
         let sub = gen::random_connected(part_n, part_m, seed.wrapping_add(p as u64));
         edges.extend(sub.edges().iter().map(|e| Edge::new(e.u + off, e.v + off)));
     }
-    Graph::new(part_n * STORE_PARTS, edges)
+    GraphBuilder::new(part_n * STORE_PARTS)
+        .edges(edges)
+        .build()
+        .unwrap()
 }
 
 /// Picks up to `want` distinct vertex pairs inside the first component
@@ -836,13 +867,20 @@ fn run_algorithm_cells(
     // Instances and pools are built once; every trial round reuses
     // them. PhaseRecorder reads telemetry *deltas*, so sharing a pool
     // (and its sink) across cells is safe.
-    let graphs: Vec<(Family, Graph)> = Family::ALL
-        .into_iter()
-        .map(|f| {
-            let g = f.generate(cfg.n, cfg.seed);
-            (f, g)
-        })
-        .collect();
+    let graphs: Vec<(Family, Graph)> = match &cfg.input {
+        Some(path) => {
+            let g = bcc_graph::io::load(path)
+                .unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+            vec![(Family::File, g)]
+        }
+        None => Family::ALL
+            .into_iter()
+            .map(|f| {
+                let g = f.generate(cfg.n, cfg.seed);
+                (f, g)
+            })
+            .collect(),
+    };
     let pools: Vec<Pool> = cfg
         .threads
         .iter()
@@ -903,6 +941,7 @@ fn run_algorithm_cells(
     let mut trial_reports: Vec<Vec<PhaseReport>> = (0..cells.len())
         .map(|_| Vec::with_capacity(trials))
         .collect();
+    let mut trial_peaks: Vec<Vec<u64>> = vec![vec![]; cells.len()];
     for round in 0..trials {
         for (i, cell) in cells.iter().enumerate() {
             let (family, g) = &graphs[cell.fam];
@@ -913,9 +952,18 @@ fn run_algorithm_cells(
             if let Some(Some(ws)) = &cell.workspace {
                 config = config.workspace(Arc::clone(ws));
             }
+            // Reset the kernel's peak-RSS watermark so the post-run
+            // reading reflects this trial's high-water mark (no-op off
+            // Linux; the cell then omits the field).
+            let rss = bcc_smp::rss::reset_peak().is_ok();
             let run = config
                 .run(&pools[cell.pool], g)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", cell.alg.name(), family.name()));
+            if rss {
+                if let Some(peak) = bcc_smp::rss::peak_rss_bytes() {
+                    trial_peaks[i].push(peak);
+                }
+            }
             trial_reports[i].push(run.report);
         }
         progress(&format!("trial round {}/{trials} complete", round + 1));
@@ -925,7 +973,7 @@ fn run_algorithm_cells(
     let mut families: Vec<Json> = vec![];
     let mut current_fam = usize::MAX;
     let mut seq_baseline = f64::INFINITY;
-    for (cell, reports) in cells.iter().zip(&trial_reports) {
+    for ((cell, reports), peaks) in cells.iter().zip(&trial_reports).zip(&trial_peaks) {
         let (family, g) = &graphs[cell.fam];
         if cell.fam != current_fam {
             current_fam = cell.fam;
@@ -948,6 +996,7 @@ fn run_algorithm_cells(
             seq_baseline,
             cell.tuning.as_ref(),
             ws_on,
+            peaks.iter().copied().max(),
         ));
         progress(&format!(
             "{:>13} {:>10} p={p}{}{}: {:>9.3?} ({} trials)",
@@ -1187,6 +1236,7 @@ mod tests {
             // grid.
             store: false,
             serve: ServeMode::Off,
+            input: None,
         };
         run_grid(&cfg, |_| {})
     }
@@ -1203,6 +1253,7 @@ mod tests {
             workspace: WorkspaceMode::On,
             store: true,
             serve: ServeMode::Off,
+            input: None,
         };
         let doc = run_grid(&cfg, |_| {});
         assert_eq!(doc.get("store"), Some(&Json::Bool(true)));
@@ -1282,6 +1333,7 @@ mod tests {
             workspace: WorkspaceMode::On,
             store: false,
             serve: ServeMode::Only,
+            input: None,
         };
         let doc = run_grid(&cfg, |_| {});
         assert_eq!(doc.get("serve").and_then(Json::as_str), Some("only"));
@@ -1486,6 +1538,50 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn file_input_replaces_generated_families() {
+        // A real on-disk dataset: write a text edge list, point the
+        // grid at it, and the algorithm cells run on the single `file`
+        // family instead of the four generated ones.
+        let dir = std::env::temp_dir().join(format!("bcc-grid-input-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("input.txt");
+        let g = bcc_graph::gen::random_connected(60, 150, 7);
+        bcc_graph::io::write_text(&g, &mut std::fs::File::create(&path).unwrap()).unwrap();
+        let cfg = GridConfig {
+            n: 60,
+            threads: vec![1, 2],
+            trials: 1,
+            seed: 7,
+            smoke: true,
+            tunings: vec![TraversalTuning::fast()],
+            workspace: WorkspaceMode::On,
+            store: false,
+            serve: ServeMode::Off,
+            input: Some(path.clone()),
+        };
+        let doc = run_grid(&cfg, |_| {});
+        let fams = doc.get("families").and_then(Json::as_arr).unwrap();
+        assert_eq!(fams.len(), 1);
+        assert_eq!(fams[0].get("family").and_then(Json::as_str), Some("file"));
+        assert_eq!(fams[0].get("n").and_then(Json::as_u64), Some(60));
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        // One family × 2 thread counts × (Sequential + 3 parallel).
+        assert_eq!(entries.len(), 2 * (1 + 3));
+        let rss_available = bcc_smp::rss::reset_peak().is_ok();
+        for e in entries {
+            assert_eq!(e.get("family").and_then(Json::as_str), Some("file"));
+            assert_eq!(e.get("n").and_then(Json::as_u64), Some(60));
+            // Where the kernel exposes the watermark, every cell
+            // carries its peak resident set.
+            if rss_available {
+                let peak = e.get("peak_rss_bytes").and_then(Json::as_f64).unwrap();
+                assert!(peak > 0.0);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -408,7 +408,7 @@ fn concat_parts(parts: Vec<(Vec<u32>, usize)>, ws: Option<&BccWorkspace>) -> (Ve
 mod tests {
     use super::*;
     use crate::seq::assert_valid_rooted_tree;
-    use bcc_graph::{gen, Graph};
+    use bcc_graph::{gen, GraphBuilder};
 
     #[test]
     fn seq_levels_on_path() {
@@ -498,7 +498,10 @@ mod tests {
 
     #[test]
     fn disconnected_graph_partial_tree() {
-        let g = Graph::from_tuples(5, [(0, 1), (1, 2), (3, 4)]);
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build()
+            .unwrap();
         let csr = Csr::build(&g);
         let t = bfs_tree_seq(&csr, 0);
         assert_eq!(t.reached, 3);
@@ -569,7 +572,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = Graph::new(0, vec![]);
+        let g = GraphBuilder::new(0).build().unwrap();
         let csr = Csr::build(&g);
         let t = bfs_tree_seq(&csr, 0);
         assert_eq!(t.reached, 0);

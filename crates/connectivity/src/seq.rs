@@ -107,6 +107,7 @@ pub fn assert_valid_rooted_tree(g: &Graph, parent: &[u32], root: u32) {
 mod tests {
     use super::*;
     use bcc_graph::gen;
+    use bcc_graph::GraphBuilder;
 
     #[test]
     fn union_find_counts() {
@@ -128,7 +129,10 @@ mod tests {
 
     #[test]
     fn dfs_tree_leaves_unreachable_nil() {
-        let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
         let csr = Csr::build(&g);
         let parent = dfs_tree(&csr, 0);
         assert_eq!(parent[2], NIL);

@@ -367,7 +367,7 @@ fn normalize_labels_impl(pool: &Pool, label: &mut [u32], ws: Option<&BccWorkspac
 mod tests {
     use super::*;
     use crate::seq;
-    use bcc_graph::{gen, Graph};
+    use bcc_graph::{gen, Graph, GraphBuilder};
 
     const VARIANTS: [SvVariant; 2] = [SvVariant::Classic, SvVariant::FastSv];
 
@@ -469,13 +469,13 @@ mod tests {
     fn empty_and_trivial() {
         let pool = Pool::new(2);
         for variant in VARIANTS {
-            let empty = Graph::new(0, vec![]);
+            let empty = GraphBuilder::new(0).build().unwrap();
             let r = connected_components_with(&pool, empty.n(), empty.edges(), variant);
             assert_eq!(r.num_components, 0);
             assert!(r.tree_edges.is_empty());
             assert_eq!(r.rounds, 0);
 
-            let isolated = Graph::new(5, vec![]);
+            let isolated = GraphBuilder::new(5).build().unwrap();
             let r = connected_components_with(&pool, isolated.n(), isolated.edges(), variant);
             assert_eq!(r.num_components, 5);
             assert_eq!(r.label, vec![0, 1, 2, 3, 4]);
@@ -485,7 +485,7 @@ mod tests {
     #[test]
     fn single_edge() {
         let pool = Pool::new(3);
-        let g = Graph::from_tuples(2, [(0, 1)]);
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build().unwrap();
         for variant in VARIANTS {
             let r = connected_components_with(&pool, g.n(), g.edges(), variant);
             assert_eq!(r.num_components, 1);
@@ -506,7 +506,7 @@ mod tests {
         edges.push((3, 13));
         edges.push((4, 14));
         edges.push((5, 15));
-        let g = Graph::from_tuples(20, edges);
+        let g = GraphBuilder::new(20).edges(edges).build().unwrap();
         for variant in VARIANTS {
             for p in [1, 4] {
                 let pool = Pool::new(p);

@@ -140,7 +140,7 @@ pub fn work_stealing_tree(pool: &Pool, csr: &Csr, root: u32) -> SpanningTree {
 mod tests {
     use super::*;
     use crate::seq::assert_valid_rooted_tree;
-    use bcc_graph::{gen, Graph};
+    use bcc_graph::{gen, GraphBuilder};
 
     #[test]
     fn sequential_path_small_graphs() {
@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn unreachable_vertices_stay_nil() {
-        let g = Graph::from_tuples(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let g = GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (3, 4), (4, 5)])
+            .build()
+            .unwrap();
         let csr = Csr::build(&g);
         let pool = Pool::new(2);
         let t = work_stealing_tree(&pool, &csr, 0);

@@ -14,7 +14,7 @@
 
 use crate::pipeline::BccResult;
 use crate::verify::{articulation_points, bridges};
-use bcc_graph::{Csr, Graph};
+use bcc_graph::{Csr, Graph, GraphBuilder};
 use bcc_smp::{Pool, NIL};
 
 /// The block-cut tree (forest, for disconnected inputs).
@@ -103,7 +103,10 @@ impl BlockCutTree {
     /// The tree itself as a [`Graph`] over its node ids — block nodes
     /// `0..num_blocks` followed by cut nodes.
     pub fn tree_graph(&self) -> Graph {
-        Graph::from_tuples(self.num_nodes(), self.edges.iter().copied())
+        GraphBuilder::new(self.num_nodes())
+            .edges(self.edges.iter().copied())
+            .build()
+            .unwrap()
     }
 
     /// CSR adjacency over the tree's nodes, so consumers can traverse

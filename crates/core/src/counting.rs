@@ -139,6 +139,7 @@ mod tests {
     use super::*;
     use crate::pipeline::sequential_impl as sequential;
     use bcc_graph::gen;
+    use bcc_graph::GraphBuilder;
 
     #[test]
     fn exact_on_clean_families() {
@@ -196,14 +197,17 @@ mod tests {
     #[test]
     fn disconnected_rejected() {
         let pool = Pool::new(2);
-        let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
         assert!(double_bfs_upper_bound(&pool, &g).is_err());
     }
 
     #[test]
     fn empty_edge_set() {
         let pool = Pool::new(2);
-        let g = Graph::new(3, vec![]);
+        let g = GraphBuilder::new(3).build().unwrap();
         assert_eq!(double_bfs_upper_bound(&pool, &g).unwrap(), 0);
     }
 }

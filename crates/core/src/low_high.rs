@@ -350,7 +350,7 @@ mod tests {
     use super::*;
     use bcc_connectivity::bfs::bfs_tree_seq;
     use bcc_euler::{dfs_euler_tour, tree_computations};
-    use bcc_graph::{gen, Csr, Graph};
+    use bcc_graph::{gen, Csr, Graph, GraphBuilder};
     use bcc_smp::NIL;
 
     /// Builds (edges, is_tree, info) for `g` rooted at `root` using a
@@ -525,7 +525,7 @@ mod tests {
 
     #[test]
     fn singleton_graph() {
-        let g = Graph::new(1, vec![]);
+        let g = GraphBuilder::new(1).build().unwrap();
         let pool = Pool::new(2);
         let (edges, is_tree, info) = setup(&g, 0, &pool);
         let lh = compute_low_high(&pool, &edges, &is_tree, &info);

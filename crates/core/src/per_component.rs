@@ -14,7 +14,7 @@ use crate::verify::canonicalize_edge_labels;
 use bcc_connectivity::sv::{connected_components_with_ws, normalize_labels_ws};
 use bcc_connectivity::tuning::TraversalTuning;
 use bcc_euler::Ranker;
-use bcc_graph::{Edge, Graph};
+use bcc_graph::{Edge, Graph, GraphBuilder};
 use bcc_smp::{BccWorkspace, Pool};
 use std::time::Instant;
 
@@ -80,7 +80,10 @@ pub(crate) fn run_per_component(
         if sub_edges[c].is_empty() {
             continue;
         }
-        let sub = Graph::new(counts[c], std::mem::take(&mut sub_edges[c]));
+        let sub = GraphBuilder::new(counts[c])
+            .edges(std::mem::take(&mut sub_edges[c]))
+            .build()
+            .unwrap();
         let r = run_connected(pool, &sub, alg, ranker, tuning, ws, rec)?;
         for (j, &orig) in sub_orig[c].iter().enumerate() {
             edge_comp[orig as usize] = base + r.edge_comp[j];
@@ -175,7 +178,10 @@ mod tests {
 
     #[test]
     fn isolated_vertices_and_empty_components() {
-        let g = Graph::from_tuples(7, [(1, 2), (2, 3), (3, 1), (5, 6)]);
+        let g = GraphBuilder::new(7)
+            .edges([(1, 2), (2, 3), (3, 1), (5, 6)])
+            .build()
+            .unwrap();
         let pool = Pool::new(2);
         let run = BccConfig::new(Algorithm::TvFilter)
             .run_any(&pool, &g)
@@ -191,7 +197,7 @@ mod tests {
 
     #[test]
     fn no_edges_at_all() {
-        let g = Graph::new(4, vec![]);
+        let g = GraphBuilder::new(4).build().unwrap();
         let pool = Pool::new(2);
         let r = BccConfig::new(Algorithm::TvOpt)
             .run_any(&pool, &g)
@@ -212,7 +218,10 @@ mod tests {
         assert_eq!(tree.articulation, run.result.articulation_points(&g));
 
         // The connectivity precondition is enforced, not assumed.
-        let split = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let split = GraphBuilder::new(4)
+            .edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
         assert_eq!(
             component_pipeline(&pool, &split, &config).unwrap_err(),
             BccError::Disconnected

@@ -750,6 +750,7 @@ fn trivial_result(g: &Graph, start: Instant, phases: &PhaseTimes) -> Option<BccR
 mod tests {
     use super::*;
     use bcc_graph::gen;
+    use bcc_graph::GraphBuilder;
 
     fn all_agree(g: &Graph, p: usize) {
         let pool = Pool::new(p);
@@ -811,7 +812,7 @@ mod tests {
 
     #[test]
     fn two_vertices_one_edge() {
-        let g = Graph::from_tuples(2, [(0, 1)]);
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build().unwrap();
         all_agree(&g, 2);
         let pool = Pool::new(2);
         let r = BccConfig::new(Algorithm::TvFilter)
@@ -824,7 +825,7 @@ mod tests {
     #[test]
     fn no_edges_trivial() {
         let pool = Pool::new(2);
-        let g = Graph::new(1, vec![]);
+        let g = GraphBuilder::new(1).build().unwrap();
         for alg in Algorithm::ALL {
             let r = BccConfig::new(alg).run(&pool, &g).unwrap().result;
             assert_eq!(r.num_components, 0);
@@ -835,7 +836,10 @@ mod tests {
     #[test]
     fn disconnected_rejected_by_parallel_algorithms() {
         let pool = Pool::new(2);
-        let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
         for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
             assert_eq!(
                 BccConfig::new(alg).run(&pool, &g).unwrap_err(),

@@ -178,6 +178,7 @@ mod tests {
     use super::*;
     use crate::verify::articulation_points_oracle;
     use bcc_graph::gen;
+    use bcc_graph::GraphBuilder;
 
     #[test]
     fn cycle_is_one_cycle_chain() {
@@ -253,13 +254,16 @@ mod tests {
     #[test]
     #[should_panic]
     fn disconnected_rejected() {
-        let g = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
         let _ = chain_decomposition(&g);
     }
 
     #[test]
     fn single_edge_graph() {
-        let g = Graph::from_tuples(2, [(0, 1)]);
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build().unwrap();
         let d = chain_decomposition(&g);
         assert_eq!(d.bridges, vec![0]);
         assert!(d.articulation.is_empty()); // both endpoints degree 1

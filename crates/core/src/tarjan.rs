@@ -118,6 +118,7 @@ mod tests {
     use super::*;
     use crate::verify::canonicalize_edge_labels;
     use bcc_graph::gen;
+    use bcc_graph::GraphBuilder;
 
     fn canonical(g: &Graph) -> (Vec<u32>, u32) {
         let mut c = tarjan_bcc(g);
@@ -186,7 +187,10 @@ mod tests {
     #[test]
     fn disconnected_graph_handled() {
         // Two triangles, no connection.
-        let g = Graph::from_tuples(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let g = GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .build()
+            .unwrap();
         let (c, k) = canonical(&g);
         assert_eq!(k, 2);
         assert_eq!(c[0], c[1]);
@@ -196,7 +200,7 @@ mod tests {
 
     #[test]
     fn empty_graph_and_no_edges() {
-        let g = Graph::new(5, vec![]);
+        let g = GraphBuilder::new(5).build().unwrap();
         let c = tarjan_bcc(&g);
         assert!(c.is_empty());
     }
@@ -204,9 +208,8 @@ mod tests {
     #[test]
     fn hand_worked_example() {
         // 0-1-2 triangle; bridge 2-3; 3-4-5 triangle; pendant 5-6.
-        let g = Graph::from_tuples(
-            7,
-            [
+        let g = GraphBuilder::new(7)
+            .edges([
                 (0, 1),
                 (1, 2),
                 (2, 0), // triangle A
@@ -215,8 +218,9 @@ mod tests {
                 (4, 5),
                 (5, 3), // triangle B
                 (5, 6), // pendant bridge
-            ],
-        );
+            ])
+            .build()
+            .unwrap();
         let (c, k) = canonical(&g);
         assert_eq!(k, 4);
         assert_eq!(c[0], c[1]);

@@ -8,7 +8,7 @@
 //! takes the transitive closure of "two cycles share an edge" — the
 //! paper's own definition of the relation `R_c*` (§2).
 
-use bcc_graph::{Csr, Edge, Graph};
+use bcc_graph::{Csr, Edge, Graph, GraphBuilder};
 use bcc_smp::NIL;
 
 /// Renumbers component labels to `0..k` in order of first appearance in
@@ -259,13 +259,10 @@ pub fn assert_classes_biconnected(g: &Graph, edge_comp: &[u32]) {
             .enumerate()
             .map(|(i, &v)| (v, i as u32))
             .collect();
-        let sub = Graph::new(
-            verts.len() as u32,
-            edges
-                .iter()
-                .map(|e| Edge::new(index[&e.u], index[&e.v]))
-                .collect(),
-        );
+        let sub = GraphBuilder::new(verts.len() as u32)
+            .edges(edges.iter().map(|e| Edge::new(index[&e.u], index[&e.v])))
+            .build()
+            .unwrap();
         assert!(
             bcc_graph::validate::is_connected(&sub),
             "component {c} not connected"
@@ -395,7 +392,7 @@ mod tests {
         let comp = vec![0u32];
         assert!(articulation_points_par(&pool, &g, &comp).is_empty());
         assert_eq!(bridges_par(&pool, &g, &comp), vec![0]);
-        let empty = Graph::new(3, vec![]);
+        let empty = GraphBuilder::new(3).build().unwrap();
         assert!(articulation_points_par(&pool, &empty, &[]).is_empty());
         assert!(bridges_par(&pool, &empty, &[]).is_empty());
     }

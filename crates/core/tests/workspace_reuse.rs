@@ -12,7 +12,7 @@
 //!   `arena_hit_rate == 1.0`, and the shelf stops growing.
 
 use bcc_core::{Algorithm, BccConfig, BccWorkspace};
-use bcc_graph::{gen, Graph};
+use bcc_graph::{gen, GraphBuilder};
 use bcc_smp::Pool;
 use std::sync::Arc;
 
@@ -115,7 +115,10 @@ fn smaller_graph_reuses_a_larger_graphs_arena_without_misses() {
 
 #[test]
 fn disconnected_error_path_returns_buffers_to_the_arena() {
-    let g = Graph::from_tuples(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+    let g = GraphBuilder::new(6)
+        .edges([(0, 1), (1, 2), (3, 4), (4, 5)])
+        .build()
+        .unwrap();
     let pool = Pool::new(2);
     for alg in PARALLEL {
         let ws = Arc::new(BccWorkspace::new());

@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn singleton_tree() {
         let pool = Pool::new(2);
-        let tree = bcc_graph::Graph::new(1, vec![]);
+        let tree = bcc_graph::GraphBuilder::new(1).build().unwrap();
         let info = info_of(&tree, 0, &pool);
         let idx = LcaIndex::build(&pool, &info);
         assert_eq!(idx.lca(0, 0), 0);

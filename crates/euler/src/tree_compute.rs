@@ -228,11 +228,11 @@ fn tree_computations_impl(
 mod tests {
     use super::*;
     use crate::tour::{euler_tour_classic, Ranker};
-    use bcc_graph::{gen, Csr, Edge, Graph};
+    use bcc_graph::{gen, Csr, Edge, GraphBuilder};
 
     /// Sequential DFS oracle for preorder/size/depth given a rooted tree.
     fn oracle(n: u32, edges: &[Edge], root: u32) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
-        let g = Graph::new(n, edges.to_vec());
+        let g = GraphBuilder::new(n).edges(edges.to_vec()).build().unwrap();
         let csr = Csr::build(&g);
         let n = n as usize;
         let mut parent = vec![NIL; n];

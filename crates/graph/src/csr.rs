@@ -9,27 +9,49 @@
 //! Converting the edge list into CSR is itself one of the representation
 //! conversions whose cost the paper calls out, so the parallel builder
 //! is instrumented-friendly: counting, a prefix sum over degrees, and an
-//! atomic-cursor scatter.
+//! atomic-cursor scatter. A *mapped* graph skips the conversion
+//! entirely — `.bccsr` files carry the adjacency arrays on disk, and
+//! [`Csr::build`] on one is an `Arc` clone of the mapping.
 
-use crate::edge::Graph;
+use crate::bccsr::MappedCsr;
+use crate::edge::{Graph, GraphData};
 use bcc_smp::atomic::as_atomic_u32;
 use bcc_smp::{Pool, SharedSlice};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Adjacency structure: for each vertex, a slice of `(neighbor, edge id)`
 /// arcs. Every undirected edge appears as two arcs.
+///
+/// Backed either by owned arrays (built from an in-memory edge list) or
+/// by a shared `.bccsr` mapping (zero-copy, zero build cost); the
+/// accessor surface is identical.
 #[derive(Clone, Debug)]
 pub struct Csr {
-    n: u32,
-    /// `offsets[v]..offsets[v+1]` indexes `adj`/`eid` for vertex `v`.
-    offsets: Vec<usize>,
-    adj: Vec<u32>,
-    eid: Vec<u32>,
+    repr: CsrRepr,
+}
+
+#[derive(Clone, Debug)]
+enum CsrRepr {
+    Owned {
+        n: u32,
+        /// `offsets[v]..offsets[v+1]` indexes `adj`/`eid` for vertex `v`.
+        offsets: Vec<usize>,
+        adj: Vec<u32>,
+        eid: Vec<u32>,
+    },
+    Mapped(Arc<MappedCsr>),
 }
 
 impl Csr {
-    /// Sequential build from an edge list.
+    /// Sequential build from an edge list. On a mapped graph this is an
+    /// O(1) `Arc` clone of the on-disk adjacency — no materialization.
     pub fn build(g: &Graph) -> Self {
+        if let GraphData::Mapped(m) = g.data() {
+            return Csr {
+                repr: CsrRepr::Mapped(Arc::clone(m)),
+            };
+        }
         let n = g.n() as usize;
         let m = g.m();
         let mut offsets = vec![0usize; n + 1];
@@ -61,15 +83,18 @@ impl Csr {
             eid[k] = p as u32;
         }
         Csr {
-            n: g.n(),
-            offsets,
-            adj,
-            eid,
+            repr: CsrRepr::Owned {
+                n: g.n(),
+                offsets,
+                adj,
+                eid,
+            },
         }
     }
 
     /// Parallel build: parallel degree counting (atomic increments), a
-    /// prefix sum over degrees, and an atomic-cursor scatter.
+    /// prefix sum over degrees, and an atomic-cursor scatter. Mapped
+    /// graphs short-circuit exactly as in [`Csr::build`].
     ///
     /// Neighbor order within a vertex is nondeterministic across thread
     /// counts; algorithms in this workspace never depend on it (and the
@@ -77,7 +102,7 @@ impl Csr {
     pub fn build_par(pool: &Pool, g: &Graph) -> Self {
         let n = g.n() as usize;
         let m = g.m();
-        if pool.threads() == 1 || m < 1 << 14 {
+        if g.is_mapped() || pool.threads() == 1 || m < 1 << 14 {
             return Csr::build(g);
         }
         let edges = g.edges();
@@ -148,35 +173,59 @@ impl Csr {
             });
         }
         Csr {
-            n: g.n(),
-            offsets,
-            adj,
-            eid,
+            repr: CsrRepr::Owned {
+                n: g.n(),
+                offsets,
+                adj,
+                eid,
+            },
         }
     }
 
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> u32 {
-        self.n
+        match &self.repr {
+            CsrRepr::Owned { n, .. } => *n,
+            CsrRepr::Mapped(m) => m.n(),
+        }
     }
 
     /// Number of undirected edges.
     #[inline]
     pub fn m(&self) -> usize {
-        self.adj.len() / 2
+        match &self.repr {
+            CsrRepr::Owned { adj, .. } => adj.len() / 2,
+            CsrRepr::Mapped(m) => m.m(),
+        }
+    }
+
+    /// True if the adjacency is served from a mapped `.bccsr` file.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, CsrRepr::Mapped(_))
     }
 
     /// Neighbors of `v`.
     #[inline]
     pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+        match &self.repr {
+            CsrRepr::Owned { offsets, adj, .. } => {
+                &adj[offsets[v as usize]..offsets[v as usize + 1]]
+            }
+            CsrRepr::Mapped(m) => m.neighbors(v),
+        }
     }
 
     /// Edge ids of the arcs out of `v`, parallel to [`Csr::neighbors`].
     #[inline]
     pub fn edge_ids(&self, v: u32) -> &[u32] {
-        &self.eid[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+        match &self.repr {
+            CsrRepr::Owned { offsets, eid, .. } => {
+                &eid[offsets[v as usize]..offsets[v as usize + 1]]
+            }
+            CsrRepr::Mapped(m) => m.edge_ids(v),
+        }
     }
 
     /// `(neighbor, edge id)` pairs out of `v`.
@@ -191,16 +240,23 @@ impl Csr {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: u32) -> usize {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        match &self.repr {
+            CsrRepr::Owned { offsets, .. } => offsets[v as usize + 1] - offsets[v as usize],
+            CsrRepr::Mapped(m) => m.degree(v),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GraphBuilder;
 
     fn sample() -> Graph {
-        Graph::from_tuples(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+        GraphBuilder::new(5)
+            .edges([(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+            .build()
+            .unwrap()
     }
 
     fn sorted_arcs(csr: &Csr, v: u32) -> Vec<(u32, u32)> {
@@ -237,13 +293,13 @@ mod tests {
 
     #[test]
     fn empty_and_isolated_vertices() {
-        let g = Graph::from_tuples(4, [(1, 2)]);
+        let g = GraphBuilder::new(4).edge(1, 2).build().unwrap();
         let csr = Csr::build(&g);
         assert!(csr.neighbors(0).is_empty());
         assert!(csr.neighbors(3).is_empty());
         assert_eq!(csr.neighbors(1), &[2]);
 
-        let empty = Graph::new(0, vec![]);
+        let empty = GraphBuilder::new(0).build().unwrap();
         let csr = Csr::build(&empty);
         assert_eq!(csr.n(), 0);
         assert_eq!(csr.m(), 0);
@@ -262,5 +318,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mapped_build_is_zero_copy_and_equivalent() {
+        use crate::gen;
+        let g = gen::random_connected(300, 900, 11);
+        let mut path = std::env::temp_dir();
+        path.push(format!("bcc-csr-test-{}.bccsr", std::process::id()));
+        g.save_bccsr(&path).unwrap();
+        let mg = crate::bccsr::MappedCsr::open_graph(&path).unwrap();
+
+        let owned = Csr::build(&g);
+        let mapped = Csr::build(&mg);
+        assert!(mapped.is_mapped() && !owned.is_mapped());
+        let pool = Pool::new(4);
+        let mapped_par = Csr::build_par(&pool, &mg);
+        assert!(mapped_par.is_mapped());
+        for v in 0..g.n() {
+            assert_eq!(sorted_arcs(&mapped, v), sorted_arcs(&owned, v), "v={v}");
+            assert_eq!(mapped.degree(v), owned.degree(v));
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -10,27 +10,41 @@
 //! cases: the chain ([`path`]) is the paper's pathological diameter case
 //! for TV-filter.
 
+use crate::builder::GraphBuilder;
 use crate::edge::{Edge, Graph};
 use rand::prelude::*;
 use std::collections::HashSet;
+
+/// Strict build from generator output; a failure is a generator bug.
+fn graph(n: u32, edges: Vec<Edge>) -> Graph {
+    GraphBuilder::new(n)
+        .edges(edges)
+        .build()
+        .expect("generator produced an invalid edge")
+}
+
+/// [`graph`] from `(u, v)` tuples.
+fn graph_from(n: u32, tuples: impl IntoIterator<Item = (u32, u32)>) -> Graph {
+    graph(n, tuples.into_iter().map(Edge::from).collect())
+}
 
 /// A simple path 0–1–2–…–(n-1): every edge is a bridge, every internal
 /// vertex an articulation point; diameter n-1 (the paper's pathological
 /// case for BFS-based filtering).
 pub fn path(n: u32) -> Graph {
-    Graph::from_tuples(n, (1..n).map(|v| (v - 1, v)))
+    graph_from(n, (1..n).map(|v| (v - 1, v)))
 }
 
 /// A simple cycle on `n >= 3` vertices: one biconnected component.
 pub fn cycle(n: u32) -> Graph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
-    Graph::from_tuples(n, (0..n).map(|v| (v, (v + 1) % n)))
+    graph_from(n, (0..n).map(|v| (v, (v + 1) % n)))
 }
 
 /// A star with center 0: n-1 bridges.
 pub fn star(n: u32) -> Graph {
     assert!(n >= 1);
-    Graph::from_tuples(n, (1..n).map(|v| (0, v)))
+    graph_from(n, (1..n).map(|v| (0, v)))
 }
 
 /// The complete graph K_n: one biconnected component (n >= 3).
@@ -41,12 +55,12 @@ pub fn complete(n: u32) -> Graph {
             edges.push(Edge::new(u, v));
         }
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// A complete binary tree with vertex `v`'s parent at `(v-1)/2`.
 pub fn binary_tree(n: u32) -> Graph {
-    Graph::from_tuples(n, (1..n).map(|v| ((v - 1) / 2, v)))
+    graph_from(n, (1..n).map(|v| ((v - 1) / 2, v)))
 }
 
 /// An `rows × cols` 2D torus (wrap-around grid); biconnected when both
@@ -61,7 +75,11 @@ pub fn torus(rows: u32, cols: u32) -> Graph {
             edges.push(Edge::new(idx(r, c), idx((r + 1) % rows, c)));
         }
     }
-    Graph::from_edges_lenient(rows * cols, edges)
+    GraphBuilder::new(rows * cols)
+        .lenient()
+        .edges(edges)
+        .build()
+        .expect("torus edges are valid")
 }
 
 /// A uniformly-random-attachment tree: vertex `v > 0` connects to a
@@ -74,7 +92,7 @@ pub fn random_tree(n: u32, seed: u64) -> Graph {
             Edge::new(p, v)
         })
         .collect();
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// The paper's random graph: `m` unique random edges on `n` vertices
@@ -87,7 +105,7 @@ pub fn random_gnm(n: u32, m: usize, seed: u64) -> Graph {
     let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
     sample_unique_edges(&mut rng, n, m, &mut seen, &mut edges);
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// A connected random graph: a random-attachment spanning tree plus
@@ -123,7 +141,7 @@ pub fn random_connected(n: u32, m: usize, seed: u64) -> Graph {
         edges.push(e);
     }
     sample_unique_edges(&mut rng, n, m - edges.len(), &mut seen, &mut edges);
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// Woo–Sahni-style dense instance: exactly `round(pct * C(n,2))` unique
@@ -143,7 +161,7 @@ pub fn dense_percent(n: u32, pct: f64, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     pairs.shuffle(&mut rng);
     pairs.truncate(m);
-    Graph::new(n, pairs)
+    graph(n, pairs)
 }
 
 /// Two cliques of size `k` sharing a single cut vertex — the canonical
@@ -163,7 +181,7 @@ pub fn two_cliques_sharing_vertex(k: u32) -> Graph {
             edges.push(Edge::new(u, v));
         }
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// A "caterpillar of cycles": `count` cycles of length `len` chained by
@@ -181,7 +199,7 @@ pub fn cycle_chain(count: u32, len: u32, _seed: u64) -> Graph {
             edges.push(Edge::new(base + len - 1, base + len)); // bridge
         }
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// A wheel: hub 0 joined to a cycle on `1..n` (`n >= 4`). Biconnected.
@@ -193,7 +211,7 @@ pub fn wheel(n: u32) -> Graph {
         let next = if v + 1 == n { 1 } else { v + 1 };
         edges.push(Edge::new(v, next));
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// A ladder (2 × k grid, `k >= 2`): biconnected, bounded degree 3.
@@ -208,7 +226,7 @@ pub fn ladder(k: u32) -> Graph {
             edges.push(Edge::new(2 * i + 1, 2 * (i + 1) + 1));
         }
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// The d-dimensional hypercube, `1 <= d < 31`. Biconnected for d >= 2.
@@ -224,7 +242,7 @@ pub fn hypercube(d: u32) -> Graph {
             }
         }
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// A barbell: two K_k cliques joined by a path of `bridge_len` edges
@@ -248,7 +266,7 @@ pub fn barbell(k: u32, bridge_len: u32) -> Graph {
     for i in 0..bridge_len {
         edges.push(Edge::new(k - 1 + i, k + i));
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// Complete bipartite K_{a,b}: biconnected when `a, b >= 2`; a star of
@@ -261,7 +279,7 @@ pub fn complete_bipartite(a: u32, b: u32) -> Graph {
             edges.push(Edge::new(u, a + v));
         }
     }
-    Graph::new(a + b, edges)
+    graph(a + b, edges)
 }
 
 /// R-MAT recursive-quadrant generator (Chakrabarti–Zhan–Faloutsos):
@@ -310,7 +328,7 @@ pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
             edges.push(e);
         }
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// A spatial ("geo") network: `n` points uniform in the unit square,
@@ -410,7 +428,7 @@ pub fn geometric(n: u32, target_degree: f64, chords: usize, seed: u64) -> Graph 
             prev_rep = Some(v);
         }
     }
-    Graph::new(n, edges)
+    graph(n, edges)
 }
 
 /// Maximum number of edges of a simple graph on `n` vertices.

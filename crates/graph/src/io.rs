@@ -1,6 +1,10 @@
-//! Plain-text graph I/O.
+//! Graph ingestion: one sniffing [`load`] entry point over the text
+//! formats and the binary `.bccsr` format.
 //!
-//! Two formats are accepted:
+//! [`load`] reads the first bytes of the file: a `.bccsr` magic opens
+//! the file as a checksum-verified mmap-backed [`Graph`] (see
+//! [`crate::bccsr`]); anything else is parsed as text. Two text formats
+//! are accepted:
 //!
 //! **DIMACS-flavored** (what [`write_text`] emits):
 //!
@@ -22,8 +26,12 @@
 //! it must precede every edge, endpoints must be in range, self loops
 //! are rejected, and the edge count must match the declaration.
 
+use crate::bccsr::MappedCsr;
+use crate::builder::GraphBuilder;
 use crate::edge::{Edge, Graph};
+use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 /// Writes `g` in the text format.
 pub fn write_text<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
@@ -34,9 +42,38 @@ pub fn write_text<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
+/// Loads a graph from `path`, sniffing the format: files starting with
+/// the `.bccsr` magic open as a checksum-verified mmap-backed graph
+/// (zero-copy edges and adjacency); everything else parses as text
+/// ([`load_text`]). This is the single ingestion entry point for the
+/// CLIs — any supported public graph file works directly.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Graph> {
+    let path = path.as_ref();
+    let mut file = File::open(path)?;
+    let mut head = [0u8; 8];
+    let got = read_head(&mut file, &mut head)?;
+    if got == 8 && head == crate::bccsr::MAGIC {
+        drop(file);
+        return Ok(MappedCsr::open_graph(path)?);
+    }
+    // Text: re-chain the sniffed bytes in front of the rest.
+    load_text(io::Cursor::new(head[..got].to_vec()).chain(file))
+}
+
+fn read_head(file: &mut File, head: &mut [u8; 8]) -> io::Result<usize> {
+    let mut got = 0;
+    while got < 8 {
+        match file.read(&mut head[got..])? {
+            0 => break,
+            k => got += k,
+        }
+    }
+    Ok(got)
+}
+
 /// Reads a graph in either text format (see the module docs); validates
 /// counts and ranges when a `p` problem line is present.
-pub fn read_text<R: Read>(r: R) -> io::Result<Graph> {
+pub fn load_text<R: Read>(r: R) -> io::Result<Graph> {
     let reader = BufReader::new(r);
     let mut header: Option<(u32, usize)> = None;
     let mut edges: Vec<Edge> = Vec::new();
@@ -110,13 +147,24 @@ pub fn read_text<R: Read>(r: R) -> io::Result<Graph> {
                     format!("declared {declared_m} edges, found {}", edges.len()),
                 ));
             }
-            Ok(Graph::new(n, edges))
+            // Endpoints and loops were validated per line above.
+            GraphBuilder::new(n)
+                .edges(edges)
+                .build()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
         }
-        None => {
-            let n = edges.iter().map(|e| e.u.max(e.v) + 1).max().unwrap_or(0);
-            Ok(Graph::from_edges_lenient(n, edges))
-        }
+        None => GraphBuilder::infer_n()
+            .lenient()
+            .edges(edges)
+            .build()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
     }
+}
+
+/// Reads a graph in either text format.
+#[deprecated(since = "0.7.0", note = "use `load_text` (or `load` for files)")]
+pub fn read_text<R: Read>(r: R) -> io::Result<Graph> {
+    load_text(r)
 }
 
 #[cfg(test)]
@@ -129,7 +177,7 @@ mod tests {
         let g = gen::random_connected(50, 120, 4);
         let mut buf = Vec::new();
         write_text(&g, &mut buf).unwrap();
-        let h = read_text(&buf[..]).unwrap();
+        let h = load_text(&buf[..]).unwrap();
         assert_eq!(g.n(), h.n());
         assert_eq!(g.edges(), h.edges());
     }
@@ -137,7 +185,7 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_ignored() {
         let text = "# hello\n\np 3 2\ne 0 1\n# mid\ne 1 2\n";
-        let g = read_text(text.as_bytes()).unwrap();
+        let g = load_text(text.as_bytes()).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 2);
     }
@@ -145,7 +193,7 @@ mod tests {
     #[test]
     fn percent_and_c_comments_ignored() {
         let text = "% MatrixMarket-ish header\nc dimacs comment\np 3 2\ne 0 1\ne 1 2\n";
-        let g = read_text(text.as_bytes()).unwrap();
+        let g = load_text(text.as_bytes()).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 2);
     }
@@ -153,7 +201,7 @@ mod tests {
     #[test]
     fn crlf_line_endings_accepted() {
         let text = "# win\r\np 3 2\r\ne 0 1\r\ne 1 2\r\n";
-        let g = read_text(text.as_bytes()).unwrap();
+        let g = load_text(text.as_bytes()).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(g.edges(), &[Edge::new(0, 1), Edge::new(1, 2)]);
     }
@@ -163,7 +211,7 @@ mod tests {
         // No problem line, % comments, duplicates + both orientations +
         // a self loop — the shape of a real SNAP dump.
         let text = "% snap dump\n0 1\n1 0\n1 2\n2 2\n\n4 2\n";
-        let g = read_text(text.as_bytes()).unwrap();
+        let g = load_text(text.as_bytes()).unwrap();
         assert_eq!(g.n(), 5); // max id 4
         assert_eq!(g.m(), 3); // (0,1), (1,2), (2,4)
     }
@@ -172,22 +220,62 @@ mod tests {
     fn bare_lines_validated_when_header_present() {
         // Bare "u v" lines mix with e-lines under a header and count
         // toward the declared total, with full validation.
-        let g = read_text("p 3 2\n0 1\ne 1 2\n".as_bytes()).unwrap();
+        let g = load_text("p 3 2\n0 1\ne 1 2\n".as_bytes()).unwrap();
         assert_eq!(g.m(), 2);
-        assert!(read_text("p 3 1\n0 5\n".as_bytes()).is_err()); // range
-        assert!(read_text("p 3 1\n1 1\n".as_bytes()).is_err()); // loop
+        assert!(load_text("p 3 1\n0 5\n".as_bytes()).is_err()); // range
+        assert!(load_text("p 3 1\n1 1\n".as_bytes()).is_err()); // loop
     }
 
     #[test]
     fn errors_are_reported() {
-        assert!(read_text("e 0 1\n".as_bytes()).is_err()); // e before p
-        assert!(read_text("p 3 1\ne 0 5\n".as_bytes()).is_err()); // range
-        assert!(read_text("p 3 1\ne 1 1\n".as_bytes()).is_err()); // loop
-        assert!(read_text("p 3 2\ne 0 1\n".as_bytes()).is_err()); // count
-        assert!(read_text("x 1\n".as_bytes()).is_err()); // tag
-        assert!(read_text("0 1\np 3 1\n".as_bytes()).is_err()); // p after edges
-        assert!(read_text("0\n".as_bytes()).is_err()); // missing endpoint
-        let empty = read_text("".as_bytes()).unwrap(); // headerless empty
+        assert!(load_text("e 0 1\n".as_bytes()).is_err()); // e before p
+        assert!(load_text("p 3 1\ne 0 5\n".as_bytes()).is_err()); // range
+        assert!(load_text("p 3 1\ne 1 1\n".as_bytes()).is_err()); // loop
+        assert!(load_text("p 3 2\ne 0 1\n".as_bytes()).is_err()); // count
+        assert!(load_text("x 1\n".as_bytes()).is_err()); // tag
+        assert!(load_text("0 1\np 3 1\n".as_bytes()).is_err()); // p after edges
+        assert!(load_text("0\n".as_bytes()).is_err()); // missing endpoint
+        let empty = load_text("".as_bytes()).unwrap(); // headerless empty
         assert_eq!(empty.n(), 0);
+    }
+
+    #[test]
+    fn load_sniffs_text_and_binary() {
+        let g = gen::random_connected(40, 90, 7);
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        let text_path = dir.join(format!("bcc-io-test-{pid}.txt"));
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        std::fs::write(&text_path, &buf).unwrap();
+        let ht = load(&text_path).unwrap();
+        assert!(!ht.is_mapped());
+        assert_eq!(ht.edges(), g.edges());
+
+        let bin_path = dir.join(format!("bcc-io-test-{pid}.bccsr"));
+        g.save_bccsr(&bin_path).unwrap();
+        let hb = load(&bin_path).unwrap();
+        assert!(hb.is_mapped());
+        assert_eq!(hb.edges(), g.edges());
+
+        std::fs::remove_file(&text_path).unwrap();
+        std::fs::remove_file(&bin_path).unwrap();
+    }
+
+    #[test]
+    fn load_of_tiny_text_file_works() {
+        // Shorter than the 8-byte sniff window.
+        let path = std::env::temp_dir().join(format!("bcc-io-tiny-{}.txt", std::process::id()));
+        std::fs::write(&path, "0 1\n").unwrap();
+        let g = load(&path).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load("/nonexistent/bcc-io-test.txt").is_err());
     }
 }

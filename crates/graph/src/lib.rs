@@ -9,14 +9,26 @@
 //! paper-style random sparse graphs, the Woo–Sahni dense instances, and
 //! the structured families (paths, cycles, tori, trees, cliques) the test
 //! suite leans on.
+//!
+//! Graphs arrive behind one storage-agnostic surface: [`GraphData`]
+//! holds either an owned edge list or an mmap-backed view of a binary
+//! `.bccsr` file ([`bccsr`]), and [`io::load`] sniffs any supported
+//! file into a [`Graph`] — so every downstream algorithm runs unchanged
+//! on generator output and on multi-GB on-disk datasets.
 
+pub mod bccsr;
+pub mod builder;
 pub mod csr;
 pub mod edge;
 pub mod gen;
 pub mod io;
+pub mod mmap;
 pub mod subgraph;
 pub mod validate;
 
+pub use bccsr::MappedCsr;
+pub use builder::{GraphBuilder, GraphError};
 pub use csr::Csr;
-pub use edge::{Edge, Graph};
+pub use edge::{Edge, Graph, GraphData};
+pub use mmap::MmapView;
 pub use subgraph::{ComponentSplit, SplitPart};

@@ -1,0 +1,382 @@
+//! Minimal memory-mapped file views.
+//!
+//! The build environment has no cargo registry, so this module binds
+//! `mmap`/`munmap`/`msync` directly (libc is already linked by `std` on
+//! every unix target) instead of pulling in `memmap2`. Two views:
+//!
+//! * [`MmapView`] — a read-only, shared mapping of a whole file. This
+//!   is what [`crate::bccsr::MappedCsr`] serves graph sections from:
+//!   pages fault in on first touch, stay evictable under memory
+//!   pressure, and are shared between processes mapping the same file.
+//! * [`MmapMut`] — a writable shared mapping, used by the `.bccsr`
+//!   writer to scatter adjacency arcs straight into the output file so
+//!   the converter never holds the (largest) adjacency sections in
+//!   anonymous memory.
+//!
+//! On non-unix targets both fall back to plain heap buffers (read the
+//! file / write it back on flush), keeping the API portable at the cost
+//! of the zero-copy property.
+//!
+//! Mapped buffers are 8-byte aligned in every backing (mmap returns
+//! page-aligned addresses; the heap fallback allocates `u64`s), which
+//! the typed-slice casts in `bccsr` rely on.
+//!
+//! **Safety contract:** a mapping's length is fixed at open time. If
+//! another process truncates the file while it is mapped, touching the
+//! vanished pages raises `SIGBUS` — the standard caveat of every
+//! file-mapping API. Treat `.bccsr` files as immutable once written.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_SHARED: i32 = 1;
+    pub const MS_SYNC: i32 = 4;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn msync(addr: *mut c_void, len: usize, flags: i32) -> i32;
+    }
+
+    /// A raw shared mapping of the first `len` bytes of `file`.
+    pub struct RawMap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is plain memory; concurrent access follows
+    // the same rules as any &[u8]/&mut [u8] the callers hand out.
+    unsafe impl Send for RawMap {}
+    unsafe impl Sync for RawMap {}
+
+    impl RawMap {
+        pub fn map(file: &File, len: usize, writable: bool) -> io::Result<RawMap> {
+            if len == 0 {
+                // POSIX rejects zero-length mappings; model them as a
+                // dangling-but-aligned empty buffer.
+                return Ok(RawMap {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            let prot = if writable {
+                PROT_READ | PROT_WRITE
+            } else {
+                PROT_READ
+            };
+            // SAFETY: len > 0, fd is a live file descriptor; MAP_SHARED
+            // with offset 0 maps the file's own pages.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    prot,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(RawMap { ptr, len })
+        }
+
+        pub fn as_ptr(&self) -> *const u8 {
+            if self.ptr.is_null() {
+                std::ptr::NonNull::<u8>::dangling().as_ptr()
+            } else {
+                self.ptr as *const u8
+            }
+        }
+
+        pub fn as_mut_ptr(&mut self) -> *mut u8 {
+            if self.ptr.is_null() {
+                std::ptr::NonNull::<u8>::dangling().as_ptr()
+            } else {
+                self.ptr as *mut u8
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        pub fn sync(&self) -> io::Result<()> {
+            if self.len == 0 {
+                return Ok(());
+            }
+            // SAFETY: ptr/len describe this live mapping.
+            if unsafe { msync(self.ptr, self.len, MS_SYNC) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for RawMap {
+        fn drop(&mut self) {
+            if !self.ptr.is_null() {
+                // SAFETY: ptr/len came from a successful mmap.
+                unsafe { munmap(self.ptr, self.len) };
+            }
+        }
+    }
+}
+
+/// 8-byte-aligned heap buffer (the non-unix fallback backing, and the
+/// allocation the unit tests exercise on every platform).
+fn aligned_buf(len: usize) -> Vec<u64> {
+    vec![0u64; len.div_ceil(8)]
+}
+
+enum ViewRepr {
+    #[cfg(unix)]
+    Mapped(sys::RawMap),
+    Heap(Vec<u64>, usize),
+}
+
+/// A read-only view of a whole file, memory-mapped where the platform
+/// allows. The buffer is 8-byte aligned.
+pub struct MmapView {
+    repr: ViewRepr,
+}
+
+impl MmapView {
+    /// Maps (or, off unix, reads) the file at `path` read-only.
+    pub fn open(path: &Path) -> io::Result<MmapView> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large to map on this platform",
+            ));
+        }
+        Self::from_file(&file, len as usize)
+    }
+
+    #[cfg(unix)]
+    fn from_file(file: &File, len: usize) -> io::Result<MmapView> {
+        Ok(MmapView {
+            repr: ViewRepr::Mapped(sys::RawMap::map(file, len, false)?),
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn from_file(file: &File, len: usize) -> io::Result<MmapView> {
+        use std::io::Read;
+        let mut buf = aligned_buf(len);
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+        let mut reader = file;
+        reader.read_exact(bytes)?;
+        Ok(MmapView {
+            repr: ViewRepr::Heap(buf, len),
+        })
+    }
+
+    /// Wraps an owned byte buffer in the view interface (used by tests
+    /// and by readers of in-memory images; copies to align).
+    pub fn from_bytes(bytes: &[u8]) -> MmapView {
+        let mut buf = aligned_buf(bytes.len());
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), buf.as_mut_ptr() as *mut u8, bytes.len());
+        }
+        MmapView {
+            repr: ViewRepr::Heap(buf, bytes.len()),
+        }
+    }
+
+    /// The file's bytes. Always 8-byte aligned at index 0.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(unix)]
+            ViewRepr::Mapped(m) => unsafe { std::slice::from_raw_parts(m.as_ptr(), m.len()) },
+            ViewRepr::Heap(buf, len) => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len)
+            },
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            #[cfg(unix)]
+            ViewRepr::Mapped(m) => m.len(),
+            ViewRepr::Heap(_, len) => *len,
+        }
+    }
+
+    /// True if the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for MmapView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.repr {
+            #[cfg(unix)]
+            ViewRepr::Mapped(_) => "mapped",
+            ViewRepr::Heap(..) => "heap",
+        };
+        write!(f, "MmapView({kind}, {} bytes)", self.len())
+    }
+}
+
+#[cfg_attr(unix, allow(dead_code))] // Heap is the non-unix fallback
+enum MutRepr {
+    #[cfg(unix)]
+    Mapped(sys::RawMap),
+    Heap {
+        buf: Vec<u64>,
+        len: usize,
+        file: File,
+    },
+}
+
+/// A writable shared mapping of a file created at a fixed length.
+/// Writes land in the page cache (or, off unix, in a heap buffer
+/// written back by [`MmapMut::sync`]).
+pub struct MmapMut {
+    repr: MutRepr,
+}
+
+impl MmapMut {
+    /// Creates (truncating) `path` at exactly `len` bytes and maps it
+    /// writable.
+    pub fn create(path: &Path, len: usize) -> io::Result<MmapMut> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(len as u64)?;
+        Self::from_file(file, len)
+    }
+
+    #[cfg(unix)]
+    fn from_file(file: File, len: usize) -> io::Result<MmapMut> {
+        Ok(MmapMut {
+            repr: MutRepr::Mapped(sys::RawMap::map(&file, len, true)?),
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn from_file(file: File, len: usize) -> io::Result<MmapMut> {
+        Ok(MmapMut {
+            repr: MutRepr::Heap {
+                buf: aligned_buf(len),
+                len,
+                file,
+            },
+        })
+    }
+
+    /// The writable bytes. Always 8-byte aligned at index 0.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        match &mut self.repr {
+            #[cfg(unix)]
+            MutRepr::Mapped(m) => unsafe {
+                std::slice::from_raw_parts_mut(m.as_mut_ptr(), m.len())
+            },
+            MutRepr::Heap { buf, len, .. } => unsafe {
+                std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, *len)
+            },
+        }
+    }
+
+    /// Read access without reborrowing mutably (checksum passes).
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(unix)]
+            MutRepr::Mapped(m) => unsafe { std::slice::from_raw_parts(m.as_ptr(), m.len()) },
+            MutRepr::Heap { buf, len, .. } => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len)
+            },
+        }
+    }
+
+    /// Flushes the written bytes to the file.
+    pub fn sync(&mut self) -> io::Result<()> {
+        match &mut self.repr {
+            #[cfg(unix)]
+            MutRepr::Mapped(m) => m.sync(),
+            MutRepr::Heap { buf, len, file } => {
+                use std::io::{Seek, SeekFrom, Write};
+                let bytes = unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) };
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(bytes)?;
+                file.flush()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bcc-mmap-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let path = temp_path("roundtrip");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        {
+            let mut w = MmapMut::create(&path, payload.len()).unwrap();
+            w.bytes_mut().copy_from_slice(&payload);
+            w.sync().unwrap();
+        }
+        let view = MmapView::open(&path).unwrap();
+        assert_eq!(view.len(), payload.len());
+        assert_eq!(view.bytes(), &payload[..]);
+        assert_eq!(view.bytes().as_ptr() as usize % 8, 0, "8-byte aligned");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_as_empty() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap().flush().unwrap();
+        let view = MmapView::open(&path).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn from_bytes_copies_and_aligns() {
+        let view = MmapView::from_bytes(&[1, 2, 3, 4, 5]);
+        assert_eq!(view.bytes(), &[1, 2, 3, 4, 5]);
+        assert_eq!(view.bytes().as_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(MmapView::open(Path::new("/no/such/bcc/file")).is_err());
+    }
+}

@@ -76,7 +76,7 @@ impl Graph {
             .zip(edges)
             .zip(edge_orig)
             .map(|((verts, edges), edge_orig)| SplitPart {
-                graph: Graph::new(verts.len() as u32, edges),
+                graph: Graph::from_vec(verts.len() as u32, edges),
                 verts,
                 edge_orig,
             })
@@ -88,11 +88,15 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GraphBuilder;
 
     #[test]
     fn splits_components_with_inverse_maps() {
         // Triangle {0,2,4}, edge {1,5}, isolated 3.
-        let g = Graph::from_tuples(6, [(0, 2), (2, 4), (4, 0), (1, 5)]);
+        let g = GraphBuilder::new(6)
+            .edges([(0, 2), (2, 4), (4, 0), (1, 5)])
+            .build()
+            .unwrap();
         let labels = [0, 1, 0, 2, 0, 1];
         let s = g.split_by_labels(&labels, 3);
         assert_eq!(s.parts.len(), 3);
@@ -131,7 +135,10 @@ mod tests {
 
     #[test]
     fn local_ids_ascend_with_parent_ids() {
-        let g = Graph::from_tuples(8, [(7, 1), (1, 3), (3, 7), (0, 2)]);
+        let g = GraphBuilder::new(8)
+            .edges([(7, 1), (1, 3), (3, 7), (0, 2)])
+            .build()
+            .unwrap();
         let labels = [1, 0, 1, 0, 1, 1, 1, 0];
         let s = g.split_by_labels(&labels, 2);
         for part in &s.parts {
@@ -141,7 +148,7 @@ mod tests {
 
     #[test]
     fn empty_label_class_yields_empty_part() {
-        let g = Graph::from_tuples(2, [(0, 1)]);
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build().unwrap();
         let s = g.split_by_labels(&[1, 1], 3);
         assert_eq!(s.parts[0].verts.len(), 0);
         assert_eq!(s.parts[2].graph.n(), 0);
@@ -151,14 +158,14 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_edges_spanning_labels() {
-        let g = Graph::from_tuples(2, [(0, 1)]);
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build().unwrap();
         let _ = g.split_by_labels(&[0, 1], 2);
     }
 
     #[test]
     #[should_panic]
     fn rejects_out_of_range_labels() {
-        let g = Graph::from_tuples(2, [(0, 1)]);
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build().unwrap();
         let _ = g.split_by_labels(&[5, 5], 2);
     }
 }

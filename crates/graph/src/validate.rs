@@ -83,28 +83,31 @@ pub fn count_components(g: &Graph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen;
+    use crate::{gen, GraphBuilder};
 
     #[test]
     fn connectivity_checks() {
         assert!(is_connected(&gen::path(10)));
         assert!(is_connected(&gen::cycle(5)));
-        let disconnected = Graph::from_tuples(4, [(0, 1), (2, 3)]);
+        let disconnected = GraphBuilder::new(4)
+            .edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
         assert!(!is_connected(&disconnected));
         assert_eq!(count_components(&disconnected), 2);
     }
 
     #[test]
     fn isolated_vertices_count_as_components() {
-        let g = Graph::from_tuples(5, [(0, 1)]);
+        let g = GraphBuilder::new(5).edges([(0, 1)]).build().unwrap();
         assert_eq!(count_components(&g), 4);
         assert!(!is_connected(&g));
     }
 
     #[test]
     fn trivial_graphs_connected() {
-        assert!(is_connected(&Graph::new(0, vec![])));
-        assert!(is_connected(&Graph::new(1, vec![])));
+        assert!(is_connected(&GraphBuilder::new(0).build().unwrap()));
+        assert!(is_connected(&GraphBuilder::new(1).build().unwrap()));
     }
 
     #[test]
@@ -113,13 +116,15 @@ mod tests {
         assert_simple(&gen::torus(3, 3));
     }
 
-    use crate::edge::Graph as G2;
     #[test]
     #[should_panic]
     fn duplicate_edges_caught() {
-        // Bypass Graph::new validation via lenient + manual construction:
-        // duplicates in opposite orientations.
-        let g = G2::from_tuples(3, [(0, 1), (1, 0)]);
+        // Strict builds preserve duplicates in opposite orientations;
+        // assert_simple must still catch them.
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 0)])
+            .build()
+            .unwrap();
         assert_simple(&g);
     }
 }

@@ -448,7 +448,10 @@ mod tests {
     #[test]
     fn disconnected_and_isolated_vertices() {
         // Triangle {0,1,2}, edge {3,4}, isolated 5.
-        let g = bcc_graph::Graph::from_tuples(6, [(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let g = bcc_graph::GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4)])
+            .build()
+            .unwrap();
         let i = idx(&g);
         assert_eq!(i.num_components(), 3);
         assert!(i.connected(0, 2) && !i.connected(0, 3) && !i.connected(5, 0));

@@ -46,7 +46,7 @@
 
 use crate::index::BiconnectivityIndex;
 use bcc_core::{Algorithm, BccConfig, BccError};
-use bcc_graph::{Edge, Graph};
+use bcc_graph::{Edge, Graph, GraphBuilder};
 use bcc_smp::{BccWorkspace, Pool, NIL};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -241,9 +241,6 @@ impl Txn<'_> {
 pub struct IndexStore {
     pool: Pool,
     current: PublishRing,
-    /// Backing for the deprecated `enqueue`/`commit` shims only; the
-    /// transactional path never touches it.
-    journal: Mutex<Vec<EdgeUpdate>>,
     /// Serializes commits so concurrent writers cannot lose each
     /// other's updates; readers never take this.
     commit_lock: Mutex<()>,
@@ -280,7 +277,6 @@ impl IndexStore {
                 stats,
                 created: Instant::now(),
             })),
-            journal: Mutex::new(Vec::new()),
             commit_lock: Mutex::new(()),
             workspace,
         })
@@ -327,41 +323,6 @@ impl IndexStore {
     /// of large commits when the store is expected to go quiet.
     pub fn trim_workspace(&self, max_bytes: usize) {
         self.workspace.trim(max_bytes);
-    }
-
-    /// Appends an update to the legacy journal without rebuilding.
-    #[deprecated(note = "use store.begin() and Txn::insert/Txn::remove")]
-    pub fn enqueue(&self, update: EdgeUpdate) {
-        self.journal.lock().unwrap().push(update);
-    }
-
-    /// Number of journaled updates not yet committed.
-    #[deprecated(note = "use Txn::len on an open transaction")]
-    pub fn pending(&self) -> usize {
-        self.journal.lock().unwrap().len()
-    }
-
-    /// Drains the legacy journal and commits it; on error the journal
-    /// is restored in front of anything enqueued meanwhile.
-    #[deprecated(note = "use store.begin() … Txn::commit")]
-    pub fn commit(&self) -> Result<Arc<Snapshot>, BccError> {
-        let _serial = self.commit_lock.lock().unwrap();
-        let updates: Vec<EdgeUpdate> = std::mem::take(&mut *self.journal.lock().unwrap());
-        match self.commit_locked(&updates, false) {
-            Ok(snap) => Ok(snap),
-            Err(e) => {
-                let mut journal = self.journal.lock().unwrap();
-                let newer = std::mem::replace(&mut *journal, updates);
-                journal.extend(newer);
-                Err(e)
-            }
-        }
-    }
-
-    /// Commits a whole batch in one call.
-    #[deprecated(note = "use store.begin(), Txn::extend, Txn::commit")]
-    pub fn apply(&self, updates: &[EdgeUpdate]) -> Result<Arc<Snapshot>, BccError> {
-        self.commit_updates(updates, false)
     }
 
     fn commit_updates(
@@ -440,7 +401,7 @@ impl IndexStore {
             }
             edges.push(e);
         }
-        let graph = Graph::new(new_n, edges);
+        let graph = GraphBuilder::new(new_n).edges(edges).build().unwrap();
 
         if full {
             let index = BiconnectivityIndex::from_graph_ws(&self.pool, &graph, &self.workspace)?;
@@ -518,7 +479,7 @@ impl IndexStore {
         let mut labels = cc.label;
         ws.give(cc.tree_edges);
         let k = bcc_connectivity::sv::normalize_labels_ws(&self.pool, &mut labels, ws);
-        let region_graph = Graph::new(rn, region_edges);
+        let region_graph = GraphBuilder::new(rn).edges(region_edges).build().unwrap();
         let split = region_graph.split_by_labels(&labels, k);
         ws.give(labels);
 
@@ -748,10 +709,10 @@ mod tests {
     #[test]
     fn untouched_components_are_reused_by_pointer() {
         // Three disjoint 5-cycles; edit only the middle one.
-        let g = Graph::from_tuples(
-            15,
-            (0..3).flat_map(|c| (0..5).map(move |i| (c * 5 + i, c * 5 + (i + 1) % 5))),
-        );
+        let g = GraphBuilder::new(15)
+            .edges((0..3).flat_map(|c| (0..5).map(move |i| (c * 5 + i, c * 5 + (i + 1) % 5))))
+            .build()
+            .unwrap();
         let store = IndexStore::new(Pool::new(2), g).unwrap();
         let before = store.load();
         assert_eq!(before.index.num_components(), 3);
@@ -815,23 +776,6 @@ mod tests {
                 assert_eq!(inc.index.connected(u, v), full.connected(u, v));
                 assert_eq!(inc.index.same_block(u, v), full.same_block(u, v));
             }
-        }
-    }
-
-    #[test]
-    fn deprecated_journal_shims_still_work() {
-        #[allow(deprecated)]
-        {
-            let store = IndexStore::new(Pool::new(1), gen::path(4)).unwrap();
-            store.enqueue(EdgeUpdate::Insert(3, 0));
-            assert_eq!(store.pending(), 1);
-            let snap = store.commit().unwrap();
-            assert_eq!(snap.epoch, 1);
-            assert_eq!(store.pending(), 0);
-            assert!(snap.index.articulation_points().is_empty()); // a cycle now
-            let snap2 = store.apply(&[EdgeUpdate::Remove(1, 2)]).unwrap();
-            assert_eq!(snap2.epoch, 2);
-            assert!(snap2.index.is_bridge(0, 1));
         }
     }
 

@@ -101,7 +101,10 @@ fn readers_stay_consistent_and_unblocked_under_commit_storm() {
             .map(|e| (e.u, e.v))
             .filter(|&(u, v)| !CUTS.contains(&(u.min(v), u.max(v))))
             .collect();
-        bcc_graph::Graph::from_tuples(N, edges)
+        bcc_graph::GraphBuilder::new(N)
+            .edges(edges)
+            .build()
+            .unwrap()
     };
     let even_oracle = oracle(&even_graph);
     let odd_oracle = oracle(&odd_graph);

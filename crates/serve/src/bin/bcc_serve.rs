@@ -3,10 +3,17 @@
 //!
 //! ```text
 //! bcc-serve [--n 50000] [--parts 16] [--shards 4] [--readers 2]
+//!           [--graph <path>]
 //!           [--profile read-heavy|churn-heavy|hot-component]
 //!           [--mode closed|open] [--rate 50000] [--secs 2]
 //!           [--batch 64] [--flush-ms 2] [--seed 42]
 //! ```
+//!
+//! By default the daemon serves a generated multi-component instance;
+//! `--graph` loads a real dataset instead (text edge list or mmap-ready
+//! `.bccsr`, sniffed by `bcc_graph::io::load`), with `--parts` still
+//! shaping how the workload spreads its queries and updates across
+//! vertex ranges.
 
 use bcc_serve::{
     component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
@@ -30,6 +37,7 @@ fn main() {
             "bcc-serve: sharded biconnectivity query daemon\n\
              --n N          vertices (default 50000)\n\
              --parts K      components in the instance (default 16)\n\
+             --graph PATH   serve a graph file (text or .bccsr) instead\n\
              --shards S     store shards (default 4)\n\
              --readers R    reader threads (default 2)\n\
              --profile P    read-heavy | churn-heavy | hot-component\n\
@@ -61,15 +69,33 @@ fn main() {
     let batch_max: usize = parse(&args, "--batch", 64);
     let flush_ms: u64 = parse(&args, "--flush-ms", 2);
     let seed: u64 = parse(&args, "--seed", 42);
+    let graph_path = args
+        .iter()
+        .position(|a| a == "--graph")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
+    // A real dataset (`--graph`) replaces the generated instance; the
+    // workload still spreads itself over `--parts` vertex ranges.
+    let g = match &graph_path {
+        Some(path) => bcc_graph::io::load(path).unwrap_or_else(|e| {
+            eprintln!("bcc-serve: {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => component_grid(n, parts, seed),
+    };
+    let n = g.n();
     println!(
-        "instance: n = {n}, {parts} components, {shards} shards; \
+        "instance: {}n = {n}, {parts} components, {shards} shards; \
          {readers} readers, profile {}, mode {}",
+        graph_path
+            .as_deref()
+            .map(|p| format!("{p}, "))
+            .unwrap_or_default(),
         profile.name(),
         mode.name()
     );
     let pool = Pool::new(readers.max(2));
-    let g = component_grid(n, parts, seed);
     let store = Arc::new(ShardedStore::new(&pool, &g, shards).expect("seed build"));
     let daemon = Daemon::spawn(
         Arc::clone(&store),

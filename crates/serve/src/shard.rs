@@ -36,7 +36,7 @@
 //! comes from a single epoch snapshot of a single shard.
 
 use bcc_core::BccError;
-use bcc_graph::{Edge, Graph};
+use bcc_graph::{Edge, Graph, GraphBuilder};
 use bcc_query::{Answer, CommitStats, EdgeUpdate, IndexStore, Query, Snapshot};
 use bcc_smp::Pool;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -155,7 +155,12 @@ impl ShardedStore {
         }
         let shards = shard_edges
             .into_iter()
-            .map(|edges| IndexStore::new(pool.clone(), Graph::new(n, edges)))
+            .map(|edges| {
+                IndexStore::new(
+                    pool.clone(),
+                    GraphBuilder::new(n).edges(edges).build().unwrap(),
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
 
         Ok(ShardedStore { shards, routing, n })
@@ -379,10 +384,10 @@ mod tests {
     /// Disjoint 5-cycles on contiguous ranges: component c owns
     /// vertices 5c .. 5c+4.
     fn cycles(k: u32) -> Graph {
-        Graph::from_tuples(
-            5 * k,
-            (0..k).flat_map(|c| (0..5).map(move |i| (5 * c + i, 5 * c + (i + 1) % 5))),
-        )
+        GraphBuilder::new(5 * k)
+            .edges((0..k).flat_map(|c| (0..5).map(move |i| (5 * c + i, 5 * c + (i + 1) % 5))))
+            .build()
+            .unwrap()
     }
 
     #[test]

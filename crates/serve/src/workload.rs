@@ -21,7 +21,7 @@
 
 use crate::daemon::Daemon;
 use crate::ServeReport;
-use bcc_graph::Graph;
+use bcc_graph::{Graph, GraphBuilder};
 use bcc_query::{EdgeUpdate, Failure, Query};
 use std::time::{Duration, Instant};
 
@@ -156,7 +156,7 @@ pub fn component_grid(n: u32, parts: u32, seed: u64) -> Graph {
             }
         }
     }
-    Graph::from_tuples(n, edges)
+    GraphBuilder::new(n).edges(edges).build().unwrap()
 }
 
 fn lcg(state: &mut u64) -> u64 {

@@ -53,6 +53,7 @@ pub mod bitmap;
 pub mod dynamic;
 pub mod pool;
 pub mod queue;
+pub mod rss;
 pub mod shared;
 pub mod telemetry;
 pub mod workspace;

@@ -32,7 +32,7 @@ fn main() {
                 eprintln!("cannot open {path}: {e}");
                 std::process::exit(1);
             });
-            io::read_text(file).unwrap_or_else(|e| {
+            io::load_text(file).unwrap_or_else(|e| {
                 eprintln!("cannot parse {path}: {e}");
                 std::process::exit(1);
             })

@@ -21,7 +21,7 @@
 
 use rand::prelude::*;
 use smp_bcc::query::{Failure, IndexStore, Query, QueryBatch};
-use smp_bcc::{Edge, Graph, Pool};
+use smp_bcc::{Edge, Graph, GraphBuilder, Pool};
 
 fn build_network(backbone: u32, sites: u32, hosts_per_site: u32, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -73,7 +73,7 @@ fn build_network(backbone: u32, sites: u32, hosts_per_site: u32, seed: u64) -> G
     }
 
     let n = next;
-    Graph::from_edges_lenient(n, edges)
+    GraphBuilder::new(n).lenient().edges(edges).build().unwrap()
 }
 
 fn main() {

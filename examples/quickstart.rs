@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use smp_bcc::{Algorithm, BccConfig, Graph, Pool};
+use smp_bcc::{Algorithm, BccConfig, GraphBuilder, Pool};
 
 fn main() {
     // The classic lecture example: two triangles joined by a bridge,
@@ -16,9 +16,8 @@ fn main() {
     //     \ /   bridge   \ /
     //      2 ----------- 3 --- 6
     //
-    let g = Graph::from_tuples(
-        7,
-        [
+    let g = GraphBuilder::new(7)
+        .edges([
             (0, 1),
             (1, 2),
             (2, 0), // triangle A
@@ -27,8 +26,9 @@ fn main() {
             (4, 5),
             (5, 3), // triangle B
             (3, 6), // pendant bridge
-        ],
-    );
+        ])
+        .build()
+        .unwrap();
 
     let pool = Pool::machine();
     println!("graph: n = {}, m = {}", g.n(), g.m());

@@ -13,10 +13,13 @@
 //! ## Quick start
 //!
 //! ```
-//! use smp_bcc::{bcc, Algorithm, Graph};
+//! use smp_bcc::{bcc, Algorithm, GraphBuilder};
 //!
 //! // A triangle and a pendant edge: one block + one bridge.
-//! let g = Graph::from_tuples(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! let g = GraphBuilder::new(4)
+//!     .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+//!     .build()
+//!     .unwrap();
 //! let result = bcc(&g, Algorithm::TvFilter);
 //! assert_eq!(result.num_components, 2);
 //! assert_eq!(result.articulation_points(&g), vec![2]);
@@ -74,7 +77,7 @@ pub use bcc_core::{
     double_bfs_upper_bound, Algorithm, BccConfig, BccError, BccResult, BccRun, PhaseReport,
     PhaseTimes, Ranker, Step, StepReport,
 };
-pub use bcc_graph::{Csr, Edge, Graph};
+pub use bcc_graph::{Csr, Edge, Graph, GraphBuilder, GraphData, MappedCsr};
 pub use bcc_query::{BiconnectivityIndex, IndexStore};
 pub use bcc_smp::{Pool, Telemetry, TelemetrySnapshot};
 

@@ -6,7 +6,7 @@
 use smp_bcc::connectivity::bfs::bfs_tree_seq;
 use smp_bcc::connectivity::sv::connected_components;
 use smp_bcc::graph::gen;
-use smp_bcc::{bcc, Algorithm, BccConfig, Csr, Edge, Graph, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Csr, Edge, Graph, GraphBuilder, Pool};
 
 /// T ∪ F for `g` via BFS tree + SV forest — mirrors tv_filter's
 /// filtering step.
@@ -86,7 +86,10 @@ fn bfs_tree_nontree_edges_span_at_most_one_level() {
 #[test]
 fn double_bfs_counting_corollary_has_a_counterexample() {
     // Theta graph: a—x—b, a—y—b, a—z—b (vertices a=0, b=1, x=2, y=3, z=4).
-    let g = Graph::from_tuples(5, [(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
+    let g = GraphBuilder::new(5)
+        .edges([(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)])
+        .build()
+        .unwrap();
     assert_eq!(
         bcc(&g, Algorithm::Sequential).num_components,
         1,
@@ -134,7 +137,7 @@ fn tv_filter_correct_on_the_counterexample_family() {
             edges.push((0, 2 + i));
             edges.push((2 + i, 1));
         }
-        let g = Graph::from_tuples(n, edges);
+        let g = GraphBuilder::new(n).edges(edges).build().unwrap();
         let base = bcc(&g, Algorithm::Sequential);
         assert_eq!(base.num_components, 1);
         for p in [1, 3] {

@@ -8,7 +8,7 @@ use smp_bcc::algorithms::verify::{
     bridges, canonicalize_edge_labels,
 };
 use smp_bcc::graph::gen;
-use smp_bcc::{bcc, Algorithm, BccConfig, Edge, Graph, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Edge, Graph, GraphBuilder, Pool};
 
 /// Strategy: small arbitrary simple graphs (possibly disconnected).
 fn small_graph() -> impl Strategy<Value = Graph> {
@@ -21,7 +21,7 @@ fn small_graph() -> impl Strategy<Value = Graph> {
                 .into_iter()
                 .map(|(a, b)| Edge::new(a % n, b % n))
                 .collect::<Vec<_>>();
-            Graph::from_edges_lenient(n, edges)
+            GraphBuilder::new(n).lenient().edges(edges).build().unwrap()
         })
 }
 

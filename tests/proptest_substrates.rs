@@ -8,7 +8,7 @@ use smp_bcc::connectivity::seq::components_union_find;
 use smp_bcc::connectivity::sv::connected_components;
 use smp_bcc::euler::{euler_tour_classic, tour::assert_valid_tour, tree_computations, Ranker};
 use smp_bcc::graph::gen;
-use smp_bcc::{bcc, Algorithm, BccConfig, Edge, Graph, Pool};
+use smp_bcc::{bcc, Algorithm, BccConfig, Edge, GraphBuilder, Pool};
 
 fn arbitrary_edge_set() -> impl Strategy<Value = (u32, Vec<Edge>)> {
     (
@@ -16,10 +16,11 @@ fn arbitrary_edge_set() -> impl Strategy<Value = (u32, Vec<Edge>)> {
         proptest::collection::vec((0u32..60, 0u32..60), 0..150),
     )
         .prop_map(|(n, pairs)| {
-            let g = Graph::from_edges_lenient(
-                n,
-                pairs.into_iter().map(|(a, b)| Edge::new(a % n, b % n)),
-            );
+            let g = GraphBuilder::new(n)
+                .lenient()
+                .edges(pairs.into_iter().map(|(a, b)| Edge::new(a % n, b % n)))
+                .build()
+                .unwrap();
             (n, g.edges().to_vec())
         })
 }
