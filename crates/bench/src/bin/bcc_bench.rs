@@ -4,7 +4,9 @@
 //! bcc-bench [--smoke] [--n <vertices>] [--p <max threads>]
 //!           [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>]
 //!           [--workspace on|off|both] [--store on|off]
-//!           [--serve on|off|only] [--input <graph file>] [--out <path>]
+//!           [--serve on|off|only] [--prims on|off|only]
+//!           [--input <graph file>] [--out <path>]
+//! bcc-bench prims [grid flags]
 //! bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]
 //! bcc-bench ingest <graph file> [--keep <out.bccsr>]
 //! ```
@@ -27,6 +29,10 @@
 //! and latency/snapshot-lag quantiles): `on` (default) runs them after
 //! the grid, `off` skips them, `only` runs nothing else — the CI
 //! serve-smoke mode.
+//! `--prims` controls the primitive-kernel cells (vectorized scan /
+//! compaction / bitmap / radix kernels against their frozen scalar
+//! references) the same way; the `prims` subcommand is shorthand for
+//! `--prims only` — the CI prims-smoke mode.
 //! `--input` benches a real on-disk dataset (text edge list or mapped
 //! `.bccsr`) as the single `file` family instead of the generators.
 //! `compare` exits non-zero when the candidate document is more than
@@ -53,18 +59,22 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("ingest") {
         return run_ingest(&args[1..]);
     }
-    run_grid_cli(&args)
+    if args.first().map(String::as_str) == Some("prims") {
+        return run_grid_cli(&args[1..], true);
+    }
+    run_grid_cli(&args, false)
 }
 
 fn bad_usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--store on|off] [--serve on|off|only] [--input <graph file>] [--out <path>]");
+    eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--store on|off] [--serve on|off|only] [--prims on|off|only] [--input <graph file>] [--out <path>]");
+    eprintln!("       bcc-bench prims [grid flags]   (shorthand for --prims only)");
     eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]");
     eprintln!("       bcc-bench ingest <graph file> [--keep <out.bccsr>]");
     ExitCode::from(2)
 }
 
-fn run_grid_cli(args: &[String]) -> ExitCode {
+fn run_grid_cli(args: &[String], prims_only: bool) -> ExitCode {
     let machine = Pool::default_threads();
     let mut cfg = GridConfig::full(machine);
     let mut out = String::from("BENCH_bcc.json");
@@ -77,6 +87,7 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
             let workspace = cfg.workspace;
             let store = cfg.store;
             let serve = cfg.serve;
+            let prims = cfg.prims;
             let input = cfg.input.take();
             cfg = GridConfig::smoke(machine);
             cfg.threads = threads;
@@ -84,6 +95,7 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
             cfg.workspace = workspace;
             cfg.store = store;
             cfg.serve = serve;
+            cfg.prims = prims;
             cfg.input = input;
             i += 1;
             continue;
@@ -134,6 +146,13 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
                 }
                 Err(e) => return bad_usage(&format!("bad value for --serve: {e}")),
             },
+            "--prims" => match val.parse() {
+                Ok(mode) => {
+                    cfg.prims = mode;
+                    true
+                }
+                Err(e) => return bad_usage(&format!("bad value for --prims: {e}")),
+            },
             "--input" => {
                 cfg.input = Some(std::path::PathBuf::from(val));
                 true
@@ -149,10 +168,13 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
         }
         i += 2;
     }
+    if prims_only {
+        cfg.prims = bcc_bench::prims::PrimsMode::Only;
+    }
 
     let specs: Vec<String> = cfg.tunings.iter().map(TraversalTuning::spec).collect();
     eprintln!(
-        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?} workspace={} store={} serve={}{}{}",
+        "bcc-bench grid: n={} threads={:?} trials={} seed={} tunings={:?} workspace={} store={} serve={} prims={}{}{}",
         cfg.n,
         cfg.threads,
         cfg.trials,
@@ -161,6 +183,7 @@ fn run_grid_cli(args: &[String]) -> ExitCode {
         cfg.workspace.name(),
         if cfg.store { "on" } else { "off" },
         cfg.serve.name(),
+        cfg.prims.name(),
         cfg.input
             .as_deref()
             .map(|p| format!(" input={}", p.display()))

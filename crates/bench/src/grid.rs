@@ -7,6 +7,7 @@
 //! back, and checks every field the plotting and CI tooling relies on.
 
 use crate::json::Json;
+use crate::prims::{run_prims_cells, PrimsMode};
 use bcc_connectivity::bfs::bfs_tree_seq;
 use bcc_core::{Algorithm, BccConfig, BccWorkspace, PhaseReport, TraversalTuning};
 use bcc_graph::{gen, Csr, Edge, Graph, GraphBuilder};
@@ -41,6 +42,12 @@ use std::time::{Duration, Instant};
 /// Linux only — omitted where the kernel does not expose it), and a
 /// `--input` run replaces the generated families with a single `file`
 /// family loaded from disk (text edge list or mapped `.bccsr`).
+/// The `prims` kernel cells (see [`crate::prims`]) are additive within
+/// v2 the same way: one entry per primitive kernel × thread count,
+/// carrying `reps` (timed invocations per sample) and `simd` (the
+/// dispatch tier the build selected — `avx2`, `sse2`, or `scalar`),
+/// with the frozen pre-vectorization kernels riding along as
+/// `-generic`/`-ref` algorithm series.
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Schema versions [`compare`] can still read (v1 documents predate the
@@ -216,6 +223,10 @@ pub struct GridConfig {
     /// Whether (and how) to run the `serve` SLO cells: the `bcc-serve`
     /// daemon under its workload profiles, swept over reader counts.
     pub serve: ServeMode,
+    /// Whether (and how) to run the `prims` kernel cells: the
+    /// vectorized primitives against their frozen scalar references
+    /// (see [`crate::prims`]).
+    pub prims: PrimsMode,
     /// When set, the algorithm grid runs on this one on-disk graph
     /// (text edge list or `.bccsr`, sniffed by [`bcc_graph::io::load`])
     /// as the single `file` family instead of the generated families.
@@ -239,6 +250,7 @@ impl GridConfig {
             workspace: WorkspaceMode::On,
             store: true,
             serve: ServeMode::On,
+            prims: PrimsMode::On,
             input: None,
         }
     }
@@ -255,6 +267,7 @@ impl GridConfig {
             workspace: WorkspaceMode::On,
             store: true,
             serve: ServeMode::On,
+            prims: PrimsMode::On,
             input: None,
         }
     }
@@ -275,7 +288,7 @@ pub fn thread_sweep(max: usize) -> Vec<usize> {
     ps
 }
 
-fn median_f64(mut xs: Vec<f64>) -> f64 {
+pub(crate) fn median_f64(mut xs: Vec<f64>) -> f64 {
     assert!(!xs.is_empty());
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs[(xs.len() - 1) / 2]
@@ -822,15 +835,24 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
     assert!(!cfg.tunings.is_empty(), "at least one tuning is required");
     let mut families: Vec<Json> = vec![];
     let mut entries: Vec<Json> = vec![];
-    if cfg.serve != ServeMode::Only {
+    // The `only` modes are exclusive smoke shortcuts: `--serve only`
+    // runs just the daemon cells, `--prims only` just the kernel cells.
+    let serve_only = cfg.serve == ServeMode::Only;
+    let prims_only = cfg.prims == PrimsMode::Only;
+    if !serve_only && !prims_only {
         let (f, e) = run_algorithm_cells(cfg, &mut progress);
         families.extend(f);
         entries.extend(e);
     }
-    if cfg.serve != ServeMode::Off {
+    if cfg.serve != ServeMode::Off && !prims_only {
         let (fam, mut serve_entries) = run_serve_cells(cfg, &mut progress);
         families.push(fam);
         entries.append(&mut serve_entries);
+    }
+    if cfg.prims != PrimsMode::Off && !serve_only {
+        let (fam, mut prims_entries) = run_prims_cells(cfg, &mut progress);
+        families.push(fam);
+        entries.append(&mut prims_entries);
     }
     Json::obj(vec![
         ("schema_version", Json::num(SCHEMA_VERSION as f64)),
@@ -850,6 +872,7 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
         ("workspace", Json::str(cfg.workspace.name())),
         ("store", Json::Bool(cfg.store)),
         ("serve", Json::str(cfg.serve.name())),
+        ("prims", Json::str(cfg.prims.name())),
         ("families", Json::Arr(families)),
         ("entries", Json::Arr(entries)),
     ])
@@ -1236,6 +1259,7 @@ mod tests {
             // grid.
             store: false,
             serve: ServeMode::Off,
+            prims: PrimsMode::Off,
             input: None,
         };
         run_grid(&cfg, |_| {})
@@ -1253,6 +1277,7 @@ mod tests {
             workspace: WorkspaceMode::On,
             store: true,
             serve: ServeMode::Off,
+            prims: PrimsMode::Off,
             input: None,
         };
         let doc = run_grid(&cfg, |_| {});
@@ -1333,6 +1358,7 @@ mod tests {
             workspace: WorkspaceMode::On,
             store: false,
             serve: ServeMode::Only,
+            prims: PrimsMode::Off,
             input: None,
         };
         let doc = run_grid(&cfg, |_| {});
@@ -1560,6 +1586,7 @@ mod tests {
             workspace: WorkspaceMode::On,
             store: false,
             serve: ServeMode::Off,
+            prims: PrimsMode::Off,
             input: Some(path.clone()),
         };
         let doc = run_grid(&cfg, |_| {});

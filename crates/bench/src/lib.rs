@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 pub mod grid;
 pub mod json;
+pub mod prims;
 
 use json::Json;
 

@@ -1,0 +1,396 @@
+//! The `prims` bench tier: per-kernel cells for the vectorized
+//! primitives substrate (word-level scan, popcount compaction, bitmap
+//! sweeps, the radix histogram), emitted into the same `BENCH_bcc.json`
+//! document as the algorithm grid and gated by the same `compare`.
+//!
+//! Each vectorized kernel is paired with a frozen pre-vectorization
+//! reference running in the same process on the same data:
+//!
+//! | cell                  | measures                                   |
+//! |-----------------------|--------------------------------------------|
+//! | `scan-u32`/`scan-u64` | dispatched add-scan (AVX-512F on down)     |
+//! | `scan-u32-generic`    | the generic `ScanElem` carried loop — the  |
+//! | `scan-u64-generic`    | pre-vectorization scalar path, via a bench |
+//! |                       | newtype that keeps the default block hooks |
+//! | `compact-u32`         | bitmap-flag + popcount-offset compaction   |
+//! | `compact-u32-scan-ref`| frozen u32-flag + full-scan reference      |
+//! | `radix-u64`           | LSD radix sort (unrolled histogram pass)   |
+//! | `bitmap-foreach`      | word-at-a-time `for_each_one` drain        |
+//! | `bitmap-iter-ref`     | per-bit `iter_ones` drain (the old idiom)  |
+//!
+//! The reference cells carry a `-generic`/`-ref` suffix in their
+//! `algorithm` field, so the "vectorized ≥ 1.5× the scalar path" claim
+//! is checkable from the committed document alone — no pre-PR checkout
+//! required — and both series are regression-gated cell-by-cell.
+//!
+//! Sizes are cache-resident on purpose: the kernels are measured where
+//! their arithmetic shows, not where DRAM bandwidth hides it (the
+//! algorithm grid already covers the memory-bound regime). The scan
+//! cells go one step further and run L1-resident with 64x the reps —
+//! an add-scan does one add per element, so even an L2 working set
+//! drowns the in-register prefix in load/store traffic. Each sample
+//! times `reps` back-to-back invocations and reports the
+//! per-invocation mean; trials are trial-major like the rest of the
+//! grid, and `seconds_min` is the gate metric.
+
+use crate::grid::{median_f64, GridConfig};
+use crate::json::Json;
+use bcc_primitives::compact::{compact_with_ws, reference};
+use bcc_primitives::kernels;
+use bcc_primitives::scan::{inclusive_scan_par_ws, ScanElem};
+use bcc_primitives::sort::par_radix_sort_u64_ws;
+use bcc_smp::{BccWorkspace, Bitmap, Pool};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Whether the grid runs the `prims` kernel cells.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PrimsMode {
+    /// Skip the kernel cells.
+    Off,
+    /// Run them after the algorithm grid (the default).
+    On,
+    /// Run *only* the kernel cells — what `bcc-bench prims` and the CI
+    /// prims-smoke job use, so their wall time is the kernels and
+    /// nothing else.
+    Only,
+}
+
+impl PrimsMode {
+    /// Name used in the JSON document and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimsMode::Off => "off",
+            PrimsMode::On => "on",
+            PrimsMode::Only => "only",
+        }
+    }
+}
+
+impl std::str::FromStr for PrimsMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(PrimsMode::Off),
+            "on" => Ok(PrimsMode::On),
+            "only" => Ok(PrimsMode::Only),
+            other => Err(format!("unknown prims mode {other:?} (on|off|only)")),
+        }
+    }
+}
+
+/// Base element count: L2-resident at full size (1 MiB of u32), tiny
+/// for the CI smoke grid.
+fn elems(cfg: &GridConfig) -> usize {
+    if cfg.smoke {
+        1 << 14
+    } else {
+        1 << 18
+    }
+}
+
+/// Back-to-back invocations per timed sample. Kernel invocations at
+/// these sizes are tens-to-hundreds of microseconds; batching them puts
+/// each sample far above timer and pool-wake noise.
+fn reps(cfg: &GridConfig) -> u32 {
+    if cfg.smoke {
+        64
+    } else {
+        16
+    }
+}
+
+/// Per-kernel working-set size and rep count. Scan kernels shrink the
+/// working set 64x (full size: 2^12 elements — 16/32 KiB, inside L1d
+/// on anything current) and scale reps up by the same factor, so a
+/// sample covers the same element count as the other cells.
+fn kernel_shape(which: usize, cfg: &GridConfig) -> (usize, u32) {
+    let (n, reps) = (elems(cfg), reps(cfg));
+    if which < 4 {
+        (n >> 6, reps * 64)
+    } else {
+        (n, reps)
+    }
+}
+
+/// `u32` scan input with the *generic* `ScanElem` path: only the
+/// required items are provided, so the provided block hooks stay at
+/// their naive carried-loop defaults — bit-identical in shape to the
+/// pre-vectorization scalar path.
+#[derive(Copy, Clone)]
+struct GenericU32(u32);
+impl ScanElem for GenericU32 {
+    const ZERO: Self = GenericU32(0);
+    #[inline]
+    fn combine(self, other: Self) -> Self {
+        GenericU32(self.0.wrapping_add(other.0))
+    }
+}
+
+/// [`GenericU32`]'s u64 twin.
+#[derive(Copy, Clone)]
+struct GenericU64(u64);
+impl ScanElem for GenericU64 {
+    const ZERO: Self = GenericU64(0);
+    #[inline]
+    fn combine(self, other: Self) -> Self {
+        GenericU64(self.0.wrapping_add(other.0))
+    }
+}
+
+/// Deterministic fill (splitmix64) — no `rand` dependency, same data
+/// on every host for a given seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fill_u64(n: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed;
+    (0..n).map(|_| splitmix64(&mut s)).collect()
+}
+
+/// One kernel cell's identity and working set. Scan and sort kernels
+/// mutate their buffer in place; the result of one rep is a valid input
+/// for the next (wrapping adds, already-sorted keys cost the same as
+/// shuffled ones through a radix pass), so the timed region is the
+/// kernel alone — no per-rep re-initialization.
+enum Kernel {
+    ScanU32(Vec<u32>),
+    ScanU32Generic(Vec<GenericU32>),
+    ScanU64(Vec<u64>),
+    ScanU64Generic(Vec<GenericU64>),
+    CompactU32(Vec<u32>),
+    CompactU32ScanRef(Vec<u32>),
+    RadixU64(Vec<u64>),
+    BitmapForeach(Bitmap),
+    BitmapIterRef(Bitmap),
+}
+
+impl Kernel {
+    /// Display/JSON name; the `-generic`/`-ref` suffix marks a frozen
+    /// reference series.
+    fn name(&self) -> &'static str {
+        match self {
+            Kernel::ScanU32(_) => "scan-u32",
+            Kernel::ScanU32Generic(_) => "scan-u32-generic",
+            Kernel::ScanU64(_) => "scan-u64",
+            Kernel::ScanU64Generic(_) => "scan-u64-generic",
+            Kernel::CompactU32(_) => "compact-u32",
+            Kernel::CompactU32ScanRef(_) => "compact-u32-scan-ref",
+            Kernel::RadixU64(_) => "radix-u64",
+            Kernel::BitmapForeach(_) => "bitmap-foreach",
+            Kernel::BitmapIterRef(_) => "bitmap-iter-ref",
+        }
+    }
+
+    /// Whether the kernel runs on the pool (swept over thread counts)
+    /// or on the calling thread (one cell at p = 1).
+    fn parallel(&self) -> bool {
+        !matches!(self, Kernel::BitmapForeach(_) | Kernel::BitmapIterRef(_))
+    }
+
+    /// Builds the kernel's working set (~`n` elements, deterministic in
+    /// `seed`). Bitmaps are half-dense random words — the regime the
+    /// BFS sweep and compaction scatter see.
+    fn build(which: usize, n: usize, seed: u64) -> Kernel {
+        let words = fill_u64(n, seed ^ (which as u64) << 32);
+        let u32s = || words.iter().map(|&x| x as u32).collect::<Vec<u32>>();
+        let bitmap = || {
+            let bm = Bitmap::new(n);
+            for (w, &bits) in words.iter().take(bm.words()).enumerate() {
+                let hi = n - w * 64;
+                let mask = if hi >= 64 { !0 } else { (1u64 << hi) - 1 };
+                bm.store_word_unsync(w, bits & mask);
+            }
+            bm
+        };
+        match which {
+            0 => Kernel::ScanU32(u32s()),
+            1 => Kernel::ScanU32Generic(words.iter().map(|&x| GenericU32(x as u32)).collect()),
+            2 => Kernel::ScanU64(words.clone()),
+            3 => Kernel::ScanU64Generic(words.iter().map(|&x| GenericU64(x)).collect()),
+            4 => Kernel::CompactU32(u32s()),
+            5 => Kernel::CompactU32ScanRef(u32s()),
+            6 => Kernel::RadixU64(words.clone()),
+            7 => Kernel::BitmapForeach(bitmap()),
+            8 => Kernel::BitmapIterRef(bitmap()),
+            _ => unreachable!("kernel index out of range"),
+        }
+    }
+
+    /// The number of kernel variants [`Kernel::build`] knows.
+    const COUNT: usize = 9;
+
+    /// One invocation. The compaction predicate keeps ~half the
+    /// elements (low bit of random data), matching the tree/nontree
+    /// splits the pipeline compacts.
+    fn run_once(&mut self, pool: &Pool, ws: &BccWorkspace) {
+        match self {
+            Kernel::ScanU32(v) => inclusive_scan_par_ws(pool, v, ws),
+            Kernel::ScanU32Generic(v) => inclusive_scan_par_ws(pool, v, ws),
+            Kernel::ScanU64(v) => inclusive_scan_par_ws(pool, v, ws),
+            Kernel::ScanU64Generic(v) => inclusive_scan_par_ws(pool, v, ws),
+            Kernel::CompactU32(v) => {
+                let out = compact_with_ws(pool, v, |_, &x| x & 1 == 0, ws);
+                black_box(out.len());
+                ws.give(out);
+            }
+            Kernel::CompactU32ScanRef(v) => {
+                let out = reference::compact_with_scan(pool, v, |_, &x| x & 1 == 0);
+                black_box(out.len());
+            }
+            Kernel::RadixU64(v) => par_radix_sort_u64_ws(pool, v, ws),
+            Kernel::BitmapForeach(bm) => {
+                let mut acc = 0u64;
+                bm.for_each_one(|i| acc = acc.wrapping_add(i as u64));
+                black_box(acc);
+            }
+            Kernel::BitmapIterRef(bm) => {
+                let acc = bm.iter_ones().fold(0u64, |a, i| a.wrapping_add(i as u64));
+                black_box(acc);
+            }
+        }
+    }
+}
+
+/// Runs the kernel cells and returns `(family summary, entries)` in the
+/// grid's document shape. Parallel kernels sweep `cfg.threads`; the
+/// serial bitmap drains emit one cell at p = 1. Each cell owns its
+/// input and a shared arena across trials (the zero-allocation
+/// steady state, same regime as `WorkspaceMode::On`).
+pub fn run_prims_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, Vec<Json>) {
+    let trials = cfg.trials.max(1);
+
+    struct PrimsCell {
+        kernel: Kernel,
+        n: usize,
+        reps: u32,
+        threads: usize,
+        ws: BccWorkspace,
+        samples: Vec<f64>,
+    }
+    let pools: Vec<Pool> = cfg.threads.iter().map(|&p| Pool::new(p)).collect();
+    let mut cells: Vec<PrimsCell> = vec![];
+    for which in 0..Kernel::COUNT {
+        let probe = Kernel::build(which, 0, 0);
+        let sweep: &[usize] = if probe.parallel() { &cfg.threads } else { &[1] };
+        let (n, reps) = kernel_shape(which, cfg);
+        for &p in sweep {
+            cells.push(PrimsCell {
+                kernel: Kernel::build(which, n, cfg.seed),
+                n,
+                reps,
+                threads: p,
+                ws: BccWorkspace::new(),
+                samples: Vec::with_capacity(trials),
+            });
+        }
+    }
+
+    // Trial-major, like the rest of the grid: spread each cell's
+    // samples past any single host-scheduler burst. One untimed warmup
+    // round populates the arenas, so every timed trial runs steady
+    // state.
+    for round in 0..=trials {
+        for cell in &mut cells {
+            let pool = &pools[cfg.threads.iter().position(|&p| p == cell.threads).unwrap()];
+            let t = Instant::now();
+            for _ in 0..cell.reps {
+                cell.kernel.run_once(pool, &cell.ws);
+            }
+            if round > 0 {
+                cell.samples
+                    .push(t.elapsed().as_secs_f64() / f64::from(cell.reps));
+            }
+        }
+        if round > 0 {
+            progress(&format!("prims trial round {round}/{trials} complete"));
+        }
+    }
+
+    let simd = kernels::simd_level();
+    let mut entries = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let seconds = median_f64(cell.samples.clone());
+        let min = cell.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        entries.push(Json::obj(vec![
+            ("family", Json::str("prims")),
+            ("algorithm", Json::str(cell.kernel.name())),
+            ("n", Json::num(cell.n as f64)),
+            ("threads", Json::num(cell.threads as f64)),
+            ("reps", Json::num(f64::from(cell.reps))),
+            ("simd", Json::str(simd)),
+            ("seconds", Json::num(seconds)),
+            ("seconds_min", Json::num(min)),
+        ]));
+        progress(&format!(
+            "{:>13} {:>20} p={} [{simd}]: {:>11.3?} per call ({trials} trials x {} reps)",
+            "prims",
+            cell.kernel.name(),
+            cell.threads,
+            std::time::Duration::from_secs_f64(seconds),
+            cell.reps,
+        ));
+    }
+
+    let family = Json::obj(vec![
+        ("family", Json::str("prims")),
+        ("n", Json::num(elems(cfg) as f64)),
+        ("reps", Json::num(f64::from(reps(cfg)))),
+        ("simd", Json::str(simd)),
+    ]);
+    (family, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every kernel variant constructs, names itself, and runs.
+    #[test]
+    fn kernels_build_and_run() {
+        let pool = Pool::new(2);
+        let ws = BccWorkspace::new();
+        let mut names = std::collections::BTreeSet::new();
+        for which in 0..Kernel::COUNT {
+            let mut k = Kernel::build(which, 130, 7);
+            k.run_once(&pool, &ws);
+            k.run_once(&pool, &ws);
+            assert!(names.insert(k.name()), "duplicate kernel name {}", k.name());
+        }
+        assert_eq!(names.len(), Kernel::COUNT);
+    }
+
+    /// The generic newtypes really take the default (naive) block
+    /// hooks: a scan through them matches the vectorized u32 scan
+    /// value-for-value.
+    #[test]
+    fn generic_newtype_scan_matches_dispatched_scan() {
+        let pool = Pool::new(2);
+        let ws = BccWorkspace::new();
+        let base: Vec<u32> = fill_u64(1000, 3).iter().map(|&x| x as u32).collect();
+        let mut fast = base.clone();
+        let mut slow: Vec<GenericU32> = base.iter().map(|&x| GenericU32(x)).collect();
+        inclusive_scan_par_ws(&pool, &mut fast, &ws);
+        inclusive_scan_par_ws(&pool, &mut slow, &ws);
+        assert!(fast.iter().zip(&slow).all(|(&a, b)| a == b.0));
+    }
+
+    /// The bitmap builder masks tail bits past `len`, so the drain
+    /// kernels never see ghost indices.
+    #[test]
+    fn bitmap_build_respects_length() {
+        for n in [1usize, 63, 64, 65, 130] {
+            let Kernel::BitmapForeach(bm) = Kernel::build(7, n, 9) else {
+                panic!("kernel 7 should be bitmap-foreach");
+            };
+            let mut max_seen = 0;
+            bm.for_each_one(|i| max_seen = max_seen.max(i));
+            assert!(max_seen < n, "bit {max_seen} >= len {n}");
+        }
+    }
+}

@@ -21,13 +21,17 @@
 //! * [`build_aux_graph_fused`] — what the pipelines run: a count pass
 //!   evaluates conditions 1–3 per edge into **per-thread counters**, an
 //!   O(P) serial exclusive scan assigns each thread its output ranges,
-//!   and an emit pass re-evaluates the conditions writing the
-//!   nontree numbering and an exactly-sized edge list directly. The 3m
-//!   scratch, its EMPTY-fill sweep, and the two compaction sweeps all
-//!   disappear (scratch drops from 3m slots to m + O(P)); both passes
-//!   walk the same contiguous block partition, so the nontree
-//!   numbering is bit-identical to the prefix-sum numbering for every
-//!   thread count.
+//!   and an emit pass writes the nontree numbering and an exactly-sized
+//!   edge list directly. The count pass records each edge's expensive
+//!   decision — condition 2 for nontree edges, condition 3 for tree
+//!   edges; they are mutually exclusive, so one bit per edge — in a
+//!   [`Bitmap`] decision cache, and the emit pass reads it back one
+//!   word per 64 edges instead of re-touching the preorder/low/high/size
+//!   arrays. The 3m scratch, its EMPTY-fill sweep, and the two
+//!   compaction sweeps all disappear (scratch drops from 3m slots to
+//!   m/64 + m + O(P)); both passes walk the same word-aligned contiguous
+//!   block partition, so the nontree numbering is bit-identical to the
+//!   prefix-sum numbering for every thread count.
 
 use crate::low_high::LowHigh;
 use bcc_euler::TreeInfo;
@@ -35,7 +39,7 @@ use bcc_graph::Edge;
 use bcc_primitives::compact::compact_with;
 use bcc_primitives::scan::exclusive_scan_par;
 use bcc_smp::workspace::{alloc_cap, alloc_filled, give_opt};
-use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
+use bcc_smp::{BccWorkspace, Bitmap, Pool, SharedSlice, NIL};
 
 /// The auxiliary graph G′ plus the nontree-edge numbering needed to map
 /// component labels back to input edges.
@@ -219,24 +223,40 @@ fn build_aux_graph_fused_impl(
     const EMPTY: Edge = Edge { u: NIL, v: NIL };
 
     // Count pass: per-thread (nontree, emitted) totals over the same
-    // contiguous block partition the emit pass will walk.
+    // word-aligned contiguous block partition the emit pass will walk.
+    // Each edge's expensive decision — condition 2 (ancestry test) for
+    // nontree edges, condition 3 (low/high escape test) for tree edges —
+    // is recorded in `decisions` so the emit pass never re-evaluates it;
+    // word-aligned ownership makes the bitmap stores plain, not atomic.
+    let decisions = match ws {
+        Some(ws) => Bitmap::new_in(m, ws),
+        None => Bitmap::new(m),
+    };
     let mut nontree_counts = alloc_filled(ws, p + 1, 0u32);
     let mut emit_counts = alloc_filled(ws, p + 1, 0u32);
     {
         let nc = SharedSlice::new(&mut nontree_counts);
         let ec = SharedSlice::new(&mut emit_counts);
+        let decisions = &decisions;
         pool.run(|ctx| {
             let mut nontree = 0u32;
             let mut emit = 0u32;
-            for i in ctx.block_range(m) {
-                let e = edges[i];
-                if !is_tree_edge[i] {
-                    nontree += 1;
-                    emit += 1; // condition 1 always emits
-                    emit += u32::from(cond2_holds(e, info));
-                } else {
-                    emit += u32::from(cond3_emit(e, info, lh).is_some());
+            for w in ctx.block_range_of(Bitmap::word_range_of(0..m)) {
+                let hi = (w * 64 + 64).min(m);
+                let mut bits = 0u64;
+                for i in w * 64..hi {
+                    let e = edges[i];
+                    let hit = if !is_tree_edge[i] {
+                        nontree += 1;
+                        emit += 1; // condition 1 always emits
+                        cond2_holds(e, info)
+                    } else {
+                        cond3_emit(e, info, lh).is_some()
+                    };
+                    bits |= u64::from(hit) << (i % 64);
+                    emit += u32::from(hit);
                 }
+                decisions.store_word_unsync(w, bits);
             }
             // SAFETY: slot tid+1 is written by this thread only.
             unsafe {
@@ -269,39 +289,58 @@ fn build_aux_graph_fused_impl(
         let out = SharedSlice::new(&mut aux_edges);
         let nontree_base: &[u32] = &nontree_counts;
         let emit_base: &[u32] = &emit_counts;
+        let decisions = &decisions;
         pool.run(|ctx| {
             let mut j = nontree_base[ctx.tid()];
             let mut k = emit_base[ctx.tid()] as usize;
-            for i in ctx.block_range(m) {
-                let e = edges[i];
-                if !is_tree_edge[i] {
-                    let (pu, pv) = (info.preorder[e.u as usize], info.preorder[e.v as usize]);
-                    let x = if pu > pv { e.u } else { e.v };
-                    // SAFETY: i is in this thread's block; k stays within
-                    // the [emit_base[tid], emit_base[tid+1]) range the
-                    // count pass reserved (both passes evaluate the same
-                    // conditions on the same blocks).
-                    unsafe {
-                        ni.write(i, j);
-                        out.write(k, Edge::new(x, n + j));
-                    }
-                    k += 1;
-                    j += 1;
-                    if cond2_holds(e, info) {
-                        unsafe { out.write(k, e) };
+            for w in ctx.block_range_of(Bitmap::word_range_of(0..m)) {
+                let hi = (w * 64 + 64).min(m);
+                // One load answers 64 edges' cached decisions.
+                let bits = decisions.load_word(w);
+                for i in w * 64..hi {
+                    let e = edges[i];
+                    let hit = bits >> (i % 64) & 1 == 1;
+                    if !is_tree_edge[i] {
+                        let (pu, pv) = (info.preorder[e.u as usize], info.preorder[e.v as usize]);
+                        let x = if pu > pv { e.u } else { e.v };
+                        // SAFETY: i is in this thread's block; k stays
+                        // within the [emit_base[tid], emit_base[tid+1])
+                        // range the count pass reserved (both passes walk
+                        // the same blocks and the decision bits fix the
+                        // emit count).
+                        unsafe {
+                            ni.write(i, j);
+                            out.write(k, Edge::new(x, n + j));
+                        }
                         k += 1;
-                    }
-                } else {
-                    unsafe { ni.write(i, NIL) };
-                    if let Some((c, w)) = cond3_emit(e, info, lh) {
-                        unsafe { out.write(k, Edge::new(c, w)) };
-                        k += 1;
+                        j += 1;
+                        if hit {
+                            unsafe { out.write(k, e) };
+                            k += 1;
+                        }
+                    } else {
+                        unsafe { ni.write(i, NIL) };
+                        if hit {
+                            // c and w are two cheap parent reads; the
+                            // cached bit already paid the escape test.
+                            let c = if info.parent[e.v as usize] == e.u {
+                                e.v
+                            } else {
+                                e.u
+                            };
+                            let wv = info.parent[c as usize];
+                            unsafe { out.write(k, Edge::new(c, wv)) };
+                            k += 1;
+                        }
                     }
                 }
             }
             debug_assert_eq!(j, nontree_base[ctx.tid() + 1]);
             debug_assert_eq!(k, emit_base[ctx.tid() + 1] as usize);
         });
+    }
+    if let Some(ws) = ws {
+        decisions.recycle(ws);
     }
     give_opt(ws, nontree_counts);
     give_opt(ws, emit_counts);

@@ -1,0 +1,100 @@
+//! Size probe for the add-scan kernels: serial per-kernel timing
+//! across working-set sizes, for picking the `prims` bench tier's
+//! cache-resident element counts (L1 for the scan cells, L2 for the
+//! rest) on a given host. Not part of the grid.
+
+use bcc_primitives::kernels;
+use bcc_primitives::scan::ScanElem;
+use std::time::Instant;
+
+#[derive(Copy, Clone)]
+struct Naive32(u32);
+impl ScanElem for Naive32 {
+    const ZERO: Self = Naive32(0);
+    fn combine(self, other: Self) -> Self {
+        Naive32(self.0.wrapping_add(other.0))
+    }
+}
+
+#[derive(Copy, Clone)]
+struct Naive64(u64);
+impl ScanElem for Naive64 {
+    const ZERO: Self = Naive64(0);
+    fn combine(self, other: Self) -> Self {
+        Naive64(self.0.wrapping_add(other.0))
+    }
+}
+
+fn time(reps: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn main() {
+    println!("simd level: {}", kernels::simd_level());
+    for shift in [12usize, 14, 15, 16, 17, 18] {
+        let n = 1usize << shift;
+        let reps = (1u32 << 24) >> shift;
+        let mut a32: Vec<u32> = (0..n as u32).map(|x| x ^ 0x9e37).collect();
+        let mut g32: Vec<Naive32> = a32.iter().map(|&x| Naive32(x)).collect();
+        let mut a64: Vec<u64> = (0..n as u64).map(|x| x ^ 0x9e37_79b9).collect();
+        let mut g64: Vec<Naive64> = a64.iter().map(|&x| Naive64(x)).collect();
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let s32 = time(reps, || unsafe {
+                    kernels::x86::scan_add_u32_sse2(&mut a32, 0);
+                });
+                let v32 = time(reps, || unsafe {
+                    kernels::x86::scan_add_u32_avx2(&mut a32, 0);
+                });
+                let z32 = if std::arch::is_x86_feature_detected!("avx512f") {
+                    time(reps, || unsafe {
+                        kernels::x86::scan_add_u32_avx512(&mut a32, 0);
+                    })
+                } else {
+                    f64::NAN
+                };
+                println!(
+                    "n=2^{shift}: u32 sse2 {:8.2}us avx2 {:8.2}us avx512 {:8.2}us",
+                    s32 * 1e6,
+                    v32 * 1e6,
+                    z32 * 1e6
+                );
+            }
+        }
+        let d32 = time(reps, || {
+            kernels::scan_add_u32(&mut a32, 0);
+        });
+        let t32 = time(reps, || {
+            kernels::scan_add_u32_tiled(&mut a32, 0);
+        });
+        let n32 = time(reps, || {
+            Naive32::scan_block(&mut g32, Naive32::ZERO);
+        });
+        let d64 = time(reps, || {
+            kernels::scan_add_u64(&mut a64, 0);
+        });
+        let t64 = time(reps, || {
+            kernels::scan_add_u64_tiled(&mut a64, 0);
+        });
+        let n64 = time(reps, || {
+            Naive64::scan_block(&mut g64, Naive64::ZERO);
+        });
+        println!(
+            "n=2^{shift}: u32 dispatch {:8.2}us tiled {:8.2}us naive {:8.2}us ({:4.2}x) | u64 dispatch {:8.2}us tiled {:8.2}us naive {:8.2}us ({:4.2}x)",
+            d32 * 1e6,
+            t32 * 1e6,
+            n32 * 1e6,
+            n32 / d32,
+            d64 * 1e6,
+            t64 * 1e6,
+            n64 * 1e6,
+            n64 / d64,
+        );
+    }
+}

@@ -1,0 +1,671 @@
+//! Word-level and SIMD add-scan kernels.
+//!
+//! The Helman–JáJá substrate is memory-bound: prefix sums, compaction
+//! and histogramming each stream every element once, so the only wins
+//! left are instruction-level — breaking the scan's loop-carried
+//! dependency chain and cutting bytes moved per element. This module
+//! holds the specialized block kernels the [`crate::scan::ScanElem`]
+//! implementations for `u32`/`u64` (and their same-layout siblings
+//! `i32`/`i64`/`usize`/`isize`) dispatch to:
+//!
+//! * **Tiled scalar** ([`scan_add_u32_tiled`] and friends) — always
+//!   available, stable Rust. An 8-element tile computes its pairwise
+//!   partial sums as an independent tree, so the carried dependency
+//!   advances by *one* add per 8 elements instead of one per element
+//!   (~3× the ILP of the naive loop).
+//! * **SSE2 / AVX2 / AVX-512F** (behind the `simd` cargo feature,
+//!   `x86_64` only) — in-register prefix sums: shift-and-add within
+//!   the vector, one store per 4–16 elements. The in-vector prefix
+//!   *and* the broadcast of its total are computed off the carried
+//!   chain (they depend only on the load), so the loop-carried
+//!   dependency is a single vector add per iteration — `carry +=
+//!   total` — not the shuffle latency of re-broadcasting the stored
+//!   result. The 32-bit AVX2 path deliberately stays on 128-bit
+//!   registers (two unrolled xmm chains): every in-register scan is
+//!   bottlenecked on the shuffle port, and 128-bit shuffles dual-issue
+//!   on recent cores where 256-bit cross-lane permutes all contend on
+//!   one port. AVX-512F uses `valignd`/`valignq` lane shifts, which
+//!   need no cross-lane fix-up at all. Selected at runtime with
+//!   `is_x86_feature_detected!`; every entry point falls back to the
+//!   tiled kernel transparently, so behavior is identical on every
+//!   platform and build.
+//!
+//! All kernels use wrapping arithmetic (the [`crate::scan::ScanElem`]
+//! contract for integers) and are exact drop-ins for the scalar loop:
+//! the proptest suite pins each one against the generic oracle, driving
+//! the dispatched *and* the fallback path in the same run.
+
+/// Which vector path the dispatched kernels take on this host/build:
+/// `"avx2"`, `"sse2"`, or `"scalar"` (non-x86_64, or the `simd` feature
+/// disabled). Recorded in the `prims` BENCH cells so committed numbers
+/// say what they measured.
+pub fn simd_level() -> &'static str {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return "avx512";
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return "sse2";
+        }
+    }
+    "scalar"
+}
+
+/// Inclusive add-scan of `a` seeded with `carry`; returns the final
+/// running sum. Runtime-dispatched: AVX-512F → AVX2 → SSE2 → tiled
+/// scalar.
+#[inline]
+pub fn scan_add_u32(a: &mut [u32], carry: u32) -> u32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { x86::scan_add_u32_avx512(a, carry) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { x86::scan_add_u32_avx2(a, carry) };
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return unsafe { x86::scan_add_u32_sse2(a, carry) };
+        }
+    }
+    scan_add_u32_tiled(a, carry)
+}
+
+/// Exclusive add-scan of `a` seeded with `carry` (`a[i] := carry +
+/// sum(a[..i])`); returns the inclusive total. Runtime-dispatched.
+#[inline]
+pub fn scan_add_u32_excl(a: &mut [u32], carry: u32) -> u32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { x86::scan_add_u32_excl_avx512(a, carry) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { x86::scan_add_u32_excl_avx2(a, carry) };
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return unsafe { x86::scan_add_u32_excl_sse2(a, carry) };
+        }
+    }
+    scan_add_u32_excl_tiled(a, carry)
+}
+
+/// Inclusive add-scan over `u64`; runtime-dispatched (AVX-512F → AVX2
+/// → tiled — two-lane SSE2 does not pay for itself on 64-bit
+/// elements).
+#[inline]
+pub fn scan_add_u64(a: &mut [u64], carry: u64) -> u64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { x86::scan_add_u64_avx512(a, carry) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { x86::scan_add_u64_avx2(a, carry) };
+        }
+    }
+    scan_add_u64_tiled(a, carry)
+}
+
+/// Exclusive add-scan over `u64`; runtime-dispatched.
+#[inline]
+pub fn scan_add_u64_excl(a: &mut [u64], carry: u64) -> u64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { x86::scan_add_u64_excl_avx512(a, carry) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { x86::scan_add_u64_excl_avx2(a, carry) };
+        }
+    }
+    scan_add_u64_excl_tiled(a, carry)
+}
+
+macro_rules! tiled_scan {
+    ($incl:ident, $excl:ident, $t:ty) => {
+        /// Tiled scalar inclusive add-scan: 8-element tiles whose
+        /// pairwise partials form an independent tree, so the carried
+        /// dependency advances one add per tile instead of one per
+        /// element. Stable Rust, every platform; the dispatch fallback.
+        pub fn $incl(a: &mut [$t], carry: $t) -> $t {
+            let mut c = carry;
+            let mut tiles = a.chunks_exact_mut(8);
+            for tile in &mut tiles {
+                let [a0, a1, a2, a3, a4, a5, a6, a7]: [$t; 8] = tile.try_into().unwrap();
+                // Off-chain pairwise tree (independent of `c`).
+                let t01 = a0.wrapping_add(a1);
+                let t23 = a2.wrapping_add(a3);
+                let t45 = a4.wrapping_add(a5);
+                let t67 = a6.wrapping_add(a7);
+                let t03 = t01.wrapping_add(t23);
+                let t47 = t45.wrapping_add(t67);
+                let total = t03.wrapping_add(t47);
+                // Each store is at most two adds off the carry.
+                tile[0] = c.wrapping_add(a0);
+                tile[1] = c.wrapping_add(t01);
+                tile[2] = c.wrapping_add(t01).wrapping_add(a2);
+                tile[3] = c.wrapping_add(t03);
+                tile[4] = c.wrapping_add(t03).wrapping_add(a4);
+                tile[5] = c.wrapping_add(t03).wrapping_add(t45);
+                tile[6] = c.wrapping_add(t03).wrapping_add(t45).wrapping_add(a6);
+                tile[7] = c.wrapping_add(total);
+                c = c.wrapping_add(total);
+            }
+            for x in tiles.into_remainder() {
+                c = c.wrapping_add(*x);
+                *x = c;
+            }
+            c
+        }
+
+        /// Tiled scalar exclusive add-scan (same tile structure, stores
+        /// shifted by one); returns the inclusive total.
+        pub fn $excl(a: &mut [$t], carry: $t) -> $t {
+            let mut c = carry;
+            let mut tiles = a.chunks_exact_mut(8);
+            for tile in &mut tiles {
+                let [a0, a1, a2, a3, a4, a5, a6, _a7]: [$t; 8] = tile.try_into().unwrap();
+                let t01 = a0.wrapping_add(a1);
+                let t23 = a2.wrapping_add(a3);
+                let t45 = a4.wrapping_add(a5);
+                let t67 = a6.wrapping_add(tile[7]);
+                let t03 = t01.wrapping_add(t23);
+                let t47 = t45.wrapping_add(t67);
+                let total = t03.wrapping_add(t47);
+                tile[0] = c;
+                tile[1] = c.wrapping_add(a0);
+                tile[2] = c.wrapping_add(t01);
+                tile[3] = c.wrapping_add(t01).wrapping_add(a2);
+                tile[4] = c.wrapping_add(t03);
+                tile[5] = c.wrapping_add(t03).wrapping_add(a4);
+                tile[6] = c.wrapping_add(t03).wrapping_add(t45);
+                tile[7] = c.wrapping_add(t03).wrapping_add(t45).wrapping_add(a6);
+                c = c.wrapping_add(total);
+            }
+            for x in tiles.into_remainder() {
+                let v = *x;
+                *x = c;
+                c = c.wrapping_add(v);
+            }
+            c
+        }
+    };
+}
+
+tiled_scan!(scan_add_u32_tiled, scan_add_u32_excl_tiled, u32);
+tiled_scan!(scan_add_u64_tiled, scan_add_u64_excl_tiled, u64);
+
+/// x86_64 vector kernels, compiled only under the `simd` feature. Each
+/// is an `unsafe fn` whose safety contract is "the annotated target
+/// feature is available" — upheld by the `is_x86_feature_detected!`
+/// dispatch above (and by the tests, which gate direct calls the same
+/// way).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod x86 {
+    use std::arch::x86_64::*;
+
+    /// One 4-lane `u32` in-register inclusive prefix (2 shifts + 2
+    /// adds) and its broadcast total — both independent of the running
+    /// carry.
+    #[inline(always)]
+    unsafe fn prefix4_u32(x: __m128i) -> (__m128i, __m128i) {
+        let mut x = x;
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+        (x, _mm_shuffle_epi32(x, 0b11_11_11_11))
+    }
+
+    /// The shared body of the 128-bit `u32` scans, unrolled two
+    /// vectors per iteration. Both prefixes and both totals are
+    /// computed off the carried chain; per 8 elements the chain
+    /// advances by a single `paddd` (`c += t0 + t1`, with `t0 + t1`
+    /// pre-added off-chain), and the second store's carry is one add
+    /// off it. `EXCL` stores the prefix shifted one lane left (the
+    /// exclusive scan) without changing the op count.
+    ///
+    /// Why 128-bit: in-register scans bottleneck on the shuffle port,
+    /// and 128-bit shuffles dual-issue on recent cores where 256-bit
+    /// cross-lane permutes all contend on one port. Compiled once with
+    /// SSE2 codegen and once with AVX2 (VEX, three-operand) via the
+    /// wrappers below.
+    macro_rules! scan_u32_x128_body {
+        ($a:ident, $carry:ident, $excl:literal) => {{
+            let a = $a;
+            let mut c = _mm_set1_epi32($carry as i32);
+            let n8 = a.len() / 8 * 8;
+            let mut i = 0;
+            while i < n8 {
+                let p0 = a.as_mut_ptr().add(i).cast::<__m128i>();
+                let p1 = a.as_mut_ptr().add(i + 4).cast::<__m128i>();
+                let (x0, t0) = prefix4_u32(_mm_loadu_si128(p0));
+                let (x1, t1) = prefix4_u32(_mm_loadu_si128(p1));
+                let t01 = _mm_add_epi32(t0, t1);
+                let (s0, s1) = if $excl {
+                    (_mm_slli_si128(x0, 4), _mm_slli_si128(x1, 4))
+                } else {
+                    (x0, x1)
+                };
+                _mm_storeu_si128(p0, _mm_add_epi32(s0, c));
+                _mm_storeu_si128(p1, _mm_add_epi32(s1, _mm_add_epi32(c, t0)));
+                c = _mm_add_epi32(c, t01);
+                i += 8;
+            }
+            let mut carry = _mm_cvtsi128_si32(c) as u32;
+            if $excl {
+                for x in &mut a[n8..] {
+                    let v = *x;
+                    *x = carry;
+                    carry = carry.wrapping_add(v);
+                }
+            } else {
+                for x in &mut a[n8..] {
+                    carry = carry.wrapping_add(*x);
+                    *x = carry;
+                }
+            }
+            carry
+        }};
+    }
+
+    /// SSE2 inclusive add-scan over two unrolled 4-lane `u32` chains;
+    /// the loop-carried dependency is one `paddd` per 8 elements.
+    ///
+    /// # Safety
+    /// Requires SSE2 (guaranteed on x86_64, but kept explicit so the
+    /// dispatch contract is uniform).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn scan_add_u32_sse2(a: &mut [u32], carry: u32) -> u32 {
+        scan_u32_x128_body!(a, carry, false)
+    }
+
+    /// SSE2 exclusive add-scan: the inclusive prefix shifted one lane
+    /// left in-register, so the store count does not change.
+    ///
+    /// # Safety
+    /// Requires SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn scan_add_u32_excl_sse2(a: &mut [u32], carry: u32) -> u32 {
+        scan_u32_x128_body!(a, carry, true)
+    }
+
+    /// AVX2 inclusive `u32` add-scan: the same 128-bit two-chain body
+    /// as [`scan_add_u32_sse2`], recompiled with VEX three-operand
+    /// codegen (saves the SSE2 register-copy instructions). 256-bit
+    /// registers lose here — see the module docs.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_add_u32_avx2(a: &mut [u32], carry: u32) -> u32 {
+        scan_u32_x128_body!(a, carry, false)
+    }
+
+    /// AVX2 exclusive `u32` add-scan ([`scan_add_u32_excl_sse2`] under
+    /// VEX codegen).
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_add_u32_excl_avx2(a: &mut [u32], carry: u32) -> u32 {
+        scan_u32_x128_body!(a, carry, true)
+    }
+
+    /// The shared body of the AVX-512F scans: 16 `u32` lanes per
+    /// vector, prefix via `valignd` lane shifts (no cross-lane fix-up
+    /// pass), total broadcast off the carried chain.
+    macro_rules! scan_u32_z_body {
+        ($a:ident, $carry:ident, $excl:literal) => {{
+            // Peel a scalar head up to the next 64-byte boundary: the
+            // loop loads and stores through the same pointer, so one
+            // peel keeps every 512-bit access inside a single cache
+            // line (unaligned Vec data would split nearly all of them).
+            let mut head_carry: u32 = $carry;
+            let head = (($a.as_ptr() as usize).wrapping_neg() & 63) / 4;
+            let head = head.min($a.len());
+            if $excl {
+                for x in &mut $a[..head] {
+                    let v = *x;
+                    *x = head_carry;
+                    head_carry = head_carry.wrapping_add(v);
+                }
+            } else {
+                for x in &mut $a[..head] {
+                    head_carry = head_carry.wrapping_add(*x);
+                    *x = head_carry;
+                }
+            }
+            let a = &mut $a[head..];
+            let mut c = _mm512_set1_epi32(head_carry as i32);
+            let zero = _mm512_setzero_si512();
+            let bcast15 = _mm512_set1_epi32(15);
+            let n16 = a.len() / 16 * 16;
+            let mut i = 0;
+            while i < n16 {
+                let p = a.as_mut_ptr().add(i).cast::<__m512i>();
+                let mut x = _mm512_loadu_si512(p.cast());
+                x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 16 - 1));
+                x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 16 - 2));
+                x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 16 - 4));
+                x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 16 - 8));
+                let total = _mm512_permutexvar_epi32(bcast15, x);
+                let s = if $excl {
+                    _mm512_alignr_epi32(x, zero, 16 - 1)
+                } else {
+                    x
+                };
+                _mm512_storeu_si512(p.cast(), _mm512_add_epi32(s, c));
+                c = _mm512_add_epi32(c, total);
+                i += 16;
+            }
+            let mut carry = _mm_cvtsi128_si32(_mm512_castsi512_si128(c)) as u32;
+            if $excl {
+                for x in &mut a[n16..] {
+                    let v = *x;
+                    *x = carry;
+                    carry = carry.wrapping_add(v);
+                }
+            } else {
+                for x in &mut a[n16..] {
+                    carry = carry.wrapping_add(*x);
+                    *x = carry;
+                }
+            }
+            carry
+        }};
+    }
+
+    /// AVX-512F inclusive add-scan over 16 `u32` lanes: 4 `valignd`
+    /// shift-adds per vector, one broadcast, one carried `vpaddd`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scan_add_u32_avx512(a: &mut [u32], carry: u32) -> u32 {
+        scan_u32_z_body!(a, carry, false)
+    }
+
+    /// AVX-512F exclusive add-scan over 16 `u32` lanes.
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scan_add_u32_excl_avx512(a: &mut [u32], carry: u32) -> u32 {
+        scan_u32_z_body!(a, carry, true)
+    }
+
+    /// A 16-lane `u64` inclusive prefix over a *pair* of vectors,
+    /// treated as one Hillis-Steele ladder: rungs 1/2/4 use
+    /// cross-vector `valignq` (the second vector pulls the first's top
+    /// lanes instead of zeros), and rung 8 degenerates to a plain
+    /// lane-aligned add of the first vector's finished prefix — no
+    /// shuffle. One total broadcast serves all 16 lanes. That is 7
+    /// shuffle-port ops per 16 elements, versus 8 for two independent
+    /// 8-lane prefixes.
+    #[inline(always)]
+    unsafe fn prefix16_u64(
+        v0: __m512i,
+        v1: __m512i,
+        zero: __m512i,
+        bcast7: __m512i,
+    ) -> (__m512i, __m512i, __m512i) {
+        let y0 = _mm512_alignr_epi64(v0, zero, 8 - 1);
+        let y1 = _mm512_alignr_epi64(v1, v0, 8 - 1);
+        let a0 = _mm512_add_epi64(v0, y0);
+        let a1 = _mm512_add_epi64(v1, y1);
+        let y0 = _mm512_alignr_epi64(a0, zero, 8 - 2);
+        let y1 = _mm512_alignr_epi64(a1, a0, 8 - 2);
+        let b0 = _mm512_add_epi64(a0, y0);
+        let b1 = _mm512_add_epi64(a1, y1);
+        let y0 = _mm512_alignr_epi64(b0, zero, 8 - 4);
+        let y1 = _mm512_alignr_epi64(b1, b0, 8 - 4);
+        let x0 = _mm512_add_epi64(b0, y0);
+        let x1 = _mm512_add_epi64(_mm512_add_epi64(b1, y1), x0);
+        let t = _mm512_permutexvar_epi64(bcast7, x1);
+        (x0, x1, t)
+    }
+
+    /// The shared body of the AVX-512F `u64` scans: 8 lanes, `valignq`
+    /// shifts, unrolled two vectors per iteration so the two prefix
+    /// chains overlap (each is a serial shift-add ladder; one alone
+    /// leaves the shuffle port idle between rungs).
+    macro_rules! scan_u64_z_body {
+        ($a:ident, $carry:ident, $excl:literal) => {{
+            // Same scalar head peel as the u32 body: align the
+            // load/store stream to 64 bytes so 512-bit accesses stop
+            // splitting cache lines.
+            let mut head_carry: u64 = $carry;
+            let head = (($a.as_ptr() as usize).wrapping_neg() & 63) / 8;
+            let head = head.min($a.len());
+            if $excl {
+                for x in &mut $a[..head] {
+                    let v = *x;
+                    *x = head_carry;
+                    head_carry = head_carry.wrapping_add(v);
+                }
+            } else {
+                for x in &mut $a[..head] {
+                    head_carry = head_carry.wrapping_add(*x);
+                    *x = head_carry;
+                }
+            }
+            let a = &mut $a[head..];
+            let mut c = _mm512_set1_epi64(head_carry as i64);
+            let zero = _mm512_setzero_si512();
+            let bcast7 = _mm512_set1_epi64(7);
+            let n32 = a.len() / 32 * 32;
+            let mut i = 0;
+            while i < n32 {
+                let p0 = a.as_mut_ptr().add(i).cast::<__m512i>();
+                let p1 = a.as_mut_ptr().add(i + 8).cast::<__m512i>();
+                let p2 = a.as_mut_ptr().add(i + 16).cast::<__m512i>();
+                let p3 = a.as_mut_ptr().add(i + 24).cast::<__m512i>();
+                let (x0, x1, t01) = prefix16_u64(
+                    _mm512_loadu_si512(p0.cast()),
+                    _mm512_loadu_si512(p1.cast()),
+                    zero,
+                    bcast7,
+                );
+                let (x2, x3, t23) = prefix16_u64(
+                    _mm512_loadu_si512(p2.cast()),
+                    _mm512_loadu_si512(p3.cast()),
+                    zero,
+                    bcast7,
+                );
+                let (s0, s1, s2, s3) = if $excl {
+                    (
+                        _mm512_alignr_epi64(x0, zero, 8 - 1),
+                        _mm512_alignr_epi64(x1, x0, 8 - 1),
+                        _mm512_alignr_epi64(x2, zero, 8 - 1),
+                        _mm512_alignr_epi64(x3, x2, 8 - 1),
+                    )
+                } else {
+                    (x0, x1, x2, x3)
+                };
+                let c2 = _mm512_add_epi64(c, t01);
+                _mm512_storeu_si512(p0.cast(), _mm512_add_epi64(s0, c));
+                _mm512_storeu_si512(p1.cast(), _mm512_add_epi64(s1, c));
+                _mm512_storeu_si512(p2.cast(), _mm512_add_epi64(s2, c2));
+                _mm512_storeu_si512(p3.cast(), _mm512_add_epi64(s3, c2));
+                c = _mm512_add_epi64(c2, t23);
+                i += 32;
+            }
+            let mut carry = _mm_cvtsi128_si64(_mm512_castsi512_si128(c)) as u64;
+            if $excl {
+                for x in &mut a[n32..] {
+                    let v = *x;
+                    *x = carry;
+                    carry = carry.wrapping_add(v);
+                }
+            } else {
+                for x in &mut a[n32..] {
+                    carry = carry.wrapping_add(*x);
+                    *x = carry;
+                }
+            }
+            carry
+        }};
+    }
+
+    /// AVX-512F inclusive add-scan over 8 `u64` lanes.
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scan_add_u64_avx512(a: &mut [u64], carry: u64) -> u64 {
+        scan_u64_z_body!(a, carry, false)
+    }
+
+    /// AVX-512F exclusive add-scan over 8 `u64` lanes.
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scan_add_u64_excl_avx512(a: &mut [u64], carry: u64) -> u64 {
+        scan_u64_z_body!(a, carry, true)
+    }
+
+    /// AVX2 inclusive add-scan over 4 `u64` lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_add_u64_avx2(a: &mut [u64], carry: u64) -> u64 {
+        let mut c = _mm256_set1_epi64x(carry as i64);
+        let hi_mask = _mm256_setr_epi64x(0, 0, -1, -1);
+        let n4 = a.len() / 4 * 4;
+        let mut i = 0;
+        while i < n4 {
+            let p = a.as_mut_ptr().add(i).cast::<__m256i>();
+            let mut x = _mm256_loadu_si256(p);
+            x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+            let lo_total = _mm256_permute4x64_epi64(x, 0b01_01_01_01);
+            x = _mm256_add_epi64(x, _mm256_and_si256(lo_total, hi_mask));
+            let total = _mm256_permute4x64_epi64(x, 0b11_11_11_11);
+            _mm256_storeu_si256(p, _mm256_add_epi64(x, c));
+            c = _mm256_add_epi64(c, total);
+            i += 4;
+        }
+        let mut carry = _mm_cvtsi128_si64(_mm256_castsi256_si128(c)) as u64;
+        for x in &mut a[n4..] {
+            carry = carry.wrapping_add(*x);
+            *x = carry;
+        }
+        carry
+    }
+
+    /// AVX2 exclusive add-scan over 4 `u64` lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_add_u64_excl_avx2(a: &mut [u64], carry: u64) -> u64 {
+        let mut c = _mm256_set1_epi64x(carry as i64);
+        let hi_mask = _mm256_setr_epi64x(0, 0, -1, -1);
+        let keep_tail = _mm256_setr_epi64x(0, -1, -1, -1);
+        let n4 = a.len() / 4 * 4;
+        let mut i = 0;
+        while i < n4 {
+            let p = a.as_mut_ptr().add(i).cast::<__m256i>();
+            let mut x = _mm256_loadu_si256(p);
+            x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+            let lo_total = _mm256_permute4x64_epi64(x, 0b01_01_01_01);
+            x = _mm256_add_epi64(x, _mm256_and_si256(lo_total, hi_mask));
+            let total = _mm256_permute4x64_epi64(x, 0b11_11_11_11);
+            let shifted = _mm256_and_si256(_mm256_permute4x64_epi64(x, 0b10_01_00_00), keep_tail);
+            _mm256_storeu_si256(p, _mm256_add_epi64(shifted, c));
+            c = _mm256_add_epi64(c, total);
+            i += 4;
+        }
+        let mut carry = _mm_cvtsi128_si64(_mm256_castsi256_si128(c)) as u64;
+        for x in &mut a[n4..] {
+            let v = *x;
+            *x = carry;
+            carry = carry.wrapping_add(v);
+        }
+        carry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_incl(v: &[u64], carry: u64) -> (Vec<u64>, u64) {
+        let mut acc = carry;
+        let out: Vec<u64> = v
+            .iter()
+            .map(|&x| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+            .collect();
+        (out, acc)
+    }
+
+    #[test]
+    fn tiled_kernels_match_oracle_at_every_length() {
+        for n in 0..40 {
+            let v: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let (want, want_c) = oracle_incl(&v, 5);
+
+            let mut a = v.clone();
+            assert_eq!(scan_add_u64_tiled(&mut a, 5), want_c, "incl n={n}");
+            assert_eq!(a, want);
+
+            let mut e = v.clone();
+            assert_eq!(scan_add_u64_excl_tiled(&mut e, 5), want_c, "excl n={n}");
+            for i in 0..n {
+                let prev = if i == 0 { 5 } else { want[i - 1] };
+                assert_eq!(e[i], prev, "excl n={n} i={i}");
+            }
+
+            let v32: Vec<u32> = v.iter().map(|&x| x as u32).collect();
+            let mut a32 = v32.clone();
+            let c32 = scan_add_u32_tiled(&mut a32, 5);
+            assert_eq!(c32, want_c as u32);
+            assert_eq!(a32, want.iter().map(|&x| x as u32).collect::<Vec<_>>());
+            let mut e32 = v32;
+            assert_eq!(scan_add_u32_excl_tiled(&mut e32, 5), want_c as u32);
+            assert_eq!(e32, e.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_tiled() {
+        let v: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut a = v.clone();
+        let mut b = v.clone();
+        assert_eq!(scan_add_u32(&mut a, 9), scan_add_u32_tiled(&mut b, 9));
+        assert_eq!(a, b);
+        let v64: Vec<u64> = v.iter().map(|&x| u64::from(x) << 16).collect();
+        let mut a = v64.clone();
+        let mut b = v64;
+        assert_eq!(
+            scan_add_u64_excl(&mut a, 9),
+            scan_add_u64_excl_tiled(&mut b, 9)
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrapping_overflow_is_identical_across_kernels() {
+        let v: Vec<u32> = vec![u32::MAX; 100];
+        let mut a = v.clone();
+        let mut b = v;
+        assert_eq!(scan_add_u32(&mut a, 3), scan_add_u32_tiled(&mut b, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simd_level_is_one_of_the_known_tiers() {
+        assert!(matches!(
+            simd_level(),
+            "avx512" | "avx2" | "sse2" | "scalar"
+        ));
+    }
+}

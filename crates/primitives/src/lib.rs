@@ -19,6 +19,7 @@
 //! paper's analysis assumes).
 
 pub mod compact;
+pub mod kernels;
 pub mod list_rank;
 pub mod reduce;
 pub mod rmq;

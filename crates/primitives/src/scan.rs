@@ -9,11 +9,56 @@
 use bcc_smp::{BccWorkspace, Ctx, Pool, SharedSlice};
 
 /// Trait for scannable element types (associative op with identity).
+///
+/// The three block-kernel methods have straightforward generic defaults
+/// (the naive carried loop) and exist so concrete types can substitute
+/// vectorized kernels on stable Rust — no specialization feature
+/// needed. `u32`/`u64` override them with the tiled/SIMD kernels in
+/// [`crate::kernels`]; `i32`/`i64`/`usize`/`isize` delegate to those
+/// (two's-complement wrapping add is bit-identical across same-width
+/// signedness, and `usize` is `u64` on every 64-bit target). Every
+/// scan entry point in this module — sequential, parallel, `_ws` —
+/// routes its per-block work through these hooks.
 pub trait ScanElem: Copy + Send + Sync {
     /// Identity element of the scan operator.
     const ZERO: Self;
     /// The associative combine operator.
     fn combine(self, other: Self) -> Self;
+
+    /// In-place inclusive scan of `a` seeded with `carry`
+    /// (`a[i] := carry ⊕ a[0] ⊕ … ⊕ a[i]`); returns the final
+    /// running value.
+    #[inline]
+    fn scan_block(a: &mut [Self], carry: Self) -> Self {
+        let mut acc = carry;
+        for x in a.iter_mut() {
+            acc = acc.combine(*x);
+            *x = acc;
+        }
+        acc
+    }
+
+    /// In-place exclusive scan of `a` seeded with `carry`
+    /// (`a[i] := carry ⊕ a[0] ⊕ … ⊕ a[i-1]`); returns the inclusive
+    /// total.
+    #[inline]
+    fn scan_block_exclusive(a: &mut [Self], carry: Self) -> Self {
+        let mut acc = carry;
+        for x in a.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc = acc.combine(v);
+        }
+        acc
+    }
+
+    /// Reduce `a` under the combine operator (no stores). Used by the
+    /// parallel exclusive scan's first phase, which only needs block
+    /// totals — skipping the phase-1 stores halves its write traffic.
+    #[inline]
+    fn sum_block(a: &[Self]) -> Self {
+        a.iter().fold(Self::ZERO, |acc, &x| acc.combine(x))
+    }
 }
 
 macro_rules! impl_scan_elem_for_int {
@@ -27,27 +72,69 @@ macro_rules! impl_scan_elem_for_int {
         }
     )*};
 }
-impl_scan_elem_for_int!(u8, u16, u32, u64, usize, i32, i64, isize);
+impl_scan_elem_for_int!(u8, u16);
+
+/// Implement `ScanElem` for a type that is layout- and
+/// wrap-add-compatible with `$k` (`u32` or `u64`), routing the block
+/// kernels through [`crate::kernels`] via an in-place slice cast.
+macro_rules! impl_scan_elem_via_kernel {
+    ($t:ty => $k:ty, $incl:path, $excl:path) => {
+        impl ScanElem for $t {
+            const ZERO: Self = 0;
+            #[inline]
+            fn combine(self, other: Self) -> Self {
+                self.wrapping_add(other)
+            }
+            #[inline]
+            fn scan_block(a: &mut [Self], carry: Self) -> Self {
+                // Same size/alignment and wrapping-add bit pattern.
+                let ka =
+                    unsafe { std::slice::from_raw_parts_mut(a.as_mut_ptr().cast::<$k>(), a.len()) };
+                $incl(ka, carry as $k) as Self
+            }
+            #[inline]
+            fn scan_block_exclusive(a: &mut [Self], carry: Self) -> Self {
+                let ka =
+                    unsafe { std::slice::from_raw_parts_mut(a.as_mut_ptr().cast::<$k>(), a.len()) };
+                $excl(ka, carry as $k) as Self
+            }
+            #[inline]
+            fn sum_block(a: &[Self]) -> Self {
+                // Wrapping sum has no carried store; the tiled reduce is
+                // just an unrolled fold, which the compiler already
+                // produces from this shape.
+                let mut acc: $k = 0;
+                for &x in a {
+                    acc = acc.wrapping_add(x as $k);
+                }
+                acc as Self
+            }
+        }
+    };
+}
+
+impl_scan_elem_via_kernel!(u32 => u32, crate::kernels::scan_add_u32, crate::kernels::scan_add_u32_excl);
+impl_scan_elem_via_kernel!(i32 => u32, crate::kernels::scan_add_u32, crate::kernels::scan_add_u32_excl);
+impl_scan_elem_via_kernel!(u64 => u64, crate::kernels::scan_add_u64, crate::kernels::scan_add_u64_excl);
+impl_scan_elem_via_kernel!(i64 => u64, crate::kernels::scan_add_u64, crate::kernels::scan_add_u64_excl);
+
+#[cfg(target_pointer_width = "64")]
+impl_scan_elem_via_kernel!(usize => u64, crate::kernels::scan_add_u64, crate::kernels::scan_add_u64_excl);
+#[cfg(target_pointer_width = "64")]
+impl_scan_elem_via_kernel!(isize => u64, crate::kernels::scan_add_u64, crate::kernels::scan_add_u64_excl);
+
+#[cfg(not(target_pointer_width = "64"))]
+impl_scan_elem_for_int!(usize, isize);
 
 /// In-place sequential inclusive scan: `a[i] = a[0] + ... + a[i]`.
 pub fn inclusive_scan_seq<T: ScanElem>(a: &mut [T]) {
-    let mut acc = T::ZERO;
-    for x in a.iter_mut() {
-        acc = acc.combine(*x);
-        *x = acc;
-    }
+    T::scan_block(a, T::ZERO);
 }
 
 /// In-place sequential exclusive scan: `a[i] = a[0] + ... + a[i-1]`.
 /// Returns the total (the inclusive sum of all elements).
 pub fn exclusive_scan_seq<T: ScanElem>(a: &mut [T]) -> T {
-    let mut acc = T::ZERO;
-    for x in a.iter_mut() {
-        let v = *x;
-        *x = acc;
-        acc = acc.combine(v);
-    }
-    acc
+    T::scan_block_exclusive(a, T::ZERO)
 }
 
 /// In-place parallel inclusive scan over `a` using `pool`.
@@ -89,11 +176,9 @@ pub fn exclusive_scan_par_ws<T: ScanElem + 'static>(
 
 fn scan_seq_impl<T: ScanElem>(a: &mut [T], inclusive: bool) -> T {
     if inclusive {
-        let total = a.iter().fold(T::ZERO, |acc, &x| acc.combine(x));
-        inclusive_scan_seq(a);
-        total
+        T::scan_block(a, T::ZERO)
     } else {
-        exclusive_scan_seq(a)
+        T::scan_block_exclusive(a, T::ZERO)
     }
 }
 
@@ -138,26 +223,25 @@ fn scan_par_body<T: ScanElem>(
 
     pool.run(|ctx: &Ctx| {
         let r = ctx.block_range(n);
-        // Phase 1: local inclusive scan of own block.
+        // Phase 1: block total. The inclusive scan stores the local
+        // prefixes now (phase 3 just adds the offset); the exclusive
+        // scan only reduces — its phase 3 rescans from the original
+        // values, which halves phase-1 write traffic.
         let block = unsafe { a_s.slice_mut(r.start, r.end) };
-        let mut acc = T::ZERO;
-        for x in block.iter_mut() {
-            acc = acc.combine(*x);
-            *x = acc;
-        }
-        unsafe { totals_s.write(ctx.tid() + 1, acc) };
+        let total = if inclusive {
+            T::scan_block(block, T::ZERO)
+        } else {
+            T::sum_block(block)
+        };
+        unsafe { totals_s.write(ctx.tid() + 1, total) };
         ctx.barrier();
         // Phase 2: thread 0 scans the p block totals.
         if ctx.is_leader() {
             let totals = unsafe { totals_s.slice_mut(0, p + 1) };
-            let mut acc = T::ZERO;
-            for t in totals.iter_mut() {
-                acc = acc.combine(*t);
-                *t = acc;
-            }
+            T::scan_block(totals, T::ZERO);
         }
         ctx.barrier();
-        // Phase 3: add own block's offset; convert to exclusive if asked.
+        // Phase 3: apply own block's offset.
         let offset = totals_s.get(ctx.tid());
         let block = unsafe { a_s.slice_mut(r.start, r.end) };
         if inclusive {
@@ -165,13 +249,7 @@ fn scan_par_body<T: ScanElem>(
                 *x = offset.combine(*x);
             }
         } else {
-            // Shift right within the block: a[i] := offset + incl[i-1].
-            let mut prev = T::ZERO;
-            for x in block.iter_mut() {
-                let incl = *x;
-                *x = offset.combine(prev);
-                prev = incl;
-            }
+            T::scan_block_exclusive(block, offset);
         }
     });
 

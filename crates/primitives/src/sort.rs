@@ -227,25 +227,35 @@ fn par_radix_sort_u64_impl(pool: &Pool, a: &mut [u64], ws: Option<&BccWorkspace>
             pool.run(|ctx: &Ctx| {
                 let t = ctx.tid();
                 let r = ctx.block_range(n);
-                // Histogram own block.
-                let mut local = [0usize; BINS];
-                for i in r.clone() {
-                    let b = ((src_s.get(i) >> shift) & 0xFF) as usize;
-                    local[b] += 1;
+                // Histogram own block. Four interleaved histograms break
+                // the store-to-load forwarding dependency on same-bin
+                // streaks (sorted or low-entropy bytes otherwise
+                // serialize every increment on one counter), and the
+                // 4-wide unroll keeps four loads in flight down a
+                // purely sequential, prefetch-friendly stream.
+                let block: &[u64] = unsafe { src_s.slice_mut(r.start, r.end) };
+                let mut local = [[0usize; BINS]; 4];
+                let mut quads = block.chunks_exact(4);
+                for q in &mut quads {
+                    local[0][((q[0] >> shift) & 0xFF) as usize] += 1;
+                    local[1][((q[1] >> shift) & 0xFF) as usize] += 1;
+                    local[2][((q[2] >> shift) & 0xFF) as usize] += 1;
+                    local[3][((q[3] >> shift) & 0xFF) as usize] += 1;
                 }
-                for (b, &c) in local.iter().enumerate() {
-                    unsafe { hist_s.write(b * ctx.threads() + t, c) };
+                for &x in quads.remainder() {
+                    local[0][((x >> shift) & 0xFF) as usize] += 1;
+                }
+                let [l0, l1, l2, l3] = &local;
+                for (b, (&c0, (&c1, (&c2, &c3)))) in
+                    l0.iter().zip(l1.iter().zip(l2.iter().zip(l3))).enumerate()
+                {
+                    unsafe { hist_s.write(b * ctx.threads() + t, c0 + c1 + c2 + c3) };
                 }
                 ctx.barrier();
                 // Thread 0: exclusive scan in bin-major order => stable.
                 if ctx.is_leader() {
                     let h = unsafe { hist_s.slice_mut(0, BINS * ctx.threads()) };
-                    let mut acc = 0usize;
-                    for x in h.iter_mut() {
-                        let v = *x;
-                        *x = acc;
-                        acc += v;
-                    }
+                    crate::scan::exclusive_scan_seq(h);
                 }
                 ctx.barrier();
                 // Scatter with per-thread cursors.

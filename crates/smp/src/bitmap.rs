@@ -69,6 +69,12 @@ impl Bitmap {
         self.len
     }
 
+    /// Number of 64-bit words backing the bitmap (`ceil(len / 64)`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+
     /// True if the bitmap holds zero bits.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -125,6 +131,27 @@ impl Bitmap {
         }
     }
 
+    /// Loads word `w` (bits `w*64 .. w*64+64`) in one read.
+    #[inline]
+    pub fn load_word(&self, w: usize) -> u64 {
+        self.lines[w / WORDS_PER_LINE].0[w % WORDS_PER_LINE].load(Ordering::Relaxed)
+    }
+
+    /// Stores word `w` wholesale with a plain (non-RMW) store. Like
+    /// [`set_unsync`](Self::set_unsync) this is only safe to race with
+    /// nothing: call it when this thread owns the word outright (e.g. a
+    /// word-partitioned flag pass between pool barriers). Bits past
+    /// `len` in the final word must be zero — debug-asserted here — or
+    /// the popcount kernels would overcount.
+    #[inline]
+    pub fn store_word_unsync(&self, w: usize, bits: u64) {
+        debug_assert!(
+            w + 1 < self.words() || self.len.is_multiple_of(64) || bits >> (self.len % 64) == 0,
+            "store_word_unsync: bits set past the bitmap length"
+        );
+        self.lines[w / WORDS_PER_LINE].0[w % WORDS_PER_LINE].store(bits, Ordering::Relaxed);
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> u64 {
         self.lines
@@ -132,6 +159,111 @@ impl Bitmap {
             .flat_map(|l| l.0.iter())
             .map(|w| u64::from(w.load(Ordering::Relaxed).count_ones()))
             .sum()
+    }
+
+    /// The word `range` (for [`load_word`](Self::load_word) /
+    /// [`for_each_one_in`](Self::for_each_one_in)) covering bit range
+    /// `bits`, clamped to the bitmap: word-aligned work partitioning in
+    /// one place, so each pool thread owns whole words and bulk stores
+    /// never straddle another thread's bits.
+    #[inline]
+    pub fn word_range_of(bits: std::ops::Range<usize>) -> std::ops::Range<usize> {
+        bits.start / 64..bits.end.div_ceil(64)
+    }
+
+    /// Number of set bits within the bit range `range`, one `popcnt`
+    /// per word with the edge words masked.
+    pub fn count_ones_in(&self, range: std::ops::Range<usize>) -> u64 {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len);
+        if start >= end {
+            return 0;
+        }
+        let mut total = 0u64;
+        for w in start / 64..end.div_ceil(64) {
+            total += u64::from(self.masked_word(w, start, end).count_ones());
+        }
+        total
+    }
+
+    /// Word `w` with bits outside `[start, end)` cleared.
+    #[inline]
+    fn masked_word(&self, w: usize, start: usize, end: usize) -> u64 {
+        let mut bits = self.load_word(w);
+        if w == start / 64 {
+            bits &= !0u64 << (start % 64);
+        }
+        if (w + 1) * 64 > end {
+            bits &= (!0u64) >> ((64 - end % 64) % 64);
+        }
+        bits
+    }
+
+    /// Calls `f(i)` for every set bit `i`, ascending. Word-skipping:
+    /// zero words cost one load + one branch for 64 bits, and set bits
+    /// are peeled with `trailing_zeros` + clear-lowest — no per-bit
+    /// iterator state. Measurably faster than draining
+    /// [`iter_ones`](Self::iter_ones) on both sparse and dense bitmaps;
+    /// the bulk-kernel form the compaction scatter and the bottom-up
+    /// BFS sweep are built on.
+    #[inline]
+    pub fn for_each_one(&self, f: impl FnMut(usize)) {
+        self.for_each_one_in(0..self.len, f);
+    }
+
+    /// [`for_each_one`](Self::for_each_one) restricted to the bit range
+    /// `range` — each pool thread walks its own block word-at-a-time.
+    #[inline]
+    pub fn for_each_one_in(&self, range: std::ops::Range<usize>, mut f: impl FnMut(usize)) {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len);
+        if start >= end {
+            return;
+        }
+        for w in start / 64..end.div_ceil(64) {
+            let mut bits = self.masked_word(w, start, end);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(w * 64 + b);
+            }
+        }
+    }
+
+    /// Sets every bit in `range` with whole-word stores (edge words via
+    /// read-modify-write of this thread's own view). Unsynchronized:
+    /// the caller must own every *word* the range touches — partition
+    /// with [`word_range_of`](Self::word_range_of) so range boundaries
+    /// fall on word boundaries, or fill from a single thread.
+    pub fn fill_range_unsync(&self, range: std::ops::Range<usize>) {
+        self.bulk_range_unsync(range, true);
+    }
+
+    /// Clears every bit in `range`; same ownership contract as
+    /// [`fill_range_unsync`](Self::fill_range_unsync).
+    pub fn clear_range_unsync(&self, range: std::ops::Range<usize>) {
+        self.bulk_range_unsync(range, false);
+    }
+
+    fn bulk_range_unsync(&self, range: std::ops::Range<usize>, value: bool) {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len);
+        if start >= end {
+            return;
+        }
+        for w in start / 64..end.div_ceil(64) {
+            // Mask of the range's bits within this word.
+            let mut mask = !0u64;
+            if w == start / 64 {
+                mask &= !0u64 << (start % 64);
+            }
+            if (w + 1) * 64 > end {
+                mask &= (!0u64) >> ((64 - end % 64) % 64);
+            }
+            let old = self.load_word(w);
+            let new = if value { old | mask } else { old & !mask };
+            self.lines[w / WORDS_PER_LINE].0[w % WORDS_PER_LINE].store(new, Ordering::Relaxed);
+        }
     }
 
     /// Indices of the set bits, ascending, over the whole bitmap.
@@ -258,6 +390,86 @@ mod tests {
         for t in 0..5 {
             got.extend(bm.iter_ones_in(crate::pool::block_range(t, 5, 1031)));
         }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn for_each_one_matches_iter_ones_on_ranges() {
+        let bm = Bitmap::new(1031);
+        for i in (0..1031).filter(|i| i % 5 == 2 || i % 97 == 0) {
+            bm.set(i);
+        }
+        for (a, b) in [
+            (0, 1031),
+            (0, 0),
+            (5, 64),
+            (63, 65),
+            (64, 128),
+            (100, 259),
+            (1000, 2000),
+        ] {
+            let mut got = vec![];
+            bm.for_each_one_in(a..b, |i| got.push(i));
+            let want: Vec<usize> = bm.iter_ones_in(a..b).collect();
+            assert_eq!(got, want, "range {a}..{b}");
+            assert_eq!(bm.count_ones_in(a..b), want.len() as u64, "range {a}..{b}");
+        }
+        let mut all = vec![];
+        bm.for_each_one(|i| all.push(i));
+        assert_eq!(all, bm.iter_ones().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn word_access_roundtrip() {
+        let bm = Bitmap::new(200);
+        bm.store_word_unsync(1, 0b1011);
+        assert!(bm.test(64) && !bm.test(66) && bm.test(67));
+        assert_eq!(bm.load_word(1), 0b1011);
+        assert_eq!(bm.words(), 4);
+        assert_eq!(Bitmap::word_range_of(5..130), 0..3);
+        assert_eq!(Bitmap::word_range_of(64..128), 1..2);
+    }
+
+    #[test]
+    fn fill_and_clear_ranges() {
+        let bm = Bitmap::new(300);
+        bm.fill_range_unsync(10..200);
+        assert_eq!(bm.count_ones(), 190);
+        assert!(!bm.test(9) && bm.test(10) && bm.test(199) && !bm.test(200));
+        bm.clear_range_unsync(63..129);
+        assert_eq!(bm.count_ones(), 190 - (129 - 63));
+        assert!(bm.test(62) && !bm.test(63) && !bm.test(128) && bm.test(129));
+        // Ranges past the end are clamped.
+        bm.fill_range_unsync(290..400);
+        assert!(bm.test(299));
+        bm.clear_range_unsync(0..10_000);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn word_partitioned_parallel_fill_is_race_free() {
+        let n = 4099;
+        let bm = Bitmap::new(n);
+        let pool = Pool::new(4);
+        pool.run(|ctx| {
+            // Word-aligned ownership: each thread stores whole words.
+            let words = Bitmap::word_range_of(0..n);
+            let my = ctx.block_range_of(words);
+            for w in my {
+                let hi = (w * 64 + 64).min(n);
+                let mut bits = 0u64;
+                for i in w * 64..hi {
+                    if i % 3 == 0 {
+                        bits |= 1 << (i % 64);
+                    }
+                }
+                bm.store_word_unsync(w, bits);
+            }
+        });
+        let want: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+        assert_eq!(bm.count_ones() as usize, want.len());
+        let mut got = vec![];
+        bm.for_each_one(|i| got.push(i));
         assert_eq!(got, want);
     }
 
