@@ -8,7 +8,10 @@
 //!           [--input <graph file>] [--out <path>]
 //! bcc-bench prims [grid flags]
 //! bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]
+//!           [--rss-threshold <pct>]
 //! bcc-bench ingest <graph file> [--keep <out.bccsr>]
+//! bcc-bench xl --graph <family>=<path> [--graph ...] [--p <max threads>]
+//!           [--trials <k>] [--tv-cap <n>] [--smoke] [--out <path>]
 //! ```
 //!
 //! The default run sweeps every graph family × every algorithm ×
@@ -42,6 +45,10 @@
 //! components from both the in-memory and the mmap-backed graph, and
 //! exits non-zero unless the labelings match bit-for-bit — reporting
 //! peak RSS of the from-disk build against the CSR file size.
+//! `xl` is the 10M-vertex-class tier (`bcc_bench::xl`): it sweeps
+//! mmap-backed `.bccsr` inputs from `bcc-convert gen`, gates
+//! `peak_rss_bytes` alongside time, and caps the O(m)-scratch
+//! pipelines at `--tv-cap` vertices while FAST-BCC runs everywhere.
 
 use bcc_bench::grid::{self, GridConfig};
 use bcc_bench::json;
@@ -62,6 +69,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("prims") {
         return run_grid_cli(&args[1..], true);
     }
+    if args.first().map(String::as_str) == Some("xl") {
+        return run_xl_cli(&args[1..]);
+    }
     run_grid_cli(&args, false)
 }
 
@@ -69,9 +79,64 @@ fn bad_usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
     eprintln!("usage: bcc-bench [--smoke] [--n <vertices>] [--p <max threads>] [--trials <k>] [--seed <u64>] [--tuning <spec,spec,...>] [--workspace on|off|both] [--store on|off] [--serve on|off|only] [--prims on|off|only] [--input <graph file>] [--out <path>]");
     eprintln!("       bcc-bench prims [grid flags]   (shorthand for --prims only)");
-    eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>]");
+    eprintln!("       bcc-bench compare <baseline.json> <candidate.json> [--threshold <pct>] [--rss-threshold <pct>]");
     eprintln!("       bcc-bench ingest <graph file> [--keep <out.bccsr>]");
+    eprintln!("       bcc-bench xl --graph <family>=<path> [--graph ...] [--p <max threads>] [--trials <k>] [--tv-cap <n>] [--smoke] [--out <path>]");
     ExitCode::from(2)
+}
+
+fn run_xl_cli(args: &[String]) -> ExitCode {
+    let mut cfg = bcc_bench::xl::XlConfig::default();
+    let mut out = String::from("BENCH_xl.json");
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        if key == "--smoke" {
+            cfg.smoke = true;
+            i += 1;
+            continue;
+        }
+        let Some(val) = args.get(i + 1) else {
+            return bad_usage(&format!("missing value for {key}"));
+        };
+        let parsed = match key {
+            "--graph" => match val.split_once('=') {
+                Some((family, path)) if !family.is_empty() && !path.is_empty() => {
+                    cfg.inputs.push(bcc_bench::xl::XlInput {
+                        family: family.to_string(),
+                        path: PathBuf::from(path),
+                    });
+                    true
+                }
+                _ => return bad_usage(&format!("--graph needs <family>=<path>, got {val:?}")),
+            },
+            "--p" => val
+                .parse()
+                .map(|p| cfg.threads = grid::thread_sweep(p))
+                .is_ok(),
+            "--trials" => val.parse().map(|t| cfg.trials = t).is_ok(),
+            "--tv-cap" => val.parse().map(|c| cfg.tv_cap = c).is_ok(),
+            "--out" => {
+                out = val.clone();
+                true
+            }
+            other => return bad_usage(&format!("unknown flag {other}")),
+        };
+        if !parsed {
+            return bad_usage(&format!("bad value for {key}: {val}"));
+        }
+        i += 2;
+    }
+    if cfg.inputs.is_empty() {
+        return bad_usage("xl needs at least one --graph <family>=<path>");
+    }
+    let doc = bcc_bench::xl::run_xl(&cfg, |line| eprintln!("{line}"));
+    if let Err(e) = std::fs::write(&out, doc.pretty()) {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
 }
 
 fn run_grid_cli(args: &[String], prims_only: bool) -> ExitCode {
@@ -387,15 +452,18 @@ fn run_ingest(args: &[String]) -> ExitCode {
 fn run_compare(args: &[String]) -> ExitCode {
     let mut paths: Vec<&String> = vec![];
     let mut threshold = 25.0f64;
+    let mut rss_threshold = 25.0f64;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--threshold" {
+        if args[i] == "--threshold" || args[i] == "--rss-threshold" {
+            let flag = &args[i];
             let Some(val) = args.get(i + 1) else {
-                return bad_usage("missing value for --threshold");
+                return bad_usage(&format!("missing value for {flag}"));
             };
             match val.parse() {
-                Ok(t) => threshold = t,
-                Err(_) => return bad_usage(&format!("bad value for --threshold: {val}")),
+                Ok(t) if flag == "--threshold" => threshold = t,
+                Ok(t) => rss_threshold = t,
+                Err(_) => return bad_usage(&format!("bad value for {flag}: {val}")),
             }
             i += 2;
         } else {
@@ -417,25 +485,39 @@ fn run_compare(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match grid::compare(&base, &cand, threshold) {
+    match grid::compare(&base, &cand, threshold, rss_threshold) {
         Err(e) => {
             eprintln!("compare failed: {e}");
             ExitCode::FAILURE
         }
         Ok(regressions) if regressions.is_empty() => {
-            eprintln!("no regressions above {threshold}% ({base_path} -> {cand_path})");
+            eprintln!(
+                "no regressions above {threshold}% time / {rss_threshold}% rss \
+                 ({base_path} -> {cand_path})"
+            );
             ExitCode::SUCCESS
         }
         Ok(regressions) => {
             eprintln!(
-                "{} cell(s) regressed by more than {threshold}%:",
+                "{} cell(s) regressed (thresholds: {threshold}% time, {rss_threshold}% rss):",
                 regressions.len()
             );
             for r in &regressions {
-                eprintln!(
-                    "  {:<40} {:>10.6}s -> {:>10.6}s  (+{:.1}%)",
-                    r.key, r.baseline, r.candidate, r.slowdown_pct
-                );
+                if r.metric == "peak_rss_bytes" {
+                    const MIB: f64 = 1024.0 * 1024.0;
+                    eprintln!(
+                        "  {:<40} [rss] {:>9.1} MiB -> {:>9.1} MiB  (+{:.1}%)",
+                        r.key,
+                        r.baseline / MIB,
+                        r.candidate / MIB,
+                        r.slowdown_pct
+                    );
+                } else {
+                    eprintln!(
+                        "  {:<40} {:>10.6}s -> {:>10.6}s  (+{:.1}%)",
+                        r.key, r.baseline, r.candidate, r.slowdown_pct
+                    );
+                }
             }
             ExitCode::FAILURE
         }

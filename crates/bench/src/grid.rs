@@ -295,10 +295,11 @@ pub(crate) fn median_f64(mut xs: Vec<f64>) -> f64 {
 }
 
 /// Field-wise medians over one cell's trial reports, flattened to the
-/// JSON entry layout.
+/// JSON entry layout. Shared with the xl tier ([`crate::xl`]), which
+/// names its families after the streamed inputs rather than [`Family`].
 #[allow(clippy::too_many_arguments)]
-fn cell_json(
-    family: Family,
+pub(crate) fn cell_json(
+    family: &str,
     g: &Graph,
     threads: usize,
     reports: &[PhaseReport],
@@ -334,7 +335,7 @@ fn cell_json(
         })
         .collect();
     let mut fields = vec![
-        ("family", Json::str(family.name())),
+        ("family", Json::str(family)),
         ("algorithm", Json::str(reports[0].algorithm)),
         ("n", Json::num(g.n())),
         ("m", Json::num(g.m() as f64)),
@@ -401,7 +402,15 @@ fn cell_json(
             "bfs_bottom_up_levels",
             Json::num(stats.bfs_bottom_up_levels),
         ));
-        fields.push(("bfs_directions", Json::str(stats.bfs_directions.clone())));
+        // One char per BFS level; a pathological-diameter input would
+        // otherwise dump megabytes of 'T's into the document, so cap it
+        // (the level count is always exact in `bfs_levels`).
+        let mut dirs = stats.bfs_directions.clone();
+        if dirs.len() > 96 {
+            dirs.truncate(96);
+            dirs.push('+');
+        }
+        fields.push(("bfs_directions", Json::str(dirs)));
     }
     Json::obj(fields)
 }
@@ -1012,7 +1021,7 @@ fn run_algorithm_cells(
         }
         let ws_on = cell.workspace.as_ref().map(Option::is_some);
         entries.push(cell_json(
-            *family,
+            family.name(),
             g,
             p,
             reports,
@@ -1049,11 +1058,15 @@ fn run_algorithm_cells(
 pub struct Regression {
     /// `family/algorithm/n/threads` key of the offending entry.
     pub key: String,
-    /// Baseline median seconds.
+    /// Which gated metric regressed: `"seconds_min"` (time) or
+    /// `"peak_rss_bytes"` (space).
+    pub metric: &'static str,
+    /// Baseline value, in the metric's unit (seconds or bytes).
     pub baseline: f64,
-    /// Candidate median seconds.
+    /// Candidate value, in the metric's unit.
     pub candidate: f64,
-    /// Slowdown in percent (`(candidate/baseline - 1) * 100`).
+    /// Regression in percent (`(candidate/baseline - 1) * 100`,
+    /// calibration applied for the time metric).
     pub slowdown_pct: f64,
 }
 
@@ -1124,6 +1137,13 @@ fn entry_key(e: &Json) -> Option<String> {
 /// `max(threshold_pct, MIN_ABS_REGRESSION_SECS)`.
 const MIN_ABS_REGRESSION_SECS: f64 = 50e-6;
 
+/// Peak-RSS growth smaller than this many bytes never flags: allocator
+/// arena rounding, thread-stack placement, and page-cache attribution
+/// move small processes by a few MiB run to run. 16 MiB is far above
+/// that jitter and far below the O(m) arrays whose accidental return
+/// the space gate exists to catch at xl sizes.
+const MIN_ABS_RSS_REGRESSION_BYTES: f64 = 16.0 * 1024.0 * 1024.0;
+
 /// Compares two BENCH documents; entries are matched by
 /// `(family, algorithm, n, threads[, tuning])` and flagged when the
 /// candidate's `seconds_min` (falling back to the median `seconds` for
@@ -1141,12 +1161,25 @@ const MIN_ABS_REGRESSION_SECS: f64 = 50e-6;
 /// also exceed [`MIN_ABS_REGRESSION_SECS`]. Entries present on only
 /// one side are skipped (grids of different sizes — or a v1 baseline
 /// against a v2 candidate — stay comparable on their shared cells).
+///
+/// `peak_rss_bytes` is gated as a **second, independent metric** under
+/// `rss_threshold_pct` on every shared cell where *both* documents
+/// carry it (a baseline that predates the field — or a non-Linux host
+/// that omits it — is tolerated, its cells simply aren't space-gated).
+/// Peak RSS needs no machine-speed calibration: it measures the
+/// algorithm's working set, not the host's clock — so the gate is a
+/// plain ratio test with its own absolute floor
+/// ([`MIN_ABS_RSS_REGRESSION_BYTES`]), which keeps small-process
+/// allocator jitter quiet while catching an accidentally-rematerialized
+/// O(m) array at xl sizes.
 pub fn compare(
     baseline: &Json,
     candidate: &Json,
     threshold_pct: f64,
+    rss_threshold_pct: f64,
 ) -> Result<Vec<Regression>, CompareError> {
-    let doc = |j: &Json, which| -> Result<Vec<(String, f64)>, CompareError> {
+    type Entries = Vec<(String, f64, Option<f64>)>;
+    let doc = |j: &Json, which| -> Result<Entries, CompareError> {
         let entries = j
             .get("entries")
             .and_then(Json::as_arr)
@@ -1162,7 +1195,8 @@ pub fn compare(
                     .and_then(Json::as_f64)
                     .or_else(|| e.get("seconds").and_then(Json::as_f64))
                     .ok_or(CompareError::MalformedDocument(which))?;
-                Ok((key, secs))
+                let rss = e.get("peak_rss_bytes").and_then(Json::as_f64);
+                Ok((key, secs, rss))
             })
             .collect()
     };
@@ -1184,8 +1218,8 @@ pub fn compare(
     let family_of = |key: &str| key.split('/').next().unwrap_or("").to_string();
     let shared: Vec<(&String, f64, f64)> = base
         .iter()
-        .filter_map(|(key, b)| {
-            let (_, c) = cand.iter().find(|(k, _)| k == key)?;
+        .filter_map(|(key, b, _)| {
+            let (_, c, _) = cand.iter().find(|(k, _, _)| k == key)?;
             (*b > 0.0).then_some((key, *b, *c))
         })
         .collect();
@@ -1219,9 +1253,30 @@ pub fn compare(
         {
             regressions.push(Regression {
                 key: (*key).clone(),
+                metric: "seconds_min",
                 baseline: *b,
                 candidate: *c,
                 slowdown_pct: (c / calibrated - 1.0) * 100.0,
+            });
+        }
+    }
+    // The space gate: uncalibrated ratio test on cells where both
+    // sides report the watermark.
+    for (key, _, b_rss) in &base {
+        let Some((_, _, Some(c_rss))) = cand.iter().find(|(k, _, _)| k == key) else {
+            continue;
+        };
+        let Some(b_rss) = b_rss else { continue };
+        if *b_rss > 0.0
+            && c_rss / b_rss > 1.0 + rss_threshold_pct / 100.0
+            && c_rss - b_rss > MIN_ABS_RSS_REGRESSION_BYTES
+        {
+            regressions.push(Regression {
+                key: key.clone(),
+                metric: "peak_rss_bytes",
+                baseline: *b_rss,
+                candidate: *c_rss,
+                slowdown_pct: (c_rss / b_rss - 1.0) * 100.0,
             });
         }
     }
@@ -1451,8 +1506,8 @@ mod tests {
             assert!(d >= 1 && d <= levels, "diameter {d} vs levels {levels}");
         }
         let entries = parsed.get("entries").and_then(Json::as_arr).unwrap();
-        // families × threads × (Sequential + 3 parallel × |tunings|).
-        assert_eq!(entries.len(), 4 * 2 * (1 + 3));
+        // families × threads × (Sequential + 4 parallel × |tunings|).
+        assert_eq!(entries.len(), 4 * 2 * (1 + 4));
         let mut algs_seen = std::collections::BTreeSet::new();
         for e in entries {
             algs_seen.insert(e.get("algorithm").and_then(Json::as_str).unwrap());
@@ -1512,8 +1567,8 @@ mod tests {
             TraversalTuning::fast(),
         ]);
         let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
-        // Sequential once, 3 parallel algorithms × 2 tunings.
-        assert_eq!(entries.len(), 4 * 2 * (1 + 3 * 2));
+        // Sequential once, 4 parallel algorithms × 2 tunings.
+        assert_eq!(entries.len(), 4 * 2 * (1 + 4 * 2));
         // Keys stay unique (the tuning disambiguates the ablation cells).
         let keys: std::collections::BTreeSet<String> =
             entries.iter().map(|e| entry_key(e).unwrap()).collect();
@@ -1543,8 +1598,8 @@ mod tests {
         let doc = tiny_grid_full(vec![TraversalTuning::fast()], WorkspaceMode::Both, 2);
         assert_eq!(doc.get("workspace").and_then(Json::as_str), Some("both"));
         let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
-        // Sequential once, 3 parallel algorithms × 2 workspace points.
-        assert_eq!(entries.len(), 4 * 2 * (1 + 3 * 2));
+        // Sequential once, 4 parallel algorithms × 2 workspace points.
+        assert_eq!(entries.len(), 4 * 2 * (1 + 4 * 2));
         // Keys stay unique; exactly the off-cells carry the suffix.
         let keys: Vec<String> = entries.iter().map(|e| entry_key(e).unwrap()).collect();
         assert_eq!(
@@ -1595,8 +1650,8 @@ mod tests {
         assert_eq!(fams[0].get("family").and_then(Json::as_str), Some("file"));
         assert_eq!(fams[0].get("n").and_then(Json::as_u64), Some(60));
         let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
-        // One family × 2 thread counts × (Sequential + 3 parallel).
-        assert_eq!(entries.len(), 2 * (1 + 3));
+        // One family × 2 thread counts × (Sequential + 4 parallel).
+        assert_eq!(entries.len(), 2 * (1 + 4));
         let rss_available = bcc_smp::rss::reset_peak().is_ok();
         for e in entries {
             assert_eq!(e.get("family").and_then(Json::as_str), Some("file"));
@@ -1659,12 +1714,12 @@ mod tests {
         let base = tiny_grid();
         // Inject a 50%+ slowdown into exactly one entry.
         let slowed = rescale_entries(&base, &|i, s| if i == 5 { s * 1.5 + 1.0 } else { s });
-        assert_eq!(compare(&base, &base, 10.0).unwrap(), vec![]);
-        let regs = compare(&base, &slowed, 25.0).unwrap();
+        assert_eq!(compare(&base, &base, 10.0, 25.0).unwrap(), vec![]);
+        let regs = compare(&base, &slowed, 25.0, 25.0).unwrap();
         assert_eq!(regs.len(), 1, "exactly the injected cell: {regs:?}");
         assert!(regs[0].slowdown_pct > 25.0);
         // The reverse direction (speedup) is not a regression.
-        assert_eq!(compare(&slowed, &base, 25.0).unwrap(), vec![]);
+        assert_eq!(compare(&slowed, &base, 25.0, 25.0).unwrap(), vec![]);
     }
 
     #[test]
@@ -1674,13 +1729,76 @@ mod tests {
         // stay quiet — and still catch a cell that regressed on top of
         // the drift.
         let drifted = rescale_entries(&base, &|_, s| s * 2.0);
-        assert_eq!(compare(&base, &drifted, 10.0).unwrap(), vec![]);
+        assert_eq!(compare(&base, &drifted, 10.0, 25.0).unwrap(), vec![]);
         // Drift plus one real (large, past the absolute noise floor)
         // regression: exactly that cell flags.
         let drifted_plus =
             rescale_entries(&base, &|i, s| if i == 3 { s * 6.0 + 1.0 } else { s * 2.0 });
-        let regs = compare(&base, &drifted_plus, 25.0).unwrap();
+        let regs = compare(&base, &drifted_plus, 25.0, 25.0).unwrap();
         assert_eq!(regs.len(), 1, "exactly the regressed cell: {regs:?}");
+    }
+
+    /// Sets `peak_rss_bytes` on every entry to `f(index)` (None removes
+    /// the field — a baseline predating the metric).
+    fn with_rss(doc: &Json, f: &dyn Fn(usize) -> Option<f64>) -> Json {
+        let mut out = doc.clone();
+        if let Json::Obj(fields) = &mut out {
+            let entries = fields
+                .iter_mut()
+                .find(|(k, _)| k == "entries")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Json::Arr(list) = entries {
+                for (i, e) in list.iter_mut().enumerate() {
+                    if let Json::Obj(entry) = e {
+                        entry.retain(|(k, _)| k != "peak_rss_bytes");
+                        if let Some(v) = f(i) {
+                            entry.push(("peak_rss_bytes".to_string(), Json::num(v)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn compare_gates_peak_rss_as_a_second_metric() {
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        let plain = tiny_grid();
+        let base = with_rss(&plain, &|_| Some(GIB));
+        // Identical RSS: quiet.
+        assert_eq!(compare(&base, &base, 10.0, 25.0).unwrap(), vec![]);
+        // One cell grows 2x (past both the ratio and the 16 MiB
+        // floor): exactly it flags, on the space metric, with the raw
+        // byte values.
+        let bloated = with_rss(&plain, &|i| Some(if i == 4 { 2.0 * GIB } else { GIB }));
+        let regs = compare(&base, &bloated, 10.0, 25.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "peak_rss_bytes");
+        assert_eq!(regs[0].baseline, GIB);
+        assert_eq!(regs[0].candidate, 2.0 * GIB);
+        assert!((regs[0].slowdown_pct - 100.0).abs() < 1e-9);
+        // Under the ratio threshold: quiet.
+        let mild = with_rss(&plain, &|_| Some(1.2 * GIB));
+        assert_eq!(compare(&base, &mild, 10.0, 25.0).unwrap(), vec![]);
+        // Over the ratio but under the absolute floor (small process):
+        // quiet.
+        let tiny = with_rss(&plain, &|_| Some(8.0 * 1024.0 * 1024.0));
+        let tiny_grown = with_rss(&plain, &|_| Some(14.0 * 1024.0 * 1024.0));
+        assert_eq!(compare(&tiny, &tiny_grown, 10.0, 25.0).unwrap(), vec![]);
+        // Missing on either side (old baseline, non-Linux candidate):
+        // tolerated, not flagged.
+        let absent = with_rss(&plain, &|_| None);
+        assert_eq!(compare(&absent, &bloated, 10.0, 25.0).unwrap(), vec![]);
+        assert_eq!(compare(&bloated, &absent, 10.0, 25.0).unwrap(), vec![]);
+        // Shrinking is not a regression.
+        assert_eq!(compare(&bloated, &base, 10.0, 25.0).unwrap(), vec![]);
+        // Time regressions still gate independently of RSS parity.
+        let slowed = rescale_entries(&base, &|i, s| if i == 5 { s * 1.5 + 1.0 } else { s });
+        let regs = compare(&base, &slowed, 25.0, 25.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "seconds_min");
     }
 
     #[test]
@@ -1688,7 +1806,7 @@ mod tests {
         let good = tiny_grid();
         let junk = crate::json::parse("{\"entries\": [{}]}").unwrap();
         assert!(matches!(
-            compare(&junk, &junk, 10.0),
+            compare(&junk, &junk, 10.0, 25.0),
             Err(CompareError::SchemaMismatch) | Err(CompareError::MalformedDocument(_))
         ));
         let mut other = good.clone();
@@ -1700,7 +1818,7 @@ mod tests {
             }
         }
         assert_eq!(
-            compare(&good, &other, 10.0),
+            compare(&good, &other, 10.0, 25.0),
             Err(CompareError::SchemaMismatch)
         );
         // A v1 document is still readable against a v2 one (matching
@@ -1713,7 +1831,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(compare(&v1, &good, 10.0), Ok(vec![]));
+        assert_eq!(compare(&v1, &good, 10.0, 25.0), Ok(vec![]));
     }
 
     #[test]

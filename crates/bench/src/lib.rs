@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 pub mod grid;
 pub mod json;
 pub mod prims;
+pub mod xl;
 
 use json::Json;
 

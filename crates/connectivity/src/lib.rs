@@ -31,7 +31,8 @@ pub use as_sync::awerbuch_shiloach;
 pub use bfs::{bfs_tree, bfs_tree_par, bfs_tree_seq, bfs_tree_ws, BfsDirection, BfsTree};
 pub use boruvka::{minimum_spanning_forest, MsfResult, WeightedEdge};
 pub use sv::{
-    connected_components, connected_components_with, connected_components_with_ws, SvResult,
+    connected_components, connected_components_masked_with_ws, connected_components_with,
+    connected_components_with_ws, SvResult,
 };
 pub use traversal::work_stealing_tree;
 pub use tuning::{BfsStrategy, SvVariant, TraversalTuning};

@@ -100,6 +100,28 @@ pub fn connected_components_with_ws(
     connected_components_impl(pool, n, edges, variant, Some(ws))
 }
 
+/// [`connected_components_with_ws`] restricted to the edge subset where
+/// `keep(i)` is true, without materializing that subset.
+///
+/// The recorded `tree_edges` index the **full** input list, so callers
+/// filtering a graph in place (FAST-BCC masks out BFS-tree edges to
+/// find its certificate's non-tree forest) get original edge ids back
+/// with zero O(m) scratch — the predicate replaces the compacted copy
+/// the TV-filter pipeline builds.
+pub fn connected_components_masked_with_ws(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    keep: &(impl Fn(usize) -> bool + Sync),
+    variant: SvVariant,
+    ws: &BccWorkspace,
+) -> SvResult {
+    match variant {
+        SvVariant::Classic => classic_sv(pool, n, edges, keep, Some(ws)),
+        SvVariant::FastSv => fast_sv(pool, n, edges, keep, Some(ws)),
+    }
+}
+
 fn connected_components_impl(
     pool: &Pool,
     n: u32,
@@ -108,13 +130,19 @@ fn connected_components_impl(
     ws: Option<&BccWorkspace>,
 ) -> SvResult {
     match variant {
-        SvVariant::Classic => classic_sv(pool, n, edges, ws),
-        SvVariant::FastSv => fast_sv(pool, n, edges, ws),
+        SvVariant::Classic => classic_sv(pool, n, edges, &|_| true, ws),
+        SvVariant::FastSv => fast_sv(pool, n, edges, &|_| true, ws),
     }
 }
 
 /// The classic synchronous graft-and-shortcut rounds (paper §3.2).
-fn classic_sv(pool: &Pool, n: u32, edges: &[Edge], ws: Option<&BccWorkspace>) -> SvResult {
+fn classic_sv(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    keep: &(impl Fn(usize) -> bool + Sync),
+    ws: Option<&BccWorkspace>,
+) -> SvResult {
     let n_us = n as usize;
     let m = edges.len();
     let mut label: Vec<u32> = alloc_iota(ws, n_us);
@@ -147,6 +175,9 @@ fn classic_sv(pool: &Pool, n: u32, edges: &[Edge], ws: Option<&BccWorkspace>) ->
                 // --- graft phase ---
                 let mut local_changed = false;
                 for i in ctx.block_range(m) {
+                    if !keep(i) {
+                        continue;
+                    }
                     let e = edges[i];
                     let ru = find_root(label_a, e.u);
                     let rv = find_root(label_a, e.v);
@@ -207,7 +238,13 @@ fn classic_sv(pool: &Pool, n: u32, edges: &[Edge], ws: Option<&BccWorkspace>) ->
 
 /// FastSV-style asynchronous hooking: one sweep over the edges with
 /// in-place CAS retry and path compaction, then one flattening pass.
-fn fast_sv(pool: &Pool, n: u32, edges: &[Edge], ws: Option<&BccWorkspace>) -> SvResult {
+fn fast_sv(
+    pool: &Pool,
+    n: u32,
+    edges: &[Edge],
+    keep: &(impl Fn(usize) -> bool + Sync),
+    ws: Option<&BccWorkspace>,
+) -> SvResult {
     let n_us = n as usize;
     let m = edges.len();
     let mut label: Vec<u32> = alloc_iota(ws, n_us);
@@ -221,6 +258,9 @@ fn fast_sv(pool: &Pool, n: u32, edges: &[Edge], ws: Option<&BccWorkspace>) -> Sv
         pool.run(|ctx| {
             // --- single hooking sweep: resolve each edge to completion ---
             for i in ctx.block_range(m) {
+                if !keep(i) {
+                    continue;
+                }
                 let e = edges[i];
                 loop {
                     let ru = find_root_compact(label_a, e.u);
@@ -576,6 +616,55 @@ mod tests {
             again.recycle(&ws);
             let delta = ws.stats().delta_since(&before);
             assert_eq!(delta.misses, 0, "steady-state rerun must not miss");
+        }
+    }
+
+    #[test]
+    fn masked_matches_materialized_subset() {
+        // Keep only even-indexed edges; the masked run must agree with
+        // running on the physically filtered list, and its tree_edges
+        // must index the full list (all even, and only kept edges).
+        let ws = BccWorkspace::new();
+        for seed in 0..3u64 {
+            let g = gen::random_gnm(200, 500, seed);
+            let subset: Vec<Edge> = g
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 0)
+                .map(|(_, &e)| e)
+                .collect();
+            for variant in VARIANTS {
+                for p in [1, 4] {
+                    let pool = Pool::new(p);
+                    let masked = connected_components_masked_with_ws(
+                        &pool,
+                        g.n(),
+                        g.edges(),
+                        &|i| i % 2 == 0,
+                        variant,
+                        &ws,
+                    );
+                    let dense = connected_components_with(&pool, g.n(), &subset, variant);
+                    assert_eq!(masked.num_components, dense.num_components, "{variant:?}");
+                    assert_eq!(masked.tree_edges.len(), dense.tree_edges.len());
+                    for &i in &masked.tree_edges {
+                        assert_eq!(i % 2, 0, "tree edge {i} was masked out");
+                    }
+                    // Same partition.
+                    for v in 0..g.n() as usize {
+                        for w in 0..g.n() as usize {
+                            if v < w {
+                                assert_eq!(
+                                    masked.label[v] == masked.label[w],
+                                    dense.label[v] == dense.label[w],
+                                );
+                            }
+                        }
+                    }
+                    masked.recycle(&ws);
+                }
+            }
         }
     }
 

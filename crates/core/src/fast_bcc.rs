@@ -1,0 +1,297 @@
+//! FAST-BCC: skeleton-based, space-efficient biconnectivity (Dong,
+//! Wang, Gu & Sun, "Provably Fast and Space-Efficient Parallel
+//! Biconnectivity", adapted to this codebase's BFS + FastSV substrate).
+//!
+//! The TV pipelines all pay for Euler-tour machinery — tour arc arrays,
+//! list ranking, and (for deep trees) an O(n log n) sparse table for
+//! low/high — plus, in TV-filter's case, O(m) scratch to materialize
+//! the candidate edge list. FAST-BCC keeps TV-filter's *certificate*
+//! idea and deletes all of that machinery:
+//!
+//! 1. **Skeleton** — a BFS spanning tree T (the existing
+//!    direction-optimizing BFS). Lemma 1 of the paper (§4) requires a
+//!    BFS tree for certificate correctness, so this is unchanged.
+//! 2. **Tags** — preorder, subtree size, and depth are computed
+//!    *directly on the BFS tree* by level-synchronous sweeps
+//!    ([`bcc_euler::bfs_tree_info_ws`]): a BFS tree's levels are
+//!    depths, so sizes aggregate bottom-up and preorder numbers
+//!    distribute top-down, one O(n)-work round per level. No tour, no
+//!    ranking.
+//! 3. **Certificate** — a spanning forest F of G − T found by running
+//!    FastSV over the *full* edge list with tree edges masked out by an
+//!    O(1) predicate ([`connected_components_masked_with_ws`]); the
+//!    certificate T ∪ F (≤ 2(n−1) edges) replaces G for the tail. No
+//!    compacted candidate copy, no id-remap table — the masked run
+//!    reports original edge ids.
+//! 4. **Tail** — the shared low/high → fused label-edge → FastSV tail
+//!    on the certificate, with the low/high kernel pinned to the O(n)
+//!    level sweep (the auto heuristic may pick the O(n log n) table on
+//!    deep trees, which would break the space bound; the sweep's
+//!    O(depth) rounds are the documented trade).
+//! 5. **Placement** — every edge outside the certificate is a nontree
+//!    edge of T, and aux-graph condition 1 links each nontree edge's
+//!    larger-preorder endpoint x to that edge's aux vertex, so after
+//!    connectivity `aux_label[x]` *is* its component: placement is O(1)
+//!    per edge with zero O(m) scratch.
+//!
+//! Peak auxiliary space is therefore O(n): the BFS arrays, the tree
+//! tags, the certificate, low/high, and the aux graph are all a few
+//! words per vertex. The only O(m)-sized allocations are the ones every
+//! pipeline shares — the CSR adjacency (input preparation) and the
+//! result itself (one label per edge) — with zero O(m) scratch stacked
+//! on top. This is what the `bcc-bench xl` tier measures at n = 10M+.
+
+use crate::low_high::LowHighMethod;
+use crate::phase::{PhaseRecorder, PipelineStats, Step};
+use crate::pipeline::{finalize, trivial_result, tv_tail, BccError, BccResult};
+use bcc_connectivity::bfs::bfs_tree_ws;
+use bcc_connectivity::sv::connected_components_masked_with_ws;
+use bcc_connectivity::tuning::TraversalTuning;
+use bcc_connectivity::BfsDirection;
+use bcc_euler::bfs_tree_info_ws;
+use bcc_graph::{Csr, Edge, Graph};
+use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
+use std::time::Instant;
+
+/// The FAST-BCC pipeline on a connected graph (dispatched from
+/// [`crate::pipeline::run_connected`] for [`crate::Algorithm::FastBcc`]).
+pub(crate) fn fast_bcc_impl(
+    pool: &Pool,
+    g: &Graph,
+    tuning: TraversalTuning,
+    ws: &BccWorkspace,
+    rec: &mut PhaseRecorder,
+) -> Result<BccResult, BccError> {
+    let start = Instant::now();
+    let n = g.n();
+    let m = g.m();
+    if let Some(r) = trivial_result(g, start, rec.phases()) {
+        return Ok(r);
+    }
+
+    // Adjacency conversion is shared input preparation (kept out of the
+    // Spanning-tree step for the same reason as TV-filter).
+    let csr = Csr::build_par(pool, g);
+
+    // Step 1: BFS skeleton T.
+    let root = 0u32;
+    let mut bfs = rec.step(Step::SpanningTree, || {
+        bfs_tree_ws(pool, &csr, root, &tuning, ws)
+    });
+    if bfs.reached != n {
+        bfs.recycle(ws);
+        return Err(BccError::Disconnected);
+    }
+
+    // Step 2 (Root-tree): tags straight off the BFS tree.
+    let info = rec.step(Step::RootTree, || {
+        bfs_tree_info_ws(pool, &bfs.parent, &bfs.level, root, ws)
+    });
+
+    // Step 3 (Filtering): certificate T ∪ F. F is a spanning forest of
+    // G − T computed in place — `keep` masks T by an O(1) parent test,
+    // so no candidate list or id remap is ever materialized. The test
+    // is on the parent *pair*, not the edge id: a duplicate of a tree
+    // edge connects its endpoints in G − T without adding any
+    // connectivity beyond T, so letting it into F can displace a real
+    // forest edge and break the certificate (the paper's lemma assumes
+    // a simple graph). Masking every tree-parallel edge restores that
+    // setting; the parallels are placed by the condition-1 rule below,
+    // which gives each exactly its tree twin's label.
+    let parent: &[u32] = &bfs.parent;
+    let parent_eid: &[u32] = &bfs.parent_eid;
+    let (cert_edges, cert_is_tree, forest_rounds) = rec.step(Step::Filtering, || {
+        let edges = g.edges();
+        let forest = connected_components_masked_with_ws(
+            pool,
+            n,
+            edges,
+            &|i| {
+                let e = edges[i];
+                parent[e.u as usize] != e.v && parent[e.v as usize] != e.u
+            },
+            tuning.sv,
+            ws,
+        );
+        let mut cert_edges: Vec<Edge> = ws.take(2 * n as usize);
+        let mut cert_is_tree: Vec<bool> = ws.take(2 * n as usize);
+        for v in 0..n {
+            let eid = parent_eid[v as usize];
+            if eid != NIL {
+                cert_edges.push(edges[eid as usize]);
+                cert_is_tree.push(true);
+            }
+        }
+        for &i in &forest.tree_edges {
+            cert_edges.push(edges[i as usize]);
+            cert_is_tree.push(false);
+        }
+        let forest_rounds = forest.rounds;
+        forest.recycle(ws);
+        (cert_edges, cert_is_tree, forest_rounds)
+    });
+
+    // Steps 4–6 on the certificate, low/high pinned to the level sweep.
+    let tail = tv_tail(
+        pool,
+        n,
+        &cert_edges,
+        &cert_is_tree,
+        &info,
+        tuning,
+        LowHighMethod::LevelSweep,
+        ws,
+        rec,
+    );
+
+    // Placement: tree edges take their child endpoint's aux label;
+    // every other edge — certificate-F and filtered alike — takes its
+    // larger-preorder endpoint's (condition 1 ties that aux vertex to
+    // the edge's own). `comp` escapes as the result, so it is allocated
+    // plain rather than from the workspace.
+    let mut comp = vec![0u32; m];
+    rec.step(Step::Filtering, || {
+        let comp_s = SharedSlice::new(&mut comp);
+        let aux: &[u32] = &tail.aux_vertex_labels;
+        let pre = &info.preorder;
+        pool.run(|ctx| {
+            for i in ctx.block_range(m) {
+                let e = g.edges()[i];
+                let child = if parent_eid[e.u as usize] == i as u32 {
+                    e.u
+                } else if parent_eid[e.v as usize] == i as u32 {
+                    e.v
+                } else {
+                    // Nontree: deeper (larger-preorder) endpoint.
+                    if pre[e.u as usize] > pre[e.v as usize] {
+                        e.u
+                    } else {
+                        e.v
+                    }
+                };
+                unsafe { comp_s.write(i, aux[child as usize]) };
+            }
+        });
+    });
+
+    let stats = PipelineStats {
+        input_edges: m,
+        effective_edges: cert_edges.len(),
+        filtered_edges: m - cert_edges.len(),
+        aux_vertices: tail.aux_vertices,
+        aux_edges: tail.aux_edges,
+        sv_rounds_spanning: forest_rounds,
+        sv_rounds_cc: tail.sv_rounds_cc,
+        bfs_levels: bfs.levels,
+        bfs_bottom_up_levels: bfs.bottom_up_levels(),
+        bfs_directions: bfs
+            .directions
+            .iter()
+            .map(|d| match d {
+                BfsDirection::TopDown => 'T',
+                BfsDirection::BottomUp => 'B',
+            })
+            .collect(),
+        bfs_frontier_sizes: std::mem::take(&mut bfs.frontier_sizes),
+    };
+    info.recycle(ws);
+    bfs.recycle(ws);
+    ws.give(cert_edges);
+    ws.give(cert_is_tree);
+    // `tail.edge_labels` (per-certificate-edge labels) is superseded by
+    // the placement pass; it is a plain allocation, so drop it.
+    drop(tail.edge_labels);
+    ws.give(tail.aux_vertex_labels);
+    Ok(finalize(comp, rec.phases().clone(), stats, start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{sequential_impl, Algorithm, BccConfig};
+    use bcc_graph::{gen, GraphBuilder};
+
+    fn agree(g: &Graph, p: usize) {
+        let pool = Pool::new(p);
+        let base = sequential_impl(g);
+        let r = BccConfig::new(Algorithm::FastBcc)
+            .run(&pool, g)
+            .unwrap()
+            .result;
+        assert_eq!(r.num_components, base.num_components, "count (p={p})");
+        assert_eq!(r.edge_comp, base.edge_comp, "labels (p={p})");
+    }
+
+    #[test]
+    fn families() {
+        for p in [1, 2, 4] {
+            agree(&gen::cycle(12), p);
+            agree(&gen::path(12), p);
+            agree(&gen::star(12), p);
+            agree(&gen::complete(7), p);
+            agree(&gen::torus(3, 5), p);
+            agree(&gen::two_cliques_sharing_vertex(5), p);
+            agree(&gen::cycle_chain(4, 5, 0), p);
+            agree(&gen::random_tree(80, p as u64), p);
+        }
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..6u64 {
+            agree(&gen::random_connected(250, 600, seed), 1);
+            agree(&gen::random_connected(250, 600, seed), 4);
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_share_their_tree_twin_label() {
+        // Parallel edges biconnect their endpoints; the duplicate is a
+        // nontree edge placed via its deeper endpoint's aux label.
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        agree(&g, 2);
+        let pool = Pool::new(2);
+        let r = BccConfig::new(Algorithm::FastBcc)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
+        assert_eq!(r.edge_comp[0], r.edge_comp[1]);
+        assert_ne!(r.edge_comp[0], r.edge_comp[2]);
+    }
+
+    #[test]
+    fn certificate_is_sparse() {
+        let n = 400u32;
+        let g = gen::random_connected(n, 6_000, 3);
+        let pool = Pool::new(2);
+        let r = BccConfig::new(Algorithm::FastBcc)
+            .run(&pool, &g)
+            .unwrap()
+            .result;
+        assert_eq!(r.stats.input_edges, 6_000);
+        assert!(r.stats.effective_edges <= 2 * (n as usize - 1));
+        assert_eq!(
+            r.stats.filtered_edges,
+            r.stats.input_edges - r.stats.effective_edges
+        );
+        assert!(r.stats.bfs_levels >= 2);
+    }
+
+    #[test]
+    fn workspace_steady_state() {
+        use std::sync::Arc;
+        let ws = Arc::new(BccWorkspace::new());
+        let pool = Pool::new(2);
+        let g = gen::random_connected(300, 900, 7);
+        let cfg = BccConfig::new(Algorithm::FastBcc).workspace(Arc::clone(&ws));
+        let first = cfg.run(&pool, &g).unwrap().result;
+        let before = ws.stats();
+        let again = cfg.run(&pool, &g).unwrap().result;
+        assert_eq!(first.edge_comp, again.edge_comp);
+        let delta = ws.stats().delta_since(&before);
+        assert_eq!(delta.misses, 0, "steady-state rerun must not miss");
+    }
+}

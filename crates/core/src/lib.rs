@@ -3,7 +3,7 @@
 //!
 //! Reproduction of Cong & Bader, *An Experimental Study of Parallel
 //! Biconnected Components Algorithms on Symmetric Multiprocessors
-//! (SMPs)*, IPDPS 2005. Four algorithms over a common input
+//! (SMPs)*, IPDPS 2005. Five algorithms over a common input
 //! representation ([`bcc_graph::Graph`], an edge list):
 //!
 //! * [`Algorithm::Sequential`] — Tarjan's DFS baseline ([`tarjan`]).
@@ -14,6 +14,9 @@
 //!   non-essential edges through a BFS tree + spanning forest of the
 //!   remainder, run TV on ≤ 2(n−1) edges, place filtered edges by
 //!   condition 1.
+//! * [`Algorithm::FastBcc`] — the skeleton-based successor
+//!   ([`fast_bcc`]): tree tags computed directly on the BFS tree — no
+//!   Euler tour, no list ranking — for an O(n) auxiliary footprint.
 //!
 //! The entry point is the [`BccConfig`] builder; each run returns the
 //! component labels plus a structured [`PhaseReport`] (per-step times,
@@ -36,6 +39,7 @@
 pub mod aux_graph;
 pub mod block_cut;
 pub mod counting;
+pub mod fast_bcc;
 pub mod low_high;
 pub mod per_component;
 pub mod phase;

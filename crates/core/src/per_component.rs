@@ -156,7 +156,12 @@ mod tests {
                 .result;
             for p in [1, 3] {
                 let pool = Pool::new(p);
-                for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+                for alg in [
+                    Algorithm::TvSmp,
+                    Algorithm::TvOpt,
+                    Algorithm::TvFilter,
+                    Algorithm::FastBcc,
+                ] {
                     let r = BccConfig::new(alg).run_any(&pool, &g).unwrap().result;
                     assert_eq!(r.edge_comp, base.edge_comp, "{} seed={seed}", alg.name());
                     assert_eq!(r.num_components, base.num_components);

@@ -1,10 +1,11 @@
-//! The four biconnected-components algorithms of the paper's study:
-//! `Sequential`, `TV-SMP`, `TV-opt`, and `TV-filter`.
+//! The four biconnected-components algorithms of the paper's study —
+//! `Sequential`, `TV-SMP`, `TV-opt`, and `TV-filter` — plus the
+//! skeleton-based `FAST-BCC` successor ([`crate::fast_bcc`]).
 //!
-//! All three parallel pipelines share steps 4–6 (Low-high, Label-edge,
+//! All parallel pipelines share steps 4–6 (Low-high, Label-edge,
 //! Connected-components — [`tv_tail`]); they differ in how the rooted
-//! spanning tree and its Euler tour are produced, and TV-filter shrinks
-//! the edge set first.
+//! spanning tree and its tags are produced, and TV-filter/FAST-BCC
+//! shrink the edge set first.
 //!
 //! The entry point is [`BccConfig`]: select an algorithm, optionally a
 //! list ranker and a telemetry sink, then [`run`](BccConfig::run) it on
@@ -53,15 +54,22 @@ pub enum Algorithm {
     TvOpt,
     /// TV with non-essential-edge filtering (paper §4, Alg. 2).
     TvFilter,
+    /// Skeleton-based sparse-certificate biconnectivity (Dong, Wang,
+    /// Gu & Sun, SPAA 2023): tree tags computed directly on the BFS
+    /// tree — no Euler tour, no list ranking — for an O(n) auxiliary
+    /// footprint.
+    FastBcc,
 }
 
 impl Algorithm {
-    /// All algorithms, in the paper's presentation order.
-    pub const ALL: [Algorithm; 4] = [
+    /// All algorithms, in presentation order (the paper's four, then
+    /// the FAST-BCC successor).
+    pub const ALL: [Algorithm; 5] = [
         Algorithm::Sequential,
         Algorithm::TvSmp,
         Algorithm::TvOpt,
         Algorithm::TvFilter,
+        Algorithm::FastBcc,
     ];
 
     /// Display name matching the paper's figures.
@@ -71,6 +79,7 @@ impl Algorithm {
             Algorithm::TvSmp => "TV-SMP",
             Algorithm::TvOpt => "TV-opt",
             Algorithm::TvFilter => "TV-filter",
+            Algorithm::FastBcc => "FAST-BCC",
         }
     }
 }
@@ -299,6 +308,7 @@ pub(crate) fn run_connected(
         Algorithm::TvSmp => tv_smp_impl(pool, g, ranker, tuning, ws, rec),
         Algorithm::TvOpt => tv_opt_impl(pool, g, tuning, ws, rec),
         Algorithm::TvFilter => tv_filter_impl(pool, g, tuning, ws, rec),
+        Algorithm::FastBcc => crate::fast_bcc::fast_bcc_impl(pool, g, tuning, ws, rec),
     }
 }
 
@@ -367,7 +377,17 @@ fn tv_smp_impl(
     });
 
     // Steps 4–6.
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, ws, rec);
+    let tail = tv_tail(
+        pool,
+        n,
+        g.edges(),
+        &is_tree,
+        &info,
+        tuning,
+        LowHighMethod::Auto,
+        ws,
+        rec,
+    );
     tour.recycle(ws);
     info.recycle(ws);
     ws.give(is_tree);
@@ -433,7 +453,17 @@ fn tv_opt_impl(
         tree_computations_ws(pool, &tour, root, ws)
     });
 
-    let tail = tv_tail(pool, n, g.edges(), &is_tree, &info, tuning, ws, rec);
+    let tail = tv_tail(
+        pool,
+        n,
+        g.edges(),
+        &is_tree,
+        &info,
+        tuning,
+        LowHighMethod::Auto,
+        ws,
+        rec,
+    );
     tour.recycle(ws);
     info.recycle(ws);
     ws.give(is_tree);
@@ -488,18 +518,19 @@ fn tv_filter_impl(
     // reduced graph T ∪ F (≤ 2(n−1) edges).
     let (reduced_edges, reduced_is_tree, reduced_of_orig, forest_rounds) =
         rec.step(Step::Filtering, || {
-            let mut in_tree = ws.take_filled(m, false);
-            for v in 0..n {
-                let eid = bfs.parent_eid[v as usize];
-                if eid != NIL {
-                    in_tree[eid as usize] = true;
-                }
-            }
-            // Nontree candidates with their original ids.
+            // Nontree candidates with their original ids. The tree test
+            // is on the parent *pair*, not the edge id: a duplicate of a
+            // tree edge connects its endpoints in G − T without adding
+            // any connectivity beyond T, so letting it into F can
+            // displace a real forest edge and break the certificate
+            // (Lemma 1 assumes a simple graph). Tree-parallel edges are
+            // placed by the condition-1 rule below, which gives each
+            // exactly its tree twin's label.
+            let parent: &[u32] = &bfs.parent;
             let mut cand_edges: Vec<Edge> = ws.take(m);
             let mut cand_orig: Vec<u32> = ws.take(m);
             for (i, &e) in g.edges().iter().enumerate() {
-                if !in_tree[i] {
+                if parent[e.u as usize] != e.v && parent[e.v as usize] != e.u {
                     cand_edges.push(e);
                     cand_orig.push(i as u32);
                 }
@@ -526,7 +557,6 @@ fn tv_filter_impl(
             }
             let forest_rounds = forest.rounds;
             forest.recycle(ws);
-            ws.give(in_tree);
             ws.give(cand_edges);
             ws.give(cand_orig);
             (
@@ -555,6 +585,7 @@ fn tv_filter_impl(
         &reduced_is_tree,
         &info,
         tuning,
+        LowHighMethod::Auto,
         ws,
         rec,
     );
@@ -625,36 +656,41 @@ fn tv_filter_impl(
 }
 
 /// Output of the shared tail: raw (non-canonical) labels.
-struct TailOutput {
+pub(crate) struct TailOutput {
     /// Label per input edge.
-    edge_labels: Vec<u32>,
+    pub(crate) edge_labels: Vec<u32>,
     /// Label per auxiliary vertex; `aux_vertex_labels[v]` for `v < n` is
     /// the component of tree edge `(v, p(v))` (TV-filter uses this to
     /// place filtered edges).
-    aux_vertex_labels: Vec<u32>,
+    pub(crate) aux_vertex_labels: Vec<u32>,
     /// Auxiliary-graph vertex count (n + nontree edges considered).
-    aux_vertices: u32,
+    pub(crate) aux_vertices: u32,
     /// Auxiliary-graph edge count (|R'_c|).
-    aux_edges: usize,
+    pub(crate) aux_edges: usize,
     /// SV rounds of the step-6 connectivity run.
-    sv_rounds_cc: u32,
+    pub(crate) sv_rounds_cc: u32,
 }
 
 /// Steps 4–6: Low-high (fused min/max sweep), Label-edge (fused
 /// count→scan→emit realization of Alg. 1), Connected-components.
+///
+/// `lh_method` selects the low/high kernel: the TV pipelines pass
+/// [`LowHighMethod::Auto`]; FAST-BCC forces the O(n)-space
+/// [`LowHighMethod::LevelSweep`] to keep its space bound.
 ///
 /// All scratch is drawn from `ws`; only `edge_labels` (which becomes
 /// the result for TV-SMP/TV-opt) and `aux_vertex_labels` (returned for
 /// TV-filter's placement pass) survive — callers give them back once
 /// done.
 #[allow(clippy::too_many_arguments)]
-fn tv_tail(
+pub(crate) fn tv_tail(
     pool: &Pool,
     n: u32,
     edges: &[Edge],
     is_tree_edge: &[bool],
     info: &TreeInfo,
     tuning: TraversalTuning,
+    lh_method: LowHighMethod,
     ws: &BccWorkspace,
     rec: &mut PhaseRecorder,
 ) -> TailOutput {
@@ -662,7 +698,7 @@ fn tv_tail(
 
     // Step 4: Low-high.
     let lh = rec.step(Step::LowHigh, || {
-        compute_low_high_with_ws(pool, edges, is_tree_edge, info, LowHighMethod::Auto, ws)
+        compute_low_high_with_ws(pool, edges, is_tree_edge, info, lh_method, ws)
     });
 
     // Step 5: Label-edge.
@@ -714,7 +750,7 @@ fn tv_tail(
 }
 
 /// Canonicalizes labels and stamps the total time.
-fn finalize(
+pub(crate) fn finalize(
     mut comp: Vec<u32>,
     mut phases: PhaseTimes,
     stats: PipelineStats,
@@ -731,7 +767,7 @@ fn finalize(
 }
 
 /// Graphs with no edges need no pipeline.
-fn trivial_result(g: &Graph, start: Instant, phases: &PhaseTimes) -> Option<BccResult> {
+pub(crate) fn trivial_result(g: &Graph, start: Instant, phases: &PhaseTimes) -> Option<BccResult> {
     if g.m() == 0 {
         let mut phases = phases.clone();
         phases.total = start.elapsed();
@@ -755,7 +791,12 @@ mod tests {
     fn all_agree(g: &Graph, p: usize) {
         let pool = Pool::new(p);
         let base = sequential_impl(g);
-        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+        for alg in [
+            Algorithm::TvSmp,
+            Algorithm::TvOpt,
+            Algorithm::TvFilter,
+            Algorithm::FastBcc,
+        ] {
             let r = BccConfig::new(alg)
                 .run(&pool, g)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()))
@@ -840,7 +881,12 @@ mod tests {
             .edges([(0, 1), (2, 3)])
             .build()
             .unwrap();
-        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+        for alg in [
+            Algorithm::TvSmp,
+            Algorithm::TvOpt,
+            Algorithm::TvFilter,
+            Algorithm::FastBcc,
+        ] {
             assert_eq!(
                 BccConfig::new(alg).run(&pool, &g).unwrap_err(),
                 BccError::Disconnected,

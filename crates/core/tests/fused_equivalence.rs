@@ -107,7 +107,12 @@ proptest! {
             .run_any(&pool, &g)
             .unwrap()
             .result;
-        for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+        for alg in [
+            Algorithm::TvSmp,
+            Algorithm::TvOpt,
+            Algorithm::TvFilter,
+            Algorithm::FastBcc,
+        ] {
             let r = BccConfig::new(alg).run_any(&pool, &g).unwrap().result;
             prop_assert_eq!(&r.edge_comp, &base.edge_comp, "{}", alg.name());
             prop_assert_eq!(r.num_components, base.num_components);

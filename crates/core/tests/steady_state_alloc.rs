@@ -31,7 +31,12 @@ static ALLOC: CountingAlloc = CountingAlloc::new();
 fn warmed_rerun_sheds_all_scratch_allocation() {
     let g = gen::random_connected(2_000, 10_000, 42);
     let pool = Pool::new(4);
-    for alg in [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter] {
+    for alg in [
+        Algorithm::TvSmp,
+        Algorithm::TvOpt,
+        Algorithm::TvFilter,
+        Algorithm::FastBcc,
+    ] {
         let ws = Arc::new(BccWorkspace::new());
         let cfg = BccConfig::new(alg).workspace(Arc::clone(&ws));
 
@@ -65,10 +70,19 @@ fn warmed_rerun_sheds_all_scratch_allocation() {
             "{}: warm run made {warm_allocs} allocator calls vs {cold_allocs} cold",
             alg.name()
         );
+        // FAST-BCC's cold side is already O(n)-lean (no tour arrays,
+        // no ranking scratch, no O(m) candidate copies), so there is
+        // far less to shed: the arena saves ~40% of bytes, not 2x+.
+        // The plain remainder is the CSR, the BFS internals, and the
+        // two escaping m-sized outputs — same as TV-filter's warm run.
+        let required_drop_pct = match alg {
+            Algorithm::FastBcc => 125,
+            _ => 200,
+        };
         assert!(
-            warm_bytes * 2 <= cold_bytes,
+            warm_bytes * required_drop_pct <= cold_bytes * 100,
             "{}: warm run allocated {warm_bytes} bytes vs {cold_bytes} cold — \
-             expected at least a 2x drop",
+             expected at least a {required_drop_pct}% drop",
             alg.name()
         );
     }

@@ -16,7 +16,12 @@ use bcc_graph::{gen, GraphBuilder};
 use bcc_smp::Pool;
 use std::sync::Arc;
 
-const PARALLEL: [Algorithm; 3] = [Algorithm::TvSmp, Algorithm::TvOpt, Algorithm::TvFilter];
+const PARALLEL: [Algorithm; 4] = [
+    Algorithm::TvSmp,
+    Algorithm::TvOpt,
+    Algorithm::TvFilter,
+    Algorithm::FastBcc,
+];
 
 #[test]
 fn shared_workspace_is_transparent_across_grow_shrink_and_alg_switch() {

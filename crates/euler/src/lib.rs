@@ -31,7 +31,9 @@ pub use dfs_tour::{dfs_euler_tour, dfs_euler_tour_ws};
 pub use lca::LcaIndex;
 pub use rooted_tour::{rooted_euler_tour, rooted_euler_tour_ws};
 pub use tour::{euler_tour_classic, euler_tour_classic_ws, EulerTour, Ranker};
-pub use tree_compute::{tree_computations, tree_computations_ws, TreeInfo};
+pub use tree_compute::{
+    bfs_tree_info, bfs_tree_info_ws, tree_computations, tree_computations_ws, TreeInfo,
+};
 
 /// Twin (reverse) arc of `a`.
 #[inline]

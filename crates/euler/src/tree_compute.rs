@@ -13,8 +13,10 @@
 
 use crate::tour::EulerTour;
 use crate::twin;
-use bcc_smp::workspace::{alloc_filled, give_opt};
+use bcc_smp::atomic::as_atomic_u32;
+use bcc_smp::workspace::{alloc_cap, alloc_filled, give_opt};
 use bcc_smp::{BccWorkspace, Pool, SharedSlice, NIL};
+use std::sync::atomic::Ordering;
 
 /// Rooted-tree data derived from an Euler tour.
 #[derive(Clone, Debug)]
@@ -224,6 +226,216 @@ fn tree_computations_impl(
     }
 }
 
+/// Derives the same [`TreeInfo`] directly from a **BFS** tree's
+/// `parent`/`level` arrays — no Euler tour, no list ranking (the
+/// FAST-BCC skeleton path).
+///
+/// A BFS tree's levels *are* depths (every parent sits exactly one
+/// level up), which makes every tree computation level-synchronous:
+/// vertices are counting-sorted by level, subtree sizes aggregate
+/// bottom-up one level per round, and preorder numbers distribute
+/// top-down one level per round. Auxiliary space is O(n) — one
+/// children-CSR plus the level buckets — versus the tour path's arc
+/// arrays and ranking scratch; rounds are O(tree depth), which is
+/// O(graph diameter) for a BFS tree.
+///
+/// Preconditions: `parent[root] == root`, every vertex is reached
+/// (`parent[v] != NIL`), and `level[v]` is v's BFS depth. Sibling
+/// order (hence the exact preorder permutation) is unspecified but
+/// valid; all consumers ([`TreeInfo::is_ancestor`], low/high, the
+/// aux-graph conditions) depend only on preorder/size consistency.
+/// `parent_edge` is filled with `NIL` — the tail kernels never read
+/// it, and the skeleton path has no per-tree-edge numbering.
+pub fn bfs_tree_info(pool: &Pool, parent: &[u32], level: &[u32], root: u32) -> TreeInfo {
+    bfs_tree_info_impl(pool, parent, level, root, None)
+}
+
+/// [`bfs_tree_info`] with all scratch and the result arrays taken from
+/// `ws`; return the result's arrays with [`TreeInfo::recycle`].
+pub fn bfs_tree_info_ws(
+    pool: &Pool,
+    parent: &[u32],
+    level: &[u32],
+    root: u32,
+    ws: &BccWorkspace,
+) -> TreeInfo {
+    bfs_tree_info_impl(pool, parent, level, root, Some(ws))
+}
+
+fn bfs_tree_info_impl(
+    pool: &Pool,
+    parent: &[u32],
+    level: &[u32],
+    root: u32,
+    ws: Option<&BccWorkspace>,
+) -> TreeInfo {
+    let n = parent.len();
+    debug_assert_eq!(level.len(), n);
+    debug_assert_eq!(parent[root as usize], root);
+
+    if n == 1 {
+        return TreeInfo {
+            root,
+            parent: vec![root],
+            parent_edge: vec![NIL],
+            preorder: vec![0],
+            vertex_at_preorder: vec![root],
+            size: vec![1],
+            depth: vec![0],
+        };
+    }
+
+    // Owned copies of the inputs (TreeInfo owns its arrays) plus the
+    // inert parent_edge.
+    let mut parent_c = alloc_filled(ws, n, 0u32);
+    let mut depth = alloc_filled(ws, n, 0u32);
+    let parent_edge = alloc_filled(ws, n, NIL);
+    {
+        let par_s = SharedSlice::new(&mut parent_c);
+        let dep_s = SharedSlice::new(&mut depth);
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                unsafe {
+                    par_s.write(v, parent[v]);
+                    dep_s.write(v, level[v]);
+                }
+            }
+        });
+    }
+
+    // Bucket vertices by level (counting sort, the low/high sweep's
+    // idiom) so each level is a contiguous slice.
+    let max_depth = level.iter().copied().max().unwrap_or(0) as usize;
+    let mut bucket_of = alloc_filled(ws, max_depth + 2, 0u32);
+    for &d in level {
+        bucket_of[d as usize + 1] += 1;
+    }
+    for d in 0..=max_depth {
+        bucket_of[d + 1] += bucket_of[d];
+    }
+    let mut by_level = alloc_filled(ws, n, 0u32);
+    {
+        let mut cursor: Vec<u32> = alloc_cap(ws, bucket_of.len());
+        cursor.extend_from_slice(&bucket_of);
+        for v in 0..n as u32 {
+            let d = level[v as usize] as usize;
+            by_level[cursor[d] as usize] = v;
+            cursor[d] += 1;
+        }
+        give_opt(ws, cursor);
+    }
+
+    // Children CSR: counts by atomic increment, offsets by scan, then a
+    // racy scatter (sibling order is whatever the scatter produced —
+    // any order yields a valid preorder).
+    let mut child_off = alloc_filled(ws, n + 1, 0u32);
+    {
+        let cnt = as_atomic_u32(&mut child_off[1..]);
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                if v as u32 != root {
+                    cnt[parent[v] as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    match ws {
+        Some(ws) => bcc_primitives::scan::inclusive_scan_par_ws(pool, &mut child_off, ws),
+        None => bcc_primitives::scan::inclusive_scan_par(pool, &mut child_off),
+    }
+    let mut children = alloc_filled(ws, n - 1, 0u32);
+    {
+        let mut cursor: Vec<u32> = alloc_cap(ws, n);
+        cursor.extend_from_slice(&child_off[..n]);
+        let cur = as_atomic_u32(&mut cursor);
+        let ch_s = SharedSlice::new(&mut children);
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                if v as u32 != root {
+                    let slot = cur[parent[v] as usize].fetch_add(1, Ordering::Relaxed);
+                    unsafe { ch_s.write(slot as usize, v as u32) };
+                }
+            }
+        });
+        give_opt(ws, cursor);
+    }
+
+    // Subtree sizes bottom-up: one parallel round per level, deepest
+    // first. A vertex at level d reads only children (level d + 1),
+    // already final — no atomics.
+    let mut size = alloc_filled(ws, n, 1u32);
+    {
+        let size_s = SharedSlice::new(&mut size);
+        let children_ro: &[u32] = &children;
+        let off_ro: &[u32] = &child_off;
+        for d in (0..max_depth).rev() {
+            let lvl = &by_level[bucket_of[d] as usize..bucket_of[d + 1] as usize];
+            pool.run(|ctx| {
+                for k in ctx.block_range(lvl.len()) {
+                    let v = lvl[k] as usize;
+                    let mut s = 1u32;
+                    for &c in &children_ro[off_ro[v] as usize..off_ro[v + 1] as usize] {
+                        s += size_s.get(c as usize);
+                    }
+                    unsafe { size_s.write(v, s) };
+                }
+            });
+        }
+    }
+    debug_assert_eq!(size[root as usize] as usize, n);
+
+    // Preorder top-down: each vertex hands its children disjoint
+    // subranges of its own interval (serial per parent; parents of one
+    // level run in parallel).
+    let mut preorder = alloc_filled(ws, n, 0u32);
+    {
+        let pre_s = SharedSlice::new(&mut preorder);
+        let children_ro: &[u32] = &children;
+        let off_ro: &[u32] = &child_off;
+        let size_ro: &[u32] = &size;
+        for d in 0..max_depth {
+            let lvl = &by_level[bucket_of[d] as usize..bucket_of[d + 1] as usize];
+            pool.run(|ctx| {
+                for k in ctx.block_range(lvl.len()) {
+                    let v = lvl[k] as usize;
+                    let mut cursor = pre_s.get(v) + 1;
+                    for &c in &children_ro[off_ro[v] as usize..off_ro[v + 1] as usize] {
+                        unsafe { pre_s.write(c as usize, cursor) };
+                        cursor += size_ro[c as usize];
+                    }
+                }
+            });
+        }
+    }
+
+    // Inverse preorder permutation.
+    let mut vertex_at_preorder = alloc_filled(ws, n, 0u32);
+    {
+        let inv_s = SharedSlice::new(&mut vertex_at_preorder);
+        let pre_ro: &[u32] = &preorder;
+        pool.run(|ctx| {
+            for v in ctx.block_range(n) {
+                unsafe { inv_s.write(pre_ro[v] as usize, v as u32) };
+            }
+        });
+    }
+
+    give_opt(ws, bucket_of);
+    give_opt(ws, by_level);
+    give_opt(ws, child_off);
+    give_opt(ws, children);
+
+    TreeInfo {
+        root,
+        parent: parent_c,
+        parent_edge,
+        preorder,
+        vertex_at_preorder,
+        size,
+        depth,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +567,121 @@ mod tests {
     fn two_vertices() {
         check_tree(2, vec![Edge::new(0, 1)], 0, 1);
         check_tree(2, vec![Edge::new(0, 1)], 1, 2);
+    }
+
+    /// Oracle for the BFS-skeleton path: recompute sizes/depths
+    /// sequentially from the parent array itself.
+    fn check_bfs_info(n: u32, edges: Vec<Edge>, root: u32, p: usize) {
+        use bcc_connectivity::bfs::bfs_tree_seq;
+        let g = GraphBuilder::new(n).edges(edges).build().unwrap();
+        let csr = Csr::build(&g);
+        let bfs = bfs_tree_seq(&csr, root);
+        assert_eq!(bfs.reached, n, "test graphs must be connected");
+
+        let pool = Pool::new(p);
+        let info = bfs_tree_info(&pool, &bfs.parent, &bfs.level, root);
+        let ws = bcc_smp::BccWorkspace::default();
+        let info_ws = bfs_tree_info_ws(&pool, &bfs.parent, &bfs.level, root, &ws);
+
+        let n = n as usize;
+        assert_eq!(info.parent, bfs.parent);
+        assert_eq!(info.depth, bfs.level);
+        assert_eq!(info.parent_edge, vec![NIL; n]);
+
+        // Sequential size oracle from the parent array (children
+        // counted by repeated parent-chasing is O(n^2); instead
+        // accumulate leaf-up by sorting on depth).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(bfs.level[v as usize]));
+        let mut osize = vec![1u32; n];
+        for &v in &order {
+            if v != root {
+                osize[bfs.parent[v as usize] as usize] += osize[v as usize];
+            }
+        }
+        assert_eq!(info.size, osize, "sizes");
+
+        // Preorder is a permutation with root first; subtree intervals
+        // nest; inverse permutation consistent.
+        let mut sorted = info.preorder.clone();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &x)| x == i as u32));
+        assert_eq!(info.preorder[root as usize], 0);
+        for v in 0..n as u32 {
+            if v != root {
+                let pv = info.parent[v as usize];
+                assert!(info.is_ancestor(pv, v));
+                assert!(!info.is_ancestor(v, pv));
+                let ci = info.subtree_interval(v);
+                let pi = info.subtree_interval(pv);
+                assert!(pi.start <= ci.start && ci.end <= pi.end);
+            }
+            assert_eq!(
+                info.vertex_at_preorder[info.preorder[v as usize] as usize],
+                v
+            );
+        }
+
+        // The ws-backed variant agrees on everything deterministic.
+        assert_eq!(info_ws.parent, info.parent);
+        assert_eq!(info_ws.depth, info.depth);
+        assert_eq!(info_ws.size, info.size);
+        info_ws.recycle(&ws);
+    }
+
+    #[test]
+    fn bfs_info_paths_stars_trees() {
+        check_bfs_info(10, gen::path(10).into_edges(), 0, 2);
+        check_bfs_info(10, gen::path(10).into_edges(), 9, 1);
+        check_bfs_info(20, gen::star(20).into_edges(), 0, 2);
+        check_bfs_info(20, gen::star(20).into_edges(), 7, 3);
+        check_bfs_info(31, gen::binary_tree(31).into_edges(), 0, 2);
+    }
+
+    #[test]
+    fn bfs_info_random_trees_and_graphs() {
+        for seed in 0..3u64 {
+            let t = gen::random_tree(300, seed);
+            for p in [1, 4] {
+                for root in [0u32, 150, 299] {
+                    check_bfs_info(300, t.edges().to_vec(), root, p);
+                }
+            }
+            // Connected non-tree graph: BFS picks a subset of edges.
+            let g = gen::geometric(200, 6.0, 8, seed);
+            check_bfs_info(g.n(), g.edges().to_vec(), 0, 2);
+        }
+    }
+
+    #[test]
+    fn bfs_info_singleton() {
+        let pool = Pool::new(1);
+        let info = bfs_tree_info(&pool, &[0], &[0], 0);
+        assert_eq!(info.preorder, vec![0]);
+        assert_eq!(info.size, vec![1]);
+        assert_eq!(info.parent, vec![0]);
+        assert_eq!(info.parent_edge, vec![NIL]);
+    }
+
+    /// The BFS-skeleton tags must agree with the Euler-tour tags when
+    /// both are given the *same* tree (sizes and depths are
+    /// tree-determined; preorders may differ only in sibling order).
+    #[test]
+    fn bfs_info_matches_tour_tags_on_trees() {
+        use bcc_connectivity::bfs::bfs_tree_seq;
+        for seed in 0..3u64 {
+            let t = gen::random_tree(200, seed);
+            let pool = Pool::new(2);
+            let csr = Csr::build(&t);
+            let bfs = bfs_tree_seq(&csr, 0);
+            let info_bfs = bfs_tree_info(&pool, &bfs.parent, &bfs.level, 0);
+            let tour = euler_tour_classic(&pool, 200, t.edges().to_vec(), 0, Ranker::HelmanJaja);
+            let info_tour = tree_computations(&pool, &tour, 0);
+            // On a tree the BFS tree IS the tree, so everything
+            // tree-determined must match exactly.
+            assert_eq!(info_bfs.parent, info_tour.parent);
+            assert_eq!(info_bfs.size, info_tour.size);
+            assert_eq!(info_bfs.depth, info_tour.depth);
+        }
     }
 }

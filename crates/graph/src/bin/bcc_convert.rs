@@ -1,8 +1,10 @@
 //! `bcc-convert` — convert a text edge list (SNAP dump or DIMACS-style)
-//! into the binary mmap-ready `.bccsr` format.
+//! into the binary mmap-ready `.bccsr` format, or generate xl-scale
+//! synthetic inputs straight to disk.
 //!
 //! ```text
 //! bcc-convert <input> [-o <output.bccsr>] [--no-verify]
+//! bcc-convert gen <rmat|geo> <n> [--degree D] [--chords K] [--seed S] [-o PATH]
 //! bcc-convert info <file.bccsr>
 //! ```
 //!
@@ -11,9 +13,13 @@
 //! arrays (~16 bytes/vertex) are the only anonymous allocations — the
 //! adjacency sections, the bulk of the output (16 bytes/edge), are
 //! scattered directly into a writable mapping of the output file.
+//! `gen` holds the same bound while *generating*: one sort-deduplicated
+//! edge vector, no hash set, no intermediate `Graph` — so a 10M-vertex
+//! input never holds two in-memory edge copies (see
+//! [`bcc_graph::gen_stream`]).
 
 use bcc_graph::bccsr::{self, MappedCsr};
-use bcc_graph::io;
+use bcc_graph::{gen_stream, io};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -40,6 +46,81 @@ fn info(path: &Path) -> ExitCode {
     }
 }
 
+/// Value of a `--flag V` option, parsed, or the default.
+fn opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+/// `bcc-convert gen <rmat|geo> <n> [--degree D] [--chords K] [--seed S] [-o PATH]`
+/// — generate a connected synthetic graph straight to `.bccsr` in
+/// bounded memory. For `rmat`, `n` rounds up to the next power of two.
+fn gen(args: &[String]) -> ExitCode {
+    let (Some(family), Some(n_arg)) = (args.first(), args.get(1)) else {
+        return fail("gen needs a family (rmat|geo) and a vertex count");
+    };
+    let Ok(n) = n_arg.parse::<u32>() else {
+        return fail(format_args!("bad vertex count {n_arg:?}"));
+    };
+    if n == 0 {
+        return fail("vertex count must be positive");
+    }
+    let seed = match opt(args, "--seed", 1u64) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let default_degree = match family.as_str() {
+        "rmat" => 16.0,
+        _ => 8.0,
+    };
+    let degree = match opt(args, "--degree", default_degree) {
+        Ok(v) if v > 0.0 => v,
+        Ok(_) => return fail("--degree must be positive"),
+        Err(e) => return fail(e),
+    };
+    let output = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{family}-n{n}.bccsr")));
+
+    let result = match family.as_str() {
+        "rmat" => {
+            let scale = 32 - (n - 1).leading_zeros().min(31);
+            let m = ((1u64 << scale) as f64 * degree / 2.0) as usize;
+            gen_stream::rmat_to_bccsr(&output, scale, m, 0.57, 0.19, 0.19, seed)
+        }
+        "geo" => {
+            let chords = match opt(args, "--chords", n as usize / 20) {
+                Ok(v) => v,
+                Err(e) => return fail(e),
+            };
+            gen_stream::geometric_to_bccsr(&output, n, degree, chords, seed)
+        }
+        other => return fail(format_args!("unknown family {other:?} (rmat|geo)")),
+    };
+    match result {
+        Ok(s) => {
+            println!(
+                "{} -> {}: n = {}, m = {}, {} bytes",
+                family,
+                output.display(),
+                s.n,
+                s.m,
+                s.bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format_args!("generating {}: {e}", output.display())),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -47,12 +128,20 @@ fn main() -> ExitCode {
             "bcc-convert: text edge list -> binary .bccsr\n\
              usage:\n\
              \x20 bcc-convert <input> [-o <output.bccsr>] [--no-verify]\n\
+             \x20 bcc-convert gen <rmat|geo> <n> [--degree D] [--chords K] [--seed S] [-o PATH]\n\
              \x20 bcc-convert info <file.bccsr>\n\
              options:\n\
-             \x20 -o PATH      output path (default: input with .bccsr extension)\n\
-             \x20 --no-verify  skip the checksum re-read of the written file"
+             \x20 -o PATH      output path (default: input with .bccsr extension,\n\
+             \x20              or <family>-n<n>.bccsr for gen)\n\
+             \x20 --no-verify  skip the checksum re-read of the written file\n\
+             \x20 --degree D   gen: target average degree (rmat: 16, geo: 8)\n\
+             \x20 --chords K   gen geo: long-range edges (default n/20)\n\
+             \x20 --seed S     gen: RNG seed (default 1)"
         );
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "gen" {
+        return gen(&args[1..]);
     }
     if args[0] == "info" {
         let Some(path) = args.get(1) else {

@@ -21,6 +21,7 @@ pub mod builder;
 pub mod csr;
 pub mod edge;
 pub mod gen;
+pub mod gen_stream;
 pub mod io;
 pub mod mmap;
 pub mod subgraph;

@@ -212,12 +212,26 @@ impl BiconnectivityIndex {
     /// epoch store) pass one workspace across rebuilds so steady-state
     /// reconstruction performs near-zero heap allocation.
     pub fn from_graph_ws(pool: &Pool, g: &Graph, ws: &Arc<BccWorkspace>) -> Result<Self, BccError> {
+        Self::from_graph_with(pool, g, Algorithm::TvFilter, ws)
+    }
+
+    /// [`from_graph_ws`](Self::from_graph_ws) with an explicit labeling
+    /// [`Algorithm`] for the per-component pipelines (all algorithms
+    /// produce identical canonical labels; they differ in speed and
+    /// auxiliary space — [`Algorithm::FastBcc`] keeps the build's
+    /// footprint O(n) beyond the input and the index itself).
+    pub fn from_graph_with(
+        pool: &Pool,
+        g: &Graph,
+        alg: Algorithm,
+        ws: &Arc<BccWorkspace>,
+    ) -> Result<Self, BccError> {
         let cc = connected_components_with_ws(pool, g.n(), g.edges(), SvVariant::FastSv, ws);
         let mut labels = cc.label;
         ws.give(cc.tree_edges);
         let k = normalize_labels_ws(pool, &mut labels, ws);
         let split = g.split_by_labels(&labels, k);
-        let config = BccConfig::new(Algorithm::TvFilter).workspace(Arc::clone(ws));
+        let config = BccConfig::new(alg).workspace(Arc::clone(ws));
         let mut comps = Vec::with_capacity(k as usize);
         for part in &split.parts {
             comps.push(Self::build_component(pool, part, &part.verts, &config)?);

@@ -249,14 +249,27 @@ pub struct IndexStore {
     /// steady state (commits are serialized by `commit_lock`, so the
     /// arena never sees two rebuilds at once).
     workspace: Arc<BccWorkspace>,
+    /// Labeling algorithm used by every rebuild (full and incremental).
+    algorithm: Algorithm,
 }
 
 impl IndexStore {
     /// Builds epoch 0 from `g` and takes ownership of the pool used
     /// for every rebuild. Fails if the initial index build does.
+    /// Rebuilds run TV-filter; use
+    /// [`with_algorithm`](IndexStore::with_algorithm) to choose.
     pub fn new(pool: Pool, g: Graph) -> Result<Self, BccError> {
+        Self::with_algorithm(pool, g, Algorithm::TvFilter)
+    }
+
+    /// [`new`](IndexStore::new) with an explicit labeling [`Algorithm`]
+    /// for every rebuild. All algorithms produce identical canonical
+    /// labels; [`Algorithm::FastBcc`] bounds each rebuild's auxiliary
+    /// space by O(n) — the choice for stores whose graphs dwarf the
+    /// n=50k grid.
+    pub fn with_algorithm(pool: Pool, g: Graph, algorithm: Algorithm) -> Result<Self, BccError> {
         let workspace = Arc::new(BccWorkspace::new());
-        let index = BiconnectivityIndex::from_graph_ws(&pool, &g, &workspace)?;
+        let index = BiconnectivityIndex::from_graph_with(&pool, &g, algorithm, &workspace)?;
         let stats = CommitStats {
             batch: 0,
             inserts: 0,
@@ -279,6 +292,7 @@ impl IndexStore {
             })),
             commit_lock: Mutex::new(()),
             workspace,
+            algorithm,
         })
     }
 
@@ -404,7 +418,12 @@ impl IndexStore {
         let graph = GraphBuilder::new(new_n).edges(edges).build().unwrap();
 
         if full {
-            let index = BiconnectivityIndex::from_graph_ws(&self.pool, &graph, &self.workspace)?;
+            let index = BiconnectivityIndex::from_graph_with(
+                &self.pool,
+                &graph,
+                self.algorithm,
+                &self.workspace,
+            )?;
             let stats = CommitStats {
                 batch: updates.len(),
                 inserts,
@@ -498,7 +517,7 @@ impl IndexStore {
             comps[s] = None;
         }
         let mut free_slots = freed.into_iter();
-        let config = BccConfig::new(Algorithm::TvFilter).workspace(Arc::clone(ws));
+        let config = BccConfig::new(self.algorithm).workspace(Arc::clone(ws));
         let mut rebuilt = 0u32;
         for part in &split.parts {
             let s = free_slots.next().unwrap_or_else(|| {
@@ -559,6 +578,36 @@ mod tests {
     use super::*;
     use crate::index::Failure;
     use bcc_graph::gen;
+
+    #[test]
+    fn fast_bcc_store_matches_default_across_commits() {
+        // Same initial graph, same update stream, different rebuild
+        // algorithms — every published snapshot must agree.
+        let g = gen::random_connected(120, 300, 17);
+        let a = IndexStore::new(Pool::new(2), g.clone()).unwrap();
+        let b = IndexStore::with_algorithm(Pool::new(2), g, Algorithm::FastBcc).unwrap();
+        for (u, v) in [(0u32, 60u32), (5, 90), (121, 122), (10, 121)] {
+            let mut ta = a.begin();
+            ta.insert(u, v);
+            ta.commit().unwrap();
+            let mut tb = b.begin();
+            tb.insert(u, v);
+            tb.commit().unwrap();
+            let sa = a.load();
+            let sb = b.load();
+            assert_eq!(sa.index.num_blocks(), sb.index.num_blocks());
+            assert_eq!(sa.index.num_bridges(), sb.index.num_bridges());
+            assert_eq!(
+                sa.index.articulation_points(),
+                sb.index.articulation_points()
+            );
+            for x in (0..sa.graph.n()).step_by(7) {
+                for y in (0..sa.graph.n()).step_by(11) {
+                    assert_eq!(sa.index.same_block(x, y), sb.index.same_block(x, y));
+                }
+            }
+        }
+    }
 
     #[test]
     fn epochs_advance_and_old_snapshots_survive() {

@@ -35,7 +35,7 @@
 //! the new consistent state, never a torn mix, because every answer
 //! comes from a single epoch snapshot of a single shard.
 
-use bcc_core::BccError;
+use bcc_core::{Algorithm, BccError};
 use bcc_graph::{Edge, Graph, GraphBuilder};
 use bcc_query::{Answer, CommitStats, EdgeUpdate, IndexStore, Query, Snapshot};
 use bcc_smp::Pool;
@@ -117,7 +117,22 @@ impl ShardedStore {
     /// stores (greedy balance by vertex count, largest first) and
     /// builds each shard's epoch-0 index. Each shard gets its own
     /// `Pool` clone, so their commits never share SPMD workers' locks.
+    /// Shards rebuild with TV-filter; use
+    /// [`with_algorithm`](ShardedStore::with_algorithm) to choose.
     pub fn new(pool: &Pool, g: &Graph, num_shards: usize) -> Result<Self, ServeError> {
+        Self::with_algorithm(pool, g, num_shards, Algorithm::TvFilter)
+    }
+
+    /// [`new`](ShardedStore::new) with an explicit labeling
+    /// [`Algorithm`] for every shard's rebuilds (e.g.
+    /// [`Algorithm::FastBcc`] to bound commit-time auxiliary space by
+    /// O(n) on very large shards).
+    pub fn with_algorithm(
+        pool: &Pool,
+        g: &Graph,
+        num_shards: usize,
+        alg: Algorithm,
+    ) -> Result<Self, ServeError> {
         assert!(num_shards >= 1, "need at least one shard");
         let n = g.n();
 
@@ -156,9 +171,10 @@ impl ShardedStore {
         let shards = shard_edges
             .into_iter()
             .map(|edges| {
-                IndexStore::new(
+                IndexStore::with_algorithm(
                     pool.clone(),
                     GraphBuilder::new(n).edges(edges).build().unwrap(),
+                    alg,
                 )
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -388,6 +404,26 @@ mod tests {
             .edges((0..k).flat_map(|c| (0..5).map(move |i| (5 * c + i, 5 * c + (i + 1) % 5))))
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn fast_bcc_shards_answer_identically() {
+        let pool = Pool::new(2);
+        let g = cycles(4);
+        let a = ShardedStore::new(&pool, &g, 2).unwrap();
+        let b = ShardedStore::with_algorithm(&pool, &g, 2, Algorithm::FastBcc).unwrap();
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                for q in [
+                    Query::Connected(u, v),
+                    Query::SameBlock(u, v),
+                    Query::IsBridge(u, v),
+                    Query::IsArticulation(u),
+                ] {
+                    assert_eq!(a.answer(&q).unwrap(), b.answer(&q).unwrap());
+                }
+            }
+        }
     }
 
     #[test]

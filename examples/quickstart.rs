@@ -60,5 +60,5 @@ fn main() {
         println!("            bridges: {bridge_edges:?}\n");
     }
 
-    println!("All four algorithms produce the identical canonical partition.");
+    println!("All five algorithms produce the identical canonical partition.");
 }

@@ -1,6 +1,6 @@
 //! A miniature of the paper's Fig. 3 from the public API: execution
-//! time of all four algorithms on a random graph, swept over thread
-//! counts.
+//! time of the three parallel TV algorithms on a random graph, swept
+//! over thread counts.
 //!
 //! ```text
 //! cargo run --release --example scaling_study [n] [m] [max_threads]
