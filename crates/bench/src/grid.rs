@@ -13,8 +13,8 @@ use bcc_core::{Algorithm, BccConfig, BccWorkspace, PhaseReport, TraversalTuning}
 use bcc_graph::{gen, Csr, Edge, Graph, GraphBuilder};
 use bcc_query::{CommitStats, IndexStore};
 use bcc_serve::{
-    component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
-    WorkloadReport,
+    component_grid, run_net_workload, run_workload, Admission, Daemon, Mode, NetFrontend,
+    NetWorkloadReport, Profile, ServeConfig, ShardedStore, WorkloadConfig, WorkloadReport, Writers,
 };
 use bcc_smp::{Pool, Telemetry};
 use std::path::PathBuf;
@@ -644,18 +644,83 @@ pub const SERVE_PARTS: u32 = 8;
 /// Shards the serve cells split the store across.
 pub const SERVE_SHARDS: usize = 4;
 
+/// One serve-cell scenario: drive profile and mode, plus the
+/// writer-topology and admission-control knobs the ablation cells
+/// flip. `shed` cells run a deliberately oversubscribed update stream
+/// against tight watermarks, measuring the read tail *while* admission
+/// control sheds (the SLO claim: rejections, not latency collapse).
+#[derive(Copy, Clone)]
+struct ServeScenario {
+    profile: Profile,
+    mode: Mode,
+    writers: Writers,
+    shed: bool,
+}
+
 /// The scenarios each reader count runs: the read-heavy profile under
 /// both drive modes, then the churn-heavy and adversarial hot-component
 /// profiles open-loop — the mode where queueing behind commits shows up
 /// as tail latency instead of silently reducing the offered load.
-fn serve_scenarios(rate: f64) -> [(Profile, Mode); 4] {
+/// Riding along: the churn-heavy cell with the writer pool collapsed
+/// to one thread (the `writers=1` ablation the per-shard commit path
+/// is justified against) and the overload cell with admission
+/// watermarks armed.
+fn serve_scenarios(rate: f64) -> [ServeScenario; 6] {
+    let cell = |profile, mode, writers, shed| ServeScenario {
+        profile,
+        mode,
+        writers,
+        shed,
+    };
     [
-        (Profile::ReadHeavy, Mode::Closed),
-        (Profile::ReadHeavy, Mode::Open { rate }),
-        (Profile::ChurnHeavy, Mode::Open { rate }),
-        (Profile::HotComponent, Mode::Open { rate }),
+        cell(Profile::ReadHeavy, Mode::Closed, Writers::PerShard, false),
+        cell(
+            Profile::ReadHeavy,
+            Mode::Open { rate },
+            Writers::PerShard,
+            false,
+        ),
+        cell(
+            Profile::ChurnHeavy,
+            Mode::Open { rate },
+            Writers::PerShard,
+            false,
+        ),
+        cell(
+            Profile::HotComponent,
+            Mode::Open { rate },
+            Writers::PerShard,
+            false,
+        ),
+        // Writer-topology ablation: same churn, one writer thread.
+        cell(
+            Profile::ChurnHeavy,
+            Mode::Open { rate },
+            Writers::Single,
+            false,
+        ),
+        // Overload: an update storm (10/90 mix) at 4x the arrival rate
+        // against armed admission watermarks — sheds must be nonzero
+        // and reads must survive.
+        cell(
+            Profile::UpdateStorm,
+            Mode::Open { rate: rate * 4.0 },
+            Writers::PerShard,
+            true,
+        ),
     ]
 }
+
+/// Watermarks the overload (`shed`) cells arm. The backlog watermark
+/// sits below what one writer flush window accumulates under the
+/// storm's update arrival rate, so admission control demonstrably
+/// engages inside even the smoke grid's 120ms window; the queue-depth
+/// watermark keeps sheds typed (`Overloaded`) instead of degrading to
+/// `QueueFull` when commits stall outright.
+const SHED_ADMISSION: Admission = Admission {
+    shed_queue_depth: Some(512),
+    shed_backlog: Some(48),
+};
 
 /// Runs the `serve` SLO cells: one [`ShardedStore`] per (readers ×
 /// scenario) cell — reused across trials, so churn runs against a warm,
@@ -676,19 +741,17 @@ fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, 
 
     struct ServeCell {
         pool: usize,
-        profile: Profile,
-        mode: Mode,
+        scenario: ServeScenario,
         store: Arc<ShardedStore>,
         reports: Vec<WorkloadReport>,
     }
     let mut cells: Vec<ServeCell> = vec![];
     for pool in 0..cfg.threads.len() {
         let p = cfg.threads[pool];
-        for (profile, mode) in serve_scenarios(rate) {
+        for scenario in serve_scenarios(rate) {
             cells.push(ServeCell {
                 pool,
-                profile,
-                mode,
+                scenario,
                 store: Arc::new(
                     ShardedStore::new(&Pool::new(p), &g, SERVE_SHARDS)
                         .expect("serve instance shards"),
@@ -702,19 +765,25 @@ fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, 
     // samples past any single host-scheduler burst.
     for round in 0..trials {
         for cell in &mut cells {
+            let sc = cell.scenario;
             let daemon = Daemon::spawn(
                 Arc::clone(&cell.store),
-                ServeConfig {
-                    readers: cfg.threads[cell.pool],
-                    flush_interval: Duration::from_millis(1),
-                    ..ServeConfig::default()
-                },
+                ServeConfig::builder()
+                    .readers(cfg.threads[cell.pool])
+                    .flush_interval(Duration::from_millis(1))
+                    .writers(sc.writers)
+                    .admission(if sc.shed {
+                        SHED_ADMISSION
+                    } else {
+                        Admission::default()
+                    })
+                    .build(),
             );
             let report = run_workload(
                 daemon,
                 &WorkloadConfig {
-                    profile: cell.profile,
-                    mode: cell.mode,
+                    profile: sc.profile,
+                    mode: sc.mode,
                     duration,
                     parts: SERVE_PARTS,
                     seed: cfg.seed,
@@ -723,8 +792,8 @@ fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, 
             if let Some(e) = &report.serve.writer_error {
                 panic!(
                     "serve writer failed ({} / {} p={}): {e}",
-                    cell.profile.name(),
-                    cell.mode.name(),
+                    sc.profile.name(),
+                    sc.mode.name(),
                     cfg.threads[cell.pool]
                 );
             }
@@ -740,6 +809,7 @@ fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, 
     let mut entries = Vec::with_capacity(cells.len());
     for cell in &cells {
         let p = cfg.threads[cell.pool];
+        let sc = cell.scenario;
         let med =
             |f: &dyn Fn(&WorkloadReport) -> f64| median_f64(cell.reports.iter().map(f).collect());
         let p99s: Vec<f64> = cell
@@ -748,19 +818,27 @@ fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, 
             .map(|r| r.serve.latency.quantile(0.99) as f64 * NS)
             .collect();
         let seconds = median_f64(p99s.clone());
-        entries.push(Json::obj(vec![
+        let mut fields = vec![
             ("family", Json::str("serve")),
-            ("algorithm", Json::str(cell.profile.name())),
+            ("algorithm", Json::str(sc.profile.name())),
             ("n", Json::num(g.n())),
             ("m", Json::num(g.m() as f64)),
             ("threads", Json::num(p as f64)),
-            ("mode", Json::str(cell.mode.name())),
+            ("mode", Json::str(sc.mode.name())),
             (
                 "rate",
-                Json::num(match cell.mode {
+                Json::num(match sc.mode {
                     Mode::Open { rate } => rate,
                     Mode::Closed => 0.0,
                 }),
+            ),
+            // Writer topology and admission policy: part of the cell's
+            // identity (they land in the entry key) so the writers=1
+            // ablation and the overload cell gate against themselves.
+            ("writers", Json::str(sc.writers.name())),
+            (
+                "admission",
+                Json::str(if sc.shed { "shed" } else { "open" }),
             ),
             // The gate metric: p99 query latency, median over trials
             // (and its min, which the comparator prefers).
@@ -805,14 +883,56 @@ fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, 
             ),
             ("commits", Json::num(med(&|r| r.serve.commits as f64))),
             ("migrations", Json::num(med(&|r| r.serve.migrations as f64))),
-        ]));
+            // v2-additive: writer topology, shed accounting, and the
+            // commit tail the per-shard writers are justified by.
+            (
+                "writer_threads",
+                Json::num(med(&|r| r.serve.writer_threads as f64)),
+            ),
+            (
+                "shed_count",
+                Json::num(med(&|r| r.serve.shed_updates as f64)),
+            ),
+            (
+                "commit_p50_seconds",
+                Json::num(med(&|r| r.serve.commit_latency.quantile(0.50) as f64 * NS)),
+            ),
+            (
+                "commit_p99_seconds",
+                Json::num(med(&|r| r.serve.commit_latency.quantile(0.99) as f64 * NS)),
+            ),
+        ];
+        // Per-shard commit-latency p99s, keyed by the shard committed
+        // to (w1 cells feed all four from one thread; per-shard cells
+        // from one thread each) — where the writers=1 vs per-shard
+        // commit-tail gap is read from.
+        let shard_p99s: Vec<(String, Json)> = (0..SERVE_SHARDS)
+            .map(|s| {
+                (
+                    format!("commit_p99_seconds_shard{s}"),
+                    Json::num(med(&|r| {
+                        r.serve
+                            .shard_commit_latency
+                            .get(s)
+                            .map_or(0.0, |h| h.quantile(0.99) as f64 * NS)
+                    })),
+                )
+            })
+            .collect();
+        for (k, v) in &shard_p99s {
+            fields.push((k.as_str(), v.clone()));
+        }
+        entries.push(Json::obj(fields));
         progress(&format!(
-            "{:>13} {:>13} p={p} [{}]: p99 {:>9.3?}, {:.0} q/s ({} trials)",
+            "{:>13} {:>13} p={p} [{} {} {}]: p99 {:>9.3?}, {:.0} q/s, shed {:.0} ({} trials)",
             "serve",
-            cell.profile.name(),
-            cell.mode.name(),
+            sc.profile.name(),
+            sc.mode.name(),
+            sc.writers.name(),
+            if sc.shed { "shed" } else { "open" },
             Duration::from_secs_f64(seconds),
             med(&|r| r.queries_per_sec()),
+            med(&|r| r.serve.shed_updates as f64),
             trials,
         ));
     }
@@ -825,6 +945,206 @@ fn run_serve_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, 
         ("shards", Json::num(SERVE_SHARDS as f64)),
         ("duration_seconds", Json::num(duration.as_secs_f64())),
         ("open_rate", Json::num(rate)),
+    ]);
+    (family, entries)
+}
+
+/// The scenarios the loopback-TCP cells run: the read-heavy SLO path
+/// over a real socket, and the update-storm overload cell proving the
+/// daemon sheds with typed `Rejected(Overloaded)` frames on the wire
+/// (not just in-process) while reads keep flowing. The storm's
+/// multiplier is higher than the in-process cell's because one client
+/// connection sends serially — the wire rate must still outrun the
+/// backlog watermark.
+fn serve_net_scenarios(rate: f64) -> [ServeScenario; 2] {
+    [
+        ServeScenario {
+            profile: Profile::ReadHeavy,
+            mode: Mode::Open { rate },
+            writers: Writers::PerShard,
+            shed: false,
+        },
+        ServeScenario {
+            profile: Profile::UpdateStorm,
+            mode: Mode::Open { rate: rate * 16.0 },
+            writers: Writers::PerShard,
+            shed: true,
+        },
+    ]
+}
+
+/// Runs the `serve-net` cells: the same open-loop drivers as
+/// [`run_serve_cells`], but over a real loopback TCP socket through
+/// [`NetFrontend`] — one connection, length-prefixed frames, responses
+/// matched by request id. The gate metric (`seconds`) is the round-trip
+/// p99 (scheduled arrival to response on the client), so it prices the
+/// codec and the socket alongside the daemon.
+fn run_serve_net_cells(cfg: &GridConfig, progress: &mut impl FnMut(&str)) -> (Json, Vec<Json>) {
+    let trials = cfg.trials.max(1);
+    // Loopback round-trips are ~10x a queue hop, so drive at a rate the
+    // single client connection can sustain without self-queueing.
+    let (rate, duration) = if cfg.smoke {
+        (5_000.0, Duration::from_millis(120))
+    } else {
+        (20_000.0, Duration::from_millis(400))
+    };
+    let n = cfg.n.max(3 * SERVE_PARTS);
+    let g = component_grid(n, SERVE_PARTS, cfg.seed);
+
+    struct NetCell {
+        pool: usize,
+        scenario: ServeScenario,
+        store: Arc<ShardedStore>,
+        reports: Vec<NetWorkloadReport>,
+    }
+    let mut cells: Vec<NetCell> = vec![];
+    for pool in 0..cfg.threads.len() {
+        let p = cfg.threads[pool];
+        for scenario in serve_net_scenarios(rate) {
+            cells.push(NetCell {
+                pool,
+                scenario,
+                store: Arc::new(
+                    ShardedStore::new(&Pool::new(p), &g, SERVE_SHARDS)
+                        .expect("serve-net instance shards"),
+                ),
+                reports: Vec::with_capacity(trials),
+            });
+        }
+    }
+
+    for round in 0..trials {
+        for cell in &mut cells {
+            let sc = cell.scenario;
+            let daemon = Daemon::spawn(
+                Arc::clone(&cell.store),
+                ServeConfig::builder()
+                    .readers(cfg.threads[cell.pool])
+                    .flush_interval(Duration::from_millis(1))
+                    .writers(sc.writers)
+                    .admission(if sc.shed {
+                        SHED_ADMISSION
+                    } else {
+                        Admission::default()
+                    })
+                    .build(),
+            );
+            let frontend = NetFrontend::spawn(daemon, "127.0.0.1:0").expect("loopback listener");
+            let addr = frontend.local_addr();
+            let report = run_net_workload(
+                addr,
+                &WorkloadConfig {
+                    profile: sc.profile,
+                    mode: sc.mode,
+                    duration,
+                    parts: SERVE_PARTS,
+                    seed: cfg.seed,
+                },
+                g.n(),
+            )
+            .expect("loopback workload");
+            let serve = frontend.shutdown();
+            if let Some(e) = &serve.writer_error {
+                panic!(
+                    "serve-net writer failed ({} / {} p={}): {e}",
+                    sc.profile.name(),
+                    sc.mode.name(),
+                    cfg.threads[cell.pool]
+                );
+            }
+            cell.reports.push(report);
+        }
+        progress(&format!(
+            "serve-net trial round {}/{trials} complete",
+            round + 1
+        ));
+    }
+
+    const NS: f64 = 1e-9;
+    let mut entries = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let p = cfg.threads[cell.pool];
+        let sc = cell.scenario;
+        let med = |f: &dyn Fn(&NetWorkloadReport) -> f64| {
+            median_f64(cell.reports.iter().map(f).collect())
+        };
+        let p99s: Vec<f64> = cell
+            .reports
+            .iter()
+            .map(|r| r.latency.quantile(0.99) as f64 * NS)
+            .collect();
+        let seconds = median_f64(p99s.clone());
+        entries.push(Json::obj(vec![
+            ("family", Json::str("serve-net")),
+            ("algorithm", Json::str(sc.profile.name())),
+            ("n", Json::num(g.n())),
+            ("m", Json::num(g.m() as f64)),
+            ("threads", Json::num(p as f64)),
+            ("mode", Json::str(sc.mode.name())),
+            (
+                "rate",
+                Json::num(match sc.mode {
+                    Mode::Open { rate } => rate,
+                    Mode::Closed => 0.0,
+                }),
+            ),
+            ("writers", Json::str(sc.writers.name())),
+            (
+                "admission",
+                Json::str(if sc.shed { "shed" } else { "open" }),
+            ),
+            // The gate metric: round-trip p99 over the socket.
+            ("seconds", Json::num(seconds)),
+            (
+                "seconds_min",
+                Json::num(p99s.iter().copied().fold(f64::INFINITY, f64::min)),
+            ),
+            (
+                "responses_per_sec",
+                Json::num(med(&|r| r.responses_per_sec())),
+            ),
+            ("answered", Json::num(med(&|r| r.answered as f64))),
+            ("accepted", Json::num(med(&|r| r.accepted as f64))),
+            ("shed_count", Json::num(med(&|r| r.shed as f64))),
+            (
+                "rejected_other",
+                Json::num(med(&|r| r.rejected_other as f64)),
+            ),
+            (
+                "latency_p50_seconds",
+                Json::num(med(&|r| r.latency.quantile(0.50) as f64 * NS)),
+            ),
+            (
+                "latency_p999_seconds",
+                Json::num(med(&|r| r.latency.quantile(0.999) as f64 * NS)),
+            ),
+            (
+                "latency_max_seconds",
+                Json::num(med(&|r| r.latency.max() as f64 * NS)),
+            ),
+        ]));
+        progress(&format!(
+            "{:>13} {:>13} p={p} [{} {}]: rt p99 {:>9.3?}, {:.0} resp/s, shed {:.0} ({} trials)",
+            "serve-net",
+            sc.profile.name(),
+            sc.mode.name(),
+            if sc.shed { "shed" } else { "open" },
+            Duration::from_secs_f64(seconds),
+            med(&|r| r.responses_per_sec()),
+            med(&|r| r.shed as f64),
+            trials,
+        ));
+    }
+
+    let family = Json::obj(vec![
+        ("family", Json::str("serve-net")),
+        ("n", Json::num(g.n())),
+        ("m", Json::num(g.m() as f64)),
+        ("components", Json::num(f64::from(SERVE_PARTS))),
+        ("shards", Json::num(SERVE_SHARDS as f64)),
+        ("duration_seconds", Json::num(duration.as_secs_f64())),
+        ("open_rate", Json::num(rate)),
+        ("transport", Json::str("tcp-loopback")),
     ]);
     (family, entries)
 }
@@ -857,6 +1177,9 @@ pub fn run_grid(cfg: &GridConfig, mut progress: impl FnMut(&str)) -> Json {
         let (fam, mut serve_entries) = run_serve_cells(cfg, &mut progress);
         families.push(fam);
         entries.append(&mut serve_entries);
+        let (fam, mut net_entries) = run_serve_net_cells(cfg, &mut progress);
+        families.push(fam);
+        entries.append(&mut net_entries);
     }
     if cfg.prims != PrimsMode::Off && !serve_only {
         let (fam, mut prims_entries) = run_prims_cells(cfg, &mut progress);
@@ -1127,6 +1450,18 @@ fn entry_key(e: &Json) -> Option<String> {
         key.push('/');
         key.push_str(m);
     }
+    // The writer-topology ablation suffixes only its single-writer
+    // cells (like `/ws-off` above): default per-shard cells keep the
+    // keys older documents used and stay comparable against them.
+    if e.get("writers").and_then(Json::as_str) == Some("w1") {
+        key.push_str("/w1");
+    }
+    // Overload cells (admission watermarks armed, oversubscribed
+    // arrivals) are their own series — they gate shed behaviour, not
+    // steady-state latency.
+    if e.get("admission").and_then(Json::as_str) == Some("shed") {
+        key.push_str("/shed");
+    }
     Some(key)
 }
 
@@ -1161,6 +1496,11 @@ const MIN_ABS_RSS_REGRESSION_BYTES: f64 = 16.0 * 1024.0 * 1024.0;
 /// also exceed [`MIN_ABS_REGRESSION_SECS`]. Entries present on only
 /// one side are skipped (grids of different sizes — or a v1 baseline
 /// against a v2 candidate — stay comparable on their shared cells).
+/// Overload cells (keys ending `/shed`) still anchor the calibration
+/// medians but are exempt from flagging on time — their tail latency
+/// is load-dependent by construction; see the inline comment in the
+/// gating loop for the rationale and where their contract is gated
+/// instead.
 ///
 /// `peak_rss_bytes` is gated as a **second, independent metric** under
 /// `rss_threshold_pct` on every shared cell where *both* documents
@@ -1235,6 +1575,19 @@ pub fn compare(
     let global_factor = median_ratio(&|_| true).unwrap_or(1.0);
     let mut regressions = vec![];
     for (key, b, c) in &shared {
+        // Overload (`…/shed`) cells never *flag* on time: under
+        // deliberate shedding, *which* requests get answered is itself
+        // load-dependent, so their tail latency is bimodal run-to-run
+        // (observed ~2x spread in the min-of-trials on a 1-core host)
+        // and would flap any cross-run threshold. They stay in the
+        // calibration medians above — they ride the same transport and
+        // scheduler drift as their family and the medians are robust
+        // to their noise — but their own contract (sheds nonzero and
+        // typed, read p99 within a band of the same run's non-shed
+        // cells) is asserted in-run by the CI serve-smoke step.
+        if key.ends_with("/shed") {
+            continue;
+        }
         let fam = family_of(key);
         let fam_cells = shared
             .iter()
@@ -1418,45 +1771,71 @@ mod tests {
         };
         let doc = run_grid(&cfg, |_| {});
         assert_eq!(doc.get("serve").and_then(Json::as_str), Some("only"));
-        // `only` skips the algorithm grid: the serve family summary is
-        // the whole families array.
+        // `only` skips the algorithm grid: the serve and serve-net
+        // family summaries are the whole families array.
         let fams = doc.get("families").and_then(Json::as_arr).unwrap();
-        assert_eq!(fams.len(), 1);
+        assert_eq!(fams.len(), 2);
+        for f in fams {
+            assert_eq!(
+                f.get("shards").and_then(Json::as_u64),
+                Some(SERVE_SHARDS as u64)
+            );
+        }
         assert_eq!(
-            fams[0].get("shards").and_then(Json::as_u64),
-            Some(SERVE_SHARDS as u64)
+            fams[1].get("transport").and_then(Json::as_str),
+            Some("tcp-loopback")
         );
         let text = doc.pretty();
         let parsed = crate::json::parse(&text).expect("serve BENCH json must parse");
         let entries = parsed.get("entries").and_then(Json::as_arr).unwrap();
-        // threads × scenarios.
-        assert_eq!(entries.len(), 2 * serve_scenarios(1.0).len());
+        // threads × (in-process scenarios + loopback-TCP scenarios).
+        assert_eq!(
+            entries.len(),
+            2 * (serve_scenarios(1.0).len() + serve_net_scenarios(1.0).len())
+        );
         let keys: std::collections::BTreeSet<String> =
             entries.iter().map(|e| entry_key(e).unwrap()).collect();
         assert_eq!(keys.len(), entries.len());
         for e in entries {
             let key = entry_key(e).unwrap();
+            let family = e.get("family").and_then(Json::as_str).unwrap();
             let mode = e.get("mode").and_then(Json::as_str).unwrap();
-            assert!(key.ends_with(&format!("/{mode}")), "{key}");
             assert!(matches!(mode, "closed" | "open"), "{key}");
+            // Keys end with the drive mode plus the ablation suffixes
+            // the writers/admission fields dictate.
+            let mut tail = format!("/{mode}");
+            if e.get("writers").and_then(Json::as_str) == Some("w1") {
+                tail.push_str("/w1");
+            }
+            if e.get("admission").and_then(Json::as_str) == Some("shed") {
+                tail.push_str("/shed");
+            }
+            assert!(key.ends_with(&tail), "{key} vs {tail}");
             // Closed-loop cells drive as fast as backpressure allows;
             // open-loop cells carry their arrival rate.
             let rate = e.get("rate").and_then(Json::as_f64).unwrap();
             assert_eq!(mode == "closed", rate == 0.0, "{key}");
-            for field in [
-                "seconds",
-                "seconds_min",
-                "queries_per_sec",
-                "answered",
-                "latency_p50_seconds",
-                "latency_p999_seconds",
-                "lag_commits_p50",
-                "lag_commits_p99",
-                "lag_commits_max",
-                "lag_wall_p99_seconds",
-                "updates_applied",
-                "commits",
-            ] {
+            let common = ["seconds", "seconds_min", "answered", "shed_count"];
+            let fields: &[&str] = if family == "serve" {
+                &[
+                    "queries_per_sec",
+                    "latency_p50_seconds",
+                    "latency_p999_seconds",
+                    "lag_commits_p50",
+                    "lag_commits_p99",
+                    "lag_commits_max",
+                    "lag_wall_p99_seconds",
+                    "updates_applied",
+                    "commits",
+                    "writer_threads",
+                    "commit_p99_seconds",
+                    "commit_p99_seconds_shard0",
+                ]
+            } else {
+                assert_eq!(family, "serve-net", "{key}");
+                &["responses_per_sec", "accepted", "rejected_other"]
+            };
+            for field in common.iter().chain(fields) {
                 assert!(
                     e.get(field).and_then(Json::as_f64).is_some(),
                     "missing {field} in {key}"
@@ -1474,12 +1853,22 @@ mod tests {
                 .and_then(Json::as_f64)
                 .unwrap();
             assert!(p50 <= p99 && p99 <= p999, "{key}: {p50} / {p99} / {p999}");
+            if family != "serve" {
+                continue;
+            }
             // Churn profiles commit; read-heavy ones may too (1% mix).
             if e.get("algorithm").and_then(Json::as_str) == Some("churn-heavy") {
                 assert!(
                     e.get("commits").and_then(Json::as_f64).unwrap() > 0.0,
                     "{key}: churn profile never committed"
                 );
+            }
+            // The writer-topology field matches the daemon's actual
+            // thread count: 1 for the ablation, shard count otherwise.
+            let threads = e.get("writer_threads").and_then(Json::as_f64).unwrap();
+            match e.get("writers").and_then(Json::as_str).unwrap() {
+                "w1" => assert_eq!(threads, 1.0, "{key}"),
+                _ => assert_eq!(threads, SERVE_SHARDS as f64, "{key}"),
             }
         }
     }
@@ -1736,6 +2125,44 @@ mod tests {
             rescale_entries(&base, &|i, s| if i == 3 { s * 6.0 + 1.0 } else { s * 2.0 });
         let regs = compare(&base, &drifted_plus, 25.0, 25.0).unwrap();
         assert_eq!(regs.len(), 1, "exactly the regressed cell: {regs:?}");
+    }
+
+    #[test]
+    fn compare_exempts_shed_cells_from_the_time_gate() {
+        // Five serve cells, one of them an overload (`…/shed`) cell.
+        // Overload tails are load-dependent by design, so an arbitrary
+        // slowdown there must stay quiet while the same slowdown on a
+        // steady-state cell still flags.
+        let entry = |profile: &str, shed: bool, secs: f64| {
+            let admission = if shed { "shed" } else { "open" };
+            format!(
+                "{{\"family\": \"serve\", \"algorithm\": \"{profile}\", \
+                 \"n\": 600, \"threads\": 1, \"mode\": \"open\", \
+                 \"admission\": \"{admission}\", \
+                 \"seconds\": {secs}, \"seconds_min\": {secs}}}"
+            )
+        };
+        let doc = |shed_secs: f64, churn_secs: f64| {
+            crate::json::parse(&format!(
+                "{{\"schema_version\": 2, \"entries\": [{}, {}, {}, {}, {}]}}",
+                entry("read-heavy", false, 0.010),
+                entry("churn-heavy", false, churn_secs),
+                entry("hot-component", false, 0.012),
+                entry("plain", false, 0.014),
+                entry("update-storm", true, shed_secs),
+            ))
+            .unwrap()
+        };
+        let base = doc(0.020, 0.011);
+        // The shed cell 100x slower: exempt, quiet.
+        assert_eq!(
+            compare(&base, &doc(2.0, 0.011), 10.0, 25.0).unwrap(),
+            vec![]
+        );
+        // A steady-state cell 100x slower: flagged as usual.
+        let regs = compare(&base, &doc(0.020, 1.1), 10.0, 25.0).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].key.ends_with("/open"), "{}", regs[0].key);
     }
 
     /// Sets `peak_rss_bytes` on every entry to `f(index)` (None removes

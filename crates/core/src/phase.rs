@@ -246,6 +246,9 @@ pub struct PhaseReport {
     pub snapshot_lag_wall_mean: Duration,
     /// Worst observed snapshot age (high-water mark of the sink).
     pub snapshot_lag_wall_max: Duration,
+    /// Operations shed by admission control during the run (0 without
+    /// telemetry, or when no serving layer was involved).
+    pub shed_count: u64,
     /// The run's machine-independent work counters.
     pub stats: PipelineStats,
 }
@@ -454,6 +457,7 @@ impl<'a> PhaseRecorder<'a> {
             snapshot_lag_commits_max: lag_commits_max,
             snapshot_lag_wall_mean: lag_wall_mean,
             snapshot_lag_wall_max: lag_wall_max,
+            shed_count: whole_run.as_ref().map_or(0, |d| d.sheds),
             stats,
         }
     }
@@ -556,6 +560,7 @@ mod tests {
         // A serving reader elsewhere reports two answers' staleness.
         sink.record_snapshot_lag(2, Duration::from_micros(50));
         sink.record_snapshot_lag(4, Duration::from_micros(150));
+        sink.record_shed(3);
         let report = rec.finish(
             "TV-filter",
             1,
@@ -569,6 +574,7 @@ mod tests {
         assert_eq!(report.snapshot_lag_commits_max, 4);
         assert_eq!(report.snapshot_lag_wall_mean, Duration::from_micros(100));
         assert_eq!(report.snapshot_lag_wall_max, Duration::from_micros(150));
+        assert_eq!(report.shed_count, 3);
 
         // Without a sink the fields are inert zeros.
         let report = PhaseRecorder::new(None).finish(

@@ -88,6 +88,20 @@ pub struct CommitStats {
     pub reused_fraction: f64,
     /// True for whole-graph rebuilds (epoch 0, [`Txn::commit_full`]).
     pub full_rebuild: bool,
+    /// Wall-clock time the commit itself took (fold + classify +
+    /// rebuild + publish), measured under the commit lock. Serving
+    /// layers attribute per-shard commit latency from this without
+    /// timing around the call.
+    pub seconds: f64,
+}
+
+impl CommitStats {
+    /// `self` with [`seconds`](CommitStats::seconds) stamped from an
+    /// elapsed duration (builder-style; used at publish time).
+    pub(crate) fn timed(mut self, elapsed: Duration) -> CommitStats {
+        self.seconds = elapsed.as_secs_f64();
+        self
+    }
 }
 
 /// An immutable published epoch: the graph as of the last commit, the
@@ -268,6 +282,7 @@ impl IndexStore {
     /// space by O(n) — the choice for stores whose graphs dwarf the
     /// n=50k grid.
     pub fn with_algorithm(pool: Pool, g: Graph, algorithm: Algorithm) -> Result<Self, BccError> {
+        let t0 = Instant::now();
         let workspace = Arc::new(BccWorkspace::new());
         let index = BiconnectivityIndex::from_graph_with(&pool, &g, algorithm, &workspace)?;
         let stats = CommitStats {
@@ -280,7 +295,9 @@ impl IndexStore {
             edges_rebuilt: g.m(),
             reused_fraction: 0.0,
             full_rebuild: true,
-        };
+            seconds: 0.0,
+        }
+        .timed(t0.elapsed());
         Ok(IndexStore {
             pool,
             current: PublishRing::new(Arc::new(Snapshot {
@@ -353,6 +370,7 @@ impl IndexStore {
         if updates.is_empty() {
             return Ok(self.load());
         }
+        let t0 = Instant::now();
         let prev = self.load();
         let old_n = prev.graph.n();
 
@@ -434,8 +452,9 @@ impl IndexStore {
                 edges_rebuilt: graph.m(),
                 reused_fraction: 0.0,
                 full_rebuild: true,
+                seconds: 0.0,
             };
-            return Ok(self.publish(&prev, graph, index, stats));
+            return Ok(self.publish(&prev, graph, index, stats.timed(t0.elapsed())));
         }
 
         // The rebuild region: every vertex of a touched component plus
@@ -466,9 +485,10 @@ impl IndexStore {
                 edges_rebuilt: 0,
                 reused_fraction: 1.0,
                 full_rebuild: false,
+                seconds: 0.0,
             };
             let index = prev.index.clone();
-            return Ok(self.publish(&prev, graph, index, stats));
+            return Ok(self.publish(&prev, graph, index, stats.timed(t0.elapsed())));
         }
 
         // Extract the region as a relabeled subgraph. A kept edge lies
@@ -548,8 +568,9 @@ impl IndexStore {
             edges_rebuilt,
             reused_fraction: 1.0 - rn as f64 / new_n as f64,
             full_rebuild: false,
+            seconds: 0.0,
         };
-        Ok(self.publish(&prev, graph, index, stats))
+        Ok(self.publish(&prev, graph, index, stats.timed(t0.elapsed())))
     }
 
     /// Installs the next epoch into the publication ring — one slot

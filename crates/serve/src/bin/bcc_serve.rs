@@ -1,12 +1,16 @@
 //! `bcc-serve` — run the sharded biconnectivity daemon under a
-//! configurable workload and print its SLO numbers.
+//! configurable workload and print its SLO numbers, or expose it on a
+//! TCP socket for `bcc-serve-client` to drive.
 //!
 //! ```text
 //! bcc-serve [--n 50000] [--parts 16] [--shards 4] [--readers 2]
 //!           [--graph <path>]
-//!           [--profile read-heavy|churn-heavy|hot-component]
+//!           [--profile read-heavy|churn-heavy|hot-component|update-storm]
 //!           [--mode closed|open] [--rate 50000] [--secs 2]
 //!           [--batch 64] [--flush-ms 2] [--seed 42]
+//!           [--writers single|per-shard]
+//!           [--shed-depth N] [--shed-backlog N]
+//!           [--listen ADDR]
 //! ```
 //!
 //! By default the daemon serves a generated multi-component instance;
@@ -14,11 +18,20 @@
 //! `.bccsr`, sniffed by `bcc_graph::io::load`), with `--parts` still
 //! shaping how the workload spreads its queries and updates across
 //! vertex ranges.
+//!
+//! With `--listen ADDR` the in-process workload driver is skipped:
+//! the daemon binds `ADDR` (use port 0 for an ephemeral port; the
+//! bound address is printed on stdout as `listening ADDR n N`), serves
+//! the wire protocol until `--secs` elapses — or, with `--secs 0`,
+//! until stdin reaches EOF so a parent process can manage the
+//! lifetime — then shuts down and prints the same report.
 
 use bcc_serve::{
-    component_grid, run_workload, Daemon, Mode, Profile, ServeConfig, ShardedStore, WorkloadConfig,
+    component_grid, run_workload, Admission, Daemon, Mode, NetFrontend, Profile, ServeConfig,
+    ServeReport, ShardedStore, WorkloadConfig, Writers,
 };
 use bcc_smp::Pool;
+use std::io::Read;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,6 +41,48 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn parse_opt<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn print_report(s: &ServeReport) {
+    println!(
+        "latency    p50 {:?}  p99 {:?}  p999 {:?}  max {:?}",
+        s.latency.quantile_duration(0.50),
+        s.latency.quantile_duration(0.99),
+        s.latency.quantile_duration(0.999),
+        Duration::from_nanos(s.latency.max()),
+    );
+    println!(
+        "snapshot lag  p50 {} / p99 {} commits behind; age p99 {:?}",
+        s.lag_commits.quantile(0.50),
+        s.lag_commits.quantile(0.99),
+        s.lag_wall.quantile_duration(0.99),
+    );
+    println!(
+        "writers[{}]: {} updates in {} commits ({} migrations, {} shed), commit p99 {:?}",
+        s.writer_threads,
+        s.updates_applied,
+        s.commits,
+        s.migrations,
+        s.shed_updates,
+        s.commit_latency.quantile_duration(0.99),
+    );
+    for (i, h) in s.shard_commit_latency.iter().enumerate() {
+        if h.count() > 0 {
+            println!(
+                "  shard {i}: {} commits, p50 {:?}  p99 {:?}",
+                h.count(),
+                h.quantile_duration(0.50),
+                h.quantile_duration(0.99),
+            );
+        }
+    }
 }
 
 fn main() {
@@ -40,13 +95,19 @@ fn main() {
              --graph PATH   serve a graph file (text or .bccsr) instead\n\
              --shards S     store shards (default 4)\n\
              --readers R    reader threads (default 2)\n\
-             --profile P    read-heavy | churn-heavy | hot-component\n\
+             --profile P    read-heavy | churn-heavy | hot-component | update-storm\n\
              --mode M       closed | open (default open)\n\
              --rate Q       open-loop arrivals/sec (default 50000)\n\
              --secs T       drive duration in seconds (default 2)\n\
              --batch B      writer group-commit size (default 64)\n\
              --flush-ms F   writer flush interval (default 2)\n\
-             --seed X       instance + workload seed (default 42)"
+             --seed X       instance + workload seed (default 42)\n\
+             --writers W    single | per-shard (default per-shard)\n\
+             --shed-depth N   shed updates once a writer queue holds N\n\
+             --shed-backlog N shed updates once N are uncommitted\n\
+             --listen ADDR  serve the wire protocol on ADDR instead of\n\
+                            driving an in-process workload (port 0 for\n\
+                            ephemeral; --secs 0 serves until stdin EOF)"
         );
         return;
     }
@@ -57,6 +118,7 @@ fn main() {
     let profile = match parse(&args, "--profile", "read-heavy".to_string()).as_str() {
         "churn-heavy" => Profile::ChurnHeavy,
         "hot-component" => Profile::HotComponent,
+        "update-storm" => Profile::UpdateStorm,
         _ => Profile::ReadHeavy,
     };
     let mode = match parse(&args, "--mode", "open".to_string()).as_str() {
@@ -69,6 +131,15 @@ fn main() {
     let batch_max: usize = parse(&args, "--batch", 64);
     let flush_ms: u64 = parse(&args, "--flush-ms", 2);
     let seed: u64 = parse(&args, "--seed", 42);
+    let writers = match parse(&args, "--writers", "per-shard".to_string()).as_str() {
+        "single" => Writers::Single,
+        _ => Writers::PerShard,
+    };
+    let admission = Admission {
+        shed_queue_depth: parse_opt(&args, "--shed-depth"),
+        shed_backlog: parse_opt(&args, "--shed-backlog"),
+    };
+    let listen: Option<String> = parse_opt(&args, "--listen");
     let graph_path = args
         .iter()
         .position(|a| a == "--graph")
@@ -85,26 +156,55 @@ fn main() {
         None => component_grid(n, parts, seed),
     };
     let n = g.n();
+    let pool = Pool::new(readers.max(2));
+    let store = Arc::new(ShardedStore::new(&pool, &g, shards).expect("seed build"));
+    let config = ServeConfig::builder()
+        .readers(readers)
+        .batch_max(batch_max)
+        .flush_interval(Duration::from_millis(flush_ms))
+        .writers(writers)
+        .admission(admission)
+        .build();
+    let daemon = Daemon::spawn(Arc::clone(&store), config);
+
+    if let Some(addr) = listen {
+        let frontend = NetFrontend::spawn(daemon, addr.as_str()).unwrap_or_else(|e| {
+            eprintln!("bcc-serve: bind {addr}: {e}");
+            std::process::exit(2);
+        });
+        // Machine-readable: clients parse the bound address and the
+        // vertex count (the workload generator needs the layout).
+        println!("listening {} n {n}", frontend.local_addr());
+        if secs > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        } else {
+            // Serve until whoever spawned us closes our stdin.
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().read_to_end(&mut sink);
+        }
+        let report = frontend.shutdown();
+        if let Some(e) = &report.writer_error {
+            eprintln!("writer error: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "served {} answers, {} update commits over TCP",
+            report.answered, report.updates_applied
+        );
+        print_report(&report);
+        return;
+    }
+
     println!(
         "instance: {}n = {n}, {parts} components, {shards} shards; \
-         {readers} readers, profile {}, mode {}",
+         {readers} readers, {} writer(s), profile {}, mode {}",
         graph_path
             .as_deref()
             .map(|p| format!("{p}, "))
             .unwrap_or_default(),
+        writers.name(),
         profile.name(),
         mode.name()
-    );
-    let pool = Pool::new(readers.max(2));
-    let store = Arc::new(ShardedStore::new(&pool, &g, shards).expect("seed build"));
-    let daemon = Daemon::spawn(
-        Arc::clone(&store),
-        ServeConfig {
-            readers,
-            batch_max,
-            flush_interval: Duration::from_millis(flush_ms),
-            ..ServeConfig::default()
-        },
     );
     let report = run_workload(
         daemon,
@@ -121,7 +221,6 @@ fn main() {
         eprintln!("writer error: {e}");
         std::process::exit(1);
     }
-    let s = &report.serve;
     println!(
         "drove {} queries + {} updates in {:?} ({:.0} answered queries/s)",
         report.offered_queries,
@@ -129,24 +228,5 @@ fn main() {
         report.wall,
         report.queries_per_sec()
     );
-    println!(
-        "latency    p50 {:?}  p99 {:?}  p999 {:?}  max {:?}",
-        s.latency.quantile_duration(0.50),
-        s.latency.quantile_duration(0.99),
-        s.latency.quantile_duration(0.999),
-        Duration::from_nanos(s.latency.max()),
-    );
-    println!(
-        "snapshot lag  p50 {} / p99 {} commits behind; age p99 {:?}",
-        s.lag_commits.quantile(0.50),
-        s.lag_commits.quantile(0.99),
-        s.lag_wall.quantile_duration(0.99),
-    );
-    println!(
-        "writer: {} updates in {} commits ({} migrations), commit p99 {:?}",
-        s.updates_applied,
-        s.commits,
-        s.migrations,
-        s.commit_latency.quantile_duration(0.99),
-    );
+    print_report(&report.serve);
 }

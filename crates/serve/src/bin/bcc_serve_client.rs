@@ -1,0 +1,100 @@
+//! `bcc-serve-client` — drive a `bcc-serve --listen` daemon over TCP
+//! with the same deterministic workloads the in-process driver uses,
+//! and print round-trip SLO numbers measured from the client side.
+//!
+//! ```text
+//! bcc-serve-client --addr HOST:PORT --n N
+//!                  [--profile read-heavy|churn-heavy|hot-component|update-storm]
+//!                  [--mode closed|open] [--rate 20000] [--secs 2]
+//!                  [--parts 16] [--seed 42]
+//! ```
+//!
+//! `--n` must match the served instance's vertex count (the workload
+//! generator needs the component layout); `bcc-serve --listen` prints
+//! it as `listening ADDR n N` at startup.
+
+use bcc_serve::{run_net_workload, Mode, Profile, WorkloadConfig};
+use std::time::Duration;
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "bcc-serve-client: TCP workload driver for bcc-serve --listen\n\
+             --addr A       server address (required), e.g. 127.0.0.1:7731\n\
+             --n N          served instance's vertex count (required)\n\
+             --profile P    read-heavy | churn-heavy | hot-component | update-storm\n\
+             --mode M       closed | open (default open)\n\
+             --rate Q       open-loop arrivals/sec (default 20000)\n\
+             --secs T       drive duration in seconds (default 2)\n\
+             --parts K      component count of the served instance\n\
+             --seed X       workload seed (default 42)"
+        );
+        return;
+    }
+    let addr = parse(&args, "--addr", String::new());
+    let n: u32 = parse(&args, "--n", 0);
+    if addr.is_empty() || n == 0 {
+        eprintln!("bcc-serve-client: --addr and --n are required (see --help)");
+        std::process::exit(2);
+    }
+    let profile = match parse(&args, "--profile", "read-heavy".to_string()).as_str() {
+        "churn-heavy" => Profile::ChurnHeavy,
+        "hot-component" => Profile::HotComponent,
+        "update-storm" => Profile::UpdateStorm,
+        _ => Profile::ReadHeavy,
+    };
+    let mode = match parse(&args, "--mode", "open".to_string()).as_str() {
+        "closed" => Mode::Closed,
+        _ => Mode::Open {
+            rate: parse(&args, "--rate", 20_000.0),
+        },
+    };
+    let cfg = WorkloadConfig {
+        profile,
+        mode,
+        duration: Duration::from_secs_f64(parse(&args, "--secs", 2.0)),
+        parts: parse(&args, "--parts", 16),
+        seed: parse(&args, "--seed", 42),
+    };
+
+    let report = match run_net_workload(addr.as_str(), &cfg, n) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bcc-serve-client: {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "offered {} queries + {} updates in {:?} ({:.0} responses/s)",
+        report.offered_queries,
+        report.offered_updates,
+        report.wall,
+        report.responses_per_sec()
+    );
+    println!(
+        "answered {}  accepted {}  shed {}  rejected {}",
+        report.answered, report.accepted, report.shed, report.rejected_other
+    );
+    println!(
+        "round-trip  p50 {:?}  p99 {:?}  p999 {:?}  max {:?}",
+        report.latency.quantile_duration(0.50),
+        report.latency.quantile_duration(0.99),
+        report.latency.quantile_duration(0.999),
+        Duration::from_nanos(report.latency.max()),
+    );
+    let lost = (report.offered_queries + report.offered_updates)
+        .saturating_sub(report.answered + report.accepted + report.shed + report.rejected_other);
+    if lost > 0 {
+        eprintln!("bcc-serve-client: {lost} requests got no response");
+        std::process::exit(1);
+    }
+}

@@ -11,11 +11,18 @@
 //!   independent stores behind an atomic routing table; a commit only
 //!   stalls the shard it touches, and cross-shard inserts migrate the
 //!   donor component with reader-consistent ordering.
+//! * [`Request`] / [`Response`] — the typed request surface *and* the
+//!   TCP wire format's data model; one [`Daemon::submit`] entry point
+//!   serves in-process callers, workload drivers, and the socket.
 //! * [`Daemon`] — N reader threads pulling [`QueryJob`]s from a
 //!   bounded MPMC queue and answering from the routed shard's current
-//!   snapshot (never blocking on commits); one writer thread draining
-//!   the update stream with group-commit batching
-//!   ([`ServeConfig::batch_max`] / [`ServeConfig::flush_interval`]).
+//!   snapshot (never blocking on commits); per-shard writer threads
+//!   (or one, for the `writers=1` ablation) draining the update stream
+//!   with group-commit batching ([`ServeConfig::batch_max`] /
+//!   [`ServeConfig::flush_interval`]) and watermark-based admission
+//!   control shedding update load with typed rejections.
+//! * [`net`] — a length-prefixed binary protocol over TCP
+//!   (`bcc-serve --listen` / `bcc-serve-client`), std-only.
 //! * [`LatencyHistogram`] — HDR-style log-linear recorder behind the
 //!   p50/p99/p999 latency and snapshot-lag numbers in [`ServeReport`].
 //! * [`workload`] — closed-loop and open-loop (fixed-arrival-rate,
@@ -30,21 +37,35 @@
 //! use bcc_smp::Pool;
 //! use std::sync::Arc;
 //!
+//! use bcc_serve::Request;
+//!
 //! let pool = Pool::new(2);
 //! let g = component_grid(120, 4, 42);
 //! let store = Arc::new(ShardedStore::new(&pool, &g, 2).unwrap());
 //! let daemon = Daemon::spawn(Arc::clone(&store), ServeConfig::default());
-//! daemon.submit_query(Query::SameBlock(0, 5)).unwrap();
+//! daemon
+//!     .submit(Request::Query { id: 1, query: Query::SameBlock(0, 5) })
+//!     .unwrap();
 //! let report = daemon.shutdown();
 //! assert_eq!(report.answered, 1);
 //! ```
 
+pub mod api;
 pub mod daemon;
 pub mod hist;
+pub mod net;
 pub mod shard;
+pub mod wire;
 pub mod workload;
 
-pub use daemon::{Daemon, QueryJob, ServeConfig, ServeReport};
+pub use api::{RejectReason, Request, Response, SubmitError};
+pub use daemon::{
+    Admission, Daemon, QueryJob, ReplySink, ServeConfig, ServeConfigBuilder, ServeReport, Writers,
+};
 pub use hist::LatencyHistogram;
-pub use shard::{ApplySummary, LaggedAnswer, ServeError, ShardedStore};
+pub use net::{run_net_workload, NetClient, NetFrontend, NetWorkloadReport};
+pub use shard::{
+    ApplySummary, LaggedAnswer, MigrateOutcome, ServeError, ShardCommit, ShardedStore,
+};
+pub use wire::{WireError, MAX_FRAME};
 pub use workload::{component_grid, run_workload, Mode, Profile, WorkloadConfig, WorkloadReport};

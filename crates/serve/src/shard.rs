@@ -34,13 +34,33 @@
 //! Readers between steps observe either the old consistent state or
 //! the new consistent state, never a torn mix, because every answer
 //! comes from a single epoch snapshot of a single shard.
+//!
+//! # Parallel writers
+//!
+//! Each shard carries a *writer lock* (separate from the store's
+//! internal commit lock) and its own dedicated SPMD pool, so commits
+//! on different shards proceed genuinely in parallel. The protocol the
+//! daemon's per-shard writer threads rely on:
+//!
+//! * [`commit_shard`](ShardedStore::commit_shard) holds shard `s`'s
+//!   writer lock, re-checks every staged update's routing *under the
+//!   lock*, commits the ones that still belong, and hands back
+//!   *strays* (re-routed by a migration while they sat in the queue)
+//!   and *cross-shard inserts* for the caller to re-dispatch. It never
+//!   takes a second lock, so shard writers cannot deadlock.
+//! * [`migrate`](ShardedStore::migrate) (the coordinator path) locks
+//!   the two shards **in index order**, re-checks routing, and only
+//!   then runs the three-step migration. Routing entries flip *only*
+//!   while both involved writer locks are held — which is what makes
+//!   the flush-time re-check sound: while a shard writer holds its
+//!   lock, no component can migrate into or out of that shard.
 
 use bcc_core::{Algorithm, BccError};
 use bcc_graph::{Edge, Graph, GraphBuilder};
 use bcc_query::{Answer, CommitStats, EdgeUpdate, IndexStore, Query, Snapshot};
 use bcc_smp::Pool;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Why a serving-layer operation failed.
@@ -88,8 +108,42 @@ pub struct ApplySummary {
     pub migrations: usize,
     /// Vertices moved between shards by those migrations.
     pub migrated_vertices: usize,
-    /// Per-commit rebuild statistics, in commit order.
-    pub stats: Vec<CommitStats>,
+    /// `(shard, rebuild statistics)` per commit, in commit order — the
+    /// shard attribution feeds the daemon's per-shard commit-latency
+    /// histograms.
+    pub stats: Vec<(usize, CommitStats)>,
+}
+
+/// What one [`ShardedStore::commit_shard`] call did.
+#[derive(Debug, Default)]
+pub struct ShardCommit {
+    /// Updates resolved by this call: committed into the shard, or
+    /// discharged as no-ops (self-loops, removals of edges that cannot
+    /// exist because they would span shards).
+    pub applied: usize,
+    /// Rebuild statistics of the commit (`None` when nothing needed
+    /// committing).
+    pub stats: Option<CommitStats>,
+    /// Same-shard updates whose component migrated to another shard
+    /// between enqueue and flush; the caller re-dispatches them to the
+    /// owning shard.
+    pub strays: Vec<EdgeUpdate>,
+    /// Inserts that turned out to span shards at flush time; the
+    /// caller hands them to the migration coordinator.
+    pub cross_shard: Vec<EdgeUpdate>,
+}
+
+/// What one [`ShardedStore::migrate`] call did.
+#[derive(Debug, Default)]
+pub struct MigrateOutcome {
+    /// Whether a cross-shard migration actually ran (`false` when the
+    /// endpoints already shared a shard by the time the locks were
+    /// held — the insert still committed).
+    pub migrated: bool,
+    /// Vertices moved between shards.
+    pub migrated_vertices: usize,
+    /// `(shard, rebuild statistics)` per commit issued.
+    pub stats: Vec<(usize, CommitStats)>,
 }
 
 /// An answer plus the snapshot-lag it was served at.
@@ -108,6 +162,11 @@ pub struct LaggedAnswer {
 /// atomic routing table (see the [module docs](self)).
 pub struct ShardedStore {
     shards: Vec<IndexStore>,
+    /// Per-shard writer locks (see the module docs). Distinct from the
+    /// stores' internal commit locks: these serialize the *routing
+    /// re-check + commit* critical section, and migrations hold two of
+    /// them (index order) while flipping routing entries.
+    writer_locks: Vec<Mutex<()>>,
     routing: Vec<AtomicU32>,
     n: u32,
 }
@@ -116,7 +175,9 @@ impl ShardedStore {
     /// Partitions `g`'s connected components across `num_shards`
     /// stores (greedy balance by vertex count, largest first) and
     /// builds each shard's epoch-0 index. Each shard gets its own
-    /// `Pool` clone, so their commits never share SPMD workers' locks.
+    /// **dedicated** `Pool` (same thread count as `pool`) — `Pool`
+    /// clones share workers and serialize their phases, so dedicated
+    /// pools are what lets per-shard writers commit concurrently.
     /// Shards rebuild with TV-filter; use
     /// [`with_algorithm`](ShardedStore::with_algorithm) to choose.
     pub fn new(pool: &Pool, g: &Graph, num_shards: usize) -> Result<Self, ServeError> {
@@ -172,14 +233,20 @@ impl ShardedStore {
             .into_iter()
             .map(|edges| {
                 IndexStore::with_algorithm(
-                    pool.clone(),
+                    Pool::new(pool.threads()),
                     GraphBuilder::new(n).edges(edges).build().unwrap(),
                     alg,
                 )
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let writer_locks = (0..shards.len()).map(|_| Mutex::new(())).collect();
 
-        Ok(ShardedStore { shards, routing, n })
+        Ok(ShardedStore {
+            shards,
+            writer_locks,
+            routing,
+            n,
+        })
     }
 
     /// Number of shards.
@@ -275,12 +342,102 @@ impl ShardedStore {
         })
     }
 
+    /// Commits `batch` into shard `s` under its writer lock, re-checking
+    /// each update's routing there (see the module docs). Returns what
+    /// was applied plus the updates that no longer belong to `s` —
+    /// never taking a second lock, so any number of per-shard writers
+    /// can run concurrently.
+    pub fn commit_shard(&self, s: usize, batch: &[EdgeUpdate]) -> Result<ShardCommit, ServeError> {
+        let mut out = ShardCommit::default();
+        if batch.is_empty() {
+            return Ok(out);
+        }
+        let _guard = self.writer_locks[s].lock().unwrap();
+        let mut txn = self.shards[s].begin();
+        let mut staged = 0usize;
+        for &up in batch {
+            let (u, v) = match up {
+                EdgeUpdate::Insert(u, v) | EdgeUpdate::Remove(u, v) => (u, v),
+            };
+            self.check_vertex(u)?;
+            self.check_vertex(v)?;
+            if u == v {
+                out.applied += 1;
+                continue;
+            }
+            let (su, sv) = (self.shard_of(u), self.shard_of(v));
+            if su == s && sv == s {
+                txn.push(up);
+                staged += 1;
+            } else if su == sv {
+                // A migration moved the component while this update
+                // queued; it belongs to shard `su` now.
+                out.strays.push(up);
+            } else {
+                match up {
+                    // Edges never span shards: such a removal is a no-op.
+                    EdgeUpdate::Remove(..) => out.applied += 1,
+                    EdgeUpdate::Insert(..) => out.cross_shard.push(up),
+                }
+            }
+        }
+        if staged > 0 {
+            let snap = txn.commit()?;
+            out.applied += staged;
+            out.stats = Some(snap.stats);
+        }
+        Ok(out)
+    }
+
+    /// The coordinator path for an insert whose endpoints route to
+    /// different shards: locks both writer locks in index order,
+    /// re-checks routing under them, and either migrates `v`'s
+    /// component into `u`'s shard or — if a racing resolution already
+    /// merged their routing — plain-commits the insert.
+    pub fn migrate(&self, u: u32, v: u32) -> Result<MigrateOutcome, ServeError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let mut out = MigrateOutcome::default();
+        if u == v {
+            return Ok(out);
+        }
+        loop {
+            let (su, sv) = (self.shard_of(u), self.shard_of(v));
+            if su == sv {
+                let _guard = self.writer_locks[su].lock().unwrap();
+                if self.shard_of(u) != su || self.shard_of(v) != su {
+                    continue; // routing moved before we held the lock
+                }
+                let mut txn = self.shards[su].begin();
+                txn.insert(u, v);
+                let snap = txn.commit()?;
+                out.stats.push((su, snap.stats));
+                return Ok(out);
+            }
+            let (lo, hi) = (su.min(sv), su.max(sv));
+            let _g1 = self.writer_locks[lo].lock().unwrap();
+            let _g2 = self.writer_locks[hi].lock().unwrap();
+            if self.shard_of(u) != su || self.shard_of(v) != sv {
+                continue;
+            }
+            let mut summary = ApplySummary::default();
+            self.migrate_locked(u, su, v, sv, &mut summary)?;
+            out.migrated = true;
+            out.migrated_vertices = summary.migrated_vertices;
+            out.stats = summary.stats;
+            return Ok(out);
+        }
+    }
+
     /// Applies a batch of updates, preserving order, committing each
     /// touched shard at most once per contiguous run (a cross-shard
     /// insert flushes the two shards involved, migrates, then
     /// continues batching). **Single-writer**: concurrent `apply`
-    /// calls are not linearized against each other; the daemon funnels
-    /// all updates through one writer thread.
+    /// calls are not linearized against each other; the daemon's
+    /// `writers = single` topology funnels all updates through one
+    /// writer thread (per-shard writers use
+    /// [`commit_shard`](Self::commit_shard) /
+    /// [`migrate`](Self::migrate) instead).
     pub fn apply(&self, updates: &[EdgeUpdate]) -> Result<ApplySummary, ServeError> {
         let mut pending: Vec<Vec<EdgeUpdate>> = vec![Vec::new(); self.shards.len()];
         let mut summary = ApplySummary::default();
@@ -328,18 +485,38 @@ impl ShardedStore {
         if batch.is_empty() {
             return Ok(());
         }
+        let _guard = self.writer_locks[s].lock().unwrap();
         let mut txn = self.shards[s].begin();
         txn.extend(batch.drain(..));
         let snap = txn.commit()?;
         summary.commits += 1;
-        summary.stats.push(snap.stats);
+        summary.stats.push((s, snap.stats));
         Ok(())
+    }
+
+    /// [`migrate_locked`](Self::migrate_locked) behind both writer
+    /// locks, for the single-writer [`apply`](Self::apply) path (which
+    /// holds no locks when it reaches a migration).
+    fn migrate_insert(
+        &self,
+        u: u32,
+        su: usize,
+        v: u32,
+        sv: usize,
+        summary: &mut ApplySummary,
+    ) -> Result<(), ServeError> {
+        let (lo, hi) = (su.min(sv), su.max(sv));
+        let _g1 = self.writer_locks[lo].lock().unwrap();
+        let _g2 = self.writer_locks[hi].lock().unwrap();
+        self.migrate_locked(u, su, v, sv, summary)
     }
 
     /// Moves `v`'s whole component from shard `sv` into `su` and adds
     /// the new edge `{u, v}` (see the module docs for why each step
-    /// keeps readers consistent).
-    fn migrate_insert(
+    /// keeps readers consistent). Caller holds **both** shards' writer
+    /// locks — routing entries only ever flip inside this function,
+    /// under those locks.
+    fn migrate_locked(
         &self,
         u: u32,
         su: usize,
@@ -368,7 +545,7 @@ impl ShardedStore {
         txn.insert(u, v);
         let snap = txn.commit()?;
         summary.commits += 1;
-        summary.stats.push(snap.stats);
+        summary.stats.push((su, snap.stats));
 
         // 2. Route the moved vertices to their new home.
         for &w in &moved_verts {
@@ -383,7 +560,7 @@ impl ShardedStore {
             }
             let snap = txn.commit()?;
             summary.commits += 1;
-            summary.stats.push(snap.stats);
+            summary.stats.push((sv, snap.stats));
         }
 
         summary.migrations += 1;

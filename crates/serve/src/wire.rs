@@ -1,0 +1,594 @@
+//! Length-prefixed binary codec for [`Request`]/[`Response`] — the
+//! daemon's TCP wire format.
+//!
+//! One frame per message:
+//!
+//! ```text
+//! [ len: u32 LE ][ payload: len bytes ]
+//! payload = [ tag: u8 ][ id: u64 LE ][ variant body … ]
+//! ```
+//!
+//! All integers are little-endian. `len` covers the payload only and
+//! is capped at [`MAX_FRAME`]; a peer announcing more is rejected
+//! before any allocation, so a corrupt or hostile length prefix cannot
+//! balloon memory. Tags (the full table lives in ALGORITHMS.md §16):
+//!
+//! | tag    | message                                   |
+//! |--------|-------------------------------------------|
+//! | `0x01` | `Query::Connected(u, v)`                  |
+//! | `0x02` | `Query::SameBlock(u, v)`                  |
+//! | `0x03` | `Query::IsArticulation(v)`                |
+//! | `0x04` | `Query::IsBridge(u, v)`                   |
+//! | `0x05` | `Query::VertexCutBetween(u, v)`           |
+//! | `0x06` | `Query::SurvivesFailure(u, v, failure)`   |
+//! | `0x10` | `EdgeUpdate::Insert(u, v)`                |
+//! | `0x11` | `EdgeUpdate::Remove(u, v)`                |
+//! | `0x81` | `Response::Answer` with `Answer::Bool`    |
+//! | `0x82` | `Response::Answer` with `Answer::Vertices`|
+//! | `0x90` | `Response::Accepted`                      |
+//! | `0xE0` | `Response::Rejected(reason: u8)`          |
+//!
+//! A `SurvivesFailure` body carries `failure` as `0x00 v:u32`
+//! (vertex) or `0x01 a:u32 b:u32` (edge); a `Rejected` reason byte is
+//! `0` queue-full, `1` overloaded, `2` shutting-down, `3` invalid.
+//!
+//! Decoding is strict: unknown tags, short bodies, trailing bytes,
+//! and out-of-range discriminants are all typed [`WireError`]s
+//! (mirroring the `.bccsr` loader's corruption handling — a bad peer
+//! produces a diagnosis, never a panic or a misparse).
+
+use crate::api::{RejectReason, Request, Response};
+use bcc_query::{Answer, EdgeUpdate, Failure, Query};
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload length. Chosen so the largest
+/// legitimate message — a `VertexCutBetween` answer enumerating a cut
+/// — fits for any plausible component, while a corrupt length prefix
+/// cannot demand gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+    },
+    /// The stream ended inside a frame (header or payload).
+    TruncatedFrame,
+    /// The payload ended before its variant body was complete.
+    TruncatedPayload,
+    /// The payload's leading tag byte is not in the table.
+    UnknownTag(u8),
+    /// A discriminant byte (failure kind, reject reason, bool) is out
+    /// of range for its field.
+    BadDiscriminant(u8),
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes(usize),
+    /// The underlying stream failed.
+    Io(io::Error),
+}
+
+impl PartialEq for WireError {
+    fn eq(&self, other: &Self) -> bool {
+        use WireError::*;
+        match (self, other) {
+            (Oversized { len: a }, Oversized { len: b }) => a == b,
+            (TruncatedFrame, TruncatedFrame) => true,
+            (TruncatedPayload, TruncatedPayload) => true,
+            (UnknownTag(a), UnknownTag(b)) => a == b,
+            (BadDiscriminant(a), BadDiscriminant(b)) => a == b,
+            (TrailingBytes(a), TrailingBytes(b)) => a == b,
+            // Io errors never compare equal (they carry no stable id).
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { len } => {
+                write!(f, "frame announces {len} bytes (cap {MAX_FRAME})")
+            }
+            WireError::TruncatedFrame => write!(f, "stream ended mid-frame"),
+            WireError::TruncatedPayload => write!(f, "payload shorter than its message"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadDiscriminant(d) => write!(f, "discriminant {d} out of range"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Io(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// Message tags. Requests sit below 0x80, responses at or above, so a
+// stray frame on the wrong side of the connection fails loudly.
+const TAG_CONNECTED: u8 = 0x01;
+const TAG_SAME_BLOCK: u8 = 0x02;
+const TAG_IS_ARTICULATION: u8 = 0x03;
+const TAG_IS_BRIDGE: u8 = 0x04;
+const TAG_VERTEX_CUT: u8 = 0x05;
+const TAG_SURVIVES: u8 = 0x06;
+const TAG_INSERT: u8 = 0x10;
+const TAG_REMOVE: u8 = 0x11;
+const TAG_ANSWER_BOOL: u8 = 0x81;
+const TAG_ANSWER_VERTICES: u8 = 0x82;
+const TAG_ACCEPTED: u8 = 0x90;
+const TAG_REJECTED: u8 = 0xE0;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Strict little-endian reader over one payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::TruncatedPayload)?;
+        if end > self.buf.len() {
+            return Err(WireError::TruncatedPayload);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(WireError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+}
+
+/// Appends `req`'s payload bytes (no length prefix) to `buf`.
+pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
+    match *req {
+        Request::Query { id, query } => {
+            let (tag, a, b, failure) = match query {
+                Query::Connected(u, v) => (TAG_CONNECTED, u, v, None),
+                Query::SameBlock(u, v) => (TAG_SAME_BLOCK, u, v, None),
+                Query::IsArticulation(v) => (TAG_IS_ARTICULATION, v, 0, None),
+                Query::IsBridge(u, v) => (TAG_IS_BRIDGE, u, v, None),
+                Query::VertexCutBetween(u, v) => (TAG_VERTEX_CUT, u, v, None),
+                Query::SurvivesFailure(u, v, f) => (TAG_SURVIVES, u, v, Some(f)),
+            };
+            buf.push(tag);
+            put_u64(buf, id);
+            put_u32(buf, a);
+            if tag != TAG_IS_ARTICULATION {
+                put_u32(buf, b);
+            }
+            match failure {
+                None => {}
+                Some(Failure::Vertex(x)) => {
+                    buf.push(0);
+                    put_u32(buf, x);
+                }
+                Some(Failure::Edge(x, y)) => {
+                    buf.push(1);
+                    put_u32(buf, x);
+                    put_u32(buf, y);
+                }
+            }
+        }
+        Request::Update { id, update } => {
+            let (tag, u, v) = match update {
+                EdgeUpdate::Insert(u, v) => (TAG_INSERT, u, v),
+                EdgeUpdate::Remove(u, v) => (TAG_REMOVE, u, v),
+            };
+            buf.push(tag);
+            put_u64(buf, id);
+            put_u32(buf, u);
+            put_u32(buf, v);
+        }
+    }
+}
+
+/// Decodes one request payload (strict: the whole slice must be
+/// consumed).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let id = r.u64()?;
+    let req = match tag {
+        TAG_IS_ARTICULATION => Request::Query {
+            id,
+            query: Query::IsArticulation(r.u32()?),
+        },
+        TAG_CONNECTED | TAG_SAME_BLOCK | TAG_IS_BRIDGE | TAG_VERTEX_CUT => {
+            let (u, v) = (r.u32()?, r.u32()?);
+            let query = match tag {
+                TAG_CONNECTED => Query::Connected(u, v),
+                TAG_SAME_BLOCK => Query::SameBlock(u, v),
+                TAG_IS_BRIDGE => Query::IsBridge(u, v),
+                _ => Query::VertexCutBetween(u, v),
+            };
+            Request::Query { id, query }
+        }
+        TAG_SURVIVES => {
+            let (u, v) = (r.u32()?, r.u32()?);
+            let failure = match r.u8()? {
+                0 => Failure::Vertex(r.u32()?),
+                1 => Failure::Edge(r.u32()?, r.u32()?),
+                d => return Err(WireError::BadDiscriminant(d)),
+            };
+            Request::Query {
+                id,
+                query: Query::SurvivesFailure(u, v, failure),
+            }
+        }
+        TAG_INSERT | TAG_REMOVE => {
+            let (u, v) = (r.u32()?, r.u32()?);
+            let update = if tag == TAG_INSERT {
+                EdgeUpdate::Insert(u, v)
+            } else {
+                EdgeUpdate::Remove(u, v)
+            };
+            Request::Update { id, update }
+        }
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Appends `resp`'s payload bytes (no length prefix) to `buf`.
+pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
+    match resp {
+        Response::Answer { id, answer } => match answer {
+            Answer::Bool(b) => {
+                buf.push(TAG_ANSWER_BOOL);
+                put_u64(buf, *id);
+                buf.push(*b as u8);
+            }
+            Answer::Vertices(vs) => {
+                buf.push(TAG_ANSWER_VERTICES);
+                put_u64(buf, *id);
+                put_u32(buf, vs.len() as u32);
+                for &v in vs {
+                    put_u32(buf, v);
+                }
+            }
+        },
+        Response::Accepted { id } => {
+            buf.push(TAG_ACCEPTED);
+            put_u64(buf, *id);
+        }
+        Response::Rejected { id, reason } => {
+            buf.push(TAG_REJECTED);
+            put_u64(buf, *id);
+            buf.push(match reason {
+                RejectReason::QueueFull => 0,
+                RejectReason::Overloaded => 1,
+                RejectReason::ShuttingDown => 2,
+                RejectReason::Invalid => 3,
+            });
+        }
+    }
+}
+
+/// Decodes one response payload (strict: the whole slice must be
+/// consumed, and a `Vertices` count must match the bytes present).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let id = r.u64()?;
+    let resp = match tag {
+        TAG_ANSWER_BOOL => {
+            let b = match r.u8()? {
+                0 => false,
+                1 => true,
+                d => return Err(WireError::BadDiscriminant(d)),
+            };
+            Response::Answer {
+                id,
+                answer: Answer::Bool(b),
+            }
+        }
+        TAG_ANSWER_VERTICES => {
+            let count = r.u32()? as usize;
+            // The count must be consistent with the frame before any
+            // allocation sized by it (corrupt counts cannot balloon).
+            if count > (payload.len() - r.pos) / 4 {
+                return Err(WireError::TruncatedPayload);
+            }
+            let mut vs = Vec::with_capacity(count);
+            for _ in 0..count {
+                vs.push(r.u32()?);
+            }
+            Response::Answer {
+                id,
+                answer: Answer::Vertices(vs),
+            }
+        }
+        TAG_ACCEPTED => Response::Accepted { id },
+        TAG_REJECTED => {
+            let reason = match r.u8()? {
+                0 => RejectReason::QueueFull,
+                1 => RejectReason::Overloaded,
+                2 => RejectReason::ShuttingDown,
+                3 => RejectReason::Invalid,
+                d => return Err(WireError::BadDiscriminant(d)),
+            };
+            Response::Rejected { id, reason }
+        }
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Writes one `[len][payload]` frame. `payload` must fit [`MAX_FRAME`]
+/// (encoders never exceed it for in-range graphs; this guards the
+/// invariant).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len: payload.len() as u32,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame's payload. `Ok(None)` is a *clean* end of stream
+/// (EOF exactly on a frame boundary); EOF inside a frame is
+/// [`WireError::TruncatedFrame`]; an announced length beyond
+/// [`MAX_FRAME`] is rejected before reading the payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        Eof::Clean => return Ok(None),
+        Eof::Mid => return Err(WireError::TruncatedFrame),
+        Eof::Filled => {}
+    }
+    let len = u32::from_le_bytes(header);
+    if len as usize > MAX_FRAME {
+        return Err(WireError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut payload)? {
+        Eof::Filled => Ok(Some(payload)),
+        // A header was read, so EOF before the payload's first byte is
+        // still mid-frame (zero-length payloads report Filled).
+        Eof::Clean | Eof::Mid => Err(WireError::TruncatedFrame),
+    }
+}
+
+enum Eof {
+    /// The buffer was filled completely.
+    Filled,
+    /// EOF before the first byte (empty buffers count as filled).
+    Clean,
+    /// EOF after some but not all bytes.
+    Mid,
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Eof, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(if filled == 0 { Eof::Clean } else { Eof::Mid }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Eof::Filled)
+}
+
+/// Convenience: encode + frame a request onto `w`.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), WireError> {
+    let mut buf = Vec::with_capacity(32);
+    encode_request(req, &mut buf);
+    write_frame(w, &buf)
+}
+
+/// Convenience: encode + frame a response onto `w`.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireError> {
+    let mut buf = Vec::with_capacity(32);
+    encode_response(resp, &mut buf);
+    write_frame(w, &buf)
+}
+
+/// Convenience: read + decode one request (None on clean EOF).
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(p) => decode_request(&p).map(Some),
+    }
+}
+
+/// Convenience: read + decode one response (None on clean EOF).
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, WireError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(p) => decode_response(&p).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        assert_eq!(decode_request(&buf), Ok(req));
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        assert_eq!(decode_response(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for q in [
+            Query::Connected(0, u32::MAX),
+            Query::SameBlock(1, 2),
+            Query::IsArticulation(3),
+            Query::IsBridge(4, 5),
+            Query::VertexCutBetween(6, 7),
+            Query::SurvivesFailure(8, 9, Failure::Vertex(10)),
+            Query::SurvivesFailure(8, 9, Failure::Edge(10, 11)),
+        ] {
+            roundtrip_req(Request::Query {
+                id: u64::MAX,
+                query: q,
+            });
+        }
+        for u in [EdgeUpdate::Insert(0, 1), EdgeUpdate::Remove(2, 3)] {
+            roundtrip_req(Request::Update { id: 42, update: u });
+        }
+        roundtrip_resp(Response::Answer {
+            id: 1,
+            answer: Answer::Bool(true),
+        });
+        roundtrip_resp(Response::Answer {
+            id: 2,
+            answer: Answer::Vertices(vec![]),
+        });
+        roundtrip_resp(Response::Answer {
+            id: 3,
+            answer: Answer::Vertices(vec![7, 8, 9]),
+        });
+        roundtrip_resp(Response::Accepted { id: 4 });
+        for reason in [
+            RejectReason::QueueFull,
+            RejectReason::Overloaded,
+            RejectReason::ShuttingDown,
+            RejectReason::Invalid,
+        ] {
+            roundtrip_resp(Response::Rejected { id: 5, reason });
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut wire = Vec::new();
+        let req = Request::Query {
+            id: 9,
+            query: Query::Connected(1, 2),
+        };
+        let resp = Response::Accepted { id: 9 };
+        write_request(&mut wire, &req).unwrap();
+        write_response(&mut wire, &resp).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_request(&mut r).unwrap(), Some(req));
+        assert_eq!(read_response(&mut r).unwrap(), Some(resp));
+        assert_eq!(read_request(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        // Unknown tag.
+        let mut buf = vec![0x7Fu8];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode_request(&buf), Err(WireError::UnknownTag(0x7F)));
+        // Truncated body.
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Query {
+                id: 0,
+                query: Query::Connected(1, 2),
+            },
+            &mut buf,
+        );
+        assert_eq!(
+            decode_request(&buf[..buf.len() - 1]),
+            Err(WireError::TruncatedPayload)
+        );
+        // Trailing garbage.
+        buf.push(0xAA);
+        assert_eq!(decode_request(&buf), Err(WireError::TrailingBytes(1)));
+        // Bad failure discriminant.
+        let mut buf = vec![TAG_SURVIVES];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.push(9);
+        assert_eq!(decode_request(&buf), Err(WireError::BadDiscriminant(9)));
+        // Vertices count larger than the frame: refused pre-allocation.
+        let mut buf = vec![TAG_ANSWER_VERTICES];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_response(&buf).unwrap_err(),
+            WireError::TruncatedPayload
+        );
+    }
+
+    #[test]
+    fn stream_level_errors_are_typed() {
+        // Oversized announced length: refused before payload read.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &wire[..]).unwrap_err(),
+            WireError::Oversized {
+                len: MAX_FRAME as u32 + 1
+            }
+        );
+        // EOF mid-header and mid-payload.
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::Update {
+                id: 3,
+                update: EdgeUpdate::Insert(1, 2),
+            },
+        )
+        .unwrap();
+        for cut in [2, 7, wire.len() - 1] {
+            assert_eq!(
+                read_frame(&mut &wire[..cut]).unwrap_err(),
+                WireError::TruncatedFrame,
+                "cut at {cut}"
+            );
+        }
+        // Oversized outgoing payload is refused locally.
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &big),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+}

@@ -13,12 +13,16 @@
 //!   that waited — the driver never politely slows down, so there is
 //!   no coordinated omission and the tail is honest.
 //!
-//! Three mixes, per the serving PR's charter: read-heavy (99/1),
-//! churn-heavy (90/10), and an adversarial hot-component variant of
-//! the 99/1 mix where every operation targets one component — all
-//! commits land on one shard and every reader routes into it, so
-//! snapshot lag concentrates where the queries are.
+//! Four mixes: read-heavy (99/1), churn-heavy (90/10), an adversarial
+//! hot-component variant of the 99/1 mix where every operation targets
+//! one component — all commits land on one shard and every reader
+//! routes into it, so snapshot lag concentrates where the queries
+//! are — and an update-storm inversion (10/90) that drowns the write
+//! path: the overload cells drive it above commit capacity to prove
+//! admission control sheds with typed rejections instead of letting
+//! the read tail collapse.
 
+use crate::api::Request;
 use crate::daemon::Daemon;
 use crate::ServeReport;
 use bcc_graph::{Graph, GraphBuilder};
@@ -36,14 +40,19 @@ pub enum Profile {
     /// adversarial case where commits and queries contend on one
     /// shard.
     HotComponent,
+    /// 10% queries, 90% updates, spread over all components: the
+    /// write-path stress mix the admission-control overload cells
+    /// drive past commit capacity.
+    UpdateStorm,
 }
 
 impl Profile {
     /// All profiles, in benchmark order.
-    pub const ALL: [Profile; 3] = [
+    pub const ALL: [Profile; 4] = [
         Profile::ReadHeavy,
         Profile::ChurnHeavy,
         Profile::HotComponent,
+        Profile::UpdateStorm,
     ];
 
     /// Stable name used in benchmark cell keys.
@@ -52,6 +61,7 @@ impl Profile {
             Profile::ReadHeavy => "read-heavy",
             Profile::ChurnHeavy => "churn-heavy",
             Profile::HotComponent => "hot-component",
+            Profile::UpdateStorm => "update-storm",
         }
     }
 
@@ -60,6 +70,7 @@ impl Profile {
         match self {
             Profile::ReadHeavy | Profile::HotComponent => 0.99,
             Profile::ChurnHeavy => 0.90,
+            Profile::UpdateStorm => 0.10,
         }
     }
 
@@ -166,13 +177,13 @@ fn lcg(state: &mut u64) -> u64 {
     *state >> 33
 }
 
-enum Op {
+pub(crate) enum Op {
     Query(Query),
     Update(EdgeUpdate),
 }
 
 /// Deterministic operation stream over a [`component_grid`] instance.
-struct OpGen {
+pub(crate) struct OpGen {
     n: u32,
     parts: u32,
     part_n: u32,
@@ -185,7 +196,7 @@ struct OpGen {
 }
 
 impl OpGen {
-    fn new(n: u32, parts: u32, profile: Profile, seed: u64) -> Self {
+    pub(crate) fn new(n: u32, parts: u32, profile: Profile, seed: u64) -> Self {
         OpGen {
             n,
             parts,
@@ -216,7 +227,7 @@ impl OpGen {
         lo + (lcg(&mut self.state) % len as u64) as u32
     }
 
-    fn next(&mut self) -> Op {
+    pub(crate) fn next(&mut self) -> Op {
         let c = self.pick_part();
         if lcg(&mut self.state) % 10_000 < self.read_per_myriad {
             let u = self.vert(c);
@@ -265,12 +276,17 @@ pub fn run_workload(daemon: Daemon, cfg: &WorkloadConfig) -> WorkloadReport {
     let mut submit = |daemon: &Daemon, op: Op, issued: Instant| {
         match op {
             Op::Query(q) => {
-                if daemon.submit_query_at(q, issued).is_ok() {
+                let req = Request::Query { id: 0, query: q };
+                if daemon.submit_at(req, issued).is_ok() {
                     offered_queries += 1;
                 }
             }
             Op::Update(u) => {
-                if daemon.submit_update(u).is_ok() {
+                let req = Request::Update { id: 0, update: u };
+                // A shed comes back as a typed `Overloaded` rejection;
+                // the daemon counts it into `ServeReport::shed_updates`
+                // so the driver only tracks what was admitted.
+                if daemon.submit_at(req, issued).is_ok() {
                     offered_updates += 1;
                 }
             }
@@ -371,12 +387,11 @@ mod tests {
         let store = Arc::new(ShardedStore::new(&pool, &g, 2).unwrap());
         let daemon = Daemon::spawn(
             Arc::clone(&store),
-            ServeConfig {
-                readers: 2,
-                batch_max: 8,
-                flush_interval: Duration::from_millis(1),
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .readers(2)
+                .batch_max(8)
+                .flush_interval(Duration::from_millis(1))
+                .build(),
         );
         let report = run_workload(
             daemon,

@@ -62,7 +62,7 @@ pub use barrier::Barrier;
 pub use bitmap::Bitmap;
 pub use dynamic::ChunkCounter;
 pub use pool::{Ctx, Pool, PoolBuilder};
-pub use queue::{MpmcQueue, PopResult};
+pub use queue::{MpmcQueue, PopResult, TryPushError};
 pub use shared::SharedSlice;
 pub use telemetry::{Telemetry, TelemetrySnapshot};
 pub use workspace::{BccWorkspace, CountingAlloc, WorkspaceStats};

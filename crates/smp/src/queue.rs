@@ -29,6 +29,28 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Why a [`MpmcQueue::try_push`] refused an item. Carrying the item
+/// back distinguishes "no room right now" (retry, shed, or block) from
+/// "closed forever" (give up) — the serving layer's admission control
+/// needs that distinction to hand producers a typed rejection instead
+/// of a silent drop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; the item comes back unqueued.
+    Full(T),
+    /// The queue is closed; no push will ever succeed again.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// The refused item, whichever way it was refused.
+    pub fn into_item(self) -> T {
+        match self {
+            TryPushError::Full(t) | TryPushError::Closed(t) => t,
+        }
+    }
+}
+
 /// Result of a [`MpmcQueue::pop_timeout`] call.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PopResult<T> {
@@ -116,11 +138,15 @@ impl<T> MpmcQueue<T> {
     }
 
     /// Enqueues `item` only if there is room right now; returns the
-    /// item back as `Err` when the queue is full or closed.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    /// item back inside a [`TryPushError`] saying *why* it was refused
+    /// — full (transient) or closed (final).
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
         let mut inner = self.inner.lock().unwrap();
-        if inner.closed || inner.items.len() >= self.capacity {
-            return Err(item);
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
         }
         inner.items.push_back(item);
         drop(inner);
@@ -202,9 +228,20 @@ mod tests {
         let q = MpmcQueue::new(2);
         q.push(1).unwrap();
         q.push(2).unwrap();
-        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn try_push_distinguishes_full_from_closed() {
+        let q = MpmcQueue::new(1);
+        q.push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(TryPushError::Full(2)));
+        q.close();
+        assert_eq!(q.try_push(2), Err(TryPushError::Closed(2)));
+        assert_eq!(TryPushError::Full(7).into_item(), 7);
+        assert_eq!(TryPushError::Closed(8).into_item(), 8);
     }
 
     #[test]

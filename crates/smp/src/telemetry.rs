@@ -54,6 +54,7 @@ pub struct Telemetry {
     lag_commits_max: AtomicU64,
     lag_wall_ns_sum: AtomicU64,
     lag_wall_ns_max: AtomicU64,
+    sheds: AtomicU64,
 }
 
 impl Telemetry {
@@ -70,7 +71,16 @@ impl Telemetry {
             lag_commits_max: AtomicU64::new(0),
             lag_wall_ns_sum: AtomicU64::new(0),
             lag_wall_ns_max: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
         }
+    }
+
+    /// Records `n` operations shed by admission control: offered load
+    /// the serving layer *refused with a typed rejection* (never a
+    /// silent drop) because a queue-depth or snapshot-lag watermark was
+    /// crossed. Callable from any thread.
+    pub fn record_shed(&self, n: u64) {
+        self.sheds.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one snapshot-lag observation: a query was answered from
@@ -133,6 +143,7 @@ impl Telemetry {
             snapshot_lag_wall_max: Duration::from_nanos(
                 self.lag_wall_ns_max.load(Ordering::Relaxed),
             ),
+            sheds: self.sheds.load(Ordering::Relaxed),
         }
     }
 
@@ -149,6 +160,7 @@ impl Telemetry {
         self.lag_commits_max.store(0, Ordering::Relaxed);
         self.lag_wall_ns_sum.store(0, Ordering::Relaxed);
         self.lag_wall_ns_max.store(0, Ordering::Relaxed);
+        self.sheds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -189,6 +201,9 @@ pub struct TelemetrySnapshot {
     /// Worst single observation of snapshot age (high-water mark since
     /// reset, like `snapshot_lag_commits_max`).
     pub snapshot_lag_wall_max: Duration,
+    /// Operations shed by admission control (typed rejections issued
+    /// when a queue-depth or snapshot-lag watermark was crossed).
+    pub sheds: u64,
 }
 
 impl TelemetrySnapshot {
@@ -268,6 +283,7 @@ impl TelemetrySnapshot {
                 .snapshot_lag_wall
                 .saturating_sub(earlier.snapshot_lag_wall),
             snapshot_lag_wall_max: self.snapshot_lag_wall_max,
+            sheds: self.sheds.saturating_sub(earlier.sheds),
         }
     }
 }
@@ -359,6 +375,20 @@ mod tests {
         assert_eq!(s.snapshot_lag_samples, 0);
         assert_eq!(s.snapshot_lag_commits_max, 0);
         assert_eq!(s.snapshot_lag_wall_max, Duration::ZERO);
+    }
+
+    #[test]
+    fn shed_counts_accumulate_delta_and_reset() {
+        let t = Telemetry::new(1);
+        assert_eq!(t.snapshot().sheds, 0);
+        t.record_shed(3);
+        let mid = t.snapshot();
+        assert_eq!(mid.sheds, 3);
+        t.record_shed(2);
+        assert_eq!(t.snapshot().sheds, 5);
+        assert_eq!(t.snapshot().delta_since(&mid).sheds, 2);
+        t.reset();
+        assert_eq!(t.snapshot().sheds, 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! ```
 
 use smp_bcc::query::{EdgeUpdate, Failure, Query};
-use smp_bcc::serve::{component_grid, Daemon, ServeConfig, ShardedStore};
+use smp_bcc::serve::{component_grid, Daemon, Request, ServeConfig, ShardedStore};
 use smp_bcc::Pool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -53,14 +53,13 @@ fn main() {
     // ---- Spawn the daemon ---------------------------------------------
     let daemon = Daemon::spawn(
         Arc::clone(&store),
-        ServeConfig {
-            readers,
-            batch_max: 32,
-            flush_interval: Duration::from_millis(1),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .readers(readers)
+            .batch_max(32)
+            .flush_interval(Duration::from_millis(1))
+            .build(),
     );
-    println!("daemon up: {readers} readers + 1 writer, streaming for {secs}s...");
+    println!("daemon up: {readers} readers + {shards} writers, streaming for {secs}s...");
 
     // ---- Stream failures while querying --------------------------------
     // Each component is a contiguous ring `lo..hi`; we fail and restore
@@ -90,7 +89,7 @@ fn main() {
             EdgeUpdate::Remove(lo, mid)
         };
         link_down[c as usize] = !link_down[c as usize];
-        if daemon.submit_update(update).is_err() {
+        if daemon.submit(Request::Update { id: 0, update }).is_err() {
             break;
         }
         offered_updates += 1;
@@ -106,7 +105,7 @@ fn main() {
                 2 => Query::SurvivesFailure(u, v, Failure::Edge(lo, lo + 1)),
                 _ => Query::SurvivesFailure(u, v, Failure::Vertex(mid)),
             };
-            if daemon.submit_query(q).is_err() {
+            if daemon.submit(Request::Query { id: 0, query: q }).is_err() {
                 break;
             }
             offered_queries += 1;

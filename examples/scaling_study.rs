@@ -92,12 +92,11 @@ fn main() {
         let store = Arc::new(ShardedStore::new(&Pool::new(p), &g, 4).unwrap());
         let daemon = Daemon::spawn(
             store,
-            ServeConfig {
-                readers: p,
-                telemetry: Some(Arc::clone(&sink)),
-                flush_interval: Duration::from_millis(1),
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .readers(p)
+                .telemetry(Arc::clone(&sink))
+                .flush_interval(Duration::from_millis(1))
+                .build(),
         );
         let report = run_workload(
             daemon,
